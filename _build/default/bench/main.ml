@@ -1,0 +1,174 @@
+(* The benchmark harness: regenerates every table of the paper's
+   evaluation and measures the cost of the core XPC/marshaling
+   primitives with Bechamel.
+
+   Usage:
+     bench/main.exe              run everything
+     bench/main.exe table1 ...   run selected parts
+       (table1 table2 table3 table4 casestudy ablations micro)
+*)
+
+module K = Decaf_kernel
+module Xpc = Decaf_xpc
+module E = Decaf_experiments
+open Bechamel
+open Toolkit
+
+let section title = Printf.printf "\n==== %s ====\n%!" title
+
+(* --- table harnesses: each regenerates one table/figure set --- *)
+
+let run_table1 () = print_string (E.Table1.render (E.Table1.measure ()))
+let run_table2 () = print_string (E.Table2.render (E.Table2.measure ()))
+let run_table3 () = print_string (E.Table3.render (E.Table3.measure ()))
+let run_table4 () = print_string (E.Table4.render (E.Table4.measure ()))
+
+let run_casestudy () =
+  print_string (E.Casestudy.render (E.Casestudy.measure ()));
+  section "Figure 2: generated Jeannie stub for snd_card_register";
+  print_string (E.Casestudy.figure2_stub ());
+  section "Figure 3: generated XDR spec for the E1000 (excerpt)";
+  let xdr = E.Casestudy.figure3_xdr () in
+  let take_lines n s =
+    String.split_on_char '\n' s
+    |> List.filteri (fun i _ -> i < n)
+    |> String.concat "\n"
+  in
+  print_endline (take_lines 30 xdr);
+  section "Figure 5: e1000_config_dsp_after_link_change, before/after";
+  let before, after = E.Casestudy.figure5_before_after () in
+  Printf.printf "--- original (return codes) ---\n%s\n" before;
+  Printf.printf "--- exception style ---\n%s\n" after
+
+(* --- micro-benchmarks over the core primitives --- *)
+
+let prepare_machine () =
+  K.Boot.boot ();
+  Xpc.Domain.reset ();
+  Xpc.Channel.reset_stats ();
+  Decaf_runtime.Runtime.reset ()
+
+let bench_tests () =
+  prepare_machine ();
+  let adapter = Decaf_drivers.E1000_objects.fresh_kernel_adapter () in
+  let marshaled = Decaf_drivers.E1000_objects.marshal_to_user adapter in
+  let tracker = Xpc.Objtracker.create () in
+  let key = Decaf_drivers.E1000_objects.ring_key in
+  let ring = { Decaf_drivers.E1000_objects.head = 0; tail = 0; count = 8 } in
+  Xpc.Objtracker.associate tracker ~addr:0xc000_0000 (Xpc.Univ.pack key ring);
+  let combolock = K.Sync.Combolock.create () in
+  let micro =
+    Test.make_grouped ~name:"micro"
+      [
+        Test.make ~name:"xpc/kernel-user-crossing"
+          (Staged.stage (fun () ->
+               Xpc.Channel.call ~target:Xpc.Domain.Driver_lib ~payload_bytes:64
+                 (fun () -> ())));
+        Test.make ~name:"xpc/c-java-crossing"
+          (Staged.stage (fun () ->
+               Xpc.Domain.with_domain Xpc.Domain.Driver_lib (fun () ->
+                   Xpc.Channel.call ~target:Xpc.Domain.Decaf_driver
+                     ~payload_bytes:64 (fun () -> ()))));
+        Test.make ~name:"xdr/marshal-e1000-adapter"
+          (Staged.stage (fun () ->
+               ignore (Decaf_drivers.E1000_objects.marshal_to_user adapter)));
+        Test.make ~name:"xdr/unmarshal-e1000-adapter"
+          (Staged.stage (fun () ->
+               ignore
+                 (Decaf_drivers.E1000_objects.unmarshal_at_user marshaled
+                    adapter)));
+        Test.make ~name:"objtracker/hit"
+          (Staged.stage (fun () ->
+               ignore (Xpc.Objtracker.find tracker ~addr:0xc000_0000 key)));
+        Test.make ~name:"combolock/kernel-fast-path"
+          (Staged.stage (fun () ->
+               K.Sync.Combolock.with_kernel combolock (fun () -> ())));
+        Test.make ~name:"minic/parse-e1000-driver"
+          (Staged.stage (fun () ->
+               ignore (Decaf_minic.Parser.parse Decaf_drivers.E1000_src.source)));
+        Test.make ~name:"slicer/slice-e1000-driver"
+          (Staged.stage (fun () ->
+               ignore
+                 (Decaf_slicer.Slicer.slice
+                    ~source:Decaf_drivers.E1000_src.source
+                    Decaf_drivers.E1000_src.config)));
+      ]
+  in
+  let tables =
+    Test.make_grouped ~name:"tables"
+      [
+        Test.make ~name:"table1/infrastructure-loc"
+          (Staged.stage (fun () -> ignore (E.Table1.measure ())));
+        Test.make ~name:"table2/slice-five-drivers"
+          (Staged.stage (fun () -> ignore (E.Table2.measure ())));
+        Test.make ~name:"table3/all-workloads"
+          (Staged.stage (fun () ->
+               ignore (E.Table3.measure ~duration_ns:200_000_000 ())));
+        Test.make ~name:"table4/evolution"
+          (Staged.stage (fun () -> ignore (E.Table4.measure ())));
+        Test.make ~name:"casestudy/error-analysis"
+          (Staged.stage (fun () -> ignore (E.Casestudy.measure ())));
+      ]
+  in
+  (micro, tables)
+
+let run_bechamel ~quota ~limit test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None ~stabilize:false
+      ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  List.sort compare names
+  |> List.iter (fun name ->
+         let ols_result = Hashtbl.find results name in
+         match Analyze.OLS.estimates ols_result with
+         | Some (est :: _) -> Printf.printf "%-40s %12.0f ns/run\n%!" name est
+         | Some [] | None -> Printf.printf "%-40s (no estimate)\n%!" name)
+
+let run_micro () =
+  let micro, _ = bench_tests () in
+  section "Bechamel micro-benchmarks (wall-clock per run)";
+  run_bechamel ~quota:0.25 ~limit:500 micro
+
+let run_table_benches () =
+  let _, tables = bench_tests () in
+  section "Bechamel table-regeneration benchmarks (wall-clock per run)";
+  run_bechamel ~quota:1.0 ~limit:4 tables
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want name = args = [] || List.mem name args in
+  if want "table1" then begin
+    section "Table 1";
+    run_table1 ()
+  end;
+  if want "table2" then begin
+    section "Table 2";
+    run_table2 ()
+  end;
+  if want "table3" then begin
+    section "Table 3";
+    run_table3 ()
+  end;
+  if want "table4" then begin
+    section "Table 4";
+    run_table4 ()
+  end;
+  if want "casestudy" then begin
+    section "Case study (5.1)";
+    run_casestudy ()
+  end;
+  if want "ablations" then begin
+    section "Ablations";
+    print_string (E.Ablations.render (E.Ablations.measure ()))
+  end;
+  if want "micro" then begin
+    run_micro ();
+    run_table_benches ()
+  end

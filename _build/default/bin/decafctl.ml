@@ -1,0 +1,42 @@
+(* decafctl: load one of the five drivers in native or decaf mode and run
+   its workload, printing the Table 3 measurements for that cell. *)
+
+open Cmdliner
+module E = Decaf_experiments
+
+let run driver seconds =
+  let duration_ns = int_of_float (seconds *. 1e9) in
+  let rows = E.Table3.measure ~duration_ns () in
+  let rows =
+    match driver with
+    | None -> rows
+    | Some d ->
+        List.filter
+          (fun r -> String.lowercase_ascii r.E.Table3.driver = String.lowercase_ascii d)
+          rows
+  in
+  if rows = [] then begin
+    Printf.eprintf "no workload for driver %s\n"
+      (Option.value ~default:"?" driver);
+    exit 1
+  end;
+  print_string (E.Table3.render rows);
+  exit 0
+
+let driver_arg =
+  let doc = "Restrict to one driver (8139too, E1000, ens1371, uhci-hcd, psmouse)." in
+  Arg.(value & opt (some string) None & info [ "driver" ] ~docv:"DRIVER" ~doc)
+
+let seconds_arg =
+  let doc = "Virtual seconds of steady-state workload per cell." in
+  Arg.(value & opt float 2.0 & info [ "seconds" ] ~docv:"SECONDS" ~doc)
+
+let term = Term.(const run $ driver_arg $ seconds_arg)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "decafctl"
+       ~doc:"Run a driver workload in native and decaf modes and compare")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,131 @@
+(* The DriverSlicer command-line tool: run the partitioning and
+   code-generation pipeline over one of the bundled legacy drivers. *)
+
+open Cmdliner
+module Slicer = Decaf_slicer.Slicer
+module Partition = Decaf_slicer.Partition
+module Report = Decaf_slicer.Report
+module Xdrspec = Decaf_slicer.Xdrspec
+module Errcheck = Decaf_slicer.Errcheck
+open Decaf_drivers
+
+let drivers =
+  [
+    ("8139too", ("Network", Rtl8139_src.source, Rtl8139_src.config));
+    ("e1000", ("Network", E1000_src.source, E1000_src.config));
+    ("ens1371", ("Sound", Ens1371_src.source, Ens1371_src.config));
+    ("uhci-hcd", ("USB 1.0", Uhci_src.source, Uhci_src.config));
+    ("psmouse", ("Mouse", Psmouse_src.source, Psmouse_src.config));
+  ]
+
+type emit =
+  | Table
+  | Partition_sets
+  | Xdr
+  | Stubs
+  | Marshaling
+  | Nucleus
+  | Library
+  | Violations
+
+let run driver_name emits =
+  match List.assoc_opt driver_name drivers with
+  | None ->
+      Printf.eprintf "unknown driver %s; available: %s\n" driver_name
+        (String.concat ", " (List.map fst drivers));
+      exit 1
+  | Some (dtype, source, config) ->
+      let out = Slicer.slice ~source config in
+      let emits = if emits = [] then [ Table ] else emits in
+      List.iter
+        (function
+          | Table ->
+              print_endline Report.header;
+              Format.printf "%a@." Report.pp_row (Report.stats out ~dtype)
+          | Partition_sets ->
+              let p = out.Slicer.partition in
+              Printf.printf "nucleus (%d):\n  %s\n"
+                (List.length p.Partition.nucleus)
+                (String.concat "\n  " p.Partition.nucleus);
+              Printf.printf "user (%d):\n  %s\n"
+                (List.length p.Partition.user)
+                (String.concat "\n  " p.Partition.user);
+              Printf.printf "user entry points: %s\n"
+                (String.concat ", " p.Partition.user_entry_points);
+              Printf.printf "kernel entry points: %s\n"
+                (String.concat ", " p.Partition.kernel_entry_points)
+          | Xdr -> print_string (Xdrspec.to_string out.Slicer.spec)
+          | Marshaling ->
+              let spec = out.Slicer.spec in
+              List.iter
+                (fun s ->
+                  print_string (Decaf_slicer.Marshalgen.c_marshal_code spec s);
+                  print_newline ();
+                  print_string (Decaf_slicer.Marshalgen.java_class_code s);
+                  print_string (Decaf_slicer.Marshalgen.java_marshal_code spec s);
+                  print_newline ())
+                spec.Xdrspec.xs_structs
+          | Stubs ->
+              List.iter
+                (fun (name, code) -> Printf.printf "/* %s */\n%s\n" name code)
+                out.Slicer.stubs
+          | Nucleus -> print_string out.Slicer.split.Decaf_slicer.Splitgen.nucleus_src
+          | Library -> print_string out.Slicer.split.Decaf_slicer.Splitgen.library_src
+          | Violations ->
+              let extra =
+                if driver_name = "e1000" then E1000_src.error_extra else []
+              in
+              let vs = Errcheck.find_violations out.Slicer.file ~extra in
+              Printf.printf "%d broken error-handling sites\n" (List.length vs);
+              List.iter
+                (fun (v : Errcheck.violation) ->
+                  Printf.printf "  line %4d %s -> %s\n" v.Errcheck.v_line
+                    v.Errcheck.v_function v.Errcheck.v_callee)
+                vs)
+        emits;
+      exit 0
+
+let driver_arg =
+  let doc = "Driver to slice (8139too, e1000, ens1371, uhci-hcd, psmouse)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DRIVER" ~doc)
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let term =
+  let combine driver table partition xdr stubs marshaling nucleus library
+      violations =
+    let pick cond v = if cond then [ v ] else [] in
+    let emits =
+      List.concat
+        [
+          pick table Table;
+          pick partition Partition_sets;
+          pick xdr Xdr;
+          pick stubs Stubs;
+          pick marshaling Marshaling;
+          pick nucleus Nucleus;
+          pick library Library;
+          pick violations Violations;
+        ]
+    in
+    run driver emits
+  in
+  Term.(
+    const combine $ driver_arg
+    $ flag "table" "Print the Table 2 statistics row."
+    $ flag "partition" "Print the nucleus/user function sets and entry points."
+    $ flag "emit-xdr" "Print the generated XDR interface specification."
+    $ flag "emit-stubs" "Print the generated kernel and Jeannie stubs."
+    $ flag "emit-marshaling"
+        "Print the rpcgen/jrpcgen-style marshaling code and Java classes."
+    $ flag "emit-nucleus" "Print the patched driver-nucleus source."
+    $ flag "emit-library" "Print the patched driver-library source."
+    $ flag "violations" "Run the error-handling analysis.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "driverslicer"
+       ~doc:"Partition a legacy driver into nucleus and user components")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,18 @@
+(* Regenerate the paper's entire evaluation: Tables 1-4 and the section
+   5.1 case study, in order. *)
+
+module E = Decaf_experiments
+
+let () =
+  print_endline "Decaf Drivers: full evaluation";
+  print_endline "==============================";
+  print_newline ();
+  print_string (E.Table1.render (E.Table1.measure ()));
+  print_newline ();
+  print_string (E.Table2.render (E.Table2.measure ()));
+  print_newline ();
+  print_string (E.Table3.render (E.Table3.measure ()));
+  print_newline ();
+  print_string (E.Table4.render (E.Table4.measure ()));
+  print_newline ();
+  print_string (E.Casestudy.render (E.Casestudy.measure ()))

@@ -1,0 +1,1 @@
+examples/error_handling_demo.mli:

@@ -1,0 +1,1 @@
+examples/evolution_demo.ml: Decaf_drivers Decaf_slicer E1000_evolution E1000_src List Printf String

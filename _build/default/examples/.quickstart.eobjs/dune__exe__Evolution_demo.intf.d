@@ -1,0 +1,1 @@
+examples/evolution_demo.mli:

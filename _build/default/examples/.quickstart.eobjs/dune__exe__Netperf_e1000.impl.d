@@ -1,0 +1,1 @@
+examples/netperf_e1000.ml: Decaf_drivers Decaf_hw Decaf_kernel Decaf_runtime Decaf_workloads Decaf_xpc Driver_env E1000_drv Netperf Option Printf

@@ -1,0 +1,1 @@
+examples/netperf_e1000.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Decaf_drivers Decaf_hw Decaf_kernel Decaf_runtime Decaf_xpc Driver_env E1000_drv Printf

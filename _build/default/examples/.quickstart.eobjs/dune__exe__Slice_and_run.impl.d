@@ -1,0 +1,1 @@
+examples/slice_and_run.ml: Decaf_drivers Decaf_slicer Format List Printf Rtl8139_src String

@@ -1,0 +1,1 @@
+examples/slice_and_run.mli:

@@ -1,0 +1,48 @@
+(* DriverSlicer end to end: partition the legacy 8139too driver, inspect
+   what the tooling generates (stubs, XDR spec, the two source trees),
+   and verify the partition is sound.
+
+   Run with:  dune exec examples/slice_and_run.exe *)
+
+module Slicer = Decaf_slicer.Slicer
+module Partition = Decaf_slicer.Partition
+module Splitgen = Decaf_slicer.Splitgen
+module Xdrspec = Decaf_slicer.Xdrspec
+module Report = Decaf_slicer.Report
+open Decaf_drivers
+
+let () =
+  let out = Slicer.slice ~source:Rtl8139_src.source Rtl8139_src.config in
+  let p = out.Slicer.partition in
+
+  print_endline "== partition ==";
+  Printf.printf "kernel nucleus (%d functions): %s\n"
+    (List.length p.Partition.nucleus)
+    (String.concat ", " p.Partition.nucleus);
+  Printf.printf "user level (%d functions)\n" (List.length p.Partition.user);
+  Printf.printf "  converted to Java: %s\n"
+    (String.concat ", " (Slicer.decaf_functions out));
+  Printf.printf "  left in the C driver library: %s\n"
+    (String.concat ", " (Slicer.library_functions out));
+
+  (match Partition.check_soundness out.Slicer.file p with
+  | Ok () -> print_endline "partition soundness: OK"
+  | Error msg -> Printf.printf "partition UNSOUND: %s\n" msg);
+
+  print_endline "\n== one generated kernel stub ==";
+  (match List.assoc_opt "kernel:rtl8139_open" out.Slicer.stubs with
+  | Some stub -> print_string stub
+  | None -> print_endline "(none)");
+
+  print_endline "\n== generated XDR spec ==";
+  print_string (Xdrspec.to_string out.Slicer.spec);
+
+  print_endline "\n== split source sizes ==";
+  Printf.printf "nucleus tree: %d LoC, library tree: %d LoC, stubs: %d LoC\n"
+    (Splitgen.nucleus_loc out.Slicer.split)
+    (Splitgen.library_loc out.Slicer.split)
+    (Splitgen.stubs_loc out.Slicer.split);
+
+  print_endline "\n== Table 2 row ==";
+  print_endline Report.header;
+  Format.printf "%a@." Report.pp_row (Report.stats out ~dtype:"Network")

@@ -1,0 +1,1 @@
+lib/decaf/jeannie.ml: Channel Decaf_kernel Decaf_xpc Domain

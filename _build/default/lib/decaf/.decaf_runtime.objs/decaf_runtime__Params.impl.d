@@ -1,0 +1,1 @@
+lib/decaf/params.ml: Decaf_kernel Hashtbl List

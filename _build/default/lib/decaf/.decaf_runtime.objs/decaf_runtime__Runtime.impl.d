@@ -1,0 +1,1 @@
+lib/decaf/runtime.ml: Decaf_kernel Decaf_xpc Hashtbl Jeannie Objtracker

@@ -1,0 +1,1 @@
+lib/decaf/runtime.mli: Decaf_xpc

@@ -1,0 +1,30 @@
+exception Hw_error of { driver : string; errno : int; context : string }
+
+let eio = 5
+let enomem = 12
+let ebusy = 16
+let enodev = 19
+let einval = 22
+let etimedout = 110
+
+let throw ~driver ~errno context = raise (Hw_error { driver; errno; context })
+
+let check ~driver ~context code =
+  if code < 0 then throw ~driver ~errno:(-code) context
+
+let to_errno body =
+  match body () with
+  | () -> 0
+  | exception Hw_error { errno; _ } -> -errno
+
+let to_result body =
+  match body () with
+  | v -> Ok v
+  | exception Hw_error { errno; _ } -> Error (-errno)
+
+let protect ~cleanup body =
+  match body () with
+  | v -> v
+  | exception e ->
+      cleanup ();
+      raise e

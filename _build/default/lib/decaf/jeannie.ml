@@ -1,0 +1,22 @@
+module K = Decaf_kernel
+open Decaf_xpc
+
+let direct_calls = ref 0
+
+(* A direct cross-language call: no marshaling, no thread switch; we
+   charge a small fixed cost (JNI-style transition). *)
+let direct_transition_ns = 300
+
+let direct f =
+  incr direct_calls;
+  K.Clock.consume direct_transition_ns;
+  Domain.with_domain Domain.Driver_lib f
+
+let via_xpc ~bytes f =
+  Channel.call ~target:Domain.Driver_lib ~payload_bytes:bytes f
+
+let to_kernel ~bytes f =
+  Channel.call ~target:Domain.Kernel ~payload_bytes:bytes f
+
+let direct_call_count () = !direct_calls
+let reset_counters () = direct_calls := 0

@@ -1,0 +1,52 @@
+module K = Decaf_kernel
+
+type outcome = { value : int; adjusted : bool }
+
+class virtual checker ~name ~default =
+  object (self)
+    method name : string = name
+    method default : int = default
+    method virtual accepts : int -> bool
+
+    method check raw =
+      if self#accepts raw then { value = raw; adjusted = false }
+      else begin
+        K.Klog.printk K.Klog.Warning
+          "param %s: invalid value %d, using default %d" name raw default;
+        { value = default; adjusted = true }
+      end
+  end
+
+class flag_checker ~name ~default =
+  object
+    inherit checker ~name ~default
+    method accepts v = v = 0 || v = 1
+  end
+
+class range_checker ~name ~default ~min ~max =
+  object
+    inherit checker ~name ~default
+    method accepts v = v >= min && v <= max
+  end
+
+class set_checker ~name ~default ~allowed =
+  object
+    inherit checker ~name ~default
+
+    val table =
+      let t = Hashtbl.create (List.length allowed) in
+      List.iter (fun v -> Hashtbl.replace t v ()) allowed;
+      t
+
+    method accepts v = Hashtbl.mem table v
+  end
+
+class type concrete = object
+  method name : string
+  method default : int
+  method accepts : int -> bool
+  method check : int -> outcome
+end
+
+let check_all entries =
+  List.map (fun (c, raw) -> (c#name, c#check raw)) entries

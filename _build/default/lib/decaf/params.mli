@@ -1,0 +1,44 @@
+(** Module-parameter validation for decaf drivers.
+
+    Mirrors the paper's rewrite of [e1000_param.c] (§5.1, "Object
+    orientation"): a base checker class provides the common logic and
+    two derived classes add range tests and set-membership tests — the
+    latter implemented with a hash table from the standard library (the
+    "Java collections" benefit). The type system forces callers to
+    provide the ranges and sets, which the C original could silently
+    omit. *)
+
+type outcome = { value : int; adjusted : bool }
+
+class virtual checker : name:string -> default:int -> object
+  method name : string
+  method default : int
+
+  method virtual accepts : int -> bool
+  (** Whether the raw value is legal for this parameter. *)
+
+  method check : int -> outcome
+  (** Validate a raw value: returns it unchanged when legal, otherwise
+      the default with [adjusted = true] (and a kernel log line, as the
+      driver printk does). *)
+end
+
+class type concrete = object
+  method name : string
+  method default : int
+  method accepts : int -> bool
+  method check : int -> outcome
+end
+(** A fully-implemented checker, the type the derived classes share. *)
+
+class flag_checker : name:string -> default:int -> concrete
+(** Accepts 0 or 1. *)
+
+class range_checker :
+  name:string -> default:int -> min:int -> max:int -> concrete
+
+class set_checker : name:string -> default:int -> allowed:int list -> concrete
+(** Membership is tested against a hash table built from [allowed]. *)
+
+val check_all : (concrete * int) list -> (string * outcome) list
+(** Validate each (checker, raw value) pair in order. *)

@@ -1,0 +1,1 @@
+lib/drivers/driver_env.mli:

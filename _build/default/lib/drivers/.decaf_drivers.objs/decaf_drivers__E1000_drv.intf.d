@@ -1,0 +1,1 @@
+lib/drivers/e1000_drv.mli: Decaf_hw Decaf_kernel Decaf_runtime Driver_env E1000_objects

@@ -1,0 +1,1 @@
+lib/drivers/e1000_evolution.ml: Decaf_minic Decaf_slicer E1000_src List String Strutil

@@ -1,0 +1,1 @@
+lib/drivers/e1000_evolution.mli: Decaf_slicer

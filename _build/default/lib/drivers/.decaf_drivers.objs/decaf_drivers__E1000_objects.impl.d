@@ -1,0 +1,1 @@
+lib/drivers/e1000_objects.ml: Addr Array Bytes Decaf_kernel Decaf_runtime Decaf_xpc Marshal_plan Objtracker Option Univ Xdr

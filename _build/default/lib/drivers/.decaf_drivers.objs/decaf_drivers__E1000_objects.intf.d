@@ -1,0 +1,1 @@
+lib/drivers/e1000_objects.mli: Decaf_xpc

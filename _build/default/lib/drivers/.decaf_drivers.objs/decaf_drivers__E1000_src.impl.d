@@ -1,0 +1,1 @@
+lib/drivers/e1000_src.ml: Decaf_slicer

@@ -1,0 +1,1 @@
+lib/drivers/e1000_src.mli: Decaf_slicer

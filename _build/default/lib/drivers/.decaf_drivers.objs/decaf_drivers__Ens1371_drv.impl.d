@@ -1,0 +1,1 @@
+lib/drivers/ens1371_drv.ml: Decaf_hw Decaf_kernel Decaf_runtime Driver_env Hashtbl

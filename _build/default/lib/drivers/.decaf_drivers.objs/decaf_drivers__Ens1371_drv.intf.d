@@ -1,0 +1,1 @@
+lib/drivers/ens1371_drv.mli: Decaf_hw Decaf_kernel Driver_env

@@ -1,0 +1,1 @@
+lib/drivers/ens1371_src.ml: Decaf_slicer

@@ -1,0 +1,1 @@
+lib/drivers/psmouse_drv.ml: Decaf_hw Decaf_kernel Decaf_runtime Driver_env List Queue

@@ -1,0 +1,1 @@
+lib/drivers/psmouse_src.ml: Decaf_slicer

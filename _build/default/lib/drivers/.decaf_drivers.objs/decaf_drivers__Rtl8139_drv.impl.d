@@ -1,0 +1,1 @@
+lib/drivers/rtl8139_drv.ml: Bytes Char Decaf_hw Decaf_kernel Decaf_runtime Driver_env Hashtbl String

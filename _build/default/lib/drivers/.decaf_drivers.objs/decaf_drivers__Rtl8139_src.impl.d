@@ -1,0 +1,1 @@
+lib/drivers/rtl8139_src.ml: Decaf_slicer

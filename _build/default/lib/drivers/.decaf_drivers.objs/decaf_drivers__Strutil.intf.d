@@ -1,0 +1,1 @@
+lib/drivers/strutil.mli:

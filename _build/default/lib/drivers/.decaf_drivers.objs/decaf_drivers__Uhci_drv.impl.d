@@ -1,0 +1,1 @@
+lib/drivers/uhci_drv.ml: Bytes Decaf_hw Decaf_kernel Decaf_runtime Driver_env

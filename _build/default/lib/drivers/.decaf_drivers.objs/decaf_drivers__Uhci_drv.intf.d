@@ -1,0 +1,1 @@
+lib/drivers/uhci_drv.mli: Decaf_hw Driver_env

@@ -1,0 +1,1 @@
+lib/drivers/uhci_src.ml: Decaf_slicer

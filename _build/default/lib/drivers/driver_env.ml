@@ -1,0 +1,44 @@
+open Decaf_xpc
+
+type mode = Native | Staged | Decaf
+
+type t = {
+  mode : mode;
+  upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+  downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+}
+
+let native =
+  {
+    mode = Native;
+    upcall = (fun ~name:_ ~bytes:_ f -> f ());
+    downcall = (fun ~name:_ ~bytes:_ f -> f ());
+  }
+
+let staged () =
+  {
+    mode = Staged;
+    upcall =
+      (fun ~name:_ ~bytes f ->
+        Channel.call ~target:Domain.Driver_lib ~payload_bytes:bytes f);
+    downcall =
+      (fun ~name:_ ~bytes f ->
+        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes f);
+  }
+
+let decaf () =
+  {
+    mode = Decaf;
+    upcall =
+      (fun ~name:_ ~bytes f ->
+        Decaf_runtime.Runtime.start ();
+        Channel.call ~target:Domain.Decaf_driver ~payload_bytes:bytes f);
+    downcall =
+      (fun ~name:_ ~bytes f ->
+        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes f);
+  }
+
+let mode_name = function
+  | Native -> "native"
+  | Staged -> "staged"
+  | Decaf -> "decaf"

@@ -1,0 +1,35 @@
+(** Execution environment shared by the native and decaf builds of each
+    driver.
+
+    A driver is written once against this record. In native mode both
+    hooks are the identity: every function runs in the kernel, as in the
+    original Linux driver. In decaf mode, [upcall] carries control (and
+    the marshaled bytes) from the kernel to the decaf driver and
+    [downcall] carries a kernel-function invocation back down, so the
+    very same driver logic becomes a split driver whose crossings are
+    counted by {!Decaf_xpc.Channel}. *)
+
+type mode = Native | Staged | Decaf
+
+type t = {
+  mode : mode;
+  upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+  downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+}
+
+val native : t
+
+val staged : unit -> t
+(** The migration staging ground of §5.3: user-level code runs, but in
+    the C driver library rather than the managed language — upcalls
+    target the driver-library domain, so there are kernel/user crossings
+    but no C/Java transitions and no managed-runtime start. This is how
+    the paper ran all user-mode E1000 functions before converting them
+    to Java one at a time. *)
+
+val decaf : unit -> t
+(** Build a decaf environment: upcalls enter the decaf-driver domain
+    (starting the managed runtime on first use), downcalls enter the
+    kernel. *)
+
+val mode_name : mode -> string

@@ -1,0 +1,543 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module E = Hw.E1000_hw
+module O = E1000_objects
+module Errors = Decaf_runtime.Errors
+module Runtime = Decaf_runtime.Runtime
+
+let vendor_id = 0x8086
+
+(* The id table of the 2.6.18 e1000 driver: ~50 chipsets. *)
+let device_ids =
+  [
+    0x1000; 0x1001; 0x1004; 0x1008; 0x1009; 0x100c; 0x100d; 0x100e; 0x100f;
+    0x1010; 0x1011; 0x1012; 0x1013; 0x1014; 0x1015; 0x1016; 0x1017; 0x1018;
+    0x1019; 0x101a; 0x101d; 0x101e; 0x1026; 0x1027; 0x1028; 0x105e; 0x105f;
+    0x1060; 0x1075; 0x1076; 0x1077; 0x1078; 0x1079; 0x107a; 0x107b; 0x107c;
+    0x107d; 0x107e; 0x107f; 0x108a; 0x1099; 0x10a4; 0x10a5; 0x10b5; 0x10b9;
+    0x10ba; 0x10bb; 0x10bc; 0x10c4; 0x10c5;
+  ]
+
+let adapter_wire_bytes = O.wire_size
+let driver = "e1000"
+let watchdog_period_ns = 2_000_000_000
+
+(* Module parameters, as given on the insmod command line; validated at
+   probe time by the checker classes of the decaf runtime (the paper's
+   e1000_param.c rewrite, section 5.1). *)
+let param_tx_descriptors = ref 256
+let param_interrupt_throttle = ref 3
+let param_smart_power_down = ref 0
+
+let set_module_params ?tx_descriptors ?interrupt_throttle ?smart_power_down ()
+    =
+  Option.iter (fun v -> param_tx_descriptors := v) tx_descriptors;
+  Option.iter (fun v -> param_interrupt_throttle := v) interrupt_throttle;
+  Option.iter (fun v -> param_smart_power_down := v) smart_power_down
+
+let reset_module_params () =
+  param_tx_descriptors := 256;
+  param_interrupt_throttle := 3;
+  param_smart_power_down := 0
+
+(* checked values after the last probe *)
+let checked_params : (string * Decaf_runtime.Params.outcome) list ref = ref []
+
+let check_options () =
+  let open Decaf_runtime.Params in
+  checked_params :=
+    check_all
+      [
+        ( new range_checker
+            ~name:"TxDescriptors" ~default:256 ~min:80 ~max:4096,
+          !param_tx_descriptors );
+        ( new set_checker
+            ~name:"InterruptThrottleRate" ~default:3
+            ~allowed:[ 0; 1; 3; 4000; 8000; 10000 ],
+          !param_interrupt_throttle );
+        ( new flag_checker ~name:"SmartPowerDownEnable" ~default:0,
+          !param_smart_power_down );
+      ];
+  !checked_params
+
+let models : (string, E.t) Hashtbl.t = Hashtbl.create 4
+
+let setup_device ~slot ~mmio_base ~irq ?(device_id = 0x100e) ~mac ~link () =
+  let model = E.create ~mmio_base ~irq ~device_id ~mac ~link in
+  Hashtbl.replace models slot model;
+  K.Pci.add_device
+    (K.Pci.make_dev ~slot ~vendor:vendor_id ~device:device_id ~irq_line:irq
+       ~bars:[ { K.Pci.kind = K.Pci.Mmio_bar; base = mmio_base; len = 0x20000 } ]
+       ());
+  model
+
+type resources = {
+  mutable tx_alloc : K.Dma.mapping option;
+  mutable rx_alloc : K.Dma.mapping option;
+}
+
+type adapter = {
+  env : Driver_env.t;
+  model : E.t;
+  pci : K.Pci.dev;
+  mmio : int;
+  irq : int;
+  ka : O.kernel_adapter;
+  resources : resources;
+  mutable netdev : K.Netcore.t option;
+  mutable tx_tail : int;
+  mutable tx_in_flight : int;
+  mutable watchdog : K.Timer.t option;
+  mutable watchdog_runs : int;
+  lock : K.Sync.Combolock.t;
+}
+
+type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
+
+let reg a off = a.mmio + off
+
+(* --- plan-driven XPC with real XDR marshaling --- *)
+
+(* Run [f] on the Java view of the adapter. In decaf mode this is a real
+   XPC: the plan's copy-in fields are XDR-encoded, decoded at user level
+   through the object tracker, and the decaf driver's writes travel back
+   the same way. In native mode the same logic runs in the kernel on a
+   scratch view. *)
+let with_java_adapter a ~name f =
+  match a.env.Driver_env.mode with
+  | Driver_env.Native ->
+      let payload = O.marshal_to_user a.ka in
+      let j = O.unmarshal_at_user payload a.ka in
+      let result = f j in
+      O.unmarshal_at_kernel (O.marshal_to_kernel j) a.ka;
+      result
+  | Driver_env.Staged | Driver_env.Decaf ->
+      if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
+      let payload = O.marshal_to_user a.ka in
+      let result, back =
+        a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload) (fun () ->
+            let j = O.unmarshal_at_user payload a.ka in
+            let result = f j in
+            (result, O.marshal_to_kernel j))
+      in
+      O.unmarshal_at_kernel back a.ka;
+      result
+
+(* --- driver nucleus: data path --- *)
+
+let start_xmit a (skb : K.Netcore.Skb.t) =
+  K.Sync.Combolock.with_kernel a.lock (fun () ->
+      if a.tx_in_flight >= E.n_tx_desc - 1 then K.Netcore.Xmit_busy
+      else begin
+        E.stage_tx a.model (Bytes.sub skb.K.Netcore.Skb.data 0 skb.K.Netcore.Skb.len);
+        a.tx_tail <- (a.tx_tail + 1) mod E.n_tx_desc;
+        a.tx_in_flight <- a.tx_in_flight + 1;
+        K.Io.writel (reg a E.reg_tdt) a.tx_tail;
+        (match a.netdev with
+        | Some nd ->
+            let st = K.Netcore.stats nd in
+            st.K.Netcore.tx_packets <- st.K.Netcore.tx_packets + 1;
+            st.K.Netcore.tx_bytes <- st.K.Netcore.tx_bytes + skb.K.Netcore.Skb.len;
+            if a.tx_in_flight >= E.n_tx_desc - 1 then K.Netcore.netif_stop_queue nd
+        | None -> ());
+        K.Netcore.Xmit_ok
+      end)
+
+let clean_tx a =
+  (* descriptors up to the hardware head are done *)
+  let tdh = K.Io.readl (reg a E.reg_tdh) in
+  a.tx_in_flight <- (a.tx_tail - tdh + E.n_tx_desc) mod E.n_tx_desc;
+  if a.tx_in_flight < E.n_tx_desc - 1 then
+    match a.netdev with
+    | Some nd ->
+        if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
+    | None -> ()
+
+let handle_rx a =
+  let continue = ref true in
+  while !continue do
+    match E.take_rx a.model with
+    | Some frame ->
+        K.Clock.consume 800;
+        (match a.netdev with
+        | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
+        | None -> ());
+        (* return the buffer to the device: advance the rx tail *)
+        let rdt = K.Io.readl (reg a E.reg_rdt) in
+        K.Io.writel (reg a E.reg_rdt) ((rdt + 1) mod E.n_rx_desc)
+    | None -> continue := false
+  done
+
+let interrupt a =
+  let icr = K.Io.readl (reg a E.reg_icr) in
+  if icr <> 0 then begin
+    if icr land E.icr_txdw <> 0 then clean_tx a;
+    if icr land E.icr_rxt0 <> 0 then handle_rx a;
+    if icr land E.icr_lsc <> 0 then a.ka.O.k_link_up <- Hw.Phy.link_up (E.phy a.model)
+  end
+
+(* --- decaf driver: user-level logic, exception-based (§5.1) --- *)
+
+(* Hardware access helpers: direct Jeannie calls in decaf mode. *)
+let rd32 a off =
+  if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.readl (reg a off)
+  else K.Io.readl (reg a off)
+
+let wr32 a off v =
+  if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.writel (reg a off) v
+  else K.Io.writel (reg a off) v
+
+let throw errno context = Errors.throw ~driver ~errno context
+
+let reset_hw a =
+  wr32 a E.reg_ctrl E.ctrl_rst;
+  (* after reset the device comes back with registers cleared *)
+  wr32 a E.reg_ctrl E.ctrl_slu
+
+let read_eeprom_word a addr =
+  wr32 a E.reg_eerd ((addr lsl 8) lor E.eerd_start);
+  let v = rd32 a E.reg_eerd in
+  if v land E.eerd_done = 0 then throw Errors.eio "EEPROM read timeout";
+  (v lsr 16) land 0xffff
+
+(* Validate the EEPROM: the sum of all 64 words must be 0xBABA. *)
+let validate_eeprom a =
+  let sum = ref 0 in
+  for w = 0 to 63 do
+    sum := (!sum + read_eeprom_word a w) land 0xffff
+  done;
+  if !sum <> 0xbaba then throw Errors.eio "EEPROM checksum invalid"
+
+let read_mac_from_eeprom a =
+  String.init 6 (fun i ->
+      let w = read_eeprom_word a (i / 2) in
+      Char.chr (if i mod 2 = 0 then w land 0xff else (w lsr 8) land 0xff))
+
+let phy_read a phy_reg =
+  wr32 a E.reg_mdic ((phy_reg lsl 16) lor E.mdic_op_read);
+  let v = rd32 a E.reg_mdic in
+  if v land E.mdic_ready = 0 then throw Errors.eio "MDIC not ready";
+  v land 0xffff
+
+let phy_setup a =
+  (* restart autonegotiation and wait for it to complete *)
+  wr32 a E.reg_mdic ((0 lsl 16) lor E.mdic_op_write lor 0x1200);
+  let tries = ref 0 in
+  while phy_read a 1 land 0x0020 = 0 && !tries < 100 do
+    incr tries;
+    Runtime.Helpers.msleep 10
+  done;
+  if !tries >= 100 then throw Errors.etimedout "link autonegotiation"
+
+(* Save PCI config space into the adapter (Figure 3's config_space
+   array); each dword is a downcall to the kernel's PCI services. *)
+let save_config_space a (j : O.java_adapter) =
+  for i = 0 to O.config_words - 1 do
+    j.O.j_config_space.(i) <-
+      a.env.Driver_env.downcall ~name:"pci_read_config" ~bytes:8 (fun () ->
+          K.Pci.read_config32 a.pci (4 * i))
+  done
+
+(* --- resource management with nested cleanup (Figure 4) --- *)
+
+let setup_tx_resources a =
+  let mapping =
+    a.env.Driver_env.downcall ~name:"dma_alloc_tx" ~bytes:16 (fun () ->
+        K.Dma.alloc_coherent ~tag:"e1000-txring" (E.n_tx_desc * 16))
+  in
+  match mapping with
+  | Some mapping ->
+      a.resources.tx_alloc <- Some mapping;
+      (* program the ring base the device will fetch from *)
+      a.ka.O.k_tx.O.count <- E.n_tx_desc;
+      wr32 a 0x3800 (* TDBAL *) (K.Dma.bus_addr mapping)
+  | None -> throw Errors.enomem "tx descriptor ring"
+
+let setup_rx_resources a =
+  let mapping =
+    a.env.Driver_env.downcall ~name:"dma_alloc_rx" ~bytes:16 (fun () ->
+        K.Dma.alloc_coherent ~tag:"e1000-rxring" (E.n_rx_desc * 16))
+  in
+  match mapping with
+  | Some mapping ->
+      a.resources.rx_alloc <- Some mapping;
+      a.ka.O.k_rx.O.count <- E.n_rx_desc;
+      wr32 a 0x2800 (* RDBAL *) (K.Dma.bus_addr mapping)
+  | None -> throw Errors.enomem "rx descriptor ring"
+
+let free_tx_resources a =
+  match a.resources.tx_alloc with
+  | Some mapping ->
+      a.env.Driver_env.downcall ~name:"dma_free_tx" ~bytes:16 (fun () ->
+          K.Dma.free_coherent mapping);
+      a.resources.tx_alloc <- None
+  | None -> ()
+
+let free_rx_resources a =
+  match a.resources.rx_alloc with
+  | Some mapping ->
+      a.env.Driver_env.downcall ~name:"dma_free_rx" ~bytes:16 (fun () ->
+          K.Dma.free_coherent mapping);
+      a.resources.rx_alloc <- None
+  | None -> ()
+
+let request_irq a =
+  a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16 (fun () ->
+      K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a))
+
+let e1000_up a =
+  wr32 a E.reg_tctl E.tctl_en;
+  wr32 a E.reg_rctl E.rctl_en;
+  wr32 a E.reg_ims (E.icr_txdw lor E.icr_rxt0 lor E.icr_lsc);
+  a.env.Driver_env.downcall ~name:"netif_start" ~bytes:16 (fun () ->
+      match a.netdev with
+      | Some nd ->
+          K.Netcore.netif_wake_queue nd;
+          K.Netcore.netif_carrier_on nd
+      | None -> ())
+
+let e1000_down a =
+  wr32 a E.reg_imc 0xffff_ffff;
+  wr32 a E.reg_tctl 0;
+  wr32 a E.reg_rctl 0;
+  a.env.Driver_env.downcall ~name:"netif_stop" ~bytes:16 (fun () ->
+      match a.netdev with
+      | Some nd ->
+          K.Netcore.netif_stop_queue nd;
+          K.Netcore.netif_carrier_off nd
+      | None -> ())
+
+(* The paper's Figure 4: nested handlers so each failure unwinds exactly
+   the resources acquired before it. *)
+let e1000_open_user a (j : O.java_adapter) =
+  setup_tx_resources a;
+  Errors.protect ~cleanup:(fun () -> free_tx_resources a) (fun () ->
+      setup_rx_resources a;
+      Errors.protect ~cleanup:(fun () -> free_rx_resources a) (fun () ->
+          request_irq a;
+          Errors.protect
+            ~cleanup:(fun () ->
+              a.env.Driver_env.downcall ~name:"free_irq" ~bytes:16 (fun () ->
+                  K.Irq.free_irq a.irq))
+            (fun () ->
+              phy_setup a;
+              e1000_up a;
+              j.O.j_link_up <- true;
+              j.O.j_flags <- j.O.j_flags lor 1)))
+
+let e1000_close_user a (j : O.java_adapter) =
+  e1000_down a;
+  a.env.Driver_env.downcall ~name:"free_irq" ~bytes:16 (fun () ->
+      K.Irq.free_irq a.irq);
+  free_rx_resources a;
+  free_tx_resources a;
+  j.O.j_flags <- j.O.j_flags land lnot 1
+
+(* Watchdog: runs every two seconds in the decaf driver (§3.1.3). *)
+let watchdog_task a () =
+  ignore
+    (with_java_adapter a ~name:"e1000_watchdog" (fun j ->
+         let status = rd32 a E.reg_status in
+         j.O.j_link_up <- status land E.status_lu <> 0;
+         j.O.j_watchdog_events <- j.O.j_watchdog_events + 1));
+  a.watchdog_runs <- a.watchdog_runs + 1
+
+let arm_watchdog a =
+  let timer =
+    K.Timer.create ~name:"e1000-watchdog" (fun () ->
+        (* timers run at high priority: defer so the work may block and
+           therefore may cross to the decaf driver *)
+        Decaf_runtime.Runtime.Nuclear.defer (watchdog_task a);
+        match a.watchdog with
+        | Some t -> K.Timer.mod_timer_in t watchdog_period_ns
+        | None -> ())
+  in
+  a.watchdog <- Some timer;
+  K.Timer.mod_timer_in timer watchdog_period_ns
+
+let disarm_watchdog a =
+  match a.watchdog with
+  | Some t ->
+      ignore (K.Timer.del_timer t);
+      a.watchdog <- None
+  | None -> ()
+
+(* --- ethtool diagnostics: the functions that cannot move (§5) ---
+
+   The interrupt-test waits for the interrupt handler to flip a flag in
+   the adapter. The handler runs in the kernel and updates the KERNEL
+   copy; a decaf-driver implementation polls its own marshaled copy,
+   which nothing ever updates — the explicit data race that kept four
+   ethtool functions in the driver nucleus. *)
+
+let diag_test_adapter a =
+  (* nucleus implementation: shares the kernel adapter with the irq
+     handler, so the flag flip is visible *)
+  a.ka.O.k_link_up <- false;
+  (* unmask and have the device raise a link-status-change interrupt *)
+  K.Io.writel (reg a E.reg_ims) E.icr_lsc;
+  K.Io.writel (reg a E.reg_ics) E.icr_lsc;
+  let deadline = K.Clock.now () + 100_000_000 in
+  let rec poll () =
+    if a.ka.O.k_link_up then 0
+    else if K.Clock.now () >= deadline then -Errors.etimedout
+    else begin
+      K.Sched.sleep_ns 1_000_000;
+      poll ()
+    end
+  in
+  poll ()
+
+let diag_test_at_user_level_adapter a =
+  (* the WRONG implementation: runs in the decaf driver against the
+     marshaled copy of the adapter. The interrupt handler changes the
+     kernel object; this copy stays stale and the wait times out. *)
+  a.ka.O.k_link_up <- false;
+  with_java_adapter a ~name:"e1000_diag_test_wrong" (fun j ->
+      K.Io.writel (reg a E.reg_ims) E.icr_lsc;
+      K.Io.writel (reg a E.reg_ics) E.icr_lsc;
+      let deadline = K.Clock.now () + 50_000_000 in
+      let rec poll () =
+        if j.O.j_link_up then 0
+        else if K.Clock.now () >= deadline then -Errors.etimedout
+        else begin
+          Runtime.Helpers.msleep 1;
+          poll ()
+        end
+      in
+      poll ())
+
+(* --- net_device ops --- *)
+
+let net_ops a =
+  {
+    K.Netcore.ndo_open =
+      (fun () ->
+        let rc =
+          with_java_adapter a ~name:"e1000_open" (fun j ->
+              Errors.to_errno (fun () -> e1000_open_user a j))
+        in
+        if rc = 0 then begin
+          arm_watchdog a;
+          Ok ()
+        end
+        else Error rc);
+    ndo_stop =
+      (fun () ->
+        disarm_watchdog a;
+        Decaf_runtime.Runtime.Nuclear.flush ();
+        with_java_adapter a ~name:"e1000_close" (fun j ->
+            e1000_close_user a j);
+        Ok ());
+    ndo_start_xmit = (fun skb -> start_xmit a skb);
+    ndo_tx_timeout = (fun () -> clean_tx a);
+  }
+
+(* --- probe / remove --- *)
+
+let probe env (pci : K.Pci.dev) =
+  match Hashtbl.find_opt models (K.Pci.slot pci) with
+  | None -> Error (-Errors.enodev)
+  | Some model ->
+      K.Pci.enable_device pci;
+      K.Pci.set_master pci;
+      let bar = K.Pci.bar pci 0 in
+      let a =
+        {
+          env;
+          model;
+          pci;
+          mmio = bar.K.Pci.base;
+          irq = K.Pci.irq pci;
+          ka = O.fresh_kernel_adapter ();
+          resources = { tx_alloc = None; rx_alloc = None };
+          netdev = None;
+          tx_tail = 0;
+          tx_in_flight = 0;
+          watchdog = None;
+          watchdog_runs = 0;
+          lock = K.Sync.Combolock.create ~name:driver ();
+        }
+      in
+      Runtime.Helpers.register_sizeof "e1000_adapter" 512;
+      let rc =
+        with_java_adapter a ~name:"e1000_probe" (fun j ->
+            Errors.to_errno (fun () ->
+                ignore (check_options ());
+                reset_hw a;
+                validate_eeprom a;
+                let mac = read_mac_from_eeprom a in
+                ignore mac;
+                save_config_space a j;
+                j.O.j_msg_enable <- 7;
+                a.env.Driver_env.downcall ~name:"register_netdev" ~bytes:64
+                  (fun () ->
+                    let nd =
+                      K.Netcore.create ~name:(K.Netcore.alloc_name "eth") ~mtu:1500 (net_ops a) in
+                    a.netdev <- Some nd;
+                    K.Netcore.register_netdev nd)))
+      in
+      if rc = 0 then Ok a else Error rc
+
+let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
+
+let remove (pci : K.Pci.dev) =
+  (match Hashtbl.find_opt instances (K.Pci.slot pci) with
+  | Some a -> (
+      disarm_watchdog a;
+      free_rx_resources a;
+      free_tx_resources a;
+      match a.netdev with
+      | Some nd -> K.Netcore.unregister_netdev nd
+      | None -> ())
+  | None -> ());
+  Hashtbl.remove instances (K.Pci.slot pci)
+
+let insmod env =
+  let adapter_box = ref None in
+  let init () =
+    K.Pci.register_driver ~name:driver
+      ~ids:(List.map (fun id -> { K.Pci.id_vendor = vendor_id; id_device = id })
+              device_ids)
+      ~probe:(fun pci ->
+        match probe env pci with
+        | Ok a ->
+            adapter_box := Some a;
+            Hashtbl.replace instances (K.Pci.slot pci) a;
+            Ok ()
+        | Error rc -> Error rc)
+      ~remove;
+    match !adapter_box with
+    | Some _ -> Ok ()
+    | None -> Error (-Errors.enodev)
+  in
+  let exit () = K.Pci.unregister_driver driver in
+  match K.Modules.insmod ~name:driver ~init ~exit with
+  | Ok handle -> (
+      match !adapter_box with
+      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | None -> Error (-Errors.enodev))
+  | Error rc -> Error rc
+
+let rmmod t =
+  match t.module_handle with
+  | Some h ->
+      (match t.adapter.netdev with
+      | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
+      | Some _ | None -> ());
+      K.Modules.rmmod h;
+      t.module_handle <- None
+  | None -> ()
+
+let init_latency_ns t =
+  match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
+
+let netdev t =
+  match t.adapter.netdev with
+  | Some nd -> nd
+  | None -> K.Panic.bug "e1000: no netdev"
+
+let diag_test t = diag_test_adapter t.adapter
+let diag_test_at_user_level t = diag_test_at_user_level_adapter t.adapter
+let watchdog_runs t = t.adapter.watchdog_runs
+let kernel_adapter t = t.adapter.ka

@@ -1,0 +1,302 @@
+module Slicer = Decaf_slicer.Slicer
+module Partition = Decaf_slicer.Partition
+module Ast = Decaf_minic.Ast
+module Loc = Decaf_minic.Loc
+
+type batch = Before_2_6_22 | After_2_6_22
+
+type patch = {
+  p_batch : batch;
+  p_title : string;
+  p_needle : string;
+  p_replacement : string;
+}
+
+type component = Nucleus_change | Decaf_change | Interface_change
+
+type summary = {
+  nucleus_lines : int;
+  decaf_lines : int;
+  interface_lines : int;
+  patches_applied : int;
+  new_annotations : int;
+}
+
+let p batch title needle replacement =
+  { p_batch = batch; p_title = title; p_needle = needle; p_replacement = replacement }
+
+let patches =
+  [
+    (* ---- batch 1: before 2.6.22 ---- *)
+    p Before_2_6_22 "watchdog: detect link flaps via smartspeed counter"
+      {|  /* BUG: smartspeed probe failure ignored */
+  e1000_smartspeed_probe(&adapter->hw);
+  e1000_update_stats(adapter);
+  mod_timer(2000);|}
+      {|  /* BUG: smartspeed probe failure ignored */
+  e1000_smartspeed_probe(&adapter->hw);
+  if (adapter->smartspeed)
+    e1000_smartspeed_work(adapter);
+  e1000_update_stats(adapter);
+  adapter->itr = adapter->itr + 1;
+  mod_timer(2000);|};
+    p Before_2_6_22 "parameter validation: clamp interrupt throttle rate"
+      {|  opt.type = 1;
+  opt.min = 0;
+  opt.max = 100000;
+  opt.def = 3;
+  adapter->itr = e1000_validate_option(adapter->itr, &opt);|}
+      {|  opt.type = 1;
+  opt.min = 100;
+  opt.max = 100000;
+  opt.def = 8000;
+  adapter->itr = e1000_validate_option(adapter->itr, &opt);
+  if (adapter->itr == 1)
+    adapter->itr = 8000;
+  if (adapter->itr == 3)
+    adapter->itr = 20000;|};
+    p Before_2_6_22 "probe: report EEPROM checksum failures distinctly"
+      {|  err = e1000_validate_eeprom_checksum(&adapter->hw);
+  if (err)
+    goto err_eeprom;|}
+      {|  err = e1000_validate_eeprom_checksum(&adapter->hw);
+  if (err) {
+    printk_info(94);
+    goto err_eeprom;
+  }|};
+    p Before_2_6_22 "phy: wait longer for autonegotiation on ESB parts"
+      {|  for (i = 0; i < 45; i++) {
+    ret_val = e1000_read_phy_reg(hw, 1, &phy_data);|}
+      {|  for (i = 0; i < 90; i++) {
+    ret_val = e1000_read_phy_reg(hw, 1, &phy_data);|};
+    p Before_2_6_22 "mtu: support jumbo frames up to 9 KB buffers"
+      {|  if (new_mtu < 68 || new_mtu > 16110)
+    return -22;
+  adapter->rx_buffer_len = new_mtu + 24;
+  return 0;|}
+      {|  if (new_mtu < 68 || new_mtu > 16110)
+    return -22;
+  if (new_mtu > 1500)
+    adapter->rx_buffer_len = 9216;
+  else
+    adapter->rx_buffer_len = new_mtu + 24;
+  return 0;|};
+    p Before_2_6_22 "xmit: early exit for zero-length frames (nucleus)"
+      {|  struct e1000_tx_ring *tx_ring = &adapter->tx_ring;
+  int next = (tx_ring->next_to_use + 1) % tx_ring->count;|}
+      {|  struct e1000_tx_ring *tx_ring = &adapter->tx_ring;
+  int next;
+  if (len <= 0)
+    return 0;
+  next = (tx_ring->next_to_use + 1) % tx_ring->count;|};
+    p Before_2_6_22 "shared struct: track wake-on-lan (interface change)"
+      {|  int itr;
+  int smartspeed;
+  char ifname[16];|}
+      {|  int itr;
+  int smartspeed;
+  int wol;
+  char ifname[16];|};
+    p Before_2_6_22 "suspend: honour wake-on-lan setting"
+      {|  e1000_down(adapter);
+  e1000_save_config_space(adapter);
+  /* BUG: low-power link-up state change unchecked */|}
+      {|  e1000_down(adapter);
+  DECAF_RVAR(adapter->wol);
+  if (adapter->wol)
+    iowrite32(E1000_RCTL, 0x8002);
+  e1000_save_config_space(adapter);
+  /* BUG: low-power link-up state change unchecked */|};
+    (* ---- batch 2: after 2.6.22 ---- *)
+    p After_2_6_22 "hw: dsp workaround only on affected steppings"
+      {|  if (hw->phy_type != 2)
+    return 0;
+  if (link_up) {
+    ret_val = e1000_read_phy_reg(hw, 17, &phy_data);|}
+      {|  if (hw->phy_type != 2)
+    return 0;
+  if (hw->mac_type < 3)
+    return 0;
+  if (link_up) {
+    ret_val = e1000_read_phy_reg(hw, 17, &phy_data);|};
+    p After_2_6_22 "open: request irq before rx resources (reorder)"
+      {|  err = e1000_power_up_phy(adapter);
+  if (err)
+    goto err_up;
+  err = e1000_up(adapter);
+  if (err)
+    goto err_up;
+  return 0;|}
+      {|  err = e1000_power_up_phy(adapter);
+  if (err)
+    goto err_up;
+  e1000_set_multi(adapter);
+  err = e1000_up(adapter);
+  if (err)
+    goto err_up;
+  return 0;|};
+    p After_2_6_22 "stats: count alignment errors"
+      {|static void e1000_update_stats(struct e1000_adapter *adapter) {
+  adapter->msg_enable = adapter->msg_enable;
+  ioread32(E1000_STATUS);
+}|}
+      {|static void e1000_update_stats(struct e1000_adapter *adapter) {
+  adapter->msg_enable = adapter->msg_enable;
+  ioread32(E1000_STATUS);
+  ioread32(E1000_STATUS + 8);
+  ioread32(E1000_STATUS + 16);
+}|};
+    p After_2_6_22 "shared struct: per-queue restart counter (interface)"
+      {|  int count;
+  int next_to_use;
+  int next_to_clean;
+  long long dma;
+  uint32_t * __attribute__((exp(TX_RING_LEN))) desc;
+};|}
+      {|  int count;
+  int next_to_use;
+  int next_to_clean;
+  int restart_queue;
+  long long dma;
+  uint32_t * __attribute__((exp(TX_RING_LEN))) desc;
+};|};
+    p After_2_6_22 "resume: restore multicast list"
+      {|  err = e1000_up(adapter);
+  if (err)
+    return err;
+  netif_carrier_on(adapter);
+  return 0;|}
+      {|  err = e1000_up(adapter);
+  if (err)
+    return err;
+  e1000_set_multi(adapter);
+  netif_carrier_on(adapter);
+  return 0;|};
+    p After_2_6_22 "led: use the id-led eeprom word"
+      {|static int e1000_setup_led(struct e1000_hw *hw) {
+  int ledctl;|}
+      {|static int e1000_setup_led(struct e1000_hw *hw) {
+  int ledctl;
+  int eeprom_data;
+  /* BUG: id-led eeprom read unchecked */
+  e1000_read_eeprom(hw, 4, &eeprom_data);|};
+    p After_2_6_22 "intr: acknowledge rx-overrun cause (nucleus)"
+      {|  if (icr & 0x4)
+    adapter->link_up = 0;|}
+      {|  if (icr & 0x4)
+    adapter->link_up = 0;
+  if (icr & 0x40)
+    e1000_alloc_rx_buffers(adapter);|};
+    p After_2_6_22 "rx clean: honour the buffer length (nucleus)"
+      {|  while (rx_ring->next_to_clean != rx_ring->next_to_use) {
+    netif_rx(adapter, adapter->rx_buffer_len);
+    rx_ring->next_to_clean = (rx_ring->next_to_clean + 1) % rx_ring->count;
+    cleaned = cleaned + 1;
+  }|}
+      {|  while (rx_ring->next_to_clean != rx_ring->next_to_use) {
+    if (adapter->rx_buffer_len > 0)
+      netif_rx(adapter, adapter->rx_buffer_len);
+    rx_ring->next_to_clean = (rx_ring->next_to_clean + 1) % rx_ring->count;
+    cleaned = cleaned + 1;
+  }|};
+    p After_2_6_22 "tx clean: cap work per interrupt (nucleus)"
+      {|  while (tx_ring->next_to_clean != tx_ring->next_to_use) {
+    e1000_unmap_and_free_tx_resource(adapter, tx_ring->next_to_clean);
+    tx_ring->next_to_clean = (tx_ring->next_to_clean + 1) % tx_ring->count;
+    cleaned = cleaned + 1;
+  }|}
+      {|  while (tx_ring->next_to_clean != tx_ring->next_to_use) {
+    if (cleaned >= tx_ring->count)
+      break;
+    e1000_unmap_and_free_tx_resource(adapter, tx_ring->next_to_clean);
+    tx_ring->next_to_clean = (tx_ring->next_to_clean + 1) % tx_ring->count;
+    cleaned = cleaned + 1;
+  }|};
+  ]
+
+let lines_in s = List.length (String.split_on_char '\n' s)
+
+let lines_changed patch =
+  max (lines_in patch.p_needle) (lines_in patch.p_replacement)
+
+let apply ?(batches = [ Before_2_6_22; After_2_6_22 ]) source =
+  List.fold_left
+    (fun src patch ->
+      if not (List.mem patch.p_batch batches) then src
+      else begin
+        let replaced =
+          Strutil.replace src ~needle:patch.p_needle
+            ~replacement:patch.p_replacement
+        in
+        if replaced = src then
+          failwith ("evolution patch did not apply: " ^ patch.p_title);
+        replaced
+      end)
+    source patches
+
+(* Locate the patch's needle in the ORIGINAL source and classify it by
+   the partition component that owns the surrounding code. *)
+let classify patch (partition : Partition.result) =
+  let touches_struct =
+    (* struct-body edits contain field declarations ending in ";" with no
+       statement syntax; cheap test: the needle appears before any
+       function in the source, or the replacement adds a field and the
+       needle ends with "};" or contains an __attribute__ *)
+    Strutil.contains patch.p_needle "__attribute__"
+    || Strutil.contains patch.p_needle "char ifname"
+  in
+  if touches_struct then Interface_change
+  else
+    (* find the function whose body contains the needle's first line *)
+    let file = Decaf_minic.Parser.parse E1000_src.source in
+    let needle_line =
+      let idx = Strutil.index_of E1000_src.source patch.p_needle in
+      let before = String.sub E1000_src.source 0 idx in
+      1 + List.length (String.split_on_char '\n' before) - 1
+    in
+    let owner =
+      List.find_opt
+        (fun (fn : Ast.func) ->
+          needle_line >= fn.Ast.floc_start.Loc.line
+          && needle_line <= fn.Ast.floc_end.Loc.line)
+        (Ast.functions file)
+    in
+    match owner with
+    | Some fn -> (
+        match Partition.placement partition fn.Ast.fname with
+        | Partition.Nucleus -> Nucleus_change
+        | Partition.User -> Decaf_change)
+    | None -> Interface_change
+
+let count_annotations s =
+  let rec scan i acc =
+    match Strutil.index_from s i "DECAF_" with
+    | Some j -> scan (j + 6) (acc + 1)
+    | None -> acc
+  in
+  scan 0 0
+
+let run () =
+  let original = E1000_src.source in
+  let out = Slicer.slice ~source:original E1000_src.config in
+  let partition = out.Slicer.partition in
+  let evolved = apply original in
+  (* the evolved driver must still parse and re-slice cleanly *)
+  let evolved_out = Slicer.slice ~source:evolved E1000_src.config in
+  ignore evolved_out;
+  let tally (n, d, i) patch =
+    match classify patch partition with
+    | Nucleus_change -> (n + lines_changed patch, d, i)
+    | Decaf_change -> (n, d + lines_changed patch, i)
+    | Interface_change -> (n, d, i + lines_changed patch)
+  in
+  let nucleus_lines, decaf_lines, interface_lines =
+    List.fold_left tally (0, 0, 0) patches
+  in
+  {
+    nucleus_lines;
+    decaf_lines;
+    interface_lines;
+    patches_applied = List.length patches;
+    new_annotations = count_annotations evolved - count_annotations original;
+  }

@@ -1,0 +1,186 @@
+open Decaf_xpc
+module Plan = Marshal_plan
+
+type ring = { mutable head : int; mutable tail : int; mutable count : int }
+
+type kernel_adapter = {
+  k_addr : int;
+  k_tx_addr : int;
+  k_rx_addr : int;
+  k_tx : ring;
+  k_rx : ring;
+  mutable k_msg_enable : int;
+  mutable k_flags : int;
+  mutable k_link_up : bool;
+  mutable k_mtu : int;
+  k_config_space : int array;
+  mutable k_watchdog_events : int;
+}
+
+type java_adapter = {
+  mutable j_c_addr : int;
+  j_tx : ring;
+  j_rx : ring;
+  mutable j_msg_enable : int;
+  mutable j_flags : int;
+  mutable j_link_up : bool;
+  mutable j_mtu : int;
+  j_config_space : int array;
+  mutable j_watchdog_events : int;
+}
+
+let config_words = 16
+
+(* The fields user-level code touches; tx/rx ring indices are data-path
+   state and stay out of the plan. *)
+let plan =
+  Plan.make ~type_id:"e1000_adapter"
+    [
+      ("msg_enable", Plan.Read_write);
+      ("flags", Plan.Read_write);
+      ("link_up", Plan.Read_write);
+      ("mtu", Plan.Read);
+      ("config_space", Plan.Read_write);
+      ("watchdog_events", Plan.Read_write);
+    ]
+
+let adapter_key : java_adapter Univ.key = Univ.new_key "e1000_adapter"
+let ring_key : ring Univ.key = Univ.new_key "e1000_ring"
+
+let fresh_kernel_adapter () =
+  let k_addr = Addr.alloc ~size:512 in
+  {
+    k_addr;
+    (* the tx ring is the first member: same address as the adapter *)
+    k_tx_addr = Addr.embedded ~parent:k_addr ~offset:0;
+    k_rx_addr = Addr.embedded ~parent:k_addr ~offset:16;
+    k_tx = { head = 0; tail = 0; count = 256 };
+    k_rx = { head = 0; tail = 0; count = 256 };
+    k_msg_enable = 0;
+    k_flags = 0;
+    k_link_up = false;
+    k_mtu = 1500;
+    k_config_space = Array.make config_words 0;
+    k_watchdog_events = 0;
+  }
+
+(* Marshal layout (plan-driven): address, then each planned field in a
+   fixed order with a presence flag per direction. *)
+
+let encode_fields ~direction ~addr ~msg_enable ~flags ~link_up ~mtu
+    ~config_space ~watchdog_events =
+  let copies name =
+    match direction with
+    | `To_user -> Plan.copies_in plan name
+    | `To_kernel -> Plan.copies_out plan name
+  in
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint e addr;
+  let opt name enc =
+    if copies name then begin
+      Xdr.Enc.bool e true;
+      enc ()
+    end
+    else Xdr.Enc.bool e false
+  in
+  opt "msg_enable" (fun () -> Xdr.Enc.int e msg_enable);
+  opt "flags" (fun () -> Xdr.Enc.int e flags);
+  opt "link_up" (fun () -> Xdr.Enc.bool e link_up);
+  opt "mtu" (fun () -> Xdr.Enc.int e mtu);
+  opt "config_space" (fun () -> Xdr.Enc.array_var e Xdr.Enc.uint config_space);
+  opt "watchdog_events" (fun () -> Xdr.Enc.int e watchdog_events);
+  Xdr.Enc.to_bytes e
+
+type decoded = {
+  d_addr : int;
+  d_msg_enable : int option;
+  d_flags : int option;
+  d_link_up : bool option;
+  d_mtu : int option;
+  d_config_space : int array option;
+  d_watchdog_events : int option;
+}
+
+let decode_fields bytes =
+  let d = Xdr.Dec.of_bytes bytes in
+  let d_addr = Xdr.Dec.uint d in
+  let opt dec = if Xdr.Dec.bool d then Some (dec d) else None in
+  let d_msg_enable = opt Xdr.Dec.int in
+  let d_flags = opt Xdr.Dec.int in
+  let d_link_up = opt Xdr.Dec.bool in
+  let d_mtu = opt Xdr.Dec.int in
+  let d_config_space = opt (fun d -> Xdr.Dec.array_var d Xdr.Dec.uint) in
+  let d_watchdog_events = opt Xdr.Dec.int in
+  Xdr.Dec.check_drained d;
+  {
+    d_addr;
+    d_msg_enable;
+    d_flags;
+    d_link_up;
+    d_mtu;
+    d_config_space;
+    d_watchdog_events;
+  }
+
+let marshal_to_user (k : kernel_adapter) =
+  encode_fields ~direction:`To_user ~addr:k.k_addr ~msg_enable:k.k_msg_enable
+    ~flags:k.k_flags ~link_up:k.k_link_up ~mtu:k.k_mtu
+    ~config_space:k.k_config_space ~watchdog_events:k.k_watchdog_events
+
+let wire_size =
+  Bytes.length (marshal_to_user (fresh_kernel_adapter ()))
+
+let unmarshal_at_user bytes (k : kernel_adapter) =
+  let d = decode_fields bytes in
+  let tracker = Decaf_runtime.Runtime.java_tracker () in
+  let j =
+    match Objtracker.find tracker ~addr:d.d_addr adapter_key with
+    | Some j -> j
+    | None ->
+        (* first crossing: allocate the Java object and register it, and
+           its embedded rings, in the user-level tracker *)
+        let j =
+          {
+            j_c_addr = d.d_addr;
+            j_tx = { head = 0; tail = 0; count = 0 };
+            j_rx = { head = 0; tail = 0; count = 0 };
+            j_msg_enable = 0;
+            j_flags = 0;
+            j_link_up = false;
+            j_mtu = 0;
+            j_config_space = Array.make config_words 0;
+            j_watchdog_events = 0;
+          }
+        in
+        Objtracker.associate tracker ~addr:d.d_addr (Univ.pack adapter_key j);
+        Objtracker.associate tracker ~addr:k.k_tx_addr (Univ.pack ring_key j.j_tx);
+        Objtracker.associate tracker ~addr:k.k_rx_addr (Univ.pack ring_key j.j_rx);
+        j
+  in
+  Option.iter (fun v -> j.j_msg_enable <- v) d.d_msg_enable;
+  Option.iter (fun v -> j.j_flags <- v) d.d_flags;
+  Option.iter (fun v -> j.j_link_up <- v) d.d_link_up;
+  Option.iter (fun v -> j.j_mtu <- v) d.d_mtu;
+  Option.iter (fun v -> Array.blit v 0 j.j_config_space 0 (Array.length v))
+    d.d_config_space;
+  Option.iter (fun v -> j.j_watchdog_events <- v) d.d_watchdog_events;
+  j
+
+let marshal_to_kernel (j : java_adapter) =
+  encode_fields ~direction:`To_kernel ~addr:j.j_c_addr
+    ~msg_enable:j.j_msg_enable ~flags:j.j_flags ~link_up:j.j_link_up
+    ~mtu:j.j_mtu ~config_space:j.j_config_space
+    ~watchdog_events:j.j_watchdog_events
+
+let unmarshal_at_kernel bytes (k : kernel_adapter) =
+  let d = decode_fields bytes in
+  if d.d_addr <> k.k_addr then
+    Decaf_kernel.Panic.bug "e1000: marshal for wrong adapter %#x" d.d_addr;
+  Option.iter (fun v -> k.k_msg_enable <- v) d.d_msg_enable;
+  Option.iter (fun v -> k.k_flags <- v) d.d_flags;
+  Option.iter (fun v -> k.k_link_up <- v) d.d_link_up;
+  (* mtu is Read-only in the plan: decode_fields sees no value for it *)
+  Option.iter (fun v -> Array.blit v 0 k.k_config_space 0 (Array.length v))
+    d.d_config_space;
+  Option.iter (fun v -> k.k_watchdog_events <- v) d.d_watchdog_events;
+  ignore d.d_mtu

@@ -1,0 +1,68 @@
+(** Shared-object layer of the E1000 decaf driver: the "generated"
+    marshaling code and container classes of §3.2.3, written out as the
+    DriverSlicer XDR compilers would emit them.
+
+    The kernel-side [struct e1000_adapter] has a simulated C address
+    (embedded rings share it, offset by their position, reproducing the
+    inner/outer aliasing of §3.1.2). The user-side {!java_adapter} is a
+    container of public mutable fields. Marshaling is plan-driven: only
+    the fields the decaf driver accesses cross the boundary, through
+    real {!Decaf_xpc.Xdr} encoding, and unmarshaling consults the object
+    tracker to update objects in place. *)
+
+type ring = { mutable head : int; mutable tail : int; mutable count : int }
+
+type kernel_adapter = {
+  k_addr : int;  (** simulated C address *)
+  k_tx_addr : int;  (** address of the embedded tx ring (= k_addr) *)
+  k_rx_addr : int;
+  k_tx : ring;
+  k_rx : ring;
+  mutable k_msg_enable : int;
+  mutable k_flags : int;
+  mutable k_link_up : bool;
+  mutable k_mtu : int;
+  k_config_space : int array;  (** 16 dwords, Figure 3's annotated array *)
+  mutable k_watchdog_events : int;
+}
+
+type java_adapter = {
+  mutable j_c_addr : int;  (** C pointer this object mirrors *)
+  j_tx : ring;
+  j_rx : ring;
+  mutable j_msg_enable : int;
+  mutable j_flags : int;
+  mutable j_link_up : bool;
+  mutable j_mtu : int;
+  j_config_space : int array;
+  mutable j_watchdog_events : int;
+}
+
+val config_words : int
+(** Length of the saved PCI config-space array (dwords). *)
+
+val plan : Decaf_xpc.Marshal_plan.t
+(** The marshal plan DriverSlicer derives for [e1000_adapter]. *)
+
+val adapter_key : java_adapter Decaf_xpc.Univ.key
+val ring_key : ring Decaf_xpc.Univ.key
+
+val fresh_kernel_adapter : unit -> kernel_adapter
+(** Allocate with fresh simulated addresses. *)
+
+val wire_size : int
+(** Bytes of a full plan-selected marshal (used for XPC cost). *)
+
+val marshal_to_user : kernel_adapter -> bytes
+(** Encode the plan's copy-in fields. *)
+
+val unmarshal_at_user : bytes -> kernel_adapter -> java_adapter
+(** Decode at user level: finds (or creates and registers) the Java
+    adapter for the C address in the user-level tracker, updates the
+    planned fields in place, and returns it. *)
+
+val marshal_to_kernel : java_adapter -> bytes
+(** Encode the plan's copy-out fields for the return trip. *)
+
+val unmarshal_at_kernel : bytes -> kernel_adapter -> unit
+(** Apply the decaf driver's writes back to the kernel object. *)

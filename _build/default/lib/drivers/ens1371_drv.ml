@@ -1,0 +1,207 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module S = Hw.Ens1371_hw
+module Errors = Decaf_runtime.Errors
+module Runtime = Decaf_runtime.Runtime
+
+let vendor_id = 0x1274
+let device_id = 0x1371
+let adapter_wire_bytes = 160
+let driver = "ens1371"
+let mixer_controls = 24
+let period_bytes = 4096
+let buffer_bytes = 4 * period_bytes
+
+let models : (string, S.t) Hashtbl.t = Hashtbl.create 4
+
+let setup_device ~slot ~io_base ~irq () =
+  let model = S.create ~io_base ~irq () in
+  Hashtbl.replace models slot model;
+  K.Pci.add_device
+    (K.Pci.make_dev ~slot ~vendor:vendor_id ~device:device_id ~irq_line:irq
+       ~bars:[ { K.Pci.kind = K.Pci.Port_bar; base = io_base; len = 0x40 } ]
+       ());
+  model
+
+type adapter = {
+  env : Driver_env.t;
+  model : S.t;
+  io_base : int;
+  irq : int;
+  mutable card : K.Sndcore.card option;
+  mutable sub : K.Sndcore.substream option;
+  mutable rate : int;
+}
+
+type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
+
+let reg a off = a.io_base + off
+
+let outl a off v =
+  if a.env.Driver_env.mode <> Driver_env.Native then
+    Runtime.Helpers.outl (reg a off) v
+  else K.Io.outl (reg a off) v
+
+(* --- driver nucleus: interrupt handler (data path) --- *)
+
+let interrupt a =
+  let status = K.Io.inl (reg a S.reg_status) in
+  if status land S.status_dac2 <> 0 then begin
+    K.Io.outl (reg a S.reg_status) S.status_dac2;
+    (* report progress to the sound library; writers wake as needed *)
+    match a.sub with Some sub -> K.Sndcore.period_elapsed sub | None -> ()
+  end
+
+(* --- decaf driver: codec / SRC programming and PCM callbacks --- *)
+
+let codec_write a ac97_reg value =
+  outl a S.reg_codec ((ac97_reg lsl 16) lor value)
+
+let init_codec a =
+  (* power up the AC97 codec (calibration takes ~20 ms) and set default
+     volumes *)
+  K.Sched.sleep_ns 20_000_000;
+  codec_write a 0x00 0x0000;
+  codec_write a 0x02 0x0808;
+  codec_write a 0x04 0x0808;
+  codec_write a 0x18 0x0808;
+  codec_write a 0x2a 0x0001
+
+let pcm_ops a =
+  {
+    K.Sndcore.pcm_open =
+      (fun () ->
+        a.env.Driver_env.upcall ~name:"ens1371_pcm_open" ~bytes:adapter_wire_bytes
+          (fun () -> Ok ()));
+    pcm_close =
+      (fun () ->
+        a.env.Driver_env.upcall ~name:"ens1371_pcm_close"
+          ~bytes:adapter_wire_bytes (fun () -> ()));
+    pcm_hw_params =
+      (fun ~rate ~channels ~sample_bits ->
+        a.env.Driver_env.upcall ~name:"ens1371_hw_params"
+          ~bytes:adapter_wire_bytes (fun () ->
+            if channels <> 2 || sample_bits <> 16 then Error (-Errors.einval)
+            else begin
+              a.rate <- rate;
+              (* program the sample-rate converter from user level *)
+              outl a S.reg_src rate;
+              Ok ()
+            end));
+    pcm_prepare =
+      (fun () ->
+        a.env.Driver_env.upcall ~name:"ens1371_prepare" ~bytes:adapter_wire_bytes
+          (fun () ->
+            outl a S.reg_frame_size period_bytes;
+            Ok ()));
+    pcm_trigger =
+      (fun cmd ->
+        a.env.Driver_env.upcall ~name:"ens1371_trigger" ~bytes:adapter_wire_bytes
+          (fun () ->
+            match cmd with
+            | `Start -> outl a S.reg_control S.ctrl_dac2_en
+            | `Stop -> outl a S.reg_control 0));
+    pcm_pointer = (fun () -> S.consumed a.model);
+  }
+
+let probe env (pci : K.Pci.dev) =
+  match Hashtbl.find_opt models (K.Pci.slot pci) with
+  | None -> Error (-Errors.enodev)
+  | Some model ->
+      K.Pci.enable_device pci;
+      let bar = K.Pci.bar pci 0 in
+      let a =
+        {
+          env;
+          model;
+          io_base = bar.K.Pci.base;
+          irq = K.Pci.irq pci;
+          card = None;
+          sub = None;
+          rate = 0;
+        }
+      in
+      let rc =
+        env.Driver_env.upcall ~name:"ens1371_probe" ~bytes:adapter_wire_bytes
+          (fun () ->
+            init_codec a;
+            (* create and register the card: kernel services invoked from
+               user level (Figure 2's snd_card_register stub) *)
+            let card =
+              a.env.Driver_env.downcall ~name:"snd_card_new" ~bytes:32 (fun () ->
+                  K.Sndcore.snd_card_new "Ensoniq AudioPCI")
+            in
+            a.card <- Some card;
+            let sub =
+              a.env.Driver_env.downcall ~name:"snd_pcm_new" ~bytes:48 (fun () ->
+                  K.Sndcore.new_pcm card ~buffer_bytes (pcm_ops a))
+            in
+            a.sub <- Some sub;
+            (* DMA: the DAC reads the substream ring directly *)
+            S.set_data_source a.model (fun () -> K.Sndcore.pcm_bytes_queued sub);
+            (* register the mixer controls, one downcall each *)
+            for i = 1 to mixer_controls do
+              a.env.Driver_env.downcall ~name:"snd_ctl_add" ~bytes:24 (fun () ->
+                  ignore i)
+            done;
+            a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16 (fun () ->
+                K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a));
+            a.env.Driver_env.downcall ~name:"snd_card_register" ~bytes:32
+              (fun () -> K.Sndcore.snd_card_register card))
+      in
+      if rc = 0 then Ok a else Error rc
+
+let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
+
+let remove (pci : K.Pci.dev) =
+  (match Hashtbl.find_opt instances (K.Pci.slot pci) with
+  | Some a -> (
+      K.Irq.free_irq a.irq;
+      match a.card with Some c -> K.Sndcore.snd_card_free c | None -> ())
+  | None -> ());
+  Hashtbl.remove instances (K.Pci.slot pci)
+
+let insmod env =
+  let adapter_box = ref None in
+  let init () =
+    K.Pci.register_driver ~name:driver
+      ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+      ~probe:(fun pci ->
+        match probe env pci with
+        | Ok a ->
+            adapter_box := Some a;
+            Hashtbl.replace instances (K.Pci.slot pci) a;
+            Ok ()
+        | Error rc -> Error rc)
+      ~remove;
+    match !adapter_box with
+    | Some _ -> Ok ()
+    | None -> Error (-Errors.enodev)
+  in
+  let exit () = K.Pci.unregister_driver driver in
+  match K.Modules.insmod ~name:driver ~init ~exit with
+  | Ok handle -> (
+      match !adapter_box with
+      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | None -> Error (-Errors.enodev))
+  | Error rc -> Error rc
+
+let rmmod t =
+  match t.module_handle with
+  | Some h ->
+      K.Modules.rmmod h;
+      t.module_handle <- None
+  | None -> ()
+
+let init_latency_ns t =
+  match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
+
+let substream t =
+  match t.adapter.sub with
+  | Some s -> s
+  | None -> K.Panic.bug "ens1371: no substream"
+
+let card t =
+  match t.adapter.card with
+  | Some c -> c
+  | None -> K.Panic.bug "ens1371: no card"

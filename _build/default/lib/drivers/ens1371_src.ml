@@ -1,0 +1,327 @@
+(** Legacy ens1371 sound-driver source (mini-C), scaled down from the
+    2,165-line original. Per Table 2, nearly everything moves to Java: a
+    six-function nucleus (interrupt + period bookkeeping) and no driver
+    library. *)
+
+let source =
+  {|#include <linux/module.h>
+#include <sound/core.h>
+
+#define DAC2_FRAME 4096
+
+struct ens_rate {
+  int rate;
+  int truncation;
+};
+
+struct ensoniq {
+  struct ens_rate dac2;      /* first member aliases the device struct */
+  unsigned int io_base;
+  int ctrl;
+  int sctrl;
+  int playing;
+  int period_bytes;
+  int position;
+  uint16_t * __attribute__((exp(CODEC_REGS))) codec_shadow;
+  char card_id[16];
+};
+
+int request_irq(int irq, int handler);
+void free_irq(int irq);
+int snd_card_new(struct ensoniq *ens);
+int snd_card_register(struct ensoniq *ens);
+void snd_card_free(struct ensoniq *ens);
+int snd_pcm_new(struct ensoniq *ens);
+int snd_ctl_add(struct ensoniq *ens, int control);
+void snd_period_elapsed(struct ensoniq *ens);
+int pci_enable_device(struct ensoniq *ens);
+unsigned int ioread32(unsigned int addr);
+void iowrite32(unsigned int addr, unsigned int value);
+void udelay(int usec);
+void printk_info(int code);
+
+/* ================ nucleus: interrupt path ================ */
+
+static void snd_ensoniq_update_pointer(struct ensoniq *ens) {
+  ens->position = ioread32(ens->io_base + 0x2c);
+}
+
+static void snd_ensoniq_ack_dac2(struct ensoniq *ens) {
+  iowrite32(ens->io_base + 0x4, 0x2);
+}
+
+static void snd_ensoniq_interrupt(struct ensoniq *ens) {
+  unsigned int status = ioread32(ens->io_base + 0x4);
+  if (!(status & 0x80000000))
+    return;
+  if (status & 0x2) {
+    snd_ensoniq_ack_dac2(ens);
+    snd_ensoniq_update_pointer(ens);
+    snd_period_elapsed(ens);
+  }
+}
+
+/* ================ converted to Java ================ */
+
+static void snd_es1371_codec_write(struct ensoniq *ens, int reg, int val) {
+  int i;
+  for (i = 0; i < 100; i++) {
+    if (!(ioread32(ens->io_base + 0x14) & 0x40000000))
+      break;
+    udelay(10);
+  }
+  iowrite32(ens->io_base + 0x14, (reg << 16) | val);
+  ens->codec_shadow[reg] = val;
+}
+
+static int snd_es1371_codec_read(struct ensoniq *ens, int reg) {
+  DECAF_RVAR(ens->codec_shadow);
+  return ens->codec_shadow[reg];
+}
+
+static void snd_es1371_src_write(struct ensoniq *ens, int rate) {
+  int i;
+  for (i = 0; i < 100; i++) {
+    if (!(ioread32(ens->io_base + 0x10) & 0x800000))
+      break;
+    udelay(10);
+  }
+  iowrite32(ens->io_base + 0x10, rate);
+}
+
+static int snd_ensoniq_dac2_rate(struct ensoniq *ens, int rate) {
+  if (rate < 4000 || rate > 48000)
+    return -22;
+  ens->dac2.rate = rate;
+  snd_es1371_src_write(ens, rate);
+  return 0;
+}
+
+static int snd_ensoniq_playback_open(struct ensoniq *ens) {
+  ens->playing = 0;
+  return 0;
+}
+
+static int snd_ensoniq_playback_close(struct ensoniq *ens) {
+  ens->playing = 0;
+  return 0;
+}
+
+static int snd_ensoniq_hw_params(struct ensoniq *ens, int rate, int channels) {
+  int err;
+  if (channels != 2)
+    return -22;
+  err = snd_ensoniq_dac2_rate(ens, rate);
+  if (err)
+    return err;
+  return 0;
+}
+
+static int snd_ensoniq_playback_prepare(struct ensoniq *ens) {
+  ens->position = 0;
+  ens->period_bytes = DAC2_FRAME;
+  iowrite32(ens->io_base + 0x24, DAC2_FRAME);
+  return 0;
+}
+
+static int snd_ensoniq_trigger(struct ensoniq *ens, int start) {
+  DECAF_RWVAR(ens->playing);
+  if (start) {
+    ens->ctrl = ens->ctrl | 0x20;
+    ens->playing = 1;
+  } else {
+    ens->ctrl = ens->ctrl & ~0x20;
+    ens->playing = 0;
+  }
+  iowrite32(ens->io_base + 0x0, ens->ctrl);
+  return 0;
+}
+
+static int snd_ensoniq_pointer(struct ensoniq *ens) {
+  return ens->position;
+}
+
+static void snd_ensoniq_codec_init(struct ensoniq *ens) {
+  snd_es1371_codec_write(ens, 0x0, 0x0);
+  snd_es1371_codec_write(ens, 0x2, 0x808);
+  snd_es1371_codec_write(ens, 0x4, 0x808);
+  snd_es1371_codec_write(ens, 0x18, 0x808);
+  snd_es1371_codec_write(ens, 0x2a, 0x1);
+}
+
+static int snd_ensoniq_mixer(struct ensoniq *ens) {
+  int idx;
+  int err;
+  for (idx = 0; idx < 24; idx++) {
+    err = snd_ctl_add(ens, idx);
+    if (err)
+      return err;
+  }
+  return 0;
+}
+
+
+static void snd_es1371_uart_write(struct ensoniq *ens, int byte) {
+  int i;
+  for (i = 0; i < 100; i++) {
+    if (ioread32(ens->io_base + 0x8) & 0x200)
+      break;
+    udelay(10);
+  }
+  iowrite32(ens->io_base + 0x8, byte);
+}
+
+static int snd_es1371_uart_read(struct ensoniq *ens) {
+  if (!(ioread32(ens->io_base + 0x8) & 0x100))
+    return -11;
+  return ioread32(ens->io_base + 0xc) & 0xff;
+}
+
+static void snd_ensoniq_midi_output(struct ensoniq *ens, int byte) {
+  snd_es1371_uart_write(ens, byte);
+}
+
+static int snd_ensoniq_midi_input(struct ensoniq *ens) {
+  return snd_es1371_uart_read(ens);
+}
+
+static int snd_ensoniq_capture_open(struct ensoniq *ens) {
+  if (ens->playing)
+    return -16;
+  return 0;
+}
+
+static int snd_ensoniq_capture_prepare(struct ensoniq *ens) {
+  iowrite32(ens->io_base + 0x28, DAC2_FRAME);
+  return 0;
+}
+
+static int snd_ensoniq_capture_trigger(struct ensoniq *ens, int start) {
+  if (start)
+    ens->ctrl = ens->ctrl | 0x10;
+  else
+    ens->ctrl = ens->ctrl & ~0x10;
+  iowrite32(ens->io_base + 0x0, ens->ctrl);
+  return 0;
+}
+
+static int snd_ensoniq_volume_get(struct ensoniq *ens, int reg) {
+  return snd_es1371_codec_read(ens, reg);
+}
+
+static int snd_ensoniq_volume_put(struct ensoniq *ens, int reg, int value) {
+  int old = snd_es1371_codec_read(ens, reg);
+  if (old == value)
+    return 0;
+  snd_es1371_codec_write(ens, reg, value);
+  return 1;
+}
+
+static void snd_ensoniq_gameport_trigger(struct ensoniq *ens) {
+  iowrite32(ens->io_base + 0x18, 0xff);
+}
+
+static int snd_ensoniq_gameport_read(struct ensoniq *ens) {
+  return ioread32(ens->io_base + 0x18) & 0xf;
+}
+
+static int snd_ensoniq_joystick_init(struct ensoniq *ens) {
+  ens->sctrl = ens->sctrl | 0x4;
+  iowrite32(ens->io_base + 0x0, ens->ctrl | 0x4);
+  return 0;
+}
+
+static void snd_ensoniq_joystick_free(struct ensoniq *ens) {
+  iowrite32(ens->io_base + 0x0, ens->ctrl & ~0x4);
+}
+
+static void snd_ensoniq_chip_init(struct ensoniq *ens) {
+  ens->ctrl = 0;
+  ens->sctrl = 0;
+  iowrite32(ens->io_base + 0x0, 0);
+  iowrite32(ens->io_base + 0x4, 0);
+  snd_ensoniq_codec_init(ens);
+}
+
+static int snd_ensoniq_create(struct ensoniq *ens) {
+  int err;
+  err = pci_enable_device(ens);
+  if (err)
+    return err;
+  snd_ensoniq_chip_init(ens);
+  err = request_irq(9, 1);
+  if (err)
+    return err;
+  return 0;
+}
+
+static int snd_audiopci_probe(struct ensoniq *ens) {
+  int err;
+  err = snd_card_new(ens);
+  if (err)
+    return err;
+  err = snd_ensoniq_create(ens);
+  if (err)
+    goto err_card;
+  err = snd_pcm_new(ens);
+  if (err)
+    goto err_card;
+  err = snd_ensoniq_mixer(ens);
+  if (err)
+    goto err_card;
+  err = snd_ensoniq_joystick_init(ens);
+  if (err)
+    goto err_card;
+  err = snd_card_register(ens);
+  if (err)
+    goto err_card;
+  return 0;
+err_card:
+  snd_card_free(ens);
+  return err;
+}
+
+static void snd_audiopci_remove(struct ensoniq *ens) {
+  snd_ensoniq_joystick_free(ens);
+  iowrite32(ens->io_base + 0x0, 0);
+  free_irq(9);
+  snd_card_free(ens);
+}
+
+static int snd_ensoniq_suspend(struct ensoniq *ens) {
+  iowrite32(ens->io_base + 0x0, 0);
+  return 0;
+}
+
+static int snd_ensoniq_resume(struct ensoniq *ens) {
+  snd_ensoniq_chip_init(ens);
+  if (ens->dac2.rate)
+    snd_es1371_src_write(ens, ens->dac2.rate);
+  return 0;
+}
+|}
+
+let config =
+  {
+    Decaf_slicer.Slicer.partition =
+      {
+        Decaf_slicer.Partition.driver_name = "ens1371";
+        critical_roots = [ "snd_ensoniq_interrupt" ];
+        interface_functions =
+          [
+            "snd_audiopci_probe";
+            "snd_audiopci_remove";
+            "snd_ensoniq_playback_open";
+            "snd_ensoniq_playback_close";
+            "snd_ensoniq_hw_params";
+            "snd_ensoniq_playback_prepare";
+            "snd_ensoniq_trigger";
+            "snd_ensoniq_pointer";
+            "snd_ensoniq_interrupt";
+            "snd_ensoniq_suspend";
+            "snd_ensoniq_resume";
+          ];
+      };
+    const_env = [ ("CODEC_REGS", 128) ];
+    java_functions = Decaf_slicer.Slicer.All_user;
+  }

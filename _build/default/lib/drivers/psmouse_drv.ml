@@ -1,0 +1,214 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module P = Hw.Psmouse_hw
+module Errors = Decaf_runtime.Errors
+module Runtime = Decaf_runtime.Runtime
+
+let driver = "psmouse"
+let state_wire_bytes = 64
+
+let model_box : P.t option ref = ref None
+
+let setup_device () =
+  let model = P.create () in
+  model_box := Some model;
+  model
+
+type phase = Init | Streaming
+
+type adapter = {
+  env : Driver_env.t;
+  mutable phase : phase;
+  (* init-phase byte channel from the interrupt handler to the
+     protocol code (which may run at user level) *)
+  byte_fifo : int Queue.t;
+  byte_ready : K.Sync.Waitq.t;
+  (* streaming-phase packet assembly *)
+  mutable packet : int list;  (** bytes of the packet being assembled *)
+  mutable packets : int;
+  mutable device_id : int;
+  mutable input : K.Inputcore.t option;
+}
+
+type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
+
+(* --- nucleus: interrupt handler --- *)
+
+let sign_extend flags bit v = if flags land bit <> 0 then v - 256 else v
+
+let deliver_packet a bytes =
+  match (bytes, a.input) with
+  | [ flags; dx; dy ], Some input ->
+      a.packets <- a.packets + 1;
+      K.Inputcore.report_rel input ~dx:(sign_extend flags 0x10 dx)
+        ~dy:(sign_extend flags 0x20 dy);
+      if flags land 0x07 <> 0 then
+        K.Inputcore.report_key input ~code:(flags land 0x07) ~pressed:true;
+      K.Inputcore.sync input
+  | _ -> ()
+
+let interrupt a =
+  let status = K.Io.inb P.status_port in
+  if status land P.status_obf <> 0 then begin
+    let byte = K.Io.inb P.data_port in
+    match a.phase with
+    | Init ->
+        Queue.push byte a.byte_fifo;
+        ignore (K.Sync.Waitq.wake_all a.byte_ready)
+    | Streaming ->
+        a.packet <- a.packet @ [ byte ];
+        if List.length a.packet = 3 then begin
+          deliver_packet a a.packet;
+          a.packet <- []
+        end
+  end
+
+(* --- decaf driver: protocol negotiation --- *)
+
+(* Block until the interrupt handler delivers the next byte. The byte
+   sits in a kernel buffer, so in decaf mode fetching it is a downcall —
+   one kernel/user round trip per protocol byte, which is where most of
+   this driver's initialization crossings come from. *)
+let wait_byte a =
+  let deadline = K.Clock.now () + 500_000_000 in
+  while Queue.is_empty a.byte_fifo && K.Clock.now () < deadline do
+    K.Sync.Waitq.wait a.byte_ready
+  done;
+  let fetched =
+    a.env.Driver_env.downcall ~name:"serio_read" ~bytes:4 (fun () ->
+        Queue.take_opt a.byte_fifo)
+  in
+  match fetched with
+  | Some b -> b
+  | None -> Errors.throw ~driver ~errno:Errors.etimedout "mouse byte"
+
+let send_cmd a byte =
+  let outb =
+    if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.outb
+    else K.Io.outb
+  in
+  outb P.status_port P.cmd_write_aux;
+  outb P.data_port byte
+
+let expect_ack a =
+  let b = wait_byte a in
+  if b <> 0xfa then Errors.throw ~driver ~errno:Errors.eio "expected ACK"
+
+let command a byte =
+  send_cmd a byte;
+  expect_ack a
+
+let reset_mouse a =
+  command a 0xff;
+  let bat = wait_byte a in
+  if bat <> 0xaa then Errors.throw ~driver ~errno:Errors.eio "BAT failed";
+  let id = wait_byte a in
+  a.device_id <- id
+
+let identify a =
+  command a 0xf2;
+  a.device_id <- wait_byte a
+
+let set_rate a rate =
+  command a 0xf3;
+  command a rate
+
+let set_resolution a res =
+  command a 0xe8;
+  command a res
+
+let enable_streaming a =
+  command a 0xf4;
+  a.phase <- Streaming
+
+let protocol_detect a =
+  reset_mouse a;
+  identify a;
+  (* the IntelliMouse knock: 200, 100, 80 *)
+  set_rate a 200;
+  set_rate a 100;
+  set_rate a 80;
+  identify a;
+  set_resolution a 4;
+  set_rate a 100
+
+let connect env =
+  match !model_box with
+  | None -> Error (-Errors.enodev)
+  | Some _ ->
+      let a =
+        {
+          env;
+          phase = Init;
+          byte_fifo = Queue.create ();
+          byte_ready = K.Sync.Waitq.create ();
+          packet = [];
+          packets = 0;
+          device_id = -1;
+          input = None;
+        }
+      in
+      K.Irq.request_irq P.aux_irq ~name:driver (fun () -> interrupt a);
+      K.Io.outb P.status_port P.cmd_enable_aux;
+      let rc =
+        env.Driver_env.upcall ~name:"psmouse_connect" ~bytes:state_wire_bytes
+          (fun () ->
+            Errors.to_errno (fun () ->
+                protocol_detect a;
+                a.env.Driver_env.downcall ~name:"input_register_device"
+                  ~bytes:32 (fun () ->
+                    let input = K.Inputcore.create ~name:"psmouse" in
+                    K.Inputcore.register input;
+                    a.input <- Some input);
+                a.env.Driver_env.downcall ~name:"enable_stream" ~bytes:16
+                  (fun () -> ());
+                enable_streaming a))
+      in
+      if rc = 0 then Ok a
+      else begin
+        K.Irq.free_irq P.aux_irq;
+        Error rc
+      end
+
+let insmod env =
+  let adapter_box = ref None in
+  let init () =
+    match connect env with
+    | Ok a ->
+        adapter_box := Some a;
+        Ok ()
+    | Error rc -> Error rc
+  in
+  let exit () =
+    match !adapter_box with
+    | Some a -> (
+        K.Irq.free_irq P.aux_irq;
+        match a.input with
+        | Some input -> K.Inputcore.unregister input
+        | None -> ())
+    | None -> ()
+  in
+  match K.Modules.insmod ~name:driver ~init ~exit with
+  | Ok handle -> (
+      match !adapter_box with
+      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | None -> Error (-Errors.enodev))
+  | Error rc -> Error rc
+
+let rmmod t =
+  match t.module_handle with
+  | Some h ->
+      K.Modules.rmmod h;
+      t.module_handle <- None
+  | None -> ()
+
+let init_latency_ns t =
+  match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
+
+let input_dev t =
+  match t.adapter.input with
+  | Some i -> i
+  | None -> K.Panic.bug "psmouse: no input device"
+
+let packets_handled t = t.adapter.packets
+let detected_id t = t.adapter.device_id

@@ -1,0 +1,381 @@
+(** Legacy psmouse driver source (mini-C), scaled down from the
+    2,448-line original.
+
+    The paper's shape: the interrupt path stays in the kernel; most
+    user-level code is device-specific protocol support (IntelliMouse,
+    Logitech, Synaptics, ALPS, ...) that was left in the C driver
+    library because only one mouse could be tested; the handful of
+    functions actually exercised for that mouse were converted to
+    Java. *)
+
+let source =
+  {|#include <linux/module.h>
+#include <linux/input.h>
+
+#define PACKET_MAX 8
+
+struct psmouse_packet {
+  int nbytes;
+  int bytes[8];
+};
+
+struct psmouse {
+  struct psmouse_packet pkt;    /* first member aliases the psmouse *)  */
+  int state;
+  int type;
+  int rate;
+  int resolution;
+  int pktsize;
+  int last_byte_time;
+  uint8_t * __attribute__((exp(PACKET_MAX))) packet_buf;
+  char name[32];
+};
+
+int serio_write(int byte);
+int request_irq(int irq, int handler);
+void free_irq(int irq);
+int input_register_device(struct psmouse *psmouse);
+void input_unregister_device(struct psmouse *psmouse);
+void input_report_rel(struct psmouse *psmouse, int dx, int dy);
+void input_report_key(struct psmouse *psmouse, int code, int value);
+void input_sync(struct psmouse *psmouse);
+int wait_response(struct psmouse *psmouse);
+void msleep(int msec);
+void printk_info(int code);
+
+/* ================ nucleus: byte stream handling ================ */
+
+static void psmouse_report_standard(struct psmouse *psmouse) {
+  int flags = psmouse->pkt.bytes[0];
+  int dx = psmouse->pkt.bytes[1];
+  int dy = psmouse->pkt.bytes[2];
+  if (flags & 0x10)
+    dx = dx - 256;
+  if (flags & 0x20)
+    dy = dy - 256;
+  input_report_rel(psmouse, dx, dy);
+  input_report_key(psmouse, 1, flags & 1);
+  input_sync(psmouse);
+}
+
+static int psmouse_process_byte(struct psmouse *psmouse, int byte) {
+  psmouse->pkt.bytes[psmouse->pkt.nbytes] = byte;
+  psmouse->pkt.nbytes = psmouse->pkt.nbytes + 1;
+  if (psmouse->pkt.nbytes >= psmouse->pktsize) {
+    psmouse_report_standard(psmouse);
+    psmouse->pkt.nbytes = 0;
+    return 1;
+  }
+  return 0;
+}
+
+static void psmouse_resync(struct psmouse *psmouse) {
+  psmouse->pkt.nbytes = 0;
+  psmouse->state = 2;
+}
+
+static void psmouse_interrupt(struct psmouse *psmouse, int byte, int timestamp) {
+  if (psmouse->state != 3) {
+    printk_info(byte);
+    return;
+  }
+  if (timestamp - psmouse->last_byte_time > 500)
+    psmouse_resync(psmouse);
+  psmouse->last_byte_time = timestamp;
+  psmouse_process_byte(psmouse, byte);
+}
+
+/* ================ driver library: protocols we cannot test ================ */
+
+static int psmouse_sliced_command(struct psmouse *psmouse, int command) {
+  int i;
+  int err;
+  for (i = 6; i >= 0; i = i - 2) {
+    err = serio_write((command >> i) & 3);
+    if (err)
+      return err;
+  }
+  return 0;
+}
+
+static int genius_detect(struct psmouse *psmouse) {
+  serio_write(0xe8);
+  serio_write(0);
+  if (wait_response(psmouse) != 0x33)
+    return -19;
+  psmouse->pktsize = 4;
+  return 0;
+}
+
+static int intellimouse_magic(struct psmouse *psmouse, int r1, int r2, int r3) {
+  serio_write(0xf3);
+  serio_write(r1);
+  serio_write(0xf3);
+  serio_write(r2);
+  serio_write(0xf3);
+  serio_write(r3);
+  serio_write(0xf2);
+  return wait_response(psmouse);
+}
+
+static int im_explorer_detect(struct psmouse *psmouse) {
+  int id = intellimouse_magic(psmouse, 200, 200, 80);
+  if (id != 4)
+    return -19;
+  psmouse->type = 4;
+  psmouse->pktsize = 4;
+  return 0;
+}
+
+static int logitech_detect(struct psmouse *psmouse) {
+  int err = psmouse_sliced_command(psmouse, 0x39);
+  if (err)
+    return err;
+  if (wait_response(psmouse) != 0x3d)
+    return -19;
+  psmouse->type = 5;
+  return 0;
+}
+
+static int synaptics_detect(struct psmouse *psmouse) {
+  int err;
+  err = psmouse_sliced_command(psmouse, 0x0);
+  if (err)
+    return err;
+  serio_write(0xe9);
+  if (wait_response(psmouse) != 0x47)
+    return -19;
+  psmouse->type = 6;
+  psmouse->pktsize = 6;
+  return 0;
+}
+
+static int synaptics_init(struct psmouse *psmouse) {
+  int err = synaptics_detect(psmouse);
+  if (err)
+    return err;
+  err = psmouse_sliced_command(psmouse, 0xc8);
+  if (err)
+    return err;
+  return 0;
+}
+
+static int alps_detect(struct psmouse *psmouse) {
+  serio_write(0xe6);
+  serio_write(0xe6);
+  serio_write(0xe6);
+  if (wait_response(psmouse) != 0x0)
+    return -19;
+  psmouse->type = 7;
+  psmouse->pktsize = 6;
+  return 0;
+}
+
+static int alps_init(struct psmouse *psmouse) {
+  int err = alps_detect(psmouse);
+  if (err)
+    return err;
+  psmouse->rate = 100;
+  return 0;
+}
+
+static int lifebook_detect(struct psmouse *psmouse) {
+  if (psmouse->type != 0)
+    return -19;
+  return -19;
+}
+
+static int trackpoint_detect(struct psmouse *psmouse) {
+  serio_write(0xe1);
+  if (wait_response(psmouse) != 0x1)
+    return -19;
+  psmouse->type = 8;
+  return 0;
+}
+
+static int touchkit_detect(struct psmouse *psmouse) {
+  serio_write(0x0a);
+  if (wait_response(psmouse) != 0x0a)
+    return -19;
+  return 0;
+}
+
+static int cortron_detect(struct psmouse *psmouse) {
+  if (psmouse->type != 0)
+    return -19;
+  psmouse->pktsize = 3;
+  return 0;
+}
+
+static int psmouse_extensions(struct psmouse *psmouse) {
+  int err;
+  switch (psmouse->type) {
+  case 4:
+    err = im_explorer_detect(psmouse);
+    break;
+  case 5:
+    err = logitech_detect(psmouse);
+    break;
+  case 6:
+    err = synaptics_init(psmouse);
+    break;
+  case 7:
+    err = alps_init(psmouse);
+    break;
+  case 8:
+    err = trackpoint_detect(psmouse);
+    break;
+  default:
+    err = 0;
+  }
+  return err;
+}
+
+/* ================ converted to Java ================ */
+
+static int psmouse_reset(struct psmouse *psmouse) {
+  int err;
+  err = serio_write(0xff);
+  if (err)
+    return err;
+  if (wait_response(psmouse) != 0xfa)
+    return -5;
+  if (wait_response(psmouse) != 0xaa)
+    return -5;
+  psmouse->type = wait_response(psmouse);
+  return 0;
+}
+
+static int psmouse_set_rate(struct psmouse *psmouse, int rate) {
+  int err;
+  DECAF_RWVAR(psmouse->rate);
+  err = serio_write(0xf3);
+  if (err)
+    return err;
+  err = serio_write(rate);
+  if (err)
+    return err;
+  psmouse->rate = rate;
+  return 0;
+}
+
+static int psmouse_set_resolution(struct psmouse *psmouse, int res) {
+  int err;
+  err = serio_write(0xe8);
+  if (err)
+    return err;
+  err = serio_write(res);
+  if (err)
+    return err;
+  psmouse->resolution = res;
+  return 0;
+}
+
+static int psmouse_probe_protocol(struct psmouse *psmouse) {
+  int id;
+  serio_write(0xf2);
+  id = wait_response(psmouse);
+  psmouse->type = id;
+  psmouse->pktsize = 3;
+  return 0;
+}
+
+static int psmouse_initialize(struct psmouse *psmouse) {
+  int err;
+  err = psmouse_set_rate(psmouse, 100);
+  if (err)
+    return err;
+  err = psmouse_set_resolution(psmouse, 4);
+  if (err)
+    return err;
+  return 0;
+}
+
+static int psmouse_activate(struct psmouse *psmouse) {
+  int err = serio_write(0xf4);
+  if (err)
+    return err;
+  if (wait_response(psmouse) != 0xfa)
+    return -5;
+  psmouse->state = 3;
+  return 0;
+}
+
+static int psmouse_deactivate(struct psmouse *psmouse) {
+  int err = serio_write(0xf5);
+  if (err)
+    return err;
+  psmouse->state = 1;
+  return 0;
+}
+
+static int psmouse_connect(struct psmouse *psmouse) {
+  int err;
+  err = request_irq(12, 1);
+  if (err)
+    return err;
+  err = psmouse_reset(psmouse);
+  if (err)
+    goto err_irq;
+  err = psmouse_probe_protocol(psmouse);
+  if (err)
+    goto err_irq;
+  err = psmouse_extensions(psmouse);
+  if (err)
+    psmouse->type = 0;
+  err = psmouse_initialize(psmouse);
+  if (err)
+    goto err_irq;
+  err = input_register_device(psmouse);
+  if (err)
+    goto err_irq;
+  err = psmouse_activate(psmouse);
+  if (err)
+    goto err_input;
+  return 0;
+err_input:
+  input_unregister_device(psmouse);
+err_irq:
+  free_irq(12);
+  return err;
+}
+
+static void psmouse_disconnect(struct psmouse *psmouse) {
+  psmouse_deactivate(psmouse);
+  input_unregister_device(psmouse);
+  free_irq(12);
+}
+|}
+
+let config =
+  {
+    Decaf_slicer.Slicer.partition =
+      {
+        Decaf_slicer.Partition.driver_name = "psmouse";
+        critical_roots = [ "psmouse_interrupt" ];
+        interface_functions =
+          [
+            "psmouse_connect";
+            "psmouse_disconnect";
+            "psmouse_interrupt";
+            "psmouse_activate";
+            "psmouse_deactivate";
+          ];
+      };
+    const_env = [ ("PACKET_MAX", 8) ];
+    (* only the functions exercised by the one mouse we have were
+       converted; the other protocols' support stays in the C library *)
+    java_functions =
+      Decaf_slicer.Slicer.Only
+        [
+          "psmouse_reset";
+          "psmouse_set_rate";
+          "psmouse_set_resolution";
+          "psmouse_probe_protocol";
+          "psmouse_initialize";
+          "psmouse_activate";
+          "psmouse_deactivate";
+          "psmouse_connect";
+          "psmouse_disconnect";
+        ];
+  }

@@ -1,0 +1,288 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module R = Hw.Rtl8139
+module Runtime = Decaf_runtime.Runtime
+
+let vendor_id = 0x10ec
+let device_id = 0x8139
+let adapter_wire_bytes = 224
+
+(* Device models by PCI slot: stands in for the DMA memory the driver
+   and device share. *)
+let models : (string, R.t) Hashtbl.t = Hashtbl.create 4
+
+let setup_device ~slot ~io_base ~irq ~mac ~link () =
+  let model = R.create ~io_base ~irq ~mac ~link in
+  Hashtbl.replace models slot model;
+  K.Pci.add_device
+    (K.Pci.make_dev ~slot ~vendor:vendor_id ~device:device_id ~irq_line:irq
+       ~bars:[ { K.Pci.kind = K.Pci.Port_bar; base = io_base; len = 0x100 } ]
+       ());
+  model
+
+type adapter = {
+  env : Driver_env.t;
+  model : R.t;
+  io_base : int;
+  irq : int;
+  mutable netdev : K.Netcore.t option;
+  mutable cur_tx : int;  (** next transmit descriptor to use *)
+  mutable dirty_tx : int;  (** oldest descriptor the NIC still owns *)
+  mutable msg_enable : int;
+  lock : K.Sync.Combolock.t;
+}
+
+type t = {
+  adapter : adapter;
+  mutable module_handle : K.Modules.handle option;
+}
+
+let reg a off = a.io_base + off
+
+(* --- data path: always kernel-resident (critical roots) --- *)
+
+let tx_slots_in_flight a = a.cur_tx - a.dirty_tx
+
+let start_xmit a (skb : K.Netcore.Skb.t) =
+  K.Sync.Combolock.with_kernel a.lock (fun () ->
+      if tx_slots_in_flight a >= R.n_tx_desc then K.Netcore.Xmit_busy
+      else begin
+        let slot = a.cur_tx mod R.n_tx_desc in
+        R.stage_tx_buffer a.model slot (Bytes.sub skb.K.Netcore.Skb.data 0 skb.K.Netcore.Skb.len);
+        K.Io.outl (reg a (R.tsd0 + (4 * slot))) skb.K.Netcore.Skb.len;
+        a.cur_tx <- a.cur_tx + 1;
+        (match a.netdev with
+        | Some nd ->
+            let st = K.Netcore.stats nd in
+            st.K.Netcore.tx_packets <- st.K.Netcore.tx_packets + 1;
+            st.K.Netcore.tx_bytes <- st.K.Netcore.tx_bytes + skb.K.Netcore.Skb.len;
+            if tx_slots_in_flight a >= R.n_tx_desc then
+              K.Netcore.netif_stop_queue nd
+        | None -> ());
+        K.Netcore.Xmit_ok
+      end)
+
+let handle_rx a =
+  let continue = ref true in
+  while !continue do
+    match R.take_rx a.model with
+    | Some frame -> (
+        K.Clock.consume 1_000 (* per-packet receive processing *);
+        match a.netdev with
+        | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
+        | None -> ())
+    | None -> continue := false
+  done
+
+let interrupt a =
+  let status = K.Io.inw (reg a R.isr) in
+  if status <> 0 then begin
+    K.Io.outw (reg a R.isr) status (* ack *);
+    if status land R.isr_tok <> 0 then begin
+      (* retire every descriptor the NIC has written back *)
+      let scanning = ref true in
+      while !scanning && a.dirty_tx < a.cur_tx do
+        let slot = a.dirty_tx mod R.n_tx_desc in
+        if K.Io.inl (reg a (R.tsd0 + (4 * slot))) land R.tsd_tok <> 0 then
+          a.dirty_tx <- a.dirty_tx + 1
+        else scanning := false
+      done;
+      if tx_slots_in_flight a < R.n_tx_desc then
+        match a.netdev with
+        | Some nd ->
+            if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
+        | None -> ()
+    end;
+    if status land R.isr_rok <> 0 then handle_rx a;
+    if status land R.isr_rx_overflow <> 0 then
+      match a.netdev with
+      | Some nd ->
+          let st = K.Netcore.stats nd in
+          st.K.Netcore.rx_dropped <- st.K.Netcore.rx_dropped + 1
+      | None -> ()
+  end
+
+(* --- initialization path: runs at user level in decaf mode --- *)
+
+(* Reset the chip and wait for the reset bit to clear. In decaf mode
+   every port access is a direct Jeannie call into the driver library. *)
+let chip_reset a =
+  let io = a.env.Driver_env.mode <> Driver_env.Native in
+  let outb p v = if io then Runtime.Helpers.outb p v else K.Io.outb p v in
+  let inb p = if io then Runtime.Helpers.inb p else K.Io.inb p in
+  outb (reg a R.cmd) R.cmd_rst;
+  (* the chip takes ~10 ms to come out of reset *)
+  K.Sched.sleep_ns 10_000_000;
+  let tries = ref 0 in
+  while inb (reg a R.cmd) land R.cmd_rst <> 0 && !tries < 100 do
+    incr tries
+  done;
+  if !tries >= 100 then -Decaf_runtime.Errors.eio else 0
+
+let read_mac a =
+  let inb =
+    if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.inb
+    else K.Io.inb
+  in
+  String.init 6 (fun i -> Char.chr (inb (reg a (R.idr0 + i))))
+
+let hw_start a =
+  let io = a.env.Driver_env.mode <> Driver_env.Native in
+  let outb p v = if io then Runtime.Helpers.outb p v else K.Io.outb p v in
+  let outw p v = if io then Runtime.Helpers.outw p v else K.Io.outw p v in
+  let outl p v = if io then Runtime.Helpers.outl p v else K.Io.outl p v in
+  outb (reg a R.cmd) (R.cmd_te lor R.cmd_re);
+  outl (reg a R.rcr) 0xf;
+  outl (reg a R.tcr) 0x600;
+  outl (reg a R.rbstart) 0x10_0000;
+  outw (reg a R.imr) 0xffff
+
+let net_ops t_adapter =
+  {
+    K.Netcore.ndo_open =
+      (fun () ->
+        let a = t_adapter in
+        (* open runs mostly at user level: bring the chip up there, then
+           come back down to enable the queue. *)
+        let rc =
+          a.env.Driver_env.upcall ~name:"rtl8139_open" ~bytes:adapter_wire_bytes
+            (fun () ->
+              let rc = chip_reset a in
+              if rc = 0 then begin
+                hw_start a;
+                a.env.Driver_env.downcall ~name:"netif_start_queue" ~bytes:16
+                  (fun () ->
+                    match a.netdev with
+                    | Some nd ->
+                        K.Netcore.netif_wake_queue nd;
+                        K.Netcore.netif_carrier_on nd
+                    | None -> ())
+              end;
+              rc)
+        in
+        if rc = 0 then Ok () else Error rc);
+    ndo_stop =
+      (fun () ->
+        let a = t_adapter in
+        a.env.Driver_env.upcall ~name:"rtl8139_close" ~bytes:adapter_wire_bytes
+          (fun () ->
+            let outb =
+              if a.env.Driver_env.mode <> Driver_env.Native then
+                Runtime.Helpers.outb
+              else K.Io.outb
+            in
+            outb (reg a R.cmd) 0;
+            a.env.Driver_env.downcall ~name:"netif_stop_queue" ~bytes:16
+              (fun () ->
+                match a.netdev with
+                | Some nd ->
+                    K.Netcore.netif_stop_queue nd;
+                    K.Netcore.netif_carrier_off nd
+                | None -> ()));
+        Ok ());
+    ndo_start_xmit = (fun skb -> start_xmit t_adapter skb);
+    ndo_tx_timeout =
+      (fun () ->
+        let a = t_adapter in
+        ignore (chip_reset a);
+        hw_start a);
+  }
+
+let probe env (pci : K.Pci.dev) =
+  match Hashtbl.find_opt models (K.Pci.slot pci) with
+  | None -> Error (-Decaf_runtime.Errors.enodev)
+  | Some model ->
+      K.Pci.enable_device pci;
+      K.Pci.set_master pci;
+      let bar = K.Pci.bar pci 0 in
+      let a =
+        {
+          env;
+          model;
+          io_base = bar.K.Pci.base;
+          irq = K.Pci.irq pci;
+          netdev = None;
+          cur_tx = 0;
+          dirty_tx = 0;
+          msg_enable = 0;
+          lock = K.Sync.Combolock.create ~name:"rtl8139" ();
+        }
+      in
+      (* Probe-time bring-up happens at user level in decaf mode. *)
+      let rc =
+        env.Driver_env.upcall ~name:"rtl8139_probe" ~bytes:adapter_wire_bytes
+          (fun () ->
+            let rc = chip_reset a in
+            if rc <> 0 then rc
+            else begin
+              let mac = read_mac a in
+              a.msg_enable <- 1;
+              (* register with the kernel: downcalls from user level *)
+              a.env.Driver_env.downcall ~name:"register_netdev" ~bytes:64
+                (fun () ->
+                  let nd =
+                      K.Netcore.create ~name:(K.Netcore.alloc_name "eth") ~mtu:1500 (net_ops a) in
+                  a.netdev <- Some nd;
+                  K.Netcore.register_netdev nd;
+                  ignore mac);
+              a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16
+                (fun () ->
+                  K.Irq.request_irq a.irq ~name:"8139too" (fun () -> interrupt a));
+              0
+            end)
+      in
+      if rc = 0 then Ok a else Error rc
+
+let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
+
+let insmod env =
+  let adapter_box = ref None in
+  let init () =
+    K.Pci.register_driver ~name:"8139too"
+      ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+      ~probe:(fun pci ->
+        match probe env pci with
+        | Ok a ->
+            adapter_box := Some a;
+            Hashtbl.replace instances (K.Pci.slot pci) a;
+            Ok ()
+        | Error rc -> Error rc)
+      ~remove:(fun pci ->
+        (match Hashtbl.find_opt instances (K.Pci.slot pci) with
+        | Some a -> (
+            K.Irq.free_irq a.irq;
+            match a.netdev with
+            | Some nd -> K.Netcore.unregister_netdev nd
+            | None -> ())
+        | None -> ());
+        Hashtbl.remove instances (K.Pci.slot pci));
+    match !adapter_box with
+    | Some _ -> Ok ()
+    | None -> Error (-Decaf_runtime.Errors.enodev)
+  in
+  let exit () = K.Pci.unregister_driver "8139too" in
+  match K.Modules.insmod ~name:"8139too" ~init ~exit with
+  | Ok handle -> (
+      match !adapter_box with
+      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | None -> Error (-Decaf_runtime.Errors.enodev))
+  | Error rc -> Error rc
+
+let rmmod t =
+  match t.module_handle with
+  | Some h ->
+      (match t.adapter.netdev with
+      | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
+      | Some _ | None -> ());
+      K.Modules.rmmod h;
+      t.module_handle <- None
+  | None -> ()
+
+let init_latency_ns t =
+  match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
+
+let netdev t =
+  match t.adapter.netdev with
+  | Some nd -> nd
+  | None -> K.Panic.bug "8139too: no netdev"
+

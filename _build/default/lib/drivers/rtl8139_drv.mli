@@ -1,0 +1,28 @@
+(** The 8139too fast-Ethernet driver, in native and decaf builds.
+
+    The data path — [start_xmit] and the interrupt handler — always runs
+    in the kernel (they are the critical roots in the paper's Table 2);
+    initialization, EEPROM/PHY bring-up, and shutdown run wherever the
+    {!Driver_env.t} sends them. *)
+
+type t
+
+val vendor_id : int
+val device_id : int
+
+val setup_device :
+  slot:string -> io_base:int -> irq:int -> mac:string -> link:Decaf_hw.Link.t ->
+  unit -> Decaf_hw.Rtl8139.t
+(** Create the device model and plug the matching PCI function into the
+    bus. Call before {!insmod}. *)
+
+val insmod : Driver_env.t -> (t, int) result
+(** Load the driver module: registers the PCI driver (probing any
+    present device) and returns the instance handle. Must run in a
+    scheduler thread. *)
+
+val rmmod : t -> unit
+val init_latency_ns : t -> int
+val netdev : t -> Decaf_kernel.Netcore.t
+val adapter_wire_bytes : int
+(** Marshaled size of [struct rtl8139_private] used for XPC accounting. *)

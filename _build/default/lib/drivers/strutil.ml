@@ -1,0 +1,37 @@
+let index_from haystack start needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then Some start
+  else
+    let rec scan i =
+      if i + nn > nh then None
+      else if String.sub haystack i nn = needle then Some i
+      else scan (i + 1)
+    in
+    scan start
+
+let index_of haystack needle =
+  match index_from haystack 0 needle with
+  | Some i -> i
+  | None -> raise Not_found
+
+let contains haystack needle = index_from haystack 0 needle <> None
+
+let replace haystack ~needle ~replacement =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then haystack
+  else begin
+    let buf = Buffer.create nh in
+    let rec scan i =
+      if i >= nh then ()
+      else if i + nn <= nh && String.sub haystack i nn = needle then begin
+        Buffer.add_string buf replacement;
+        scan (i + nn)
+      end
+      else begin
+        Buffer.add_char buf haystack.[i];
+        scan (i + 1)
+      end
+    in
+    scan 0;
+    Buffer.contents buf
+  end

@@ -1,0 +1,9 @@
+(** Substring utilities used by the evolution corpus. *)
+
+val contains : string -> string -> bool
+val index_of : string -> string -> int
+(** First occurrence; raises [Not_found]. *)
+
+val index_from : string -> int -> string -> int option
+val replace : string -> needle:string -> replacement:string -> string
+(** Replace every occurrence. *)

@@ -1,0 +1,160 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module U = Hw.Uhci_hw
+module Errors = Decaf_runtime.Errors
+module Runtime = Decaf_runtime.Runtime
+
+let driver = "uhci_hcd"
+let state_wire_bytes = 96
+
+let model_box : U.t option ref = ref None
+
+let setup_device ~io_base ~irq () =
+  let model = U.create ~io_base ~irq () in
+  model_box := Some model;
+  model
+
+type adapter = {
+  env : Driver_env.t;
+  model : U.t;
+  io_base : int;
+  irq : int;
+  mutable completed : int;
+}
+
+type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
+
+let reg a off = a.io_base + off
+
+let outw a off v =
+  if a.env.Driver_env.mode <> Driver_env.Native then
+    Runtime.Helpers.outw (reg a off) v
+  else K.Io.outw (reg a off) v
+
+let inw a off =
+  if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.inw (reg a off)
+  else K.Io.inw (reg a off)
+
+(* --- nucleus: URB scheduling (data path) --- *)
+
+let submit_urb a (urb : K.Usbcore.urb) =
+  match urb.K.Usbcore.transfer with
+  | K.Usbcore.Bulk ->
+      U.submit_td a.model ~direction:urb.K.Usbcore.direction
+        ~length:(Bytes.length urb.K.Usbcore.buffer)
+        ~complete:(fun ~actual status ->
+          urb.K.Usbcore.actual_length <- actual;
+          urb.K.Usbcore.status <-
+            (match status with
+            | U.Td_ok -> 0
+            | U.Td_stalled -> -32
+            | U.Td_no_device -> -Errors.enodev);
+          a.completed <- a.completed + 1;
+          urb.K.Usbcore.complete urb);
+      Ok ()
+  | K.Usbcore.Control | K.Usbcore.Interrupt ->
+      (* control/interrupt endpoints unused by the storage workload *)
+      Error (-Errors.einval)
+
+let interrupt a =
+  let status = K.Io.inw (reg a U.reg_usbsts) in
+  if status land U.sts_usbint <> 0 then
+    K.Io.outw (reg a U.reg_usbsts) U.sts_usbint
+
+(* --- decaf driver: controller bring-up --- *)
+
+let reset_controller a =
+  outw a U.reg_usbcmd U.cmd_hcreset;
+  if inw a U.reg_usbcmd land U.cmd_hcreset <> 0 then
+    Errors.throw ~driver ~errno:Errors.eio "HCRESET did not clear"
+
+let reset_root_port a =
+  outw a U.reg_portsc1 U.portsc_pr;
+  Runtime.Helpers.msleep 15;
+  let portsc = inw a U.reg_portsc1 in
+  if portsc land U.portsc_ped = 0 then
+    Errors.throw ~driver ~errno:Errors.enodev "port did not enable";
+  (* acknowledge the connect change *)
+  outw a U.reg_portsc1 (portsc lor U.portsc_csc)
+
+(* Enumerate the attached device: descriptor fetches and configuration
+   are kernel usbcore services, each a downcall from the decaf driver. *)
+let enumerate_port a =
+  let control name = a.env.Driver_env.downcall ~name ~bytes:32 (fun () -> ()) in
+  control "usb_get_device_descriptor";
+  control "usb_set_address";
+  control "usb_get_device_descriptor_full";
+  control "usb_get_config_descriptor";
+  control "usb_set_configuration";
+  control "usb_get_string_manufacturer";
+  control "usb_get_string_product";
+  control "usb_register_dev"
+
+let start_schedule a =
+  outw a U.reg_usbintr 0x000f;
+  outw a U.reg_usbcmd U.cmd_rs
+
+let stop_schedule a = outw a U.reg_usbcmd 0
+
+let probe env io_base irq =
+  match !model_box with
+  | None -> Error (-Errors.enodev)
+  | Some model ->
+      let a = { env; model; io_base; irq; completed = 0 } in
+      let rc =
+        env.Driver_env.upcall ~name:"uhci_probe" ~bytes:state_wire_bytes
+          (fun () ->
+            Errors.to_errno (fun () ->
+                reset_controller a;
+                reset_root_port a;
+                enumerate_port a;
+                a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16
+                  (fun () ->
+                    K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a));
+                a.env.Driver_env.downcall ~name:"usb_register_hcd" ~bytes:32
+                  (fun () ->
+                    K.Usbcore.register_hcd ~name:driver
+                      {
+                        K.Usbcore.hcd_submit_urb = (fun urb -> submit_urb a urb);
+                        hcd_frame_number =
+                          (fun () -> K.Io.inw (reg a U.reg_frnum));
+                      });
+                start_schedule a))
+      in
+      if rc = 0 then Ok a else Error rc
+
+let insmod env ~io_base ~irq =
+  let adapter_box = ref None in
+  let init () =
+    match probe env io_base irq with
+    | Ok a ->
+        adapter_box := Some a;
+        Ok ()
+    | Error rc -> Error rc
+  in
+  let exit () =
+    match !adapter_box with
+    | Some a ->
+        stop_schedule a;
+        K.Usbcore.unregister_hcd ();
+        K.Irq.free_irq a.irq
+    | None -> ()
+  in
+  match K.Modules.insmod ~name:driver ~init ~exit with
+  | Ok handle -> (
+      match !adapter_box with
+      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | None -> Error (-Errors.enodev))
+  | Error rc -> Error rc
+
+let rmmod t =
+  match t.module_handle with
+  | Some h ->
+      K.Modules.rmmod h;
+      t.module_handle <- None
+  | None -> ()
+
+let init_latency_ns t =
+  match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
+
+let urbs_completed t = t.adapter.completed

@@ -1,0 +1,325 @@
+(** Legacy uhci-hcd driver source (mini-C), scaled down from the
+    2,339-line original.
+
+    The defining property from the paper: the data-path functions
+    dispatch transfer-descriptor completions through function pointers,
+    so they "could potentially call nearly any code in the driver" — the
+    conservative call graph pulls almost everything into the nucleus and
+    only a few suspend/resume functions convert to Java (4 % in
+    Table 2). *)
+
+let source =
+  {|#include <linux/module.h>
+#include <linux/usb.h>
+
+#define UHCI_NUMFRAMES 1024
+
+typedef void (*td_complete_t)(int status);
+
+struct uhci_td {
+  int status;
+  int token;
+  int buffer;
+  int active;
+};
+
+struct uhci_qh {
+  struct uhci_td element;       /* first member aliases the qh */
+  int link;
+  int state;
+};
+
+struct uhci_hcd {
+  struct uhci_qh skel_bulk_qh;  /* first member aliases the hcd */
+  unsigned int io_base;
+  int frame_number;
+  int rh_state;
+  int is_stopped;
+  int scan_in_progress;
+  uint32_t * __attribute__((exp(UHCI_NUMFRAMES))) frame_list;
+};
+
+int request_irq(int irq, int handler);
+void free_irq(int irq);
+int usb_create_hcd(struct uhci_hcd *uhci);
+void usb_remove_hcd(struct uhci_hcd *uhci);
+int usb_hcd_link_urb(struct uhci_hcd *uhci, int urb);
+void usb_hcd_unlink_urb(struct uhci_hcd *uhci, int urb);
+void usb_hcd_giveback_urb(struct uhci_hcd *uhci, int urb);
+int ioread16(unsigned int addr);
+void iowrite16(unsigned int addr, int value);
+int kmalloc_td(int size);
+void kfree_td(int ptr);
+void udelay(int usec);
+void msleep(int msec);
+void printk_info(int code);
+
+/* ================ TD / QH machinery (data path) ================ */
+
+static int uhci_alloc_td(struct uhci_hcd *uhci) {
+  int td = kmalloc_td(16);
+  if (!td)
+    return 0;
+  return td;
+}
+
+static void uhci_free_td(struct uhci_hcd *uhci, int td) {
+  kfree_td(td);
+}
+
+static void uhci_fill_td(struct uhci_hcd *uhci, int td, int status, int token) {
+  uhci->frame_list[td % UHCI_NUMFRAMES] = status | token;
+}
+
+static void uhci_remove_td_from_frame(struct uhci_hcd *uhci, int td) {
+  uhci->frame_list[td % UHCI_NUMFRAMES] = 1;
+}
+
+static void uhci_finish_urb(struct uhci_hcd *uhci, int urb) {
+  usb_hcd_unlink_urb(uhci, urb);
+  usb_hcd_giveback_urb(uhci, urb);
+}
+
+static void uhci_td_complete_ok(int status) {
+  printk_info(status);
+}
+
+static void uhci_td_complete_error(int status) {
+  printk_info(0 - status);
+}
+
+static int uhci_result_common(struct uhci_hcd *uhci, int urb) {
+  td_complete_t handler;
+  int status = uhci->frame_list[urb % UHCI_NUMFRAMES];
+  if (status & 0x400000)
+    handler = uhci_td_complete_error;
+  else
+    handler = uhci_td_complete_ok;
+  (*handler)(status);
+  return status & 0x7ff;
+}
+
+static int uhci_submit_common(struct uhci_hcd *uhci, int urb, int len) {
+  int td = uhci_alloc_td(uhci);
+  if (!td)
+    return -12;
+  uhci_fill_td(uhci, td, 0x80000000, len);
+  uhci_activate_qh(uhci, urb);
+  return usb_hcd_link_urb(uhci, urb);
+}
+
+static int uhci_submit_bulk(struct uhci_hcd *uhci, int urb, int len) {
+  if (uhci->is_stopped)
+    return -19;
+  return uhci_submit_common(uhci, urb, len);
+}
+
+static int uhci_submit_interrupt(struct uhci_hcd *uhci, int urb, int len) {
+  return uhci_submit_common(uhci, urb, len);
+}
+
+static int uhci_urb_enqueue(struct uhci_hcd *uhci, int urb, int type, int len) {
+  if (type == 3)
+    return uhci_submit_bulk(uhci, urb, len);
+  if (type == 1)
+    return uhci_submit_interrupt(uhci, urb, len);
+  return -22;
+}
+
+static void uhci_urb_dequeue(struct uhci_hcd *uhci, int urb) {
+  uhci_unlink_qh(uhci, urb);
+  uhci_finish_urb(uhci, urb);
+}
+
+static void uhci_scan_qh(struct uhci_hcd *uhci, int qh) {
+  int status = uhci_result_common(uhci, qh);
+  if (status != 0x7ff)
+    uhci_finish_urb(uhci, qh);
+}
+
+static void uhci_scan_schedule(struct uhci_hcd *uhci) {
+  int i;
+  if (uhci->scan_in_progress)
+    return;
+  uhci->scan_in_progress = 1;
+  for (i = 0; i < 8; i++)
+    uhci_scan_qh(uhci, i);
+  uhci->scan_in_progress = 0;
+}
+
+static void uhci_get_current_frame_number(struct uhci_hcd *uhci) {
+  uhci->frame_number = ioread16(uhci->io_base + 0x6);
+}
+
+static void uhci_irq(struct uhci_hcd *uhci) {
+  int status = ioread16(uhci->io_base + 0x2);
+  if (!(status & 0x3f))
+    return;
+  iowrite16(uhci->io_base + 0x2, status);
+  uhci_get_current_frame_number(uhci);
+  uhci_scan_schedule(uhci);
+}
+
+static void uhci_fsbr_on(struct uhci_hcd *uhci) {
+  uhci->skel_bulk_qh.link = 1;
+}
+
+static void uhci_fsbr_off(struct uhci_hcd *uhci) {
+  uhci->skel_bulk_qh.link = 0;
+}
+
+static void uhci_qh_wants_fsbr(struct uhci_hcd *uhci, int qh) {
+  if (qh & 1)
+    uhci_fsbr_on(uhci);
+  else
+    uhci_fsbr_off(uhci);
+}
+
+static int uhci_activate_qh(struct uhci_hcd *uhci, int qh) {
+  uhci->skel_bulk_qh.state = 2;
+  uhci_qh_wants_fsbr(uhci, qh);
+  return 0;
+}
+
+static void uhci_unlink_qh(struct uhci_hcd *uhci, int qh) {
+  uhci->skel_bulk_qh.state = 1;
+  uhci_remove_td_from_frame(uhci, qh);
+}
+
+/* root hub: also on the data path via the status polling */
+
+static int uhci_rh_status_data(struct uhci_hcd *uhci) {
+  int portsc = ioread16(uhci->io_base + 0x10);
+  if (portsc & 0xa)
+    return 1;
+  return 0;
+}
+
+static int uhci_rh_control(struct uhci_hcd *uhci, int req, int value) {
+  int portsc;
+  if (req == 1) {
+    portsc = ioread16(uhci->io_base + 0x10);
+    iowrite16(uhci->io_base + 0x10, portsc | value);
+    return 0;
+  }
+  if (req == 2) {
+    portsc = ioread16(uhci->io_base + 0x10);
+    iowrite16(uhci->io_base + 0x10, portsc & ~value);
+    return 0;
+  }
+  return -22;
+}
+
+static void uhci_reset_hc(struct uhci_hcd *uhci) {
+  int i;
+  iowrite16(uhci->io_base + 0x0, 0x2);
+  for (i = 0; i < 100; i++) {
+    if (!(ioread16(uhci->io_base + 0x0) & 0x2))
+      break;
+    udelay(10);
+  }
+}
+
+static int uhci_start(struct uhci_hcd *uhci) {
+  int i;
+  uhci_reset_hc(uhci);
+  for (i = 0; i < UHCI_NUMFRAMES; i++)
+    uhci->frame_list[i] = 1;
+  iowrite16(uhci->io_base + 0x4, 0xf);
+  iowrite16(uhci->io_base + 0x0, 0x1);
+  uhci->rh_state = 2;
+  return 0;
+}
+
+static void uhci_stop(struct uhci_hcd *uhci) {
+  iowrite16(uhci->io_base + 0x0, 0);
+  uhci_scan_schedule(uhci);
+  uhci->rh_state = 0;
+}
+
+static int uhci_hcd_probe(struct uhci_hcd *uhci) {
+  int err;
+  err = usb_create_hcd(uhci);
+  if (err)
+    return err;
+  err = request_irq(5, 1);
+  if (err)
+    goto err_hcd;
+  err = uhci_start(uhci);
+  if (err)
+    goto err_irq;
+  return 0;
+err_irq:
+  free_irq(5);
+err_hcd:
+  usb_remove_hcd(uhci);
+  return err;
+}
+
+static void uhci_hcd_remove(struct uhci_hcd *uhci) {
+  uhci_stop(uhci);
+  free_irq(5);
+  usb_remove_hcd(uhci);
+}
+
+/* ================ the little that converts to Java ================ */
+
+static int uhci_rh_suspend(struct uhci_hcd *uhci) {
+  DECAF_RWVAR(uhci->rh_state);
+  if (uhci->rh_state != 2)
+    return -16;
+  uhci->rh_state = 1;
+  return 0;
+}
+
+static int uhci_rh_resume(struct uhci_hcd *uhci) {
+  if (uhci->rh_state != 1)
+    return -16;
+  msleep(20);
+  uhci->rh_state = 2;
+  return 0;
+}
+
+static int uhci_count_ports(struct uhci_hcd *uhci) {
+  return 2;
+}
+
+static int uhci_hub_descriptor(struct uhci_hcd *uhci, int *nports) {
+  *nports = uhci_count_ports(uhci);
+  return 9;
+}
+|}
+
+let config =
+  {
+    Decaf_slicer.Slicer.partition =
+      {
+        Decaf_slicer.Partition.driver_name = "uhci-hcd";
+        critical_roots =
+          [
+            "uhci_irq";
+            "uhci_urb_enqueue";
+            "uhci_urb_dequeue";
+            "uhci_rh_status_data";
+            "uhci_rh_control";
+            "uhci_hcd_probe";
+            "uhci_hcd_remove";
+          ];
+        interface_functions =
+          [
+            "uhci_hcd_probe";
+            "uhci_hcd_remove";
+            "uhci_irq";
+            "uhci_urb_enqueue";
+            "uhci_urb_dequeue";
+            "uhci_rh_status_data";
+            "uhci_rh_control";
+            "uhci_rh_suspend";
+            "uhci_rh_resume";
+            "uhci_count_ports";
+            "uhci_hub_descriptor";
+          ];
+      };
+    const_env = [ ("UHCI_NUMFRAMES", 1024) ];
+    java_functions = Decaf_slicer.Slicer.All_user;
+  }

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Decaf_drivers Decaf_hw Decaf_kernel Decaf_slicer Decaf_xpc Driver_env E1000_drv E1000_objects E1000_src Printf Result Scenario

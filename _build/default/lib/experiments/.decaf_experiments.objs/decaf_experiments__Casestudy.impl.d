@@ -1,0 +1,1 @@
+lib/experiments/casestudy.ml: Buffer Decaf_drivers Decaf_minic Decaf_slicer E1000_src Ens1371_src List Printf String Strutil

@@ -1,0 +1,1 @@
+lib/experiments/casestudy.mli: Decaf_slicer

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Decaf_drivers Decaf_kernel Decaf_runtime Decaf_xpc Driver_env

@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Decaf_drivers

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Buffer Decaf_slicer Filename List Printf Sys

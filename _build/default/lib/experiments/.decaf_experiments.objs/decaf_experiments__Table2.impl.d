@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Buffer Decaf_drivers Decaf_slicer E1000_src Ens1371_src Format List Printf Psmouse_src Rtl8139_src Uhci_src

@@ -1,0 +1,37 @@
+(** Ablations of the Decaf design decisions.
+
+    - {b A1 — direct marshaling} (§4 proposes it as future work): route
+      kernel<->decaf transfers directly instead of unmarshaling in C and
+      re-marshaling in Java, and measure E1000 decaf initialization.
+    - {b A2 — combolocks vs. plain semaphores} (§3.1.3): the cost of the
+      kernel-only fast path, which is the reason combolocks exist.
+    - {b A3 — field-selective marshal plans vs. full-structure copies}
+      (§2.3): bytes that would cross per adapter transfer. *)
+
+type direct_marshal = {
+  indirect_init_ns : int;
+  direct_init_ns : int;
+  indirect_c_java_calls : int;
+  direct_c_java_calls : int;
+}
+
+type lock_cost = {
+  combolock_ns : int;  (** virtual ns for [iterations] kernel acquisitions *)
+  semaphore_ns : int;
+  iterations : int;
+}
+
+type marshal_selectivity = {
+  plan_bytes : int;  (** one adapter transfer under the derived plan *)
+  full_bytes : int;  (** the same transfer copying every field *)
+  init_transfers : int;  (** adapter transfers during init+open *)
+}
+
+type t = {
+  direct_marshal : direct_marshal;
+  lock_cost : lock_cost;
+  marshal_selectivity : marshal_selectivity;
+}
+
+val measure : unit -> t
+val render : t -> string

@@ -1,0 +1,95 @@
+open Decaf_drivers
+module Slicer = Decaf_slicer.Slicer
+module Errcheck = Decaf_slicer.Errcheck
+module Stubgen = Decaf_slicer.Stubgen
+module Xdrspec = Decaf_slicer.Xdrspec
+module Ast = Decaf_minic.Ast
+module Loc = Decaf_minic.Loc
+
+type t = {
+  violations : Errcheck.violation list;
+  lines_removed : int;
+  hw_layer_loc : int;
+  savings_percent : float;
+}
+
+let e1000 () = Slicer.slice ~source:E1000_src.source E1000_src.config
+
+let measure () =
+  let out = e1000 () in
+  let violations =
+    Errcheck.find_violations out.Slicer.file ~extra:E1000_src.error_extra
+  in
+  let lines_removed, hw_layer_loc =
+    Errcheck.exception_savings out.Slicer.file
+      ~funcs:E1000_src.hw_layer_functions
+  in
+  {
+    violations;
+    lines_removed;
+    hw_layer_loc;
+    savings_percent =
+      (if hw_layer_loc = 0 then 0.
+       else 100. *. float_of_int lines_removed /. float_of_int hw_layer_loc);
+  }
+
+let render t =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Case study (section 5.1): error handling in the E1000\n";
+  add "Broken error handling found by the exception conversion: %d cases\n"
+    (List.length t.violations);
+  List.iter
+    (fun (v : Errcheck.violation) ->
+      add "  line %4d  %-36s %s %s\n" v.Errcheck.v_line v.Errcheck.v_function
+        (match v.Errcheck.v_kind with
+        | Errcheck.Ignored_return -> "ignores error from"
+        | Errcheck.Unchecked_variable var ->
+            Printf.sprintf "stores error in '%s', never checks" var)
+        v.Errcheck.v_callee)
+    t.violations;
+  add "Exception rewrite of the hardware layer removes %d of %d lines (%.1f%%)\n"
+    t.lines_removed t.hw_layer_loc t.savings_percent;
+  Buffer.contents buf
+
+let figure2_stub () =
+  let out = Slicer.slice ~source:Ens1371_src.source Ens1371_src.config in
+  match List.assoc_opt "jeannie:snd_card_register" out.Slicer.stubs with
+  | Some stub -> stub
+  | None ->
+      (* the entry point exists under its interface name *)
+      List.assoc "jeannie:snd_card_new" out.Slicer.stubs
+
+let figure3_xdr () =
+  let out = e1000 () in
+  Xdrspec.to_string out.Slicer.spec
+
+let figure5_before_after () =
+  let out = e1000 () in
+  let fn =
+    match Ast.find_function out.Slicer.file "e1000_config_dsp_after_link_change" with
+    | Some fn -> fn
+    | None -> failwith "e1000_config_dsp_after_link_change missing"
+  in
+  let source = out.Slicer.file.Ast.source in
+  let lines = String.split_on_char '\n' source in
+  let slice_lines first last =
+    lines
+    |> List.filteri (fun i _ -> i + 1 >= first && i + 1 <= last)
+    |> String.concat "\n"
+  in
+  let before = slice_lines fn.Ast.floc_start.Loc.line fn.Ast.floc_end.Loc.line in
+  (* the exception-style body: drop the propagation statements and the
+     plumbing around them *)
+  let after =
+    String.split_on_char '\n' before
+    |> List.filter (fun line ->
+           let t = String.trim line in
+           not
+             (t = "if (ret_val)" || t = "return ret_val;"
+             || t = "int ret_val;"))
+    |> List.map (fun line ->
+           Strutil.replace line ~needle:"ret_val = " ~replacement:"")
+    |> String.concat "\n"
+  in
+  (before, after)

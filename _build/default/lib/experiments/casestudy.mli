@@ -1,0 +1,32 @@
+(** The §5.1 case study: software-engineering benefits of moving E1000
+    code to a managed language.
+
+    Quantifies (a) the broken error handling that checked exceptions
+    surface — the paper found 28 cases — and (b) the code removed by
+    replacing return-code propagation with exceptions (~8 % of
+    [e1000_hw.c]); and emits the paper's code-listing figures as
+    runnable artifacts: the Jeannie stub for [snd_card_register]
+    (Figure 2), the XDR rewrite of [e1000_adapter] (Figure 3), and a
+    before/after of [e1000_config_dsp_after_link_change] (Figure 5). *)
+
+type t = {
+  violations : Decaf_slicer.Errcheck.violation list;
+  lines_removed : int;
+  hw_layer_loc : int;
+  savings_percent : float;
+}
+
+val measure : unit -> t
+val render : t -> string
+
+val figure2_stub : unit -> string
+(** The generated Jeannie stub for [snd_card_register]. *)
+
+val figure3_xdr : unit -> string
+(** The XDR spec generated for the E1000's structures, wrapper structs
+    included. *)
+
+val figure5_before_after : unit -> string * string
+(** [e1000_config_dsp_after_link_change]: the original return-code text
+    and the same function with propagation sites deleted (exception
+    style). *)

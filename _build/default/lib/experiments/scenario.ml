@@ -1,0 +1,26 @@
+module K = Decaf_kernel
+open Decaf_drivers
+
+let boot () =
+  K.Boot.boot ();
+  Decaf_xpc.Domain.reset ();
+  Decaf_xpc.Channel.reset_stats ();
+  Decaf_runtime.Runtime.reset ()
+
+let in_thread f =
+  let result = ref None in
+  ignore (K.Sched.spawn ~name:"workload" (fun () -> result := Some (f ())));
+  K.Sched.run ();
+  match !result with
+  | Some v -> v
+  | None -> K.Panic.bug "scenario: workload thread did not complete"
+
+let env_of = function
+  | Driver_env.Native -> Driver_env.native
+  | Driver_env.Staged -> Driver_env.staged ()
+  | Driver_env.Decaf -> Driver_env.decaf ()
+
+let kernel_user_crossings () =
+  (Decaf_xpc.Channel.stats ()).Decaf_xpc.Channel.kernel_user_calls
+
+let mac = "\x00\x1b\x21\x0a\x0b\x0c"

@@ -1,0 +1,84 @@
+module Loc_count = Decaf_slicer.Loc_count
+
+type row = { component : string; loc : int }
+
+type t = {
+  runtime_rows : row list;
+  slicer_rows : row list;
+  runtime_total : int;
+  slicer_total : int;
+  grand_total : int;
+}
+
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_repo_root parent
+
+let dir_loc root rel =
+  let dir = Filename.concat root rel in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    |> List.fold_left
+         (fun acc f ->
+           let path = Filename.concat dir f in
+           let ic = open_in_bin path in
+           let text = really_input_string ic (in_channel_length ic) in
+           close_in ic;
+           acc + Loc_count.count Loc_count.Ocaml text)
+         0
+
+(* Component mapping to the paper's Table 1:
+   - "Jeannie helpers"        -> the decaf runtime (bridge + helpers)
+   - "XPC in Decaf runtime"   -> lib/xpc (user-level XPC machinery)
+   - "XPC in Nuclear runtime" -> lib/kernel (the kernel-side support)
+   - "CIL OCaml"              -> lib/minic (the C frontend and analyses)
+   - "Python scripts"         -> lib/slicer (the output processing)
+   - "XDR compilers"          -> the marshaling generator portion *)
+let measure () =
+  let root =
+    match find_repo_root (Sys.getcwd ()) with
+    | Some r -> r
+    | None -> "."
+  in
+  let runtime_rows =
+    [
+      { component = "Jeannie helpers (lib/decaf)"; loc = dir_loc root "lib/decaf" };
+      { component = "XPC in decaf runtime (lib/xpc)"; loc = dir_loc root "lib/xpc" };
+      {
+        component = "XPC in nuclear runtime (lib/kernel)";
+        loc = dir_loc root "lib/kernel";
+      };
+    ]
+  in
+  let slicer_rows =
+    [
+      { component = "C frontend, CIL analogue (lib/minic)"; loc = dir_loc root "lib/minic" };
+      { component = "DriverSlicer passes (lib/slicer)"; loc = dir_loc root "lib/slicer" };
+    ]
+  in
+  let total rows = List.fold_left (fun a r -> a + r.loc) 0 rows in
+  let runtime_total = total runtime_rows and slicer_total = total slicer_rows in
+  {
+    runtime_rows;
+    slicer_rows;
+    runtime_total;
+    slicer_total;
+    grand_total = runtime_total + slicer_total;
+  }
+
+let render t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Table 1: Decaf Drivers infrastructure code size (non-comment LoC)\n";
+  add "%-45s %8s\n" "Source components" "# Lines";
+  add "Runtime support\n";
+  List.iter (fun r -> add "  %-43s %8d\n" r.component r.loc) t.runtime_rows;
+  add "DriverSlicer\n";
+  List.iter (fun r -> add "  %-43s %8d\n" r.component r.loc) t.slicer_rows;
+  add "%-45s %8d\n" "Total number of lines of code" t.grand_total;
+  Buffer.contents buf

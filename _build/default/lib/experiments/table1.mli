@@ -1,0 +1,23 @@
+(** Table 1: size of the Decaf Drivers infrastructure.
+
+    The paper reports the lines of code in the runtime support (Jeannie
+    helpers, XPC in the decaf and nuclear runtimes) and in DriverSlicer
+    (CIL OCaml, Python scripts, XDR compilers). This reproduction's
+    analogues are counted from the repository's own sources. *)
+
+type row = { component : string; loc : int }
+
+type t = {
+  runtime_rows : row list;
+  slicer_rows : row list;
+  runtime_total : int;
+  slicer_total : int;
+  grand_total : int;
+}
+
+val measure : unit -> t
+(** Counts non-comment LoC of the corresponding libraries. Requires the
+    repository sources on disk (found by walking up from the current
+    directory to the dune-project). *)
+
+val render : t -> string

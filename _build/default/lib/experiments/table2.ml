@@ -1,0 +1,39 @@
+open Decaf_drivers
+module Slicer = Decaf_slicer.Slicer
+module Report = Decaf_slicer.Report
+
+type t = Report.driver_stats list
+
+let drivers =
+  [
+    ("8139too", "Network", Rtl8139_src.source, Rtl8139_src.config);
+    ("e1000", "Network", E1000_src.source, E1000_src.config);
+    ("ens1371", "Sound", Ens1371_src.source, Ens1371_src.config);
+    ("uhci-hcd", "USB 1.0", Uhci_src.source, Uhci_src.config);
+    ("psmouse", "Mouse", Psmouse_src.source, Psmouse_src.config);
+  ]
+
+let outputs () =
+  List.map
+    (fun (name, _, source, config) -> (name, Slicer.slice ~source config))
+    drivers
+
+let measure () =
+  List.map
+    (fun (_, dtype, source, config) ->
+      Report.stats (Slicer.slice ~source config) ~dtype)
+    drivers
+
+let render rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Table 2: drivers converted to the Decaf architecture\n";
+  Buffer.add_string buf (Report.header ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (Format.asprintf "%a" Report.pp_row row);
+      Buffer.add_string buf
+        (Printf.sprintf "   (%.0f%% of functions out of the kernel)\n"
+           (100. *. Report.user_fraction row)))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+module E = Decaf_drivers.E1000_evolution
+
+type t = E.summary
+
+let measure () = E.run ()
+
+let render (s : t) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Table 4: E1000 evolution, 2.6.18.1 -> 2.6.27 (scaled patch corpus)\n";
+  add "%-28s %18s\n" "Category" "Lines changed";
+  add "%-28s %18d\n" "Driver nucleus" s.E.nucleus_lines;
+  add "%-28s %18d\n" "Decaf driver" s.E.decaf_lines;
+  add "%-28s %18d\n" "User/kernel interface" s.E.interface_lines;
+  add "(%d patches in two batches; %d new marshaling annotation%s)\n"
+    s.E.patches_applied s.E.new_annotations
+    (if s.E.new_annotations = 1 then "" else "s");
+  Buffer.contents buf

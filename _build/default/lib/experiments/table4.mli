@@ -1,0 +1,7 @@
+(** Table 4: driver evolution — lines changed in each component when the
+    E1000 patch corpus (2.6.18.1 → 2.6.27, scaled) is applied. *)
+
+type t = Decaf_drivers.E1000_evolution.summary
+
+val measure : unit -> t
+val render : t -> string

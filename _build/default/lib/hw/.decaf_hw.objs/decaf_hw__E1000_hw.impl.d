@@ -1,0 +1,1 @@
+lib/hw/e1000_hw.ml: Decaf_kernel Eeprom Link Option Phy Queue String

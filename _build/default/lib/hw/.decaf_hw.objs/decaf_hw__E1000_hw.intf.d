@@ -1,0 +1,1 @@
+lib/hw/e1000_hw.mli: Eeprom Link Phy

@@ -1,0 +1,1 @@
+lib/hw/eeprom.ml: Array Char String

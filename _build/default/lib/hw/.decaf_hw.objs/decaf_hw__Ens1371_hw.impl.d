@@ -1,0 +1,1 @@
+lib/hw/ens1371_hw.ml: Array Decaf_kernel Option

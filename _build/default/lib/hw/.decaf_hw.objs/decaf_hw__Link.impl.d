@@ -1,0 +1,1 @@
+lib/hw/link.ml: Bytes Decaf_kernel

@@ -1,0 +1,1 @@
+lib/hw/phy.ml: Array Decaf_kernel

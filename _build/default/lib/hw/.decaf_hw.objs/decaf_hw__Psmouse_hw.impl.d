@@ -1,0 +1,1 @@
+lib/hw/psmouse_hw.ml: Decaf_kernel List Option Queue

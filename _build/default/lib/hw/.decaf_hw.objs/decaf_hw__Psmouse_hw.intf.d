@@ -1,0 +1,1 @@
+lib/hw/psmouse_hw.mli:

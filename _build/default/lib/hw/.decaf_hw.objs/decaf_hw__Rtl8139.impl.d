@@ -1,0 +1,1 @@
+lib/hw/rtl8139.ml: Array Bytes Char Decaf_kernel Link Option Phy Queue String

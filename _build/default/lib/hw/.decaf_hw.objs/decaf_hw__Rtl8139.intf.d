@@ -1,0 +1,1 @@
+lib/hw/rtl8139.mli: Link Phy

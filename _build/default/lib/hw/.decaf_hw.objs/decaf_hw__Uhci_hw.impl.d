@@ -1,0 +1,1 @@
+lib/hw/uhci_hw.ml: Decaf_kernel Option Queue

@@ -1,0 +1,1 @@
+lib/hw/uhci_hw.mli: Decaf_kernel

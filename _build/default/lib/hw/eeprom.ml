@@ -1,0 +1,32 @@
+type t = int array
+
+let create ~words = Array.make words 0
+let size = Array.length
+
+let read t i =
+  if i < 0 || i >= Array.length t then 0xffff else t.(i)
+
+let write t i v = if i >= 0 && i < Array.length t then t.(i) <- v land 0xffff
+
+let load_mac t mac =
+  if String.length mac <> 6 then invalid_arg "Eeprom.load_mac";
+  for w = 0 to 2 do
+    t.(w) <-
+      Char.code mac.[2 * w] lor (Char.code mac.[(2 * w) + 1] lsl 8)
+  done
+
+let mac t =
+  String.init 6 (fun i ->
+      let w = t.(i / 2) in
+      Char.chr (if i mod 2 = 0 then w land 0xff else (w lsr 8) land 0xff))
+
+let magic = 0xbaba
+
+let sum_words t = Array.fold_left (fun s w -> (s + w) land 0xffff) 0 t
+
+let set_intel_checksum t =
+  let n = Array.length t in
+  t.(n - 1) <- 0;
+  t.(n - 1) <- (magic - sum_words t) land 0xffff
+
+let checksum_ok t = sum_words t = magic

@@ -1,0 +1,20 @@
+(** A small 16-bit-word EEPROM, as found behind NICs; word 0-2 hold the
+    MAC address and the words sum (with the checksum word) to 0xBABA on
+    Intel parts. *)
+
+type t
+
+val create : words:int -> t
+val size : t -> int
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+
+val load_mac : t -> string -> unit
+(** Store a 6-byte MAC address in words 0-2 (little-endian per word). *)
+
+val mac : t -> string
+
+val set_intel_checksum : t -> unit
+(** Fix up the final word so that the sum of all words is 0xBABA. *)
+
+val checksum_ok : t -> bool

@@ -1,0 +1,69 @@
+module K = Decaf_kernel
+
+type t = {
+  mutable bmcr : int;
+  mutable link : bool;
+  mutable autoneg_done : bool;
+  mutable advertise : int;
+  regs : int array;  (** vendor-specific register file, 32 regs *)
+}
+
+let bmcr_reset = 0x8000
+let bmcr_autoneg_enable = 0x1000
+let bmcr_autoneg_restart = 0x0200
+let bmsr_autoneg_done = 0x0020
+let bmsr_link = 0x0004
+let bmsr_capabilities = 0x7800 (* 10/100 half/full *)
+
+let create ?(link_up = true) () =
+  {
+    bmcr = bmcr_autoneg_enable;
+    link = link_up;
+    autoneg_done = link_up;
+    advertise = 0x01e1;
+    regs = Array.make 32 0;
+  }
+
+let autoneg_delay_ns = 50_000_000 (* 50 ms, much faster than real 1-2 s *)
+
+let start_autoneg t =
+  t.autoneg_done <- false;
+  ignore
+    (K.Clock.after autoneg_delay_ns (fun () ->
+         if t.link then t.autoneg_done <- true))
+
+let read t = function
+  | 0 -> t.bmcr
+  | 1 ->
+      bmsr_capabilities
+      lor (if t.link then bmsr_link else 0)
+      lor if t.autoneg_done then bmsr_autoneg_done else 0
+  | 2 -> 0x0141 (* vendor id words *)
+  | 3 -> 0x0c20
+  | 4 -> t.advertise
+  | 5 -> if t.autoneg_done then t.advertise else 0
+  | r when r < 32 -> t.regs.(r)
+  | _ -> 0xffff
+
+let write t reg v =
+  match reg with
+  | 0 ->
+      if v land bmcr_reset <> 0 then begin
+        t.bmcr <- bmcr_autoneg_enable;
+        start_autoneg t
+      end
+      else begin
+        t.bmcr <- v land lnot bmcr_autoneg_restart;
+        if v land bmcr_autoneg_restart <> 0 && v land bmcr_autoneg_enable <> 0
+        then start_autoneg t
+      end
+  | 4 -> t.advertise <- v land 0xffff
+  | r when r > 0 && r < 32 -> t.regs.(r) <- v land 0xffff
+  | _ -> ()
+
+let set_link t up =
+  t.link <- up;
+  if not up then t.autoneg_done <- false else start_autoneg t
+
+let link_up t = t.link
+let autoneg_complete t = t.autoneg_done

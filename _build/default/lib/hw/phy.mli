@@ -1,0 +1,18 @@
+(** An MII PHY (transceiver) with the standard management registers the
+    drivers poke during link bring-up. *)
+
+type t
+
+val create : ?link_up:bool -> unit -> t
+
+val read : t -> int -> int
+(** Read an MII register: 0 = BMCR, 1 = BMSR, 2/3 = PHY id,
+    4 = advertisement, 5 = link-partner ability. *)
+
+val write : t -> int -> int -> unit
+(** Writing BMCR bit 15 resets the PHY; bit 12 enables autonegotiation;
+    bit 9 restarts it (completing after a short delay). *)
+
+val set_link : t -> bool -> unit
+val link_up : t -> bool
+val autoneg_complete : t -> bool

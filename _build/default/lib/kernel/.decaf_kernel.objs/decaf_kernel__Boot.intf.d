@@ -1,0 +1,1 @@
+lib/kernel/boot.mli:

@@ -1,0 +1,1 @@
+lib/kernel/clock.ml: Klog Map Panic

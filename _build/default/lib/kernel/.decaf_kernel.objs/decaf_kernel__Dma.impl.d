@@ -1,0 +1,1 @@
+lib/kernel/dma.ml: Kmem

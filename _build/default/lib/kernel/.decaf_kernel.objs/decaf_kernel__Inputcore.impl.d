@@ -1,0 +1,1 @@
+lib/kernel/inputcore.ml: List Panic

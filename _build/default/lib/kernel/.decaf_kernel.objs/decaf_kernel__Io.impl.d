@@ -1,0 +1,1 @@
+lib/kernel/io.ml: Clock Cost List Panic

@@ -1,0 +1,1 @@
+lib/kernel/irq.ml: Array Clock Cost Panic Sched

@@ -1,0 +1,1 @@
+lib/kernel/klog.ml: Format List Printf Queue

@@ -1,0 +1,1 @@
+lib/kernel/modules.ml: Clock Cost Klog List Panic

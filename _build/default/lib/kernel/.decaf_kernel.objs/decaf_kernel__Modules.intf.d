@@ -1,0 +1,1 @@
+lib/kernel/modules.mli:

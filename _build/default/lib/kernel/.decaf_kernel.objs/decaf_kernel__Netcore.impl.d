@@ -1,0 +1,1 @@
+lib/kernel/netcore.ml: Bytes Klog List Panic Printf

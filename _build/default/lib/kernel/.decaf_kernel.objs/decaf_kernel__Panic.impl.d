@@ -1,0 +1,1 @@
+lib/kernel/panic.ml: Format

@@ -1,0 +1,1 @@
+lib/kernel/pci.ml: Array Bytes Klog List Panic

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Clock Cost Effect Panic Queue

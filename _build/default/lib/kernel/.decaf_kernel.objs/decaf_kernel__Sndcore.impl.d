@@ -1,0 +1,1 @@
+lib/kernel/sndcore.ml: Klog List Sync

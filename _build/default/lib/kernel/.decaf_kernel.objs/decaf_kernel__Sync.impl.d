@@ -1,0 +1,1 @@
+lib/kernel/sync.ml: Clock Cost Panic Queue Sched

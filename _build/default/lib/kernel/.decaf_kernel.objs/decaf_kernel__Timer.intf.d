@@ -1,0 +1,1 @@
+lib/kernel/timer.mli:

@@ -1,0 +1,1 @@
+lib/kernel/usbcore.ml: Bytes Klog Option Panic Sched Sync

@@ -1,0 +1,1 @@
+lib/kernel/workqueue.mli:

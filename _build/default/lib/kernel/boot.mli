@@ -1,0 +1,11 @@
+(** Whole-machine lifecycle for tests and experiments. *)
+
+val boot : unit -> unit
+(** Reset every kernel subsystem to its power-on state: clock, scheduler,
+    interrupt controller, I/O maps, PCI bus, memory accounting, device
+    registries, kernel log, and cost table. *)
+
+val check_quiescent : unit -> (unit, string) result
+(** After a run: verify no threads are runnable, no memory is leaked, and
+    no events remain pending. Used by integration tests to prove clean
+    driver shutdown. *)

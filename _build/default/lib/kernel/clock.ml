@@ -1,0 +1,82 @@
+module Key = struct
+  type t = int * int (* due time, tie-break sequence number *)
+
+  let compare = compare
+end
+
+module Emap = Map.Make (Key)
+
+type event_id = Key.t
+
+let events : (unit -> unit) Emap.t ref = ref Emap.empty
+let time = ref 0
+let busy = ref 0
+let seq = ref 0
+
+let now () = !time
+let busy_ns () = !busy
+
+let utilization ~since ~busy_since =
+  let window = !time - since in
+  if window <= 0 then 0.
+  else float_of_int (!busy - busy_since) /. float_of_int window
+
+(* Run every event due at or before [t], in due order. An event callback
+   may itself consume time or schedule new events; events that become due
+   as a result are delivered too. *)
+let rec deliver_until t =
+  match Emap.min_binding_opt !events with
+  | Some ((due, _) as key, f) when due <= t ->
+      events := Emap.remove key !events;
+      if due > !time then time := due;
+      f ();
+      deliver_until (max t !time)
+  | Some _ | None -> ()
+
+(* Busy work is preemptible: an event (interrupt) due mid-interval runs
+   at its due time, and the interrupted work's remaining duration resumes
+   afterwards — so elapsed time always covers the handler's own
+   consumption and utilization can never exceed 100%. *)
+let consume ns =
+  if ns < 0 then Panic.bug "Clock.consume: negative duration %d" ns;
+  busy := !busy + ns;
+  let remaining = ref ns in
+  while !remaining > 0 do
+    match Emap.min_binding_opt !events with
+    | Some ((due, _) as key, f) when due <= !time + !remaining ->
+        let slice = max 0 (due - !time) in
+        remaining := !remaining - slice;
+        if due > !time then time := due;
+        events := Emap.remove key !events;
+        f ()
+    | Some _ | None ->
+        time := !time + !remaining;
+        remaining := 0
+  done
+
+let at t f =
+  incr seq;
+  let key = (max t !time, !seq) in
+  events := Emap.add key f !events;
+  key
+
+let after ns f = at (!time + ns) f
+let cancel key = events := Emap.remove key !events
+let pending key = Emap.mem key !events
+let has_events () = not (Emap.is_empty !events)
+
+let advance_to_next_event () =
+  match Emap.min_binding_opt !events with
+  | None -> false
+  | Some ((due, _), _) ->
+      if due > !time then time := due;
+      deliver_until !time;
+      true
+
+let reset () =
+  events := Emap.empty;
+  time := 0;
+  busy := 0;
+  seq := 0
+
+let () = Klog.set_timestamp_source now

@@ -1,0 +1,48 @@
+(** The virtual clock and event queue of the simulated machine.
+
+    Time is measured in integer nanoseconds since boot. Work performed by
+    driver or kernel code is charged with {!consume}, which also delivers
+    any hardware events (device timers, interrupt sources) that become due
+    while the work runs — modelling interrupts preempting the CPU. *)
+
+type event_id
+
+val now : unit -> int
+(** Current virtual time in nanoseconds. *)
+
+val busy_ns : unit -> int
+(** Total virtual time spent busy (charged via {!consume}). *)
+
+val utilization : since:int -> busy_since:int -> float
+(** CPU utilization over the window starting at virtual time [since] with
+    busy counter value [busy_since]: (busy now - busy_since) / (now - since).
+    Returns 0 for an empty window. *)
+
+val consume : int -> unit
+(** [consume ns] charges [ns] of busy CPU time, advancing the clock and
+    running any events that become due in the interval (at their due
+    time). *)
+
+val at : int -> (unit -> unit) -> event_id
+(** [at t f] schedules [f] to run at absolute virtual time [t] (or
+    immediately after now, if [t] is in the past). *)
+
+val after : int -> (unit -> unit) -> event_id
+(** [after ns f] is [at (now () + ns) f]. *)
+
+val cancel : event_id -> unit
+(** Cancel a pending event; cancelling a fired event is a no-op. *)
+
+val pending : event_id -> bool
+(** Whether the event is scheduled and not yet fired or cancelled. *)
+
+val has_events : unit -> bool
+(** Whether any event is pending. *)
+
+val advance_to_next_event : unit -> bool
+(** Idle until the next pending event and run every event due at that
+    instant. Returns [false] when no event is pending. The elapsed
+    interval counts as idle time. *)
+
+val reset : unit -> unit
+(** Reboot: clear all events, return to time 0, zero the busy counter. *)

@@ -1,0 +1,30 @@
+(** Virtual-time costs (in nanoseconds) charged by the simulated kernel.
+
+    All costs are mutable so that experiments can calibrate them; the
+    defaults are chosen so that the evaluation tables keep the shape
+    reported in the paper (steady-state parity, multi-second decaf
+    initialization). *)
+
+type t = {
+  mutable syscall_ns : int;  (** entering the kernel from an application *)
+  mutable irq_dispatch_ns : int;  (** hardware interrupt entry/exit *)
+  mutable spinlock_ns : int;  (** uncontended spinlock acquire+release *)
+  mutable semaphore_ns : int;  (** uncontended semaphore down+up *)
+  mutable ctx_switch_ns : int;  (** scheduler context switch *)
+  mutable port_io_ns : int;  (** one programmed-I/O port access *)
+  mutable mmio_ns : int;  (** one memory-mapped register access *)
+  mutable xpc_kernel_user_ns : int;  (** kernel<->user XPC crossing, fixed *)
+  mutable xpc_c_java_ns : int;  (** C<->Java XPC crossing, fixed *)
+  mutable marshal_byte_ns : int;  (** per byte marshaled across kernel/user *)
+  mutable remarshal_byte_ns : int;
+      (** per byte for the C->Java re-marshal step (the paper notes data is
+          unmarshaled in C and re-marshaled in Java) *)
+  mutable objtracker_lookup_ns : int;  (** one object-tracker lookup *)
+  mutable jvm_startup_ns : int;  (** one-time managed-runtime start cost *)
+}
+
+val current : t
+(** The cost table used by the running simulation. *)
+
+val reset : unit -> unit
+(** Restore every cost to its default. *)

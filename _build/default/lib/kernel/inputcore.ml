@@ -1,0 +1,29 @@
+type event = Rel of int * int | Key of int * bool | Sync_report
+
+type t = {
+  name : string;
+  mutable handler : (event -> unit) option;
+  mutable events : int;
+}
+
+let registry : t list ref = ref []
+let create ~name = { name; handler = None; events = 0 }
+
+let register d =
+  if List.exists (fun o -> o.name = d.name) !registry then
+    Panic.bug "input: device %s already registered" d.name;
+  registry := d :: !registry
+
+let unregister d = registry := List.filter (fun o -> o != d) !registry
+let name d = d.name
+let set_handler d f = d.handler <- Some f
+
+let emit d ev =
+  d.events <- d.events + 1;
+  match d.handler with Some f -> f ev | None -> ()
+
+let report_rel d ~dx ~dy = emit d (Rel (dx, dy))
+let report_key d ~code ~pressed = emit d (Key (code, pressed))
+let sync d = emit d Sync_report
+let events_reported d = d.events
+let reset () = registry := []

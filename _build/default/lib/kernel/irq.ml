@@ -1,0 +1,93 @@
+let nr_irqs = 32
+let retry_ns = 500
+
+type line = {
+  mutable handler : (string * (unit -> unit)) option;
+  mutable disable_depth : int;
+  mutable pending : bool;
+  mutable delivered : int;
+}
+
+let fresh_line () =
+  { handler = None; disable_depth = 0; pending = false; delivered = 0 }
+
+let lines = Array.init nr_irqs (fun _ -> fresh_line ())
+let spurious_count = ref 0
+
+let check n =
+  if n < 0 || n >= nr_irqs then Panic.bug "irq %d out of range" n;
+  lines.(n)
+
+let request_irq n ~name handler =
+  let l = check n in
+  (match l.handler with
+  | Some (owner, _) -> Panic.bug "irq %d already claimed by %s" n owner
+  | None -> ());
+  l.handler <- Some (name, handler)
+
+let free_irq n =
+  let l = check n in
+  l.handler <- None;
+  l.pending <- false
+
+let cpu_can_take_irq () = not (Sched.irqs_masked () || Sched.in_interrupt ())
+
+(* Run [f] in interrupt context now if the CPU allows, otherwise retry
+   from a clock event until it does. *)
+let rec run_at_high_priority f =
+  if cpu_can_take_irq () then begin
+    Sched.enter_interrupt ();
+    Clock.consume Cost.current.irq_dispatch_ns;
+    (match f () with
+    | () -> Sched.exit_interrupt ()
+    | exception e ->
+        Sched.exit_interrupt ();
+        raise e)
+  end
+  else ignore (Clock.after retry_ns (fun () -> run_at_high_priority f))
+
+let rec try_deliver n =
+  let l = lines.(n) in
+  if l.pending && l.disable_depth = 0 then
+    if cpu_can_take_irq () then begin
+      l.pending <- false;
+      match l.handler with
+      | Some (_, handler) ->
+          l.delivered <- l.delivered + 1;
+          Sched.enter_interrupt ();
+          Clock.consume Cost.current.irq_dispatch_ns;
+          (match handler () with
+          | () -> Sched.exit_interrupt ()
+          | exception e ->
+              Sched.exit_interrupt ();
+              raise e);
+          (* The device may have re-asserted the line meanwhile. *)
+          try_deliver n
+      | None -> incr spurious_count
+    end
+    else ignore (Clock.after retry_ns (fun () -> try_deliver n))
+
+let raise_irq n =
+  let l = check n in
+  if l.handler = None then incr spurious_count
+  else begin
+    l.pending <- true;
+    try_deliver n
+  end
+
+let disable_irq n =
+  let l = check n in
+  l.disable_depth <- l.disable_depth + 1
+
+let enable_irq n =
+  let l = check n in
+  if l.disable_depth = 0 then Panic.bug "enable_irq %d: not disabled" n;
+  l.disable_depth <- l.disable_depth - 1;
+  if l.disable_depth = 0 then try_deliver n
+
+let delivered n = (check n).delivered
+let spurious () = !spurious_count
+
+let reset () =
+  Array.iteri (fun i _ -> lines.(i) <- fresh_line ()) lines;
+  spurious_count := 0

@@ -1,0 +1,143 @@
+type bar_kind = Port_bar | Mmio_bar
+type bar = { kind : bar_kind; base : int; len : int }
+
+type dev = {
+  slot : string;
+  vendor : int;
+  device : int;
+  irq_line : int;
+  bars : bar array;
+  config : Bytes.t;
+  mutable enabled : bool;
+  mutable master : bool;
+  mutable driver : string option;
+}
+
+type id = { id_vendor : int; id_device : int }
+
+type driver = {
+  name : string;
+  ids : id list;
+  probe : dev -> (unit, int) result;
+  remove : dev -> unit;
+}
+
+let bus : dev list ref = ref []
+let drivers : driver list ref = ref []
+
+let set16 b off v =
+  Bytes.set_uint8 b off (v land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xff)
+
+let make_dev ~slot ~vendor ~device ?(class_code = 0) ?subsystem ~irq_line
+    ~bars () =
+  let config = Bytes.make 256 '\000' in
+  set16 config 0x00 vendor;
+  set16 config 0x02 device;
+  set16 config 0x0a class_code;
+  Bytes.set_uint8 config 0x3c irq_line;
+  (match subsystem with
+  | Some (sv, sd) ->
+      set16 config 0x2c sv;
+      set16 config 0x2e sd
+  | None -> ());
+  let bars = Array.of_list bars in
+  Array.iteri
+    (fun i b ->
+      let lo = b.base lor (match b.kind with Port_bar -> 1 | Mmio_bar -> 0) in
+      set16 config (0x10 + (4 * i)) (lo land 0xffff);
+      set16 config (0x10 + (4 * i) + 2) ((lo lsr 16) land 0xffff))
+    bars;
+  {
+    slot;
+    vendor;
+    device;
+    irq_line;
+    bars;
+    config;
+    enabled = false;
+    master = false;
+    driver = None;
+  }
+
+let matches drv dev =
+  List.exists
+    (fun id -> id.id_vendor = dev.vendor && id.id_device = dev.device)
+    drv.ids
+
+let try_bind drv dev =
+  if dev.driver = None && matches drv dev then
+    match drv.probe dev with
+    | Ok () ->
+        dev.driver <- Some drv.name;
+        Klog.printk Klog.Info "pci %s: bound to driver %s" dev.slot drv.name
+    | Error errno ->
+        Klog.printk Klog.Warning "pci %s: probe by %s failed (errno %d)"
+          dev.slot drv.name errno
+
+let add_device dev =
+  if List.exists (fun d -> d.slot = dev.slot) !bus then
+    Panic.bug "pci: slot %s already populated" dev.slot;
+  bus := !bus @ [ dev ];
+  List.iter (fun drv -> try_bind drv dev) !drivers
+
+let unbind dev =
+  match dev.driver with
+  | Some name ->
+      (match List.find_opt (fun d -> d.name = name) !drivers with
+      | Some drv -> drv.remove dev
+      | None -> ());
+      dev.driver <- None
+  | None -> ()
+
+let remove_device dev =
+  unbind dev;
+  bus := List.filter (fun d -> d != dev) !bus
+
+let register_driver ~name ~ids ~probe ~remove =
+  if List.exists (fun d -> d.name = name) !drivers then
+    Panic.bug "pci: driver %s already registered" name;
+  let drv = { name; ids; probe; remove } in
+  drivers := drv :: !drivers;
+  List.iter (try_bind drv) !bus
+
+let unregister_driver name =
+  List.iter (fun dev -> if dev.driver = Some name then unbind dev) !bus;
+  drivers := List.filter (fun d -> d.name <> name) !drivers
+
+let slot d = d.slot
+let vendor d = d.vendor
+let device_id d = d.device
+let irq d = d.irq_line
+
+let bar d i =
+  if i < 0 || i >= Array.length d.bars then
+    Panic.bug "pci %s: no BAR %d" d.slot i;
+  d.bars.(i)
+
+let bound_driver d = d.driver
+let enable_device d = d.enabled <- true
+let disable_device d = d.enabled <- false
+let is_enabled d = d.enabled
+let set_master d = d.master <- true
+let is_master d = d.master
+
+let read_config8 d off = Bytes.get_uint8 d.config off
+let read_config16 d off = read_config8 d off lor (read_config8 d (off + 1) lsl 8)
+let read_config32 d off = read_config16 d off lor (read_config16 d (off + 2) lsl 16)
+let write_config8 d off v = Bytes.set_uint8 d.config off (v land 0xff)
+
+let write_config16 d off v =
+  write_config8 d off v;
+  write_config8 d (off + 1) (v lsr 8)
+
+let write_config32 d off v =
+  write_config16 d off v;
+  write_config16 d (off + 2) (v lsr 16)
+
+let config_space_words d = Array.init 64 (fun i -> read_config32 d (4 * i))
+let devices () = !bus
+
+let reset () =
+  bus := [];
+  drivers := []

@@ -1,0 +1,117 @@
+open Effect
+open Effect.Deep
+
+type thread = { tid : int; name : string }
+
+exception Would_block_in_atomic of string
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let runq : (thread * (unit -> unit)) Queue.t = Queue.create ()
+let cpu = { tid = 0; name = "<cpu>" }
+let cur = ref cpu
+let next_tid = ref 1
+let irq_depth = ref 0
+let spins = ref 0
+
+let current_name () = !cur.name
+let in_interrupt () = !irq_depth > 0
+let enter_interrupt () = incr irq_depth
+
+let exit_interrupt () =
+  if !irq_depth = 0 then Panic.bug "Sched.exit_interrupt: not in interrupt";
+  decr irq_depth
+
+let spin_depth () = !spins
+
+let irq_mask = ref 0
+let local_irq_save () = incr irq_mask
+
+let local_irq_restore () =
+  if !irq_mask = 0 then Panic.bug "Sched.local_irq_restore: not masked";
+  decr irq_mask
+
+let irqs_masked () = !irq_mask > 0
+let spin_acquire () = incr spins
+
+let spin_release () =
+  if !spins = 0 then Panic.bug "Sched.spin_release: no spinlock held";
+  decr spins
+
+let assert_may_block what =
+  if in_interrupt () then
+    raise (Would_block_in_atomic (what ^ " in interrupt context"))
+  else if !spins > 0 then
+    raise (Would_block_in_atomic (what ^ " while holding a spinlock"))
+
+let enqueue t f = Queue.push (t, f) runq
+let runnable_count () = Queue.length runq
+
+let handler (t : thread) : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> ());
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                enqueue t (fun () -> continue k ()))
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let fired = ref false in
+                let wake () =
+                  if not !fired then begin
+                    fired := true;
+                    enqueue t (fun () -> continue k ())
+                  end
+                in
+                register wake)
+        | _ -> None);
+  }
+
+let spawn ?(name = "kthread") body =
+  let t = { tid = !next_tid; name } in
+  incr next_tid;
+  enqueue t (fun () -> match_with body () (handler t));
+  t
+
+let yield () = perform Yield
+
+let suspend ~register =
+  assert_may_block "blocking";
+  perform (Suspend register)
+
+let sleep_ns ns =
+  suspend ~register:(fun wake -> ignore (Clock.after ns wake))
+
+let run ?until_ns () =
+  let past_deadline () =
+    match until_ns with None -> false | Some t -> Clock.now () >= t
+  in
+  let rec loop () =
+    if past_deadline () then ()
+    else
+      match Queue.take_opt runq with
+      | Some (t, step) ->
+          let prev = !cur in
+          cur := t;
+          Clock.consume Cost.current.ctx_switch_ns;
+          step ();
+          cur := prev;
+          loop ()
+      | None -> if Clock.advance_to_next_event () then loop () else ()
+  in
+  loop ()
+
+let reset () =
+  Queue.clear runq;
+  cur := cpu;
+  irq_depth := 0;
+  irq_mask := 0;
+  spins := 0;
+  next_tid := 1

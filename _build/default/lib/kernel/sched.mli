@@ -1,0 +1,71 @@
+(** Cooperative kernel threads over OCaml effects.
+
+    The simulated machine has one CPU. Threads run until they block
+    ({!suspend}, {!sleep_ns}) or {!yield}; when no thread is runnable the
+    scheduler idles the CPU forward to the next {!Clock} event. Interrupt
+    handlers are not threads — they run inline from clock events with
+    {!in_interrupt} set and must never block. *)
+
+type thread
+
+exception Would_block_in_atomic of string
+(** Raised when code attempts to block inside an interrupt handler or
+    while holding a spinlock — the bug class the paper's combolocks and
+    deferral techniques exist to avoid. *)
+
+val spawn : ?name:string -> (unit -> unit) -> thread
+(** Create a runnable thread. Uncaught exceptions from the thread body
+    abort the simulation run. *)
+
+val current_name : unit -> string
+(** Name of the running thread, or ["<cpu>"] outside any thread. *)
+
+val yield : unit -> unit
+(** Let other runnable threads execute. *)
+
+val suspend : register:((unit -> unit) -> unit) -> unit
+(** Block the current thread. [register] receives the wakeup function to
+    stash wherever the sleeper waits (a wait queue, a timer, ...); calling
+    it makes the thread runnable again. Calling the wakeup more than once
+    is harmless. *)
+
+val sleep_ns : int -> unit
+(** Block for the given virtual duration. *)
+
+val in_interrupt : unit -> bool
+(** Whether the CPU is currently executing an interrupt handler. *)
+
+val enter_interrupt : unit -> unit
+(** Mark interrupt-handler entry (used by {!Irq} and {!Timer}). *)
+
+val exit_interrupt : unit -> unit
+
+val spin_depth : unit -> int
+(** Number of spinlocks held on this CPU; blocking is forbidden when
+    non-zero. *)
+
+val local_irq_save : unit -> unit
+(** Mask interrupt delivery on this CPU (counting). *)
+
+val local_irq_restore : unit -> unit
+
+val irqs_masked : unit -> bool
+
+val spin_acquire : unit -> unit
+
+val spin_release : unit -> unit
+
+val assert_may_block : string -> unit
+(** Raise {!Would_block_in_atomic} if called in interrupt context or with
+    a spinlock held. *)
+
+val run : ?until_ns:int -> unit -> unit
+(** Run the simulation: execute runnable threads, idling the clock forward
+    when none are runnable, until there is nothing left to do or the clock
+    passes [until_ns]. *)
+
+val runnable_count : unit -> int
+(** Number of threads currently queued to run. *)
+
+val reset : unit -> unit
+(** Discard all threads and context flags (reboot). *)

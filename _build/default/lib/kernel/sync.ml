@@ -1,0 +1,227 @@
+module Waitq = struct
+  type t = (unit -> unit) Queue.t
+
+  let create () = Queue.create ()
+
+  let wait q =
+    Sched.suspend ~register:(fun wake -> Queue.push wake q)
+
+  let wake_one q =
+    match Queue.take_opt q with
+    | Some wake ->
+        wake ();
+        true
+    | None -> false
+
+  let wake_all q =
+    let n = Queue.length q in
+    Queue.iter (fun wake -> wake ()) q;
+    Queue.clear q;
+    n
+
+  let waiters = Queue.length
+end
+
+module Spinlock = struct
+  type t = { name : string; mutable held : bool; mutable irqsave : bool }
+
+  let create ?(name = "spinlock") () = { name; held = false; irqsave = false }
+
+  let lock l =
+    if l.held then
+      Panic.bug "spinlock %s: deadlock (already held on this CPU)" l.name;
+    Sched.spin_acquire ();
+    Clock.consume Cost.current.spinlock_ns;
+    l.held <- true
+
+  let unlock l =
+    if not l.held then Panic.bug "spinlock %s: unlock while not held" l.name;
+    l.held <- false;
+    Sched.spin_release ()
+
+  let held l = l.held
+
+  let with_lock l f =
+    lock l;
+    match f () with
+    | v ->
+        unlock l;
+        v
+    | exception e ->
+        unlock l;
+        raise e
+
+  let lock_irqsave l =
+    Sched.local_irq_save ();
+    lock l;
+    l.irqsave <- true
+
+  let unlock_irqrestore l =
+    if not l.irqsave then
+      Panic.bug "spinlock %s: irqrestore without irqsave" l.name;
+    l.irqsave <- false;
+    unlock l;
+    Sched.local_irq_restore ()
+end
+
+module Semaphore = struct
+  type t = { name : string; mutable count : int; waitq : Waitq.t }
+
+  let create ?(name = "sem") count = { name; count; waitq = Waitq.create () }
+
+  let down s =
+    Sched.assert_may_block ("down on semaphore " ^ s.name);
+    Clock.consume Cost.current.semaphore_ns;
+    while s.count = 0 do
+      Waitq.wait s.waitq
+    done;
+    s.count <- s.count - 1
+
+  let up s =
+    s.count <- s.count + 1;
+    ignore (Waitq.wake_one s.waitq)
+
+  let count s = s.count
+end
+
+module Mutex = struct
+  type t = { sem : Semaphore.t; mutable owner : string option }
+
+  let create ?(name = "mutex") () =
+    { sem = Semaphore.create ~name 1; owner = None }
+
+  let lock m =
+    if m.owner = Some (Sched.current_name ()) then
+      Panic.bug "mutex %s: recursive lock by %s" m.sem.Semaphore.name
+        (Sched.current_name ());
+    Semaphore.down m.sem;
+    m.owner <- Some (Sched.current_name ())
+
+  let unlock m =
+    if m.owner = None then
+      Panic.bug "mutex %s: unlock while not held" m.sem.Semaphore.name;
+    m.owner <- None;
+    Semaphore.up m.sem
+
+  let held m = m.owner <> None
+
+  let with_lock m f =
+    lock m;
+    match f () with
+    | v ->
+        unlock m;
+        v
+    | exception e ->
+        unlock m;
+        raise e
+end
+
+module Completion = struct
+  type t = { mutable completions : int; mutable forever : bool; waitq : Waitq.t }
+
+  let create () = { completions = 0; forever = false; waitq = Waitq.create () }
+
+  let wait c =
+    while c.completions = 0 && not c.forever do
+      Waitq.wait c.waitq
+    done;
+    if not c.forever then c.completions <- c.completions - 1
+
+  let complete c =
+    c.completions <- c.completions + 1;
+    ignore (Waitq.wake_one c.waitq)
+
+  let complete_all c =
+    c.forever <- true;
+    ignore (Waitq.wake_all c.waitq)
+
+  let done_ c = c.forever || c.completions > 0
+end
+
+module Combolock = struct
+  type stats = { mutable spin_acquires : int; mutable sem_acquires : int }
+  type holder = No_one | Kernel_spin | Kernel_sem | User
+
+  type t = {
+    name : string;
+    sem : Semaphore.t;
+    mutable holder : holder;
+    mutable user_waiters : int;
+    stats : stats;
+  }
+
+  let create ?(name = "combolock") () =
+    {
+      name;
+      sem = Semaphore.create ~name 1;
+      holder = No_one;
+      user_waiters = 0;
+      stats = { spin_acquires = 0; sem_acquires = 0 };
+    }
+
+  let user_mode_active l = l.holder = User || l.user_waiters > 0
+
+  let lock_kernel l =
+    match l.holder with
+    | No_one when l.user_waiters = 0 ->
+        (* Kernel-only: spinlock behaviour. *)
+        Sched.spin_acquire ();
+        Clock.consume Cost.current.spinlock_ns;
+        l.holder <- Kernel_spin;
+        l.stats.spin_acquires <- l.stats.spin_acquires + 1
+    | Kernel_spin ->
+        Panic.bug "combolock %s: kernel spin deadlock" l.name
+    | No_one | Kernel_sem | User ->
+        (* User level holds or waits: kernel threads must block. *)
+        l.stats.sem_acquires <- l.stats.sem_acquires + 1;
+        Semaphore.down l.sem;
+        l.holder <- Kernel_sem
+
+  let unlock_kernel l =
+    match l.holder with
+    | Kernel_spin ->
+        l.holder <- No_one;
+        Sched.spin_release ()
+    | Kernel_sem ->
+        l.holder <- No_one;
+        Semaphore.up l.sem
+    | No_one | User ->
+        Panic.bug "combolock %s: kernel unlock while not kernel-held" l.name
+
+  let lock_user l =
+    l.user_waiters <- l.user_waiters + 1;
+    l.stats.sem_acquires <- l.stats.sem_acquires + 1;
+    Semaphore.down l.sem;
+    l.user_waiters <- l.user_waiters - 1;
+    l.holder <- User
+
+  let unlock_user l =
+    match l.holder with
+    | User ->
+        l.holder <- No_one;
+        Semaphore.up l.sem
+    | No_one | Kernel_spin | Kernel_sem ->
+        Panic.bug "combolock %s: user unlock while not user-held" l.name
+
+  let with_kernel l f =
+    lock_kernel l;
+    match f () with
+    | v ->
+        unlock_kernel l;
+        v
+    | exception e ->
+        unlock_kernel l;
+        raise e
+
+  let with_user l f =
+    lock_user l;
+    match f () with
+    | v ->
+        unlock_user l;
+        v
+    | exception e ->
+        unlock_user l;
+        raise e
+
+  let stats l = l.stats
+end

@@ -1,0 +1,103 @@
+(** Kernel synchronization primitives.
+
+    Includes the paper's {e combolocks} (§3.1.3): a combolock behaves as a
+    spinlock while only kernel threads contend for it, and converts to a
+    semaphore once user-level code acquires it, so that kernel threads
+    block instead of spinning while the decaf driver holds the lock. *)
+
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> unit
+  (** Block the current thread on the queue. *)
+
+  val wake_one : t -> bool
+  (** Wake the oldest waiter; [false] if the queue was empty. *)
+
+  val wake_all : t -> int
+  (** Wake every waiter, returning how many were woken. *)
+
+  val waiters : t -> int
+end
+
+module Spinlock : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val lock : t -> unit
+  (** Acquire. Self-deadlock (recursive acquisition on this one-CPU
+      machine) raises {!Panic.Kernel_bug}. *)
+
+  val unlock : t -> unit
+  val held : t -> bool
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+
+  val lock_irqsave : t -> unit
+  (** Acquire and mask interrupts (modelled as entering atomic context). *)
+
+  val unlock_irqrestore : t -> unit
+end
+
+module Semaphore : sig
+  type t
+
+  val create : ?name:string -> int -> t
+  val down : t -> unit
+  val up : t -> unit
+  val count : t -> int
+end
+
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val lock : t -> unit
+  (** Blocking acquire; recursive acquisition raises {!Panic.Kernel_bug}. *)
+
+  val unlock : t -> unit
+  val held : t -> bool
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Completion : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> unit
+  val complete : t -> unit
+  val complete_all : t -> unit
+  val done_ : t -> bool
+end
+
+module Combolock : sig
+  type t
+
+  type stats = {
+    mutable spin_acquires : int;  (** fast-path kernel-only acquisitions *)
+    mutable sem_acquires : int;  (** semaphore-path acquisitions *)
+  }
+
+  val create : ?name:string -> unit -> t
+
+  val lock_kernel : t -> unit
+  (** Acquire from kernel code: spinlock behaviour unless user-level code
+      holds or waits for the lock, in which case block on the semaphore. *)
+
+  val unlock_kernel : t -> unit
+
+  val lock_user : t -> unit
+  (** Acquire from user-level (decaf driver / driver library) code: always
+      the semaphore path, and flips the lock into semaphore mode so that
+      kernel threads wait rather than spin. *)
+
+  val unlock_user : t -> unit
+  val with_kernel : t -> (unit -> 'a) -> 'a
+  val with_user : t -> (unit -> 'a) -> 'a
+  val stats : t -> stats
+  val user_mode_active : t -> bool
+end

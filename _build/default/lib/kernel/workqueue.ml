@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  items : (unit -> unit) Queue.t;
+  wake : Sync.Waitq.t;
+  idle : Sync.Waitq.t;  (** woken whenever the queue drains *)
+  mutable running : bool;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+let worker wq () =
+  while not wq.stopped do
+    match Queue.take_opt wq.items with
+    | Some work ->
+        wq.running <- true;
+        work ();
+        wq.running <- false;
+        wq.executed <- wq.executed + 1;
+        if Queue.is_empty wq.items then ignore (Sync.Waitq.wake_all wq.idle)
+    | None -> Sync.Waitq.wait wq.wake
+  done;
+  ignore (Sync.Waitq.wake_all wq.idle)
+
+let create ~name =
+  let wq =
+    {
+      name;
+      items = Queue.create ();
+      wake = Sync.Waitq.create ();
+      idle = Sync.Waitq.create ();
+      running = false;
+      stopped = false;
+      executed = 0;
+    }
+  in
+  ignore (Sched.spawn ~name:("kworker/" ^ name) (worker wq));
+  wq
+
+let queue_work wq work =
+  if wq.stopped then Panic.bug "workqueue %s: queue_work after destroy" wq.name;
+  Queue.push work wq.items;
+  ignore (Sync.Waitq.wake_one wq.wake)
+
+let flush wq =
+  Sched.assert_may_block ("flush of workqueue " ^ wq.name);
+  while not (Queue.is_empty wq.items) || wq.running do
+    Sync.Waitq.wait wq.idle
+  done
+
+let destroy wq =
+  flush wq;
+  wq.stopped <- true;
+  ignore (Sync.Waitq.wake_one wq.wake)
+
+let executed wq = wq.executed

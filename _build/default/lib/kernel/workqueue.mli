@@ -1,0 +1,24 @@
+(** Kernel work queues: deferred execution in process context.
+
+    High-priority code (interrupt handlers, timers) cannot call up into
+    the decaf driver; instead it enqueues a work item, which a worker
+    thread runs where blocking — and therefore XPC to user level — is
+    legal (§3.1.3). *)
+
+type t
+
+val create : name:string -> t
+(** Create the queue and spawn its worker thread. *)
+
+val queue_work : t -> (unit -> unit) -> unit
+(** Enqueue a work item; safe from interrupt context. *)
+
+val flush : t -> unit
+(** Block until every item queued before the call has run. Must be called
+    from process context. *)
+
+val destroy : t -> unit
+(** Flush outstanding work, then stop the worker thread. *)
+
+val executed : t -> int
+(** Number of work items completed so far. *)

@@ -1,0 +1,1 @@
+lib/minic/ast.ml: List Loc

@@ -1,0 +1,1 @@
+lib/minic/callgraph.ml: Ast Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/minic/callgraph.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/loc.ml: Format

@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Hashtbl Lexer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/parser.mli: Ast Loc

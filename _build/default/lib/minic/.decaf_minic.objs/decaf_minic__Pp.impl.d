@@ -1,0 +1,1 @@
+lib/minic/pp.ml: Ast Char Format List

@@ -1,0 +1,1 @@
+lib/minic/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minic/symtab.ml: Ast Hashtbl List

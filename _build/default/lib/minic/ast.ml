@@ -1,0 +1,188 @@
+(** Abstract syntax of the mini-C language that DriverSlicer analyzes.
+
+    The subset covers what Linux-style driver code needs: struct and
+    typedef declarations with marshaling attributes, functions, the
+    [goto]-label error-handling idiom, and ordinary statements and
+    expressions. Every node keeps its source location so tools can patch
+    the original text. *)
+
+type attr = { attr_name : string; attr_arg : string option }
+(** One parsed [__attribute__((name(arg)))] annotation, e.g. the
+    [exp(PCI_LEN)] marshaling hint of the paper's Figure 3. *)
+
+type ikind = Ichar | Ishort | Iint | Ilong | Ilonglong
+
+type typ =
+  | Tvoid
+  | Tint of { kind : ikind; unsigned : bool }
+  | Tnamed of string  (** a typedef name such as [uint32_t] *)
+  | Tstruct of string
+  | Tptr of typ
+  | Tarray of typ * int option
+
+type unop = Neg | Lnot | Bnot | Deref | Addr_of
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | Band
+  | Bor
+  | Bxor
+  | Land
+  | Lor
+
+type expr =
+  | Econst of int
+  | Estr of string
+  | Echar of char
+  | Eident of string
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eassign of binop option * expr * expr
+      (** [lhs = rhs] or compound [lhs op= rhs] *)
+  | Ecall of expr * expr list
+  | Efield of expr * string
+  | Earrow of expr * string
+  | Eindex of expr * expr
+  | Ecast of typ * expr
+  | Esizeof_type of typ
+  | Esizeof_expr of expr
+  | Econd of expr * expr * expr
+  | Epostincr of expr
+  | Epostdecr of expr
+  | Epreincr of expr
+  | Epredecr of expr
+
+type stmt = { skind : stmt_kind; sloc : Loc.t }
+
+and switch_case =
+  | Case of int * stmt list
+  | Default of stmt list
+
+and stmt_kind =
+  | Sexpr of expr
+  | Sdecl of typ * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sgoto of string
+  | Slabel of string
+  | Sswitch of expr * switch_case list
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type field = { fname : string; ftyp : typ; fattrs : attr list }
+
+type struct_def = { sname : string; sfields : field list; sloc : Loc.t }
+
+type param = { pname : string; ptyp : typ }
+
+type func = {
+  fname : string;
+  fret : typ;
+  fparams : param list;
+  fbody : stmt list;
+  fstatic : bool;
+  floc_start : Loc.t;
+  floc_end : Loc.t;
+}
+
+type global =
+  | Gstruct of struct_def
+  | Gtypedef of { tname : string; ttyp : typ; tloc : Loc.t }
+  | Gfunc of func
+  | Gfundecl of { dname : string; dret : typ; dparams : param list; dloc : Loc.t }
+  | Gvar of { vname : string; vtyp : typ; vinit : expr option; vloc : Loc.t }
+  | Gpragma of string * Loc.t
+
+type file = { source : string; globals : global list }
+
+(* --- Traversal helpers --- *)
+
+(** Fold [f] over every expression in a statement list, including
+    sub-expressions. *)
+let rec fold_exprs_stmt f acc (s : stmt) =
+  match s.skind with
+  | Sexpr e -> fold_expr f acc e
+  | Sdecl (_, _, Some e) -> fold_expr f acc e
+  | Sdecl (_, _, None) -> acc
+  | Sif (c, a, b) ->
+      let acc = fold_expr f acc c in
+      let acc = fold_exprs_stmts f acc a in
+      fold_exprs_stmts f acc b
+  | Swhile (c, body) ->
+      let acc = fold_expr f acc c in
+      fold_exprs_stmts f acc body
+  | Sdo (body, c) ->
+      let acc = fold_exprs_stmts f acc body in
+      fold_expr f acc c
+  | Sfor (init, cond, update, body) ->
+      let acc = match init with Some s -> fold_exprs_stmt f acc s | None -> acc in
+      let acc = match cond with Some e -> fold_expr f acc e | None -> acc in
+      let acc = match update with Some e -> fold_expr f acc e | None -> acc in
+      fold_exprs_stmts f acc body
+  | Sreturn (Some e) -> fold_expr f acc e
+  | Sswitch (e, cases) ->
+      let acc = fold_expr f acc e in
+      List.fold_left
+        (fun acc case ->
+          match case with
+          | Case (_, body) | Default body -> fold_exprs_stmts f acc body)
+        acc cases
+  | Sreturn None | Sgoto _ | Slabel _ | Sbreak | Scontinue -> acc
+  | Sblock body -> fold_exprs_stmts f acc body
+
+and fold_exprs_stmts f acc stmts = List.fold_left (fold_exprs_stmt f) acc stmts
+
+and fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Econst _ | Estr _ | Echar _ | Eident _ | Esizeof_type _ -> acc
+  | Eunop (_, a)
+  | Ecast (_, a)
+  | Esizeof_expr a
+  | Efield (a, _)
+  | Earrow (a, _)
+  | Epostincr a
+  | Epostdecr a
+  | Epreincr a
+  | Epredecr a ->
+      fold_expr f acc a
+  | Ebinop (_, a, b) | Eassign (_, a, b) | Eindex (a, b) ->
+      fold_expr f (fold_expr f acc a) b
+  | Econd (a, b, c) -> fold_expr f (fold_expr f (fold_expr f acc a) b) c
+  | Ecall (callee, args) ->
+      List.fold_left (fold_expr f) (fold_expr f acc callee) args
+
+let fold_exprs_func f acc (fn : func) = fold_exprs_stmts f acc fn.fbody
+
+let functions file =
+  List.filter_map (function Gfunc f -> Some f | _ -> None) file.globals
+
+let structs file =
+  List.filter_map (function Gstruct s -> Some s | _ -> None) file.globals
+
+let typedefs file =
+  List.filter_map
+    (function Gtypedef { tname; ttyp; _ } -> Some (tname, ttyp) | _ -> None)
+    file.globals
+
+let find_function file name =
+  List.find_opt (fun f -> f.fname = name) (functions file)
+
+let find_struct file name =
+  List.find_opt (fun s -> s.sname = name) (structs file)

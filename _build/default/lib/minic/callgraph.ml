@@ -1,0 +1,170 @@
+module Sset = Set.Make (String)
+
+type t = {
+  defined : Sset.t;
+  direct : (string, Sset.t) Hashtbl.t;  (** caller -> defined callees *)
+  externals : (string, Sset.t) Hashtbl.t;  (** caller -> undefined callees *)
+  indirect_sites : Sset.t;  (** functions containing an indirect call *)
+  taken : Sset.t;  (** functions whose address is taken *)
+}
+
+(* Collect, for one function body: direct callee names, whether it makes
+   indirect calls, and which function names appear outside call position
+   (address taken). *)
+let analyze_body (fn : Ast.func) =
+  let direct = ref Sset.empty in
+  let indirect = ref false in
+  let taken = ref Sset.empty in
+  let visit () e =
+    match e with
+    | Ast.Ecall (Ast.Eident callee, _) -> direct := Sset.add callee !direct
+    | Ast.Ecall (_, _) -> indirect := true
+    | _ -> ()
+  in
+  Ast.fold_exprs_func visit () fn;
+  (* Second pass for address-taken: an identifier appearing anywhere other
+     than as the callee of a direct call. We approximate by counting
+     occurrences: ids referenced more often than they are directly called,
+     or referenced under Addr_of / as call arguments. *)
+  let note_ident e =
+    match e with
+    | Ast.Eident x -> taken := Sset.add x !taken
+    | _ -> ()
+  in
+  let rec scan_value_positions e =
+    match e with
+    | Ast.Ecall (Ast.Eident _, args) -> List.iter scan_value_positions args
+    | Ast.Ecall (callee, args) ->
+        scan_value_positions callee;
+        List.iter scan_value_positions args
+    | _ ->
+        note_ident e;
+        scan_children e
+  and scan_children e =
+    match e with
+    | Ast.Econst _ | Ast.Estr _ | Ast.Echar _ | Ast.Eident _
+    | Ast.Esizeof_type _ ->
+        ()
+    | Ast.Eunop (_, a)
+    | Ast.Ecast (_, a)
+    | Ast.Esizeof_expr a
+    | Ast.Efield (a, _)
+    | Ast.Earrow (a, _)
+    | Ast.Epostincr a
+    | Ast.Epostdecr a
+    | Ast.Epreincr a
+    | Ast.Epredecr a ->
+        scan_value_positions a
+    | Ast.Ebinop (_, a, b) | Ast.Eassign (_, a, b) | Ast.Eindex (a, b) ->
+        scan_value_positions a;
+        scan_value_positions b
+    | Ast.Econd (a, b, c) ->
+        scan_value_positions a;
+        scan_value_positions b;
+        scan_value_positions c
+    | Ast.Ecall _ -> scan_value_positions e
+  in
+  let scan_stmt_exprs () e = scan_value_positions e in
+  let rec seed_stmt (s : Ast.stmt) =
+    match s.skind with
+    | Sexpr e -> scan_stmt_exprs () e
+    | Sdecl (_, _, Some e) -> scan_stmt_exprs () e
+    | Sdecl (_, _, None) -> ()
+    | Sif (c, a, b) ->
+        scan_stmt_exprs () c;
+        List.iter seed_stmt a;
+        List.iter seed_stmt b
+    | Swhile (c, body) ->
+        scan_stmt_exprs () c;
+        List.iter seed_stmt body
+    | Sdo (body, c) ->
+        List.iter seed_stmt body;
+        scan_stmt_exprs () c
+    | Sfor (init, cond, update, body) ->
+        Option.iter seed_stmt init;
+        Option.iter (scan_stmt_exprs ()) cond;
+        Option.iter (scan_stmt_exprs ()) update;
+        List.iter seed_stmt body
+    | Sreturn (Some e) -> scan_stmt_exprs () e
+    | Sswitch (e, cases) ->
+        scan_stmt_exprs () e;
+        List.iter
+          (function
+            | Ast.Case (_, body) | Ast.Default body -> List.iter seed_stmt body)
+          cases
+    | Sreturn None | Sgoto _ | Slabel _ | Sbreak | Scontinue -> ()
+    | Sblock body -> List.iter seed_stmt body
+  in
+  List.iter seed_stmt fn.Ast.fbody;
+  (!direct, !indirect, !taken)
+
+let build (file : Ast.file) =
+  let funcs = Ast.functions file in
+  let defined =
+    List.fold_left (fun s f -> Sset.add f.Ast.fname s) Sset.empty funcs
+  in
+  let direct = Hashtbl.create 64 in
+  let externals = Hashtbl.create 64 in
+  let indirect_sites = ref Sset.empty in
+  let taken = ref Sset.empty in
+  (* Global initializers can also take function addresses (ops tables). *)
+  List.iter
+    (function
+      | Ast.Gvar { vinit = Some e; _ } ->
+          Ast.fold_expr
+            (fun () e ->
+              match e with
+              | Ast.Eident x when Sset.mem x defined ->
+                  taken := Sset.add x !taken
+              | _ -> ())
+            () e
+      | _ -> ())
+    file.Ast.globals;
+  List.iter
+    (fun fn ->
+      let callees, indirect, value_idents = analyze_body fn in
+      let name = fn.Ast.fname in
+      Hashtbl.replace direct name (Sset.inter callees defined);
+      Hashtbl.replace externals name (Sset.diff callees defined);
+      if indirect then indirect_sites := Sset.add name !indirect_sites;
+      taken := Sset.union !taken (Sset.inter value_idents defined))
+    funcs;
+  {
+    defined;
+    direct;
+    externals;
+    indirect_sites = !indirect_sites;
+    taken = !taken;
+  }
+
+let get tbl name = Option.value ~default:Sset.empty (Hashtbl.find_opt tbl name)
+
+let callees t name =
+  let d = get t.direct name in
+  let all =
+    if Sset.mem name t.indirect_sites then Sset.union d t.taken else d
+  in
+  Sset.elements all
+
+let external_callees t name = Sset.elements (get t.externals name)
+
+let callers t name =
+  Sset.elements t.defined
+  |> List.filter (fun caller -> List.mem name (callees t caller))
+
+let address_taken t = Sset.elements t.taken
+
+let reachable t ~roots =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | name :: rest ->
+        if Sset.mem name visited || not (Sset.mem name t.defined) then
+          go visited rest
+        else
+          let visited = Sset.add name visited in
+          go visited (callees t name @ rest)
+  in
+  Sset.elements (go Sset.empty roots)
+
+let defined t = Sset.elements t.defined

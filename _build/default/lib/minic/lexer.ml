@@ -1,0 +1,286 @@
+exception Lex_error of string * Loc.t
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let loc st = Loc.make ~line:st.line ~col:(st.pos - st.bol + 1)
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Lex_error (msg, loc st))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_trivia st
+  | Some '/', Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/', Some '*' ->
+      advance st;
+      advance st;
+      let rec scan () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated comment"
+        | Some _, _ ->
+            advance st;
+            scan ()
+      in
+      scan ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while match peek st with Some c when is_ident_char c -> true | _ -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st
+  end;
+  let is_num_char c =
+    is_digit c
+    || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+  in
+  while match peek st with Some c when is_num_char c -> true | _ -> false do
+    advance st
+  done;
+  (* integer suffixes *)
+  while
+    match peek st with Some ('u' | 'U' | 'l' | 'L') -> true | _ -> false
+  do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let text =
+    let rec strip s =
+      let n = String.length s in
+      if n > 0 && (match s.[n - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+      then strip (String.sub s 0 (n - 1))
+      else s
+    in
+    strip text
+  in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> error st ("bad integer literal " ^ text)
+
+let lex_escaped st =
+  match peek st with
+  | Some 'n' ->
+      advance st;
+      '\n'
+  | Some 't' ->
+      advance st;
+      '\t'
+  | Some 'r' ->
+      advance st;
+      '\r'
+  | Some '0' ->
+      advance st;
+      '\000'
+  | Some (('\\' | '\'' | '"') as c) ->
+      advance st;
+      c
+  | _ -> error st "bad escape"
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec scan () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        Buffer.add_char buf (lex_escaped st);
+        scan ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        scan ()
+    | None -> error st "unterminated string"
+  in
+  scan ();
+  Buffer.contents buf
+
+let lex_char st =
+  advance st;
+  let c =
+    match peek st with
+    | Some '\\' ->
+        advance st;
+        lex_escaped st
+    | Some c ->
+        advance st;
+        c
+    | None -> error st "unterminated char"
+  in
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> error st "unterminated char literal");
+  c
+
+(* Read the balanced-paren payload of __attribute__((...)). *)
+let lex_attribute_payload st =
+  skip_trivia st;
+  if peek st <> Some '(' then error st "expected ( after __attribute__";
+  advance st;
+  skip_trivia st;
+  if peek st <> Some '(' then error st "expected (( after __attribute__";
+  advance st;
+  let buf = Buffer.create 32 in
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek st with
+    | Some '(' ->
+        incr depth;
+        Buffer.add_char buf '(';
+        advance st
+    | Some ')' ->
+        decr depth;
+        if !depth > 0 then Buffer.add_char buf ')';
+        advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st
+    | None -> error st "unterminated __attribute__"
+  done;
+  skip_trivia st;
+  if peek st <> Some ')' then error st "expected closing ) of __attribute__";
+  advance st;
+  String.trim (Buffer.contents buf)
+
+let lex_pragma st =
+  advance st;
+  (* '#' *)
+  let start = st.pos in
+  while peek st <> None && peek st <> Some '\n' do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let op2 st t =
+  advance st;
+  advance st;
+  t
+
+let op3 st t =
+  advance st;
+  advance st;
+  advance st;
+  t
+
+let op1 st t =
+  advance st;
+  t
+
+let next_token st : Token.t =
+  match peek st with
+  | None -> Token.Eof
+  | Some c when is_ident_start c ->
+      let word = lex_ident st in
+      if word = "__attribute__" then Token.Attribute (lex_attribute_payload st)
+      else (
+        match List.assoc_opt word Token.keyword_table with
+        | Some kw -> kw
+        | None -> Token.Ident word)
+  | Some c when is_digit c -> Token.Int_lit (lex_number st)
+  | Some '"' -> Token.Str_lit (lex_string st)
+  | Some '\'' -> Token.Char_lit (lex_char st)
+  | Some '#' -> Token.Pragma (lex_pragma st)
+  | Some c -> (
+      let c2 = peek2 st in
+      let c3 =
+        if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2]
+        else None
+      in
+      match (c, c2, c3) with
+      | '.', Some '.', Some '.' -> op3 st Token.Ellipsis
+      | '<', Some '<', Some '=' -> op3 st Token.Shl_assign
+      | '>', Some '>', Some '=' -> op3 st Token.Shr_assign
+      | '-', Some '>', _ -> op2 st Token.Arrow
+      | '+', Some '+', _ -> op2 st Token.Incr
+      | '-', Some '-', _ -> op2 st Token.Decr
+      | '+', Some '=', _ -> op2 st Token.Plus_assign
+      | '-', Some '=', _ -> op2 st Token.Minus_assign
+      | '*', Some '=', _ -> op2 st Token.Star_assign
+      | '/', Some '=', _ -> op2 st Token.Slash_assign
+      | '|', Some '=', _ -> op2 st Token.Or_assign
+      | '&', Some '=', _ -> op2 st Token.And_assign
+      | '^', Some '=', _ -> op2 st Token.Xor_assign
+      | '=', Some '=', _ -> op2 st Token.Eq
+      | '!', Some '=', _ -> op2 st Token.Neq
+      | '<', Some '=', _ -> op2 st Token.Le
+      | '>', Some '=', _ -> op2 st Token.Ge
+      | '<', Some '<', _ -> op2 st Token.Shl
+      | '>', Some '>', _ -> op2 st Token.Shr
+      | '&', Some '&', _ -> op2 st Token.Amp_amp
+      | '|', Some '|', _ -> op2 st Token.Bar_bar
+      | '(', _, _ -> op1 st Token.Lparen
+      | ')', _, _ -> op1 st Token.Rparen
+      | '{', _, _ -> op1 st Token.Lbrace
+      | '}', _, _ -> op1 st Token.Rbrace
+      | '[', _, _ -> op1 st Token.Lbracket
+      | ']', _, _ -> op1 st Token.Rbracket
+      | ';', _, _ -> op1 st Token.Semi
+      | ',', _, _ -> op1 st Token.Comma
+      | '.', _, _ -> op1 st Token.Dot
+      | ':', _, _ -> op1 st Token.Colon
+      | '?', _, _ -> op1 st Token.Question
+      | '=', _, _ -> op1 st Token.Assign
+      | '+', _, _ -> op1 st Token.Plus
+      | '-', _, _ -> op1 st Token.Minus
+      | '*', _, _ -> op1 st Token.Star
+      | '/', _, _ -> op1 st Token.Slash
+      | '%', _, _ -> op1 st Token.Percent
+      | '!', _, _ -> op1 st Token.Bang
+      | '&', _, _ -> op1 st Token.Amp
+      | '|', _, _ -> op1 st Token.Bar
+      | '^', _, _ -> op1 st Token.Caret
+      | '~', _, _ -> op1 st Token.Tilde
+      | '<', _, _ -> op1 st Token.Lt
+      | '>', _, _ -> op1 st Token.Gt
+      | _ -> error st (Printf.sprintf "unexpected character %C" c))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    skip_trivia st;
+    let l = loc st in
+    let t = next_token st in
+    if t = Token.Eof then List.rev ((t, l) :: acc) else loop ((t, l) :: acc)
+  in
+  loop []

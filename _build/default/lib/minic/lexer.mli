@@ -1,0 +1,10 @@
+(** Hand-written lexer for the mini-C language.
+
+    Comments are skipped for parsing, but every token carries its source
+    position so later passes (notably the source splitter, §3.2.1) can
+    address the original text, comments included. *)
+
+exception Lex_error of string * Loc.t
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** Tokenize a whole source text; the last element is [Eof]. *)

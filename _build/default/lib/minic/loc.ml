@@ -1,0 +1,9 @@
+(** Source positions: 1-based line numbers into the original driver
+    source, kept on every AST node so DriverSlicer can patch the original
+    text rather than emit preprocessed output (§3.2.1). *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+let pp ppf t = Format.fprintf ppf "%d:%d" t.line t.col

@@ -1,0 +1,734 @@
+open Ast
+
+exception Parse_error of string * Loc.t
+
+type state = {
+  toks : (Token.t * Loc.t) array;
+  mutable pos : int;
+  typedefs : (string, unit) Hashtbl.t;
+}
+
+let builtin_typedefs =
+  [
+    "u8"; "u16"; "u32"; "u64"; "s8"; "s16"; "s32"; "s64";
+    "uint8_t"; "uint16_t"; "uint32_t"; "uint64_t";
+    "int8_t"; "int16_t"; "int32_t"; "int64_t";
+    "size_t"; "ssize_t"; "bool"; "dma_addr_t"; "gfp_t"; "irqreturn_t";
+  ]
+
+let make_state toks =
+  let typedefs = Hashtbl.create 32 in
+  List.iter (fun n -> Hashtbl.replace typedefs n ()) builtin_typedefs;
+  { toks = Array.of_list toks; pos = 0; typedefs }
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek_n st n =
+  if st.pos + n < Array.length st.toks then fst st.toks.(st.pos + n)
+  else Token.Eof
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let error st msg =
+  raise
+    (Parse_error
+       ( Printf.sprintf "%s (found %s)" msg (Token.to_string (peek st)),
+         peek_loc st ))
+
+let expect st tok msg =
+  if peek st = tok then advance st else error st ("expected " ^ msg)
+
+let expect_ident st msg =
+  match peek st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | _ -> error st ("expected " ^ msg)
+
+let is_typedef st name = Hashtbl.mem st.typedefs name
+
+(* --- attributes --- *)
+
+(* "exp(PCI_LEN)" -> { attr_name = "exp"; attr_arg = Some "PCI_LEN" } *)
+let parse_attr_payload payload =
+  match String.index_opt payload '(' with
+  | Some i when String.length payload > 0 && payload.[String.length payload - 1] = ')'
+    ->
+      let name = String.trim (String.sub payload 0 i) in
+      let arg = String.sub payload (i + 1) (String.length payload - i - 2) in
+      { attr_name = name; attr_arg = Some (String.trim arg) }
+  | Some _ | None -> { attr_name = String.trim payload; attr_arg = None }
+
+let rec collect_attrs st acc =
+  match peek st with
+  | Token.Attribute payload ->
+      advance st;
+      collect_attrs st (parse_attr_payload payload :: acc)
+  | _ -> List.rev acc
+
+(* --- types --- *)
+
+let starts_type st =
+  match peek st with
+  | Token.Kw_void | Token.Kw_char | Token.Kw_short | Token.Kw_int
+  | Token.Kw_long | Token.Kw_unsigned | Token.Kw_signed | Token.Kw_struct
+  | Token.Kw_const ->
+      true
+  | Token.Ident name -> is_typedef st name
+  | _ -> false
+
+(* Parse declaration specifiers into a base type (no pointers yet). *)
+let parse_base_type st =
+  (* swallow const anywhere in the specifier list *)
+  let rec skip_const () =
+    if peek st = Token.Kw_const then begin
+      advance st;
+      skip_const ()
+    end
+  in
+  skip_const ();
+  match peek st with
+  | Token.Kw_void ->
+      advance st;
+      Tvoid
+  | Token.Kw_struct ->
+      advance st;
+      let name = expect_ident st "struct name" in
+      Tstruct name
+  | Token.Ident name when is_typedef st name ->
+      advance st;
+      Tnamed name
+  | Token.Kw_unsigned | Token.Kw_signed | Token.Kw_char | Token.Kw_short
+  | Token.Kw_int | Token.Kw_long ->
+      let unsigned = ref false in
+      let kind = ref None in
+      let longs = ref 0 in
+      let rec scan () =
+        match peek st with
+        | Token.Kw_unsigned ->
+            unsigned := true;
+            advance st;
+            scan ()
+        | Token.Kw_signed ->
+            advance st;
+            scan ()
+        | Token.Kw_char ->
+            kind := Some Ichar;
+            advance st;
+            scan ()
+        | Token.Kw_short ->
+            kind := Some Ishort;
+            advance st;
+            scan ()
+        | Token.Kw_int ->
+            if !kind = None && !longs = 0 then kind := Some Iint;
+            advance st;
+            scan ()
+        | Token.Kw_long ->
+            incr longs;
+            advance st;
+            scan ()
+        | Token.Kw_const ->
+            advance st;
+            scan ()
+        | _ -> ()
+      in
+      scan ();
+      let kind =
+        match (!kind, !longs) with
+        | Some k, 0 -> k
+        | _, 1 -> Ilong
+        | _, n when n >= 2 -> Ilonglong
+        | None, _ -> Iint
+        | Some k, _ -> k
+      in
+      Tint { kind; unsigned = !unsigned }
+  | _ -> error st "expected type"
+
+(* Parse pointer stars and attributes that follow the base type; returns
+   (type, attributes seen). *)
+let parse_pointers st base =
+  let attrs = ref [] in
+  let rec scan t =
+    match peek st with
+    | Token.Star ->
+        advance st;
+        scan (Tptr t)
+    | Token.Attribute payload ->
+        advance st;
+        attrs := parse_attr_payload payload :: !attrs;
+        scan t
+    | Token.Kw_const ->
+        advance st;
+        scan t
+    | _ -> t
+  in
+  let t = scan base in
+  (t, List.rev !attrs)
+
+(* Array suffixes after a declarator name. *)
+let parse_array_suffix st t =
+  let rec scan t =
+    if peek st = Token.Lbracket then begin
+      advance st;
+      let n =
+        match peek st with
+        | Token.Int_lit n ->
+            advance st;
+            Some n
+        | Token.Ident _ ->
+            (* named constant size: keep as unsized for analysis *)
+            advance st;
+            None
+        | _ -> None
+      in
+      expect st Token.Rbracket "]";
+      scan (Tarray (t, n))
+    end
+    else t
+  in
+  scan t
+
+(* --- expressions --- *)
+
+let rec parse_expression st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_conditional st in
+  let mk op =
+    advance st;
+    let rhs = parse_assignment st in
+    Eassign (op, lhs, rhs)
+  in
+  match peek st with
+  | Token.Assign -> mk None
+  | Token.Plus_assign -> mk (Some Add)
+  | Token.Minus_assign -> mk (Some Sub)
+  | Token.Star_assign -> mk (Some Mul)
+  | Token.Slash_assign -> mk (Some Div)
+  | Token.Or_assign -> mk (Some Bor)
+  | Token.And_assign -> mk (Some Band)
+  | Token.Xor_assign -> mk (Some Bxor)
+  | Token.Shl_assign -> mk (Some Shl)
+  | Token.Shr_assign -> mk (Some Shr)
+  | _ -> lhs
+
+and parse_conditional st =
+  let cond = parse_binary st 0 in
+  if peek st = Token.Question then begin
+    advance st;
+    let a = parse_expression st in
+    expect st Token.Colon ":";
+    let b = parse_conditional st in
+    Econd (cond, a, b)
+  end
+  else cond
+
+(* precedence-climbing over binary operators *)
+and binop_of_token = function
+  | Token.Bar_bar -> Some (Lor, 1)
+  | Token.Amp_amp -> Some (Land, 2)
+  | Token.Bar -> Some (Bor, 3)
+  | Token.Caret -> Some (Bxor, 4)
+  | Token.Amp -> Some (Band, 5)
+  | Token.Eq -> Some (Eq, 6)
+  | Token.Neq -> Some (Ne, 6)
+  | Token.Lt -> Some (Lt, 7)
+  | Token.Gt -> Some (Gt, 7)
+  | Token.Le -> Some (Le, 7)
+  | Token.Ge -> Some (Ge, 7)
+  | Token.Shl -> Some (Shl, 8)
+  | Token.Shr -> Some (Shr, 8)
+  | Token.Plus -> Some (Add, 9)
+  | Token.Minus -> Some (Sub, 9)
+  | Token.Star -> Some (Mul, 10)
+  | Token.Slash -> Some (Div, 10)
+  | Token.Percent -> Some (Mod, 10)
+  | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Ebinop (op, !lhs, rhs)
+    | Some _ | None -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+      advance st;
+      Eunop (Neg, parse_unary st)
+  | Token.Bang ->
+      advance st;
+      Eunop (Lnot, parse_unary st)
+  | Token.Tilde ->
+      advance st;
+      Eunop (Bnot, parse_unary st)
+  | Token.Star ->
+      advance st;
+      Eunop (Deref, parse_unary st)
+  | Token.Amp ->
+      advance st;
+      Eunop (Addr_of, parse_unary st)
+  | Token.Incr ->
+      advance st;
+      Epreincr (parse_unary st)
+  | Token.Decr ->
+      advance st;
+      Epredecr (parse_unary st)
+  | Token.Kw_sizeof ->
+      advance st;
+      if peek st = Token.Lparen && starts_type_after_lparen st then begin
+        expect st Token.Lparen "(";
+        let base = parse_base_type st in
+        let t, _ = parse_pointers st base in
+        expect st Token.Rparen ")";
+        Esizeof_type t
+      end
+      else Esizeof_expr (parse_unary st)
+  | Token.Lparen when starts_type_after_lparen st ->
+      (* cast *)
+      expect st Token.Lparen "(";
+      let base = parse_base_type st in
+      let t, _ = parse_pointers st base in
+      expect st Token.Rparen ")";
+      Ecast (t, parse_unary st)
+  | _ -> parse_postfix st
+
+and starts_type_after_lparen st =
+  match peek_n st 1 with
+  | Token.Kw_void | Token.Kw_char | Token.Kw_short | Token.Kw_int
+  | Token.Kw_long | Token.Kw_unsigned | Token.Kw_signed | Token.Kw_struct
+  | Token.Kw_const ->
+      true
+  | Token.Ident name -> is_typedef st name
+  | _ -> false
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Lparen ->
+        advance st;
+        let args = ref [] in
+        if peek st <> Token.Rparen then begin
+          args := [ parse_assignment st ];
+          while peek st = Token.Comma do
+            advance st;
+            args := parse_assignment st :: !args
+          done
+        end;
+        expect st Token.Rparen ")";
+        e := Ecall (!e, List.rev !args)
+    | Token.Lbracket ->
+        advance st;
+        let idx = parse_expression st in
+        expect st Token.Rbracket "]";
+        e := Eindex (!e, idx)
+    | Token.Dot ->
+        advance st;
+        e := Efield (!e, expect_ident st "field name")
+    | Token.Arrow ->
+        advance st;
+        e := Earrow (!e, expect_ident st "field name")
+    | Token.Incr ->
+        advance st;
+        e := Epostincr !e
+    | Token.Decr ->
+        advance st;
+        e := Epostdecr !e
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit n ->
+      advance st;
+      Econst n
+  | Token.Str_lit s ->
+      advance st;
+      Estr s
+  | Token.Char_lit c ->
+      advance st;
+      Echar c
+  | Token.Ident name ->
+      advance st;
+      Eident name
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expression st in
+      expect st Token.Rparen ")";
+      e
+  | _ -> error st "expected expression"
+
+(* --- statements --- *)
+
+let rec parse_stmt st : stmt =
+  let sloc = peek_loc st in
+  let kind = parse_stmt_kind st in
+  { skind = kind; sloc }
+
+and as_block (s : stmt) =
+  match s.skind with Sblock body -> body | _ -> [ s ]
+
+and parse_stmt_kind st =
+  match peek st with
+  | Token.Lbrace -> Sblock (parse_block st)
+  | Token.Kw_if ->
+      advance st;
+      expect st Token.Lparen "(";
+      let cond = parse_expression st in
+      expect st Token.Rparen ")";
+      let then_ = as_block (parse_stmt st) in
+      let else_ =
+        if peek st = Token.Kw_else then begin
+          advance st;
+          as_block (parse_stmt st)
+        end
+        else []
+      in
+      Sif (cond, then_, else_)
+  | Token.Kw_while ->
+      advance st;
+      expect st Token.Lparen "(";
+      let cond = parse_expression st in
+      expect st Token.Rparen ")";
+      Swhile (cond, as_block (parse_stmt st))
+  | Token.Kw_do ->
+      advance st;
+      let body = as_block (parse_stmt st) in
+      expect st Token.Kw_while "while";
+      expect st Token.Lparen "(";
+      let cond = parse_expression st in
+      expect st Token.Rparen ")";
+      expect st Token.Semi ";";
+      Sdo (body, cond)
+  | Token.Kw_for ->
+      advance st;
+      expect st Token.Lparen "(";
+      let init =
+        if peek st = Token.Semi then None
+        else if starts_type st then Some (parse_decl_stmt st ~consume_semi:false)
+        else Some { skind = Sexpr (parse_expression st); sloc = peek_loc st }
+      in
+      expect st Token.Semi ";";
+      let cond = if peek st = Token.Semi then None else Some (parse_expression st) in
+      expect st Token.Semi ";";
+      let update =
+        if peek st = Token.Rparen then None else Some (parse_expression st)
+      in
+      expect st Token.Rparen ")";
+      Sfor (init, cond, update, as_block (parse_stmt st))
+  | Token.Kw_switch ->
+      advance st;
+      expect st Token.Lparen "(";
+      let scrutinee = parse_expression st in
+      expect st Token.Rparen ")";
+      expect st Token.Lbrace "{";
+      let cases = ref [] in
+      let parse_case_body () =
+        let stmts = ref [] in
+        while
+          peek st <> Token.Kw_case
+          && peek st <> Token.Kw_default
+          && peek st <> Token.Rbrace
+        do
+          stmts := parse_stmt st :: !stmts
+        done;
+        List.rev !stmts
+      in
+      while peek st <> Token.Rbrace do
+        match peek st with
+        | Token.Kw_case ->
+            advance st;
+            let v =
+              match peek st with
+              | Token.Int_lit n ->
+                  advance st;
+                  n
+              | Token.Minus ->
+                  advance st;
+                  (match peek st with
+                  | Token.Int_lit n ->
+                      advance st;
+                      -n
+                  | _ -> error st "expected integer case label")
+              | _ -> error st "expected integer case label"
+            in
+            expect st Token.Colon ":";
+            cases := Ast.Case (v, parse_case_body ()) :: !cases
+        | Token.Kw_default ->
+            advance st;
+            expect st Token.Colon ":";
+            cases := Ast.Default (parse_case_body ()) :: !cases
+        | _ -> error st "expected case or default"
+      done;
+      expect st Token.Rbrace "}";
+      Sswitch (scrutinee, List.rev !cases)
+  | Token.Kw_return ->
+      advance st;
+      let e = if peek st = Token.Semi then None else Some (parse_expression st) in
+      expect st Token.Semi ";";
+      Sreturn e
+  | Token.Kw_goto ->
+      advance st;
+      let label = expect_ident st "label" in
+      expect st Token.Semi ";";
+      Sgoto label
+  | Token.Kw_break ->
+      advance st;
+      expect st Token.Semi ";";
+      Sbreak
+  | Token.Kw_continue ->
+      advance st;
+      expect st Token.Semi ";";
+      Scontinue
+  | Token.Ident name when peek_n st 1 = Token.Colon && not (is_typedef st name)
+    ->
+      advance st;
+      advance st;
+      Slabel name
+  | _ when starts_type st ->
+      let s = parse_decl_stmt st ~consume_semi:true in
+      s.skind
+  | _ ->
+      let e = parse_expression st in
+      expect st Token.Semi ";";
+      Sexpr e
+
+(* One local declaration; comma-separated declarators become a block. *)
+and parse_decl_stmt st ~consume_semi : stmt =
+  let sloc = peek_loc st in
+  let base = parse_base_type st in
+  let parse_one () =
+    let t, _attrs = parse_pointers st base in
+    (* function-pointer declarator: [t ( * name)(params)] *)
+    if peek st = Token.Lparen && peek_n st 1 = Token.Star then begin
+      advance st;
+      advance st;
+      let name = expect_ident st "declarator" in
+      expect st Token.Rparen ")";
+      (* skip the parameter list *)
+      expect st Token.Lparen "(";
+      let depth = ref 1 in
+      while !depth > 0 do
+        (match peek st with
+        | Token.Lparen -> incr depth
+        | Token.Rparen -> decr depth
+        | Token.Eof -> error st "unterminated parameter list"
+        | _ -> ());
+        advance st
+      done;
+      let init =
+        if peek st = Token.Assign then begin
+          advance st;
+          Some (parse_assignment st)
+        end
+        else None
+      in
+      { skind = Sdecl (Tptr Tvoid, name, init); sloc }
+    end
+    else begin
+    let name = expect_ident st "declarator" in
+    let t = parse_array_suffix st t in
+    let init =
+      if peek st = Token.Assign then begin
+        advance st;
+        Some (parse_assignment st)
+      end
+      else None
+    in
+    { skind = Sdecl (t, name, init); sloc }
+    end
+  in
+  let first = parse_one () in
+  let rest = ref [] in
+  while peek st = Token.Comma do
+    advance st;
+    rest := parse_one () :: !rest
+  done;
+  if consume_semi then expect st Token.Semi ";";
+  match !rest with
+  | [] -> first
+  | rest -> { skind = Sblock (first :: List.rev rest); sloc }
+
+and parse_block st =
+  expect st Token.Lbrace "{";
+  let stmts = ref [] in
+  while peek st <> Token.Rbrace do
+    if peek st = Token.Eof then error st "unexpected end of file in block";
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st Token.Rbrace "}";
+  List.rev !stmts
+
+(* --- globals --- *)
+
+let parse_params st =
+  expect st Token.Lparen "(";
+  let params = ref [] in
+  (if peek st = Token.Kw_void && peek_n st 1 = Token.Rparen then advance st
+   else if peek st <> Token.Rparen then begin
+     let parse_param () =
+       if peek st = Token.Ellipsis then begin
+         advance st;
+         { pname = "..."; ptyp = Tvoid }
+       end
+       else begin
+         let base = parse_base_type st in
+         let t, _ = parse_pointers st base in
+         let name =
+           match peek st with
+           | Token.Ident n ->
+               advance st;
+               n
+           | _ -> ""
+         in
+         let t = parse_array_suffix st t in
+         { pname = name; ptyp = t }
+       end
+     in
+     params := [ parse_param () ];
+     while peek st = Token.Comma do
+       advance st;
+       params := parse_param () :: !params
+     done
+   end);
+  expect st Token.Rparen ")";
+  List.rev !params
+
+let parse_struct_def st =
+  let sloc = peek_loc st in
+  expect st Token.Kw_struct "struct";
+  let sname = expect_ident st "struct name" in
+  expect st Token.Lbrace "{";
+  let fields = ref [] in
+  while peek st <> Token.Rbrace do
+    let base = parse_base_type st in
+    let parse_field () =
+      let t, attrs1 = parse_pointers st base in
+      let attrs2 = collect_attrs st [] in
+      let fname = expect_ident st "field name" in
+      let t = parse_array_suffix st t in
+      let attrs3 = collect_attrs st [] in
+      { fname; ftyp = t; fattrs = attrs1 @ attrs2 @ attrs3 }
+    in
+    fields := parse_field () :: !fields;
+    while peek st = Token.Comma do
+      advance st;
+      fields := parse_field () :: !fields
+    done;
+    expect st Token.Semi ";"
+  done;
+  expect st Token.Rbrace "}";
+  expect st Token.Semi ";";
+  { sname; sfields = List.rev !fields; sloc }
+
+let parse_typedef st =
+  let tloc = peek_loc st in
+  expect st Token.Kw_typedef "typedef";
+  let base = parse_base_type st in
+  (* function-pointer typedef: [typedef t ( * name)(params);] *)
+  if peek st = Token.Lparen && peek_n st 1 = Token.Star then begin
+    advance st;
+    advance st;
+    let tname = expect_ident st "typedef name" in
+    expect st Token.Rparen ")";
+    ignore (parse_params st);
+    expect st Token.Semi ";";
+    (tname, Tptr Tvoid, tloc)
+  end
+  else begin
+    let t, _ = parse_pointers st base in
+    let tname = expect_ident st "typedef name" in
+    let t = parse_array_suffix st t in
+    expect st Token.Semi ";";
+    (tname, t, tloc)
+  end
+
+let parse_global st : global =
+  match peek st with
+  | Token.Pragma text ->
+      let loc = peek_loc st in
+      advance st;
+      Gpragma (text, loc)
+  | Token.Kw_typedef ->
+      let tname, ttyp, tloc = parse_typedef st in
+      Hashtbl.replace st.typedefs tname ();
+      Gtypedef { tname; ttyp; tloc }
+  | Token.Kw_struct when peek_n st 1 <> Token.Eof && peek_n st 2 = Token.Lbrace
+    ->
+      Gstruct (parse_struct_def st)
+  | _ ->
+      let floc_start = peek_loc st in
+      let fstatic =
+        if peek st = Token.Kw_static then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      (match peek st with
+      | Token.Kw_extern -> advance st
+      | _ -> ());
+      let base = parse_base_type st in
+      let t, _ = parse_pointers st base in
+      let name = expect_ident st "declarator" in
+      if peek st = Token.Lparen then begin
+        let params = parse_params st in
+        match peek st with
+        | Token.Semi ->
+            advance st;
+            Gfundecl { dname = name; dret = t; dparams = params; dloc = floc_start }
+        | Token.Lbrace ->
+            let body = parse_block st in
+            let floc_end =
+              if st.pos > 0 then snd st.toks.(st.pos - 1) else floc_start
+            in
+            Gfunc
+              {
+                fname = name;
+                fret = t;
+                fparams = params;
+                fbody = body;
+                fstatic;
+                floc_start;
+                floc_end;
+              }
+        | _ -> error st "expected ; or { after function declarator"
+      end
+      else begin
+        let t = parse_array_suffix st t in
+        let vinit =
+          if peek st = Token.Assign then begin
+            advance st;
+            Some (parse_expression st)
+          end
+          else None
+        in
+        expect st Token.Semi ";";
+        Gvar { vname = name; vtyp = t; vinit; vloc = floc_start }
+      end
+
+let parse source =
+  let st = make_state (Lexer.tokenize source) in
+  let globals = ref [] in
+  while peek st <> Token.Eof do
+    globals := parse_global st :: !globals
+  done;
+  { source; globals = List.rev !globals }
+
+let parse_expr source =
+  let st = make_state (Lexer.tokenize source) in
+  let e = parse_expression st in
+  if peek st <> Token.Eof then error st "trailing tokens after expression";
+  e

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the mini-C language. *)
+
+exception Parse_error of string * Loc.t
+
+val parse : string -> Ast.file
+(** Parse a complete source text. Typedef names are tracked as they are
+    declared; the usual kernel fixed-width names ([u8]..[u64],
+    [uint8_t]..[uint64_t], [size_t], ...) are pre-seeded. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests and by annotation
+    processing). *)

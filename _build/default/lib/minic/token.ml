@@ -1,0 +1,198 @@
+(** Lexical tokens of the mini-C language. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Char_lit of char
+  (* keywords *)
+  | Kw_struct
+  | Kw_union
+  | Kw_enum
+  | Kw_typedef
+  | Kw_static
+  | Kw_extern
+  | Kw_const
+  | Kw_void
+  | Kw_char
+  | Kw_short
+  | Kw_int
+  | Kw_long
+  | Kw_unsigned
+  | Kw_signed
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_do
+  | Kw_return
+  | Kw_goto
+  | Kw_break
+  | Kw_continue
+  | Kw_sizeof
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Attribute of string
+      (** a whole [__attribute__((...))] blob, inner text verbatim *)
+  | Pragma of string  (** a whole [#...] preprocessor line, verbatim *)
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Arrow
+  | Ellipsis
+  | Colon
+  | Question
+  (* operators *)
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Or_assign
+  | And_assign
+  | Xor_assign
+  | Shl_assign
+  | Shr_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Incr
+  | Decr
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Amp_amp
+  | Bar_bar
+  | Bang
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Eof
+
+let keyword_table =
+  [
+    ("struct", Kw_struct);
+    ("union", Kw_union);
+    ("enum", Kw_enum);
+    ("typedef", Kw_typedef);
+    ("static", Kw_static);
+    ("extern", Kw_extern);
+    ("const", Kw_const);
+    ("void", Kw_void);
+    ("char", Kw_char);
+    ("short", Kw_short);
+    ("int", Kw_int);
+    ("long", Kw_long);
+    ("unsigned", Kw_unsigned);
+    ("signed", Kw_signed);
+    ("if", Kw_if);
+    ("else", Kw_else);
+    ("while", Kw_while);
+    ("for", Kw_for);
+    ("do", Kw_do);
+    ("return", Kw_return);
+    ("goto", Kw_goto);
+    ("break", Kw_break);
+    ("continue", Kw_continue);
+    ("sizeof", Kw_sizeof);
+    ("switch", Kw_switch);
+    ("case", Kw_case);
+    ("default", Kw_default);
+  ]
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Char_lit c -> Printf.sprintf "%C" c
+  | Attribute s -> Printf.sprintf "__attribute__((%s))" s
+  | Pragma s -> "#" ^ s
+  | Kw_struct -> "struct"
+  | Kw_union -> "union"
+  | Kw_enum -> "enum"
+  | Kw_typedef -> "typedef"
+  | Kw_static -> "static"
+  | Kw_extern -> "extern"
+  | Kw_const -> "const"
+  | Kw_void -> "void"
+  | Kw_char -> "char"
+  | Kw_short -> "short"
+  | Kw_int -> "int"
+  | Kw_long -> "long"
+  | Kw_unsigned -> "unsigned"
+  | Kw_signed -> "signed"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_do -> "do"
+  | Kw_return -> "return"
+  | Kw_goto -> "goto"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_sizeof -> "sizeof"
+  | Kw_switch -> "switch"
+  | Kw_case -> "case"
+  | Kw_default -> "default"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Arrow -> "->"
+  | Ellipsis -> "..."
+  | Colon -> ":"
+  | Question -> "?"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Or_assign -> "|="
+  | And_assign -> "&="
+  | Xor_assign -> "^="
+  | Shl_assign -> "<<="
+  | Shr_assign -> ">>="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Incr -> "++"
+  | Decr -> "--"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Amp_amp -> "&&"
+  | Bar_bar -> "||"
+  | Bang -> "!"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eof -> "<eof>"

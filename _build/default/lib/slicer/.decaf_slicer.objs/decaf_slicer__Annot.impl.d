@@ -1,0 +1,1 @@
+lib/slicer/annot.ml: Decaf_minic Decaf_xpc List

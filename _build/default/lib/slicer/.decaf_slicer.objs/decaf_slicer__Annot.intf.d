@@ -1,0 +1,1 @@
+lib/slicer/annot.mli: Decaf_minic Decaf_xpc

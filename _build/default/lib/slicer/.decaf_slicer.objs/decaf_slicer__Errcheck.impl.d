@@ -1,0 +1,1 @@
+lib/slicer/errcheck.ml: Decaf_minic Hashtbl List Loc_count Option Set String

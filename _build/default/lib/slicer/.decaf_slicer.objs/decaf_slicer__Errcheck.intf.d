@@ -1,0 +1,1 @@
+lib/slicer/errcheck.mli: Decaf_minic

@@ -1,0 +1,1 @@
+lib/slicer/loc_count.ml: Buffer List Option String

@@ -1,0 +1,1 @@
+lib/slicer/loc_count.mli:

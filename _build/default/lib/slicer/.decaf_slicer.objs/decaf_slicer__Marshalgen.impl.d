@@ -1,0 +1,1 @@
+lib/slicer/marshalgen.ml: Annot Buffer Decaf_minic Decaf_xpc List Map Option Printf String Xdrspec

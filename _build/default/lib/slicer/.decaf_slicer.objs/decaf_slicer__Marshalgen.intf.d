@@ -1,0 +1,1 @@
+lib/slicer/marshalgen.mli: Annot Decaf_minic Decaf_xpc Xdrspec

@@ -1,0 +1,1 @@
+lib/slicer/partition.ml: Decaf_minic List Printf Set String

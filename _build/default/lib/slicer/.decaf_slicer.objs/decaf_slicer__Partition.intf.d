@@ -1,0 +1,1 @@
+lib/slicer/partition.mli: Decaf_minic Stdlib

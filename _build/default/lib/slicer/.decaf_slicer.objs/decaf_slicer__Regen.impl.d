@@ -1,0 +1,1 @@
+lib/slicer/regen.ml: Decaf_xpc List Slicer

@@ -1,0 +1,1 @@
+lib/slicer/regen.mli: Decaf_xpc Slicer

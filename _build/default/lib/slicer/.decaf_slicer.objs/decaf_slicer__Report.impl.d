@@ -1,0 +1,1 @@
+lib/slicer/report.ml: Annot Decaf_minic Format List Loc_count Partition Printf Slicer

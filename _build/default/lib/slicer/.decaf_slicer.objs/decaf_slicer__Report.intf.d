@@ -1,0 +1,1 @@
+lib/slicer/report.mli: Format Slicer

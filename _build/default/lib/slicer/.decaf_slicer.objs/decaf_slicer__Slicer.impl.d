@@ -1,0 +1,1 @@
+lib/slicer/slicer.ml: Annot Decaf_minic Decaf_xpc List Marshalgen Partition Splitgen Stubgen Xdrspec

@@ -1,0 +1,1 @@
+lib/slicer/slicer.mli: Annot Decaf_minic Decaf_xpc Partition Splitgen Xdrspec

@@ -1,0 +1,1 @@
+lib/slicer/splitgen.ml: Array Buffer Decaf_minic List Loc_count Partition Printf String Stubgen

@@ -1,0 +1,1 @@
+lib/slicer/splitgen.mli: Decaf_minic Partition

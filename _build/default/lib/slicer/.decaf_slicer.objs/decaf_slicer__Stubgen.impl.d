@@ -1,0 +1,1 @@
+lib/slicer/stubgen.ml: Buffer Decaf_minic List Option Partition Printf String

@@ -1,0 +1,1 @@
+lib/slicer/stubgen.mli: Decaf_minic Partition

@@ -1,0 +1,1 @@
+lib/slicer/xdrspec.ml: Buffer Decaf_minic Hashtbl List Printf

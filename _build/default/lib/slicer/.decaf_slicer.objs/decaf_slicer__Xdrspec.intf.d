@@ -1,0 +1,1 @@
+lib/slicer/xdrspec.mli: Decaf_minic

@@ -1,0 +1,81 @@
+module Ast = Decaf_minic.Ast
+module Pp = Decaf_minic.Pp
+
+type access = Read | Write | Read_write
+
+type field_annot = {
+  fa_struct : string;
+  fa_field : string;
+  fa_kind : string;
+  fa_arg : string option;
+}
+
+type var_annot = {
+  va_function : string;
+  va_access : access;
+  va_path : string;
+  va_field : string;
+}
+
+type t = { fields : field_annot list; vars : var_annot list }
+
+let access_of_macro = function
+  | "DECAF_RVAR" -> Some Read
+  | "DECAF_WVAR" -> Some Write
+  | "DECAF_RWVAR" -> Some Read_write
+  | _ -> None
+
+let rec last_field = function
+  | Ast.Earrow (_, f) | Ast.Efield (_, f) -> f
+  | Ast.Eident x -> x
+  | Ast.Eindex (e, _) | Ast.Eunop (_, e) | Ast.Ecast (_, e) -> last_field e
+  | _ -> ""
+
+let collect_field_annots (file : Ast.file) =
+  List.concat_map
+    (fun (s : Ast.struct_def) ->
+      List.concat_map
+        (fun (f : Ast.field) ->
+          List.map
+            (fun (a : Ast.attr) ->
+              {
+                fa_struct = s.Ast.sname;
+                fa_field = f.Ast.fname;
+                fa_kind = a.Ast.attr_name;
+                fa_arg = a.Ast.attr_arg;
+              })
+            f.Ast.fattrs)
+        s.Ast.sfields)
+    (Ast.structs file)
+
+let collect_var_annots (file : Ast.file) =
+  let in_function (fn : Ast.func) =
+    Ast.fold_exprs_func
+      (fun acc e ->
+        match e with
+        | Ast.Ecall (Ast.Eident macro, [ arg ]) -> (
+            match access_of_macro macro with
+            | Some va_access ->
+                {
+                  va_function = fn.Ast.fname;
+                  va_access;
+                  va_path = Pp.expr_to_string arg;
+                  va_field = last_field arg;
+                }
+                :: acc
+            | None -> acc)
+        | _ -> acc)
+      [] fn
+    |> List.rev
+  in
+  List.concat_map in_function (Ast.functions file)
+
+let collect file =
+  { fields = collect_field_annots file; vars = collect_var_annots file }
+
+let count_lines t = List.length t.fields + List.length t.vars
+
+let plan_access = function
+  | Read -> Decaf_xpc.Marshal_plan.Read
+  | Write -> Decaf_xpc.Marshal_plan.Write
+  | Read_write -> Decaf_xpc.Marshal_plan.Read_write

@@ -1,0 +1,217 @@
+module Ast = Decaf_minic.Ast
+module Loc = Decaf_minic.Loc
+module Sset = Set.Make (String)
+
+type violation_kind = Ignored_return | Unchecked_variable of string
+
+type violation = {
+  v_function : string;
+  v_callee : string;
+  v_kind : violation_kind;
+  v_line : int;
+}
+
+(* Does the function body contain [return -CONST]? *)
+let returns_negative_constant (fn : Ast.func) =
+  let rec in_stmt (s : Ast.stmt) =
+    match s.Ast.skind with
+    | Sreturn (Some (Ast.Econst n)) -> n < 0
+    | Sreturn (Some (Ast.Eunop (Ast.Neg, Ast.Econst n))) -> n > 0
+    | Sreturn _ | Sexpr _ | Sdecl _ | Sgoto _ | Slabel _ | Sbreak | Scontinue ->
+        false
+    | Sif (_, a, b) -> List.exists in_stmt a || List.exists in_stmt b
+    | Swhile (_, b) | Sblock b -> List.exists in_stmt b
+    | Sdo (b, _) -> List.exists in_stmt b
+    | Sfor (i, _, _, b) ->
+        (match i with Some s -> in_stmt s | None -> false)
+        || List.exists in_stmt b
+    | Sswitch (_, cases) ->
+        List.exists
+          (function
+            | Ast.Case (_, body) | Ast.Default body -> List.exists in_stmt body)
+          cases
+  in
+  List.exists in_stmt fn.Ast.fbody
+
+(* Direct callees whose value can escape through this function's return:
+   either [return f(...)] directly, or [v = f(...); ... return v]. *)
+let propagates_call_of (fn : Ast.func) =
+  let direct = ref Sset.empty in
+  let assigned_from : (string, Sset.t) Hashtbl.t = Hashtbl.create 8 in
+  let returned_vars = ref Sset.empty in
+  let note_assign var callee =
+    let prev =
+      Option.value ~default:Sset.empty (Hashtbl.find_opt assigned_from var)
+    in
+    Hashtbl.replace assigned_from var (Sset.add callee prev)
+  in
+  let rec in_stmt (s : Ast.stmt) =
+    match s.Ast.skind with
+    | Sreturn (Some (Ast.Ecall (Ast.Eident callee, _))) ->
+        direct := Sset.add callee !direct
+    | Sreturn (Some (Ast.Eident v)) -> returned_vars := Sset.add v !returned_vars
+    | Sexpr (Ast.Eassign (None, Ast.Eident v, Ast.Ecall (Ast.Eident callee, _)))
+    | Sdecl (_, v, Some (Ast.Ecall (Ast.Eident callee, _))) ->
+        note_assign v callee
+    | Sif (_, a, b) ->
+        List.iter in_stmt a;
+        List.iter in_stmt b
+    | Swhile (_, b) | Sblock b -> List.iter in_stmt b
+    | Sdo (b, _) -> List.iter in_stmt b
+    | Sfor (i, _, _, b) ->
+        Option.iter in_stmt i;
+        List.iter in_stmt b
+    | Sswitch (_, cases) ->
+        List.iter
+          (function
+            | Ast.Case (_, body) | Ast.Default body -> List.iter in_stmt body)
+          cases
+    | Sreturn _ | Sexpr _ | Sdecl _ | Sgoto _ | Slabel _ | Sbreak | Scontinue
+      ->
+        ()
+  in
+  List.iter in_stmt fn.Ast.fbody;
+  Sset.fold
+    (fun var acc ->
+      match Hashtbl.find_opt assigned_from var with
+      | Some callees -> Sset.union callees acc
+      | None -> acc)
+    !returned_vars !direct
+
+let error_returning_functions (file : Ast.file) ~extra =
+  let funcs = Ast.functions file in
+  let base =
+    List.fold_left
+      (fun acc fn ->
+        if returns_negative_constant fn then Sset.add fn.Ast.fname acc else acc)
+      (Sset.of_list extra) funcs
+  in
+  (* propagate to fixpoint: a function returning an error-returning
+     function's result is itself error-returning *)
+  let rec fixpoint known =
+    let next =
+      List.fold_left
+        (fun acc fn ->
+          if Sset.mem fn.Ast.fname acc then acc
+          else if not (Sset.is_empty (Sset.inter (propagates_call_of fn) acc))
+          then Sset.add fn.Ast.fname acc
+          else acc)
+        known funcs
+    in
+    if Sset.cardinal next = Sset.cardinal known then known else fixpoint next
+  in
+  Sset.elements (fixpoint base)
+
+(* Flatten a body into a linear statement sequence (approximating control
+   flow for the never-read-after analysis). *)
+let rec flatten (stmts : Ast.stmt list) =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      s
+      ::
+      (match s.Ast.skind with
+      | Sif (_, a, b) -> flatten a @ flatten b
+      | Swhile (_, b) | Sblock b -> flatten b
+      | Sdo (b, _) -> flatten b
+      | Sfor (i, _, _, b) ->
+          (match i with Some s -> [ s ] | None -> []) @ flatten b
+      | Sswitch (_, cases) ->
+          List.concat_map
+            (function
+              | Ast.Case (_, body) | Ast.Default body -> flatten body)
+            cases
+      | Sexpr _ | Sdecl _ | Sreturn _ | Sgoto _ | Slabel _ | Sbreak
+      | Scontinue ->
+          []))
+    stmts
+
+let expr_mentions var e =
+  Ast.fold_expr
+    (fun acc e -> acc || match e with Ast.Eident x -> x = var | _ -> false)
+    false e
+
+let stmt_mentions var (s : Ast.stmt) =
+  match s.Ast.skind with
+  | Sexpr e | Sdecl (_, _, Some e) | Sreturn (Some e) -> expr_mentions var e
+  | Sif (c, _, _) | Swhile (c, _) | Sdo (_, c) -> expr_mentions var c
+  | Sfor (_, c, u, _) ->
+      (match c with Some e -> expr_mentions var e | None -> false)
+      || (match u with Some e -> expr_mentions var e | None -> false)
+  | Sswitch (c, _) -> expr_mentions var c
+  | Sblock _ (* children appear separately in the flattened sequence *)
+  | Sdecl (_, _, None)
+  | Sreturn None | Sgoto _ | Slabel _ | Sbreak | Scontinue ->
+      false
+
+let find_violations (file : Ast.file) ~extra =
+  let errfns = Sset.of_list (error_returning_functions file ~extra) in
+  let check_function (fn : Ast.func) =
+    let linear = flatten fn.Ast.fbody in
+    let rec scan acc = function
+      | [] -> acc
+      | (s : Ast.stmt) :: rest -> (
+          match s.Ast.skind with
+          (* bare call to an error-returning function *)
+          | Sexpr (Ast.Ecall (Ast.Eident callee, _)) when Sset.mem callee errfns
+            ->
+              scan
+                ({
+                   v_function = fn.Ast.fname;
+                   v_callee = callee;
+                   v_kind = Ignored_return;
+                   v_line = s.Ast.sloc.Loc.line;
+                 }
+                :: acc)
+                rest
+          (* result stored but never read afterwards *)
+          | Sexpr (Ast.Eassign (None, Ast.Eident var, Ast.Ecall (Ast.Eident callee, _)))
+          | Sdecl (_, var, Some (Ast.Ecall (Ast.Eident callee, _)))
+            when Sset.mem callee errfns ->
+              if List.exists (stmt_mentions var) rest then scan acc rest
+              else
+                scan
+                  ({
+                     v_function = fn.Ast.fname;
+                     v_callee = callee;
+                     v_kind = Unchecked_variable var;
+                     v_line = s.Ast.sloc.Loc.line;
+                   }
+                  :: acc)
+                  rest
+          | _ -> scan acc rest)
+    in
+    scan [] linear |> List.rev
+  in
+  List.concat_map check_function (Ast.functions file)
+
+(* [if (v) return v;], [if (v) return -C;], [if (v) goto l;] — the pure
+   propagation shapes an exception rewrite deletes. *)
+let is_propagation (s : Ast.stmt) =
+  match s.Ast.skind with
+  | Sif (Ast.Eident v, [ { Ast.skind = Sreturn (Some (Ast.Eident v')); _ } ], [])
+    ->
+      v = v'
+  | Sif (Ast.Eident _, [ { Ast.skind = Sreturn (Some (Ast.Econst _)); _ } ], [])
+  | Sif
+      ( Ast.Eident _,
+        [ { Ast.skind = Sreturn (Some (Ast.Eunop (Ast.Neg, Ast.Econst _))); _ } ],
+        [] )
+  | Sif (Ast.Eident _, [ { Ast.skind = Sgoto _; _ } ], []) ->
+      true
+  | _ -> false
+
+let propagation_sites (fn : Ast.func) =
+  List.length (List.filter is_propagation (flatten fn.Ast.fbody))
+
+let func_loc source (fn : Ast.func) =
+  Loc_count.count_range Loc_count.C source ~first:fn.Ast.floc_start.Loc.line
+    ~last:fn.Ast.floc_end.Loc.line
+
+let exception_savings (file : Ast.file) ~funcs =
+  List.fold_left
+    (fun (removed, total) name ->
+      match Ast.find_function file name with
+      | Some fn ->
+          (removed + propagation_sites fn, total + func_loc file.Ast.source fn)
+      | None -> (removed, total))
+    (0, 0) funcs

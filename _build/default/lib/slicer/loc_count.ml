@@ -1,0 +1,82 @@
+type lang = C | Ocaml
+
+(* Strip comments, preserving newlines so line numbers survive. *)
+let strip_comments lang src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let i = ref 0 in
+  let in_block = ref false in
+  let in_line = ref false in
+  let in_string = ref false in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let c2 = if !i + 1 < n then Some src.[!i + 1] else None in
+    if !in_line then begin
+      if c = '\n' then begin
+        in_line := false;
+        Buffer.add_char buf '\n'
+      end;
+      incr i
+    end
+    else if !in_block then begin
+      (match (lang, c, c2) with
+      | C, '*', Some '/' ->
+          in_block := false;
+          incr i
+      | Ocaml, '*', Some ')' ->
+          decr depth;
+          if !depth = 0 then in_block := false;
+          incr i
+      | Ocaml, '(', Some '*' ->
+          incr depth;
+          incr i
+      | _, '\n', _ -> Buffer.add_char buf '\n'
+      | _ -> ());
+      incr i
+    end
+    else if !in_string then begin
+      (match (c, c2) with
+      | '\\', Some _ ->
+          Buffer.add_char buf c;
+          Buffer.add_char buf (Option.get c2);
+          incr i
+      | '"', _ ->
+          in_string := false;
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf c);
+      incr i
+    end
+    else begin
+      (match (lang, c, c2) with
+      | C, '/', Some '/' ->
+          in_line := true;
+          incr i
+      | C, '/', Some '*' ->
+          in_block := true;
+          incr i
+      | Ocaml, '(', Some '*' ->
+          in_block := true;
+          depth := 1;
+          incr i
+      | _, '"', _ ->
+          in_string := true;
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf c);
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let non_blank line = String.trim line <> ""
+
+let count lang src =
+  strip_comments lang src |> String.split_on_char '\n'
+  |> List.filter non_blank |> List.length
+
+let count_range lang src ~first ~last =
+  strip_comments lang src |> String.split_on_char '\n'
+  |> List.filteri (fun i line ->
+         let lineno = i + 1 in
+         lineno >= first && lineno <= last && non_blank line)
+  |> List.length

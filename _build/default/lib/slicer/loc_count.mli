@@ -1,0 +1,10 @@
+(** Counting non-comment, non-blank lines of code — the measure used
+    throughout the paper's tables. Handles C and OCaml comment syntax. *)
+
+type lang = C | Ocaml
+
+val count : lang -> string -> int
+(** Non-comment, non-blank lines in the source text. *)
+
+val count_range : lang -> string -> first:int -> last:int -> int
+(** Same, restricted to 1-based line numbers [first..last] inclusive. *)

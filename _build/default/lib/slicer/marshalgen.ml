@@ -1,0 +1,242 @@
+module Ast = Decaf_minic.Ast
+module Plan = Decaf_xpc.Marshal_plan
+
+type field_use = { fu_field : string; fu_read : bool; fu_written : bool }
+
+module Smap = Map.Make (String)
+
+(* Walk the bodies of [funcs], recording which struct fields are read and
+   which are written. Assignment left-hand sides whose outermost node is
+   a field access count as writes; everything else counts as reads. *)
+let field_accesses (file : Ast.file) ~funcs =
+  let uses = ref Smap.empty in
+  let note field ~write =
+    let u =
+      match Smap.find_opt field !uses with
+      | Some u -> u
+      | None -> { fu_field = field; fu_read = false; fu_written = false }
+    in
+    let u =
+      if write then { u with fu_written = true } else { u with fu_read = true }
+    in
+    uses := Smap.add field u !uses
+  in
+  let rec reads e =
+    match e with
+    | Ast.Efield (base, f) | Ast.Earrow (base, f) ->
+        note f ~write:false;
+        reads base
+    | Ast.Eassign (op, lhs, rhs) ->
+        (match lhs with
+        | Ast.Efield (base, f) | Ast.Earrow (base, f) ->
+            note f ~write:true;
+            (* compound assignment also reads the field *)
+            if op <> None then note f ~write:false;
+            reads base
+        | _ -> reads lhs);
+        reads rhs
+    | Ast.Epostincr inner | Ast.Epostdecr inner | Ast.Epreincr inner
+    | Ast.Epredecr inner -> (
+        match inner with
+        | Ast.Efield (base, f) | Ast.Earrow (base, f) ->
+            note f ~write:true;
+            note f ~write:false;
+            reads base
+        | _ -> reads inner)
+    | Ast.Econst _ | Ast.Estr _ | Ast.Echar _ | Ast.Eident _
+    | Ast.Esizeof_type _ ->
+        ()
+    | Ast.Eunop (_, a) | Ast.Ecast (_, a) | Ast.Esizeof_expr a -> reads a
+    | Ast.Ebinop (_, a, b) | Ast.Eindex (a, b) ->
+        reads a;
+        reads b
+    | Ast.Econd (a, b, c) ->
+        reads a;
+        reads b;
+        reads c
+    | Ast.Ecall (Ast.Eident name, _)
+      when String.length name >= 6 && String.sub name 0 6 = "DECAF_" ->
+        (* annotation macro, not a real access: handled by Annot *)
+        ()
+    | Ast.Ecall (callee, args) ->
+        reads callee;
+        List.iter reads args
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.skind with
+    | Sexpr e -> reads e
+    | Sdecl (_, _, init) -> Option.iter reads init
+    | Sif (c, a, b) ->
+        reads c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Swhile (c, body) ->
+        reads c;
+        List.iter stmt body
+    | Sdo (body, c) ->
+        List.iter stmt body;
+        reads c
+    | Sfor (init, cond, update, body) ->
+        Option.iter stmt init;
+        Option.iter reads cond;
+        Option.iter reads update;
+        List.iter stmt body
+    | Sreturn e -> Option.iter reads e
+    | Sswitch (e, cases) ->
+        reads e;
+        List.iter
+          (function
+            | Ast.Case (_, body) | Ast.Default body -> List.iter stmt body)
+          cases
+    | Sgoto _ | Slabel _ | Sbreak | Scontinue -> ()
+    | Sblock body -> List.iter stmt body
+  in
+  List.iter
+    (fun name ->
+      match Ast.find_function file name with
+      | Some fn -> List.iter stmt fn.Ast.fbody
+      | None -> ())
+    funcs;
+  Smap.fold (fun _ u acc -> u :: acc) !uses [] |> List.rev
+
+let plans (file : Ast.file) ~user_funcs ~annots =
+  let uses = field_accesses file ~funcs:user_funcs in
+  let access_of u =
+    match (u.fu_read, u.fu_written) with
+    | true, true -> Plan.Read_write
+    | false, true -> Plan.Write
+    | _, false -> Plan.Read
+  in
+  let from_annots (s : Ast.struct_def) =
+    List.filter_map
+      (fun (va : Annot.var_annot) ->
+        if
+          List.exists
+            (fun (f : Ast.field) -> f.Ast.fname = va.Annot.va_field)
+            s.Ast.sfields
+        then Some (va.Annot.va_field, Annot.plan_access va.Annot.va_access)
+        else None)
+      annots.Annot.vars
+  in
+  List.filter_map
+    (fun (s : Ast.struct_def) ->
+      let from_uses =
+        List.filter_map
+          (fun u ->
+            if
+              List.exists
+                (fun (f : Ast.field) -> f.Ast.fname = u.fu_field)
+                s.Ast.sfields
+            then Some (u.fu_field, access_of u)
+            else None)
+          uses
+      in
+      let merged =
+        List.fold_left
+          (fun acc (name, a) ->
+            let single = Plan.make ~type_id:s.Ast.sname [ (name, a) ] in
+            Plan.union acc single)
+          (Plan.make ~type_id:s.Ast.sname [])
+          (from_uses @ from_annots s)
+      in
+      if Plan.fields merged = [] then None else Some merged)
+    (Ast.structs file)
+
+(* --- generated code text --- *)
+
+let c_marshal_call spec name = function
+  | Xdrspec.Xint -> Printf.sprintf "xdr_int(xdrs, &objp->%s)" name
+  | Xdrspec.Xuint -> Printf.sprintf "xdr_u_int(xdrs, &objp->%s)" name
+  | Xdrspec.Xhyper -> Printf.sprintf "xdr_hyper(xdrs, &objp->%s)" name
+  | Xdrspec.Xbool -> Printf.sprintf "xdr_bool(xdrs, &objp->%s)" name
+  | Xdrspec.Xopaque n -> Printf.sprintf "xdr_opaque(xdrs, objp->%s, %d)" name n
+  | Xdrspec.Xstring -> Printf.sprintf "xdr_string(xdrs, &objp->%s, ~0)" name
+  | Xdrspec.Xarray (t, n) ->
+      Printf.sprintf "xdr_vector(xdrs, (char *)objp->%s, %d, sizeof(*objp->%s), (xdrproc_t)%s)"
+        name n name
+        (match t with
+        | Xdrspec.Xint -> "xdr_int"
+        | Xdrspec.Xuint -> "xdr_u_int"
+        | Xdrspec.Xhyper -> "xdr_hyper"
+        | _ -> "xdr_u_int")
+  | Xdrspec.Xoptional t ->
+      Printf.sprintf "xdr_pointer(xdrs, (char **)&objp->%s, sizeof(*objp->%s), (xdrproc_t)%s)"
+        name name
+        (match t with
+        | Xdrspec.Xstruct_ref s -> "xdr_" ^ s
+        | _ -> "xdr_u_int")
+  | Xdrspec.Xstruct_ref s ->
+      ignore spec;
+      Printf.sprintf "xdr_%s(xdrs, &objp->%s)" s name
+
+let c_marshal_code spec (s : Xdrspec.xdr_struct) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "bool_t\nxdr_%s(XDR *xdrs, %s *objp)\n{\n" s.Xdrspec.xs_name
+       s.Xdrspec.xs_name);
+  Buffer.add_string buf
+    "\t/* object tracker: reuse an existing copy if one is registered */\n";
+  Buffer.add_string buf
+    (Printf.sprintf "\tobjp = decaf_objtracker_lookup(xdrs, objp, \"%s\");\n"
+       s.Xdrspec.xs_name);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "\tif (!%s)\n\t\treturn FALSE;\n"
+           (c_marshal_call spec f.Xdrspec.xf_name f.Xdrspec.xf_type)))
+    s.Xdrspec.xs_fields;
+  Buffer.add_string buf "\treturn TRUE;\n}\n";
+  Buffer.contents buf
+
+let java_type = function
+  | Xdrspec.Xint | Xdrspec.Xuint -> "int"
+  | Xdrspec.Xhyper -> "long"
+  | Xdrspec.Xbool -> "boolean"
+  | Xdrspec.Xopaque _ -> "byte[]"
+  | Xdrspec.Xstring -> "String"
+  | Xdrspec.Xarray (Xdrspec.Xhyper, _) -> "long[]"
+  | Xdrspec.Xarray _ -> "int[]"
+  | Xdrspec.Xoptional (Xdrspec.Xstruct_ref s) | Xdrspec.Xstruct_ref s -> s
+  | Xdrspec.Xoptional _ -> "Integer"
+
+let java_class_code (s : Xdrspec.xdr_struct) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "public class %s implements XdrAble {\n" s.Xdrspec.xs_name);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "    public %s %s;\n" (java_type f.Xdrspec.xf_type)
+           f.Xdrspec.xf_name))
+    s.Xdrspec.xs_fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let java_marshal_code spec (s : Xdrspec.xdr_struct) =
+  ignore spec;
+  let buf = Buffer.create 512 in
+  let cls = s.Xdrspec.xs_name in
+  Buffer.add_string buf
+    (Printf.sprintf "public void xdrEncode(XdrEncodingStream xdr) {\n");
+  Buffer.add_string buf
+    (Printf.sprintf "    JavaOT.note_encoded(this, \"%s\");\n" cls);
+  List.iter
+    (fun f ->
+      let name = f.Xdrspec.xf_name in
+      let call =
+        match f.Xdrspec.xf_type with
+        | Xdrspec.Xint | Xdrspec.Xuint -> Printf.sprintf "xdr.xdrEncodeInt(%s)" name
+        | Xdrspec.Xhyper -> Printf.sprintf "xdr.xdrEncodeLong(%s)" name
+        | Xdrspec.Xbool -> Printf.sprintf "xdr.xdrEncodeBoolean(%s)" name
+        | Xdrspec.Xopaque n ->
+            Printf.sprintf "xdr.xdrEncodeOpaque(%s, %d)" name n
+        | Xdrspec.Xstring -> Printf.sprintf "xdr.xdrEncodeString(%s)" name
+        | Xdrspec.Xarray _ -> Printf.sprintf "xdr.xdrEncodeIntVector(%s)" name
+        | Xdrspec.Xoptional (Xdrspec.Xstruct_ref _) | Xdrspec.Xstruct_ref _ ->
+            Printf.sprintf "JavaOT.encode_shared(xdr, %s)" name
+        | Xdrspec.Xoptional _ -> Printf.sprintf "xdr.xdrEncodeInt(%s)" name
+      in
+      Buffer.add_string buf (Printf.sprintf "    %s;\n" call))
+    s.Xdrspec.xs_fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

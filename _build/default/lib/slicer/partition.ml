@@ -1,0 +1,80 @@
+module Ast = Decaf_minic.Ast
+module Callgraph = Decaf_minic.Callgraph
+module Sset = Set.Make (String)
+
+type config = {
+  driver_name : string;
+  critical_roots : string list;
+  interface_functions : string list;
+}
+
+type placement = Nucleus | User
+
+type result = {
+  config : config;
+  nucleus : string list;
+  user : string list;
+  user_entry_points : string list;
+  kernel_entry_points : string list;
+}
+
+let run file config =
+  let cg = Callgraph.build file in
+  let defined = Sset.of_list (Callgraph.defined cg) in
+  let missing =
+    List.filter
+      (fun f -> not (Sset.mem f defined))
+      (config.critical_roots @ config.interface_functions)
+  in
+  if missing <> [] then
+    invalid_arg
+      (Printf.sprintf "Partition.run (%s): unknown functions: %s"
+         config.driver_name
+         (String.concat ", " missing));
+  let nucleus = Sset.of_list (Callgraph.reachable cg ~roots:config.critical_roots) in
+  let user = Sset.diff defined nucleus in
+  (* User-mode entry points: interface functions that moved up. *)
+  let user_entry_points =
+    List.filter (fun f -> Sset.mem f user) config.interface_functions
+  in
+  (* Kernel entry points: nucleus functions and kernel imports invoked
+     from user-mode code. *)
+  let is_annotation name = String.length name >= 6 && String.sub name 0 6 = "DECAF_" in
+  let kernel_entry_points =
+    Sset.fold
+      (fun u acc ->
+        let to_nucleus =
+          List.filter (fun c -> Sset.mem c nucleus) (Callgraph.callees cg u)
+        in
+        let imports =
+          List.filter
+            (fun c -> not (is_annotation c))
+            (Callgraph.external_callees cg u)
+        in
+        Sset.union acc (Sset.of_list (to_nucleus @ imports)))
+      user Sset.empty
+  in
+  {
+    config;
+    nucleus = Sset.elements nucleus;
+    user = Sset.elements user;
+    user_entry_points = List.sort compare user_entry_points;
+    kernel_entry_points = Sset.elements kernel_entry_points;
+  }
+
+let placement result name =
+  if List.mem name result.nucleus then Nucleus
+  else if List.mem name result.user then User
+  else raise Not_found
+
+let check_soundness file result =
+  let cg = Callgraph.build file in
+  let reachable =
+    Sset.of_list (Callgraph.reachable cg ~roots:result.config.critical_roots)
+  in
+  let misplaced = List.filter (fun f -> Sset.mem f reachable) result.user in
+  if misplaced = [] then Ok ()
+  else
+    Error
+      (Printf.sprintf "kernel-reachable functions placed in user mode: %s"
+         (String.concat ", " misplaced))

@@ -1,0 +1,45 @@
+(** Partitioning: which functions must stay in the kernel.
+
+    As in Microdrivers (§2.4), the input is the set of {e critical root
+    functions} — driver entry points that must execute in the kernel for
+    performance (data path) or functionality (interrupt handlers, code
+    called with locks held). Every function reachable from a critical
+    root stays in the driver nucleus; everything else can move to user
+    level.
+
+    The pass also computes the entry points where control crosses the
+    boundary: user-mode entry points (driver-interface functions that
+    moved up) and kernel entry points (critical driver functions and
+    kernel imports invoked from user-mode code). *)
+
+type config = {
+  driver_name : string;
+  critical_roots : string list;
+      (** driver functions that must run in the kernel *)
+  interface_functions : string list;
+      (** functions the kernel invokes (the driver's ops tables); those
+          not forced into the nucleus become user-mode entry points *)
+}
+
+type placement = Nucleus | User
+
+type result = {
+  config : config;
+  nucleus : string list;
+  user : string list;
+  user_entry_points : string list;
+  kernel_entry_points : string list;
+      (** nucleus functions and kernel imports called from user code *)
+}
+
+val run : Decaf_minic.Ast.file -> config -> result
+(** Raises [Invalid_argument] if a critical root or interface function is
+    not defined in the file. *)
+
+val placement : result -> string -> placement
+(** Placement of a defined function; raises [Not_found] otherwise. *)
+
+val check_soundness : Decaf_minic.Ast.file -> result -> (unit, string) Stdlib.result
+(** Verify the partition invariant: no function reachable from a critical
+    root was placed in user mode. Property tests run this on random
+    subsets of roots. *)

@@ -1,0 +1,66 @@
+module Plan = Decaf_xpc.Marshal_plan
+
+type change = {
+  ch_type : string;
+  ch_added_fields : string list;
+  ch_widened_fields : string list;
+}
+
+let interface_changes ~old_plans ~new_plans =
+  List.filter_map
+    (fun np ->
+      let ty = Plan.type_id np in
+      match List.find_opt (fun op -> Plan.type_id op = ty) old_plans with
+      | None ->
+          let added = List.map fst (Plan.fields np) in
+          if added = [] then None
+          else Some { ch_type = ty; ch_added_fields = added; ch_widened_fields = [] }
+      | Some op ->
+          let old_fields = Plan.fields op in
+          let added, widened =
+            List.fold_left
+              (fun (added, widened) (name, access) ->
+                match List.assoc_opt name old_fields with
+                | None -> (name :: added, widened)
+                | Some old_access when old_access <> access ->
+                    (added, name :: widened)
+                | Some _ -> (added, widened))
+              ([], []) (Plan.fields np)
+          in
+          if added = [] && widened = [] then None
+          else
+            Some
+              {
+                ch_type = ty;
+                ch_added_fields = List.rev added;
+                ch_widened_fields = List.rev widened;
+              })
+    new_plans
+
+let regenerate ~old_plans ~source config =
+  let out = Slicer.slice ~source config in
+  let changes = interface_changes ~old_plans ~new_plans:out.Slicer.plans in
+  let merged =
+    List.map
+      (fun np ->
+        match
+          List.find_opt
+            (fun op -> Plan.type_id op = Plan.type_id np)
+            old_plans
+        with
+        | Some op -> Plan.union op np
+        | None -> np)
+      out.Slicer.plans
+  in
+  (* Keep plans for structs that disappeared from the new analysis: the
+     decaf driver may still hold references to them. *)
+  let carried =
+    List.filter
+      (fun op ->
+        not
+          (List.exists
+             (fun np -> Plan.type_id np = Plan.type_id op)
+             out.Slicer.plans))
+      old_plans
+  in
+  ({ out with Slicer.plans = merged @ carried }, changes)

@@ -1,0 +1,65 @@
+module Ast = Decaf_minic.Ast
+module Loc = Decaf_minic.Loc
+
+type driver_stats = {
+  ds_name : string;
+  ds_type : string;
+  ds_loc : int;
+  ds_annotations : int;
+  ds_nucleus_funcs : int;
+  ds_nucleus_loc : int;
+  ds_library_funcs : int;
+  ds_library_loc : int;
+  ds_decaf_funcs : int;
+  ds_decaf_loc : int;
+  ds_converted_orig_loc : int;
+}
+
+let func_loc source (fn : Ast.func) =
+  Loc_count.count_range Loc_count.C source ~first:fn.Ast.floc_start.Loc.line
+    ~last:fn.Ast.floc_end.Loc.line
+
+let loc_of_functions (out : Slicer.output) names =
+  List.fold_left
+    (fun acc name ->
+      match Ast.find_function out.Slicer.file name with
+      | Some fn -> acc + func_loc out.Slicer.file.Ast.source fn
+      | None -> acc)
+    0 names
+
+let stats (out : Slicer.output) ~dtype =
+  let nucleus = out.Slicer.partition.Partition.nucleus in
+  let library = Slicer.library_functions out in
+  let decaf = Slicer.decaf_functions out in
+  let converted = loc_of_functions out decaf in
+  {
+    ds_name = out.Slicer.partition.Partition.config.Partition.driver_name;
+    ds_type = dtype;
+    ds_loc = Loc_count.count Loc_count.C out.Slicer.file.Ast.source;
+    ds_annotations = Annot.count_lines out.Slicer.annots;
+    ds_nucleus_funcs = List.length nucleus;
+    ds_nucleus_loc = loc_of_functions out nucleus;
+    ds_library_funcs = List.length library;
+    ds_library_loc = loc_of_functions out library;
+    ds_decaf_funcs = List.length decaf;
+    (* A Java rewrite with exceptions is shorter than the C original
+       (§5.1 reports ~8% savings from removed error propagation alone);
+       the decaf LoC column reports the converted functions' size. *)
+    ds_decaf_loc = converted;
+    ds_converted_orig_loc = converted;
+  }
+
+let user_fraction ds =
+  let total = ds.ds_nucleus_funcs + ds.ds_library_funcs + ds.ds_decaf_funcs in
+  if total = 0 then 0.
+  else float_of_int (ds.ds_library_funcs + ds.ds_decaf_funcs) /. float_of_int total
+
+let header =
+  Printf.sprintf "%-10s %-8s %6s %6s | %5s %6s | %5s %6s | %5s %6s" "Driver"
+    "Type" "LoC" "Annot" "NucF" "NucLoC" "LibF" "LibLoC" "DecF" "DecLoC"
+
+let pp_row ppf ds =
+  Format.fprintf ppf "%-10s %-8s %6d %6d | %5d %6d | %5d %6d | %5d %6d"
+    ds.ds_name ds.ds_type ds.ds_loc ds.ds_annotations ds.ds_nucleus_funcs
+    ds.ds_nucleus_loc ds.ds_library_funcs ds.ds_library_loc ds.ds_decaf_funcs
+    ds.ds_decaf_loc

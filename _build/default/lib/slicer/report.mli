@@ -1,0 +1,24 @@
+(** Per-driver conversion statistics — one row of the paper's Table 2. *)
+
+type driver_stats = {
+  ds_name : string;
+  ds_type : string;  (** Network / Sound / USB 1.0 / Mouse *)
+  ds_loc : int;  (** lines of code in the original driver *)
+  ds_annotations : int;
+  ds_nucleus_funcs : int;
+  ds_nucleus_loc : int;
+  ds_library_funcs : int;
+  ds_library_loc : int;
+  ds_decaf_funcs : int;
+  ds_decaf_loc : int;
+  ds_converted_orig_loc : int;
+      (** original C lines of the functions converted to Java *)
+}
+
+val stats : Slicer.output -> dtype:string -> driver_stats
+
+val user_fraction : driver_stats -> float
+(** Fraction of functions that moved out of the kernel. *)
+
+val pp_row : Format.formatter -> driver_stats -> unit
+val header : string

@@ -1,0 +1,43 @@
+module Parser = Decaf_minic.Parser
+
+type java_choice = All_user | Only of string list
+
+type config = {
+  partition : Partition.config;
+  const_env : (string * int) list;
+  java_functions : java_choice;
+}
+
+type output = {
+  file : Decaf_minic.Ast.file;
+  config : config;
+  partition : Partition.result;
+  annots : Annot.t;
+  spec : Xdrspec.spec;
+  plans : Decaf_xpc.Marshal_plan.t list;
+  stubs : (string * string) list;
+  split : Splitgen.split;
+}
+
+let slice ~source (config : config) =
+  let file = Parser.parse source in
+  let partition = Partition.run file config.partition in
+  let annots = Annot.collect file in
+  let spec = Xdrspec.generate file ~const_env:config.const_env in
+  let plans =
+    Marshalgen.plans file ~user_funcs:partition.Partition.user ~annots
+  in
+  let stubs = Stubgen.generate file partition in
+  let split = Splitgen.run file partition in
+  { file; config; partition; annots; spec; plans; stubs; split }
+
+let decaf_functions t =
+  match t.config.java_functions with
+  | All_user -> t.partition.Partition.user
+  | Only names -> List.filter (fun f -> List.mem f names) t.partition.Partition.user
+
+let library_functions t =
+  match t.config.java_functions with
+  | All_user -> []
+  | Only names ->
+      List.filter (fun f -> not (List.mem f names)) t.partition.Partition.user

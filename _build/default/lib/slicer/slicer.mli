@@ -1,0 +1,39 @@
+(** DriverSlicer: the end-to-end pipeline over a legacy driver source.
+
+    Parses the driver, partitions it by reachability from critical
+    roots, collects annotations, generates the XDR interface spec and
+    marshal plans, emits stubs, and splits the source into nucleus and
+    library trees (§2.4, §3.2). *)
+
+type java_choice =
+  | All_user  (** every user-mode function is converted to Java *)
+  | Only of string list
+      (** only the listed functions are converted; the rest stay in the
+          C driver library (e.g. functions for devices one cannot test,
+          §4.1) *)
+
+type config = {
+  partition : Partition.config;
+  const_env : (string * int) list;
+      (** named array-length constants for [exp(...)] annotations *)
+  java_functions : java_choice;
+}
+
+type output = {
+  file : Decaf_minic.Ast.file;
+  config : config;
+  partition : Partition.result;
+  annots : Annot.t;
+  spec : Xdrspec.spec;
+  plans : Decaf_xpc.Marshal_plan.t list;
+  stubs : (string * string) list;
+  split : Splitgen.split;
+}
+
+val slice : source:string -> config -> output
+
+val decaf_functions : output -> string list
+(** User-mode functions converted to Java. *)
+
+val library_functions : output -> string list
+(** User-mode functions left in the C driver library. *)

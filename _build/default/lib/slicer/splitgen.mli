@@ -1,0 +1,21 @@
+(** Source splitting that preserves comments and structure (§3.2.1).
+
+    Unlike the Microdrivers slicer — whose preprocessed output was
+    unsuitable for continued development — this pass patches the original
+    source text: it produces two copies of the driver, removing from each
+    the bodies of functions implemented by the other side and leaving
+    every other line (including comments and blank lines) untouched.
+    Marshaling stubs go to a separate file to keep the patched driver
+    readable. *)
+
+type split = {
+  nucleus_src : string;  (** the driver-nucleus source tree (one file) *)
+  library_src : string;  (** the user-level source, to be ported to Java *)
+  stubs_src : string;  (** generated stubs, segregated from driver code *)
+}
+
+val run : Decaf_minic.Ast.file -> Partition.result -> split
+
+val nucleus_loc : split -> int
+val library_loc : split -> int
+val stubs_loc : split -> int

@@ -1,0 +1,163 @@
+module Ast = Decaf_minic.Ast
+module Pp = Decaf_minic.Pp
+
+let param_list (fn : Ast.func) =
+  List.filter (fun (p : Ast.param) -> p.Ast.pname <> "") fn.Ast.fparams
+
+let c_params fn =
+  param_list fn
+  |> List.map (fun (p : Ast.param) ->
+         Printf.sprintf "%s %s" (Pp.typ_to_string p.Ast.ptyp) p.Ast.pname)
+  |> String.concat ", "
+
+let arg_names fn =
+  param_list fn |> List.map (fun (p : Ast.param) -> p.Ast.pname)
+
+let is_void (fn : Ast.func) = fn.Ast.fret = Ast.Tvoid
+
+let kernel_stub (fn : Ast.func) =
+  let buf = Buffer.create 256 in
+  let ret = Pp.typ_to_string fn.Ast.fret in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s(%s)\n{\n" ret fn.Ast.fname (c_params fn));
+  Buffer.add_string buf "\tstruct xpc_buffer xb;\n";
+  Buffer.add_string buf "\txpc_begin(&xb);\n";
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (Printf.sprintf "\txpc_marshal(&xb, %s);\n" name))
+    (arg_names fn);
+  Buffer.add_string buf
+    (Printf.sprintf "\txpc_call_user(&xb, XPC_%s);\n"
+       (String.uppercase_ascii fn.Ast.fname));
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (Printf.sprintf "\txpc_unmarshal(&xb, %s);\n" name))
+    (arg_names fn);
+  if is_void fn then Buffer.add_string buf "\txpc_end(&xb);\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "\t%s ret = xpc_return_value(&xb);\n" ret);
+    Buffer.add_string buf "\txpc_end(&xb);\n\treturn ret;\n"
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let java_param_type (p : Ast.param) =
+  match p.Ast.ptyp with
+  | Ast.Tptr (Ast.Tstruct s) -> s
+  | Ast.Tptr _ -> "CPointer"
+  | Ast.Tint { kind = Ast.Ilonglong; _ } -> "long"
+  | Ast.Tint _ -> "int"
+  | Ast.Tvoid -> "void"
+  | Ast.Tnamed n -> n
+  | Ast.Tstruct s -> s
+  | Ast.Tarray _ -> "int[]"
+
+(* The Figure 2 shape: translate objects, marshal, backtick-call the C
+   function, unmarshal out-parameters, return. *)
+let jeannie_stub ~class_name (fn : Ast.func) =
+  let buf = Buffer.create 512 in
+  let params = param_list fn in
+  let jret = if is_void fn then "void" else "int" in
+  let jparams =
+    params
+    |> List.map (fun p ->
+           Printf.sprintf "%s java_%s" (java_param_type p) p.Ast.pname)
+    |> String.concat ", "
+  in
+  Buffer.add_string buf (Printf.sprintf "class %s {\n" class_name);
+  Buffer.add_string buf
+    (Printf.sprintf "    public static %s %s(%s) {\n" jret fn.Ast.fname jparams);
+  List.iter
+    (fun (p : Ast.param) ->
+      match p.Ast.ptyp with
+      | Ast.Tptr (Ast.Tstruct _) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        CPointer c_%s = JavaOT.xlate_j_to_c(java_%s);\n"
+               p.Ast.pname p.Ast.pname)
+      | _ -> ())
+    params;
+  Buffer.add_string buf "        begin_marshaling();\n";
+  List.iter
+    (fun (p : Ast.param) ->
+      match p.Ast.ptyp with
+      | Ast.Tptr (Ast.Tstruct _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "        copy_XDR_j2c(java_%s);\n" p.Ast.pname)
+      | _ -> ())
+    params;
+  Buffer.add_string buf "        end_marshaling();\n";
+  let c_args =
+    params
+    |> List.map (fun (p : Ast.param) ->
+           match p.Ast.ptyp with
+           | Ast.Tptr (Ast.Tstruct _) ->
+               Printf.sprintf "(void *) `c_%s.get_c_ptr()" p.Ast.pname
+           | _ -> Printf.sprintf "`java_%s" p.Ast.pname)
+    |> String.concat ", "
+  in
+  if is_void fn then
+    Buffer.add_string buf
+      (Printf.sprintf "        `%s(%s);\n" fn.Ast.fname c_args)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "        int java_ret = `%s(%s);\n" fn.Ast.fname c_args);
+  Buffer.add_string buf "        begin_marshaling();\n";
+  List.iter
+    (fun (p : Ast.param) ->
+      match p.Ast.ptyp with
+      | Ast.Tptr (Ast.Tstruct s) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        java_%s = (%s) copy_XDR_c2j(java_%s, c_%s);\n"
+               p.Ast.pname s p.Ast.pname p.Ast.pname)
+      | _ -> ())
+    params;
+  Buffer.add_string buf "        end_marshaling();\n";
+  if not (is_void fn) then Buffer.add_string buf "        return java_ret;\n";
+  Buffer.add_string buf "    }\n}\n";
+  Buffer.contents buf
+
+let generate file (result : Partition.result) =
+  let class_name =
+    String.capitalize_ascii result.Partition.config.Partition.driver_name
+  in
+  let user_stubs =
+    List.filter_map
+      (fun name ->
+        Ast.find_function file name
+        |> Option.map (fun fn -> ("kernel:" ^ name, kernel_stub fn)))
+      result.Partition.user_entry_points
+  in
+  (* Kernel entry points may be driver functions or kernel imports known
+     only from their prototype (e.g. snd_card_register in Figure 2). *)
+  let as_func name =
+    match Ast.find_function file name with
+    | Some fn -> Some fn
+    | None ->
+        List.find_map
+          (function
+            | Ast.Gfundecl { dname; dret; dparams; dloc }
+              when dname = name ->
+                Some
+                  {
+                    Ast.fname = dname;
+                    fret = dret;
+                    fparams = dparams;
+                    fbody = [];
+                    fstatic = false;
+                    floc_start = dloc;
+                    floc_end = dloc;
+                  }
+            | _ -> None)
+          file.Ast.globals
+  in
+  let kernel_stubs =
+    List.filter_map
+      (fun name ->
+        as_func name
+        |> Option.map (fun fn -> ("jeannie:" ^ name, jeannie_stub ~class_name fn)))
+      result.Partition.kernel_entry_points
+  in
+  user_stubs @ kernel_stubs

@@ -1,0 +1,25 @@
+(** Stub generation (§2.4, §3.1.1).
+
+    For each entry point the partition found, emits the text of the stub
+    that carries a call across a boundary:
+
+    - a {e kernel stub} replacing a user-moved function in the driver
+      nucleus (it marshals arguments and XPCs up), and
+    - a {e Jeannie stub} letting pure Java invoke a C/kernel function:
+      object-tracker translation, XDR copy in, the backtick-call, XDR
+      copy back — the paper's Figure 2. *)
+
+val kernel_stub :
+  Decaf_minic.Ast.func -> string
+(** Stub text installed in the driver nucleus for a user-mode entry
+    point. *)
+
+val jeannie_stub :
+  class_name:string -> Decaf_minic.Ast.func -> string
+(** Jeannie stub text for a kernel entry point invoked from Java. *)
+
+val generate :
+  Decaf_minic.Ast.file -> Partition.result -> (string * string) list
+(** [(stub name, stub code)] for every entry point of the partition;
+    kernel stubs for user entry points, Jeannie stubs for kernel entry
+    points that are defined in the driver. *)

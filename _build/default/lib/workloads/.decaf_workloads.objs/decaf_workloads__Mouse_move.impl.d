@@ -1,0 +1,1 @@
+lib/workloads/mouse_move.ml: Decaf_hw Decaf_kernel Format

@@ -1,0 +1,1 @@
+lib/workloads/mouse_move.mli: Decaf_hw Decaf_kernel Format

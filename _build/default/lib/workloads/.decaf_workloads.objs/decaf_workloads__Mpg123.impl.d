@@ -1,0 +1,1 @@
+lib/workloads/mpg123.ml: Decaf_hw Decaf_kernel Format

@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Bytes Decaf_hw Decaf_kernel Format

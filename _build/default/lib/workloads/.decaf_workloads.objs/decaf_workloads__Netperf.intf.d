@@ -1,0 +1,1 @@
+lib/workloads/netperf.mli: Decaf_hw Decaf_kernel Format

@@ -1,0 +1,1 @@
+lib/workloads/tar_usb.ml: Bytes Decaf_hw Decaf_kernel Format

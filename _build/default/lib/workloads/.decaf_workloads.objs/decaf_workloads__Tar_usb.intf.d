@@ -1,0 +1,1 @@
+lib/workloads/tar_usb.mli: Decaf_hw Format

@@ -1,0 +1,41 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+
+type result = {
+  events_delivered : int;
+  packets : int;
+  cpu_utilization : float;
+  elapsed_ns : int;
+}
+
+let report_interval_ns = 10_000_000 (* 100 reports per second *)
+
+let run ~model ~input ~duration_ns =
+  let t0 = K.Clock.now () and busy0 = K.Clock.busy_ns () in
+  let packets0 = Hw.Psmouse_hw.packets_sent model in
+  let events = ref 0 in
+  K.Inputcore.set_handler input (fun _ev ->
+      (* the X server processes the event *)
+      K.Clock.consume 2_000;
+      incr events);
+  let deadline = t0 + duration_ns in
+  let i = ref 0 in
+  while K.Clock.now () < deadline do
+    incr i;
+    let click = !i mod 50 = 0 in
+    Hw.Psmouse_hw.move model ~dx:(1 + (!i mod 5)) ~dy:(-(!i mod 3))
+      ~buttons:(if click then 1 else 0);
+    K.Sched.sleep_ns report_interval_ns
+  done;
+  K.Sched.sleep_ns 1_000_000;
+  {
+    events_delivered = !events;
+    packets = Hw.Psmouse_hw.packets_sent model - packets0;
+    cpu_utilization = K.Clock.utilization ~since:t0 ~busy_since:busy0;
+    elapsed_ns = K.Clock.now () - t0;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "%d packets, %d events, %.2f%% CPU" r.packets
+    r.events_delivered
+    (100. *. r.cpu_utilization)

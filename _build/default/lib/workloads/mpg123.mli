@@ -1,0 +1,19 @@
+(** The mpg123 workload: decode and play a 256 Kb/s MP3 through the
+    sound driver (44.1 kHz, 16-bit stereo PCM). *)
+
+type result = {
+  seconds_played : float;
+  cpu_utilization : float;
+  underruns : int;
+  periods : int;
+}
+
+val play :
+  substream:Decaf_kernel.Sndcore.substream ->
+  model:Decaf_hw.Ens1371_hw.t ->
+  duration_ns:int ->
+  result
+(** Open the PCM, set 44.1 kHz stereo parameters, stream audio for the
+    given virtual duration, then drain and close. *)
+
+val pp : Format.formatter -> result -> unit

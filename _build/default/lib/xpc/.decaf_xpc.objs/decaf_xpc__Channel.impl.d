@@ -1,0 +1,1 @@
+lib/xpc/channel.ml: Decaf_kernel Domain

@@ -1,0 +1,1 @@
+lib/xpc/channel.mli: Domain

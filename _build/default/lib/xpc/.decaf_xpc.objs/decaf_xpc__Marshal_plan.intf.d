@@ -1,0 +1,1 @@
+lib/xpc/marshal_plan.mli: Format

@@ -1,0 +1,1 @@
+lib/xpc/objtracker.ml: Decaf_kernel Hashtbl List Option Univ Weak

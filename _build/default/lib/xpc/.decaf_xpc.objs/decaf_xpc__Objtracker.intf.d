@@ -1,0 +1,1 @@
+lib/xpc/objtracker.mli: Univ

@@ -1,0 +1,1 @@
+lib/xpc/xdr.ml: Array Buffer Bytes Int64 Printf

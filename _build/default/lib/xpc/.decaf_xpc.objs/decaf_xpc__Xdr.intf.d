@@ -1,0 +1,1 @@
+lib/xpc/xdr.mli:

@@ -1,0 +1,72 @@
+module K = Decaf_kernel
+
+type stats = {
+  mutable kernel_user_calls : int;
+  mutable c_java_calls : int;
+  mutable bytes_marshaled : int;
+}
+
+let counters = { kernel_user_calls = 0; c_java_calls = 0; bytes_marshaled = 0 }
+
+type boundary = Same | User_user | Kernel_user | Kernel_java
+
+let boundary (a : Domain.t) (b : Domain.t) =
+  match (a, b) with
+  | Kernel, Kernel | Driver_lib, Driver_lib | Decaf_driver, Decaf_driver ->
+      Same
+  | Driver_lib, Decaf_driver | Decaf_driver, Driver_lib -> User_user
+  | Kernel, Driver_lib | Driver_lib, Kernel -> Kernel_user
+  | Kernel, Decaf_driver | Decaf_driver, Kernel -> Kernel_java
+
+let charge_kernel_user bytes =
+  K.Sched.assert_may_block "XPC across the kernel/user boundary";
+  counters.kernel_user_calls <- counters.kernel_user_calls + 1;
+  counters.bytes_marshaled <- counters.bytes_marshaled + bytes;
+  K.Clock.consume
+    ((2 * K.Cost.current.xpc_kernel_user_ns)
+    + (2 * K.Cost.current.ctx_switch_ns)
+    + (bytes * K.Cost.current.marshal_byte_ns))
+
+let charge_c_java bytes =
+  counters.c_java_calls <- counters.c_java_calls + 1;
+  counters.bytes_marshaled <- counters.bytes_marshaled + bytes;
+  (* The calling thread is re-used within the process (§2.3), so there is
+     no context switch; the data is unmarshaled in C and re-marshaled in
+     Java, hence the second per-byte term (§4). *)
+  K.Clock.consume
+    ((2 * K.Cost.current.xpc_c_java_ns)
+    + (bytes * (K.Cost.current.marshal_byte_ns + K.Cost.current.remarshal_byte_ns)))
+
+let direct = ref false
+let set_direct_marshaling v = direct := v
+let direct_marshaling () = !direct
+
+let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) f =
+  let bytes = payload_bytes + reply_bytes in
+  (match boundary (Domain.current ()) target with
+  | Same -> ()
+  | User_user -> charge_c_java bytes
+  | Kernel_user -> charge_kernel_user bytes
+  | Kernel_java when !direct ->
+      (* data moves straight between nucleus and decaf driver: one
+         crossing, one marshal pass *)
+      charge_kernel_user bytes
+  | Kernel_java ->
+      charge_kernel_user bytes;
+      charge_c_java bytes);
+  Domain.with_domain target f
+
+let stats () = counters
+
+let reset_stats () =
+  counters.kernel_user_calls <- 0;
+  counters.c_java_calls <- 0;
+  counters.bytes_marshaled <- 0;
+  direct := false
+
+let snapshot () =
+  {
+    kernel_user_calls = counters.kernel_user_calls;
+    c_java_calls = counters.c_java_calls;
+    bytes_marshaled = counters.bytes_marshaled;
+  }

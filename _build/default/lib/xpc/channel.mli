@@ -1,0 +1,42 @@
+(** XPC control transfer between domains, with crossing accounting.
+
+    An XPC pays a fixed per-crossing cost plus a per-byte marshaling
+    cost; the counters feed the "User/Kernel Crossings" column of the
+    paper's Table 3. Crossings into user level from the kernel must be
+    able to block, so attempting one in interrupt context or under a
+    spinlock raises {!Decaf_kernel.Sched.Would_block_in_atomic} — the
+    rule the paper's deferral techniques (§3.1.3) exist to satisfy.
+
+    As in the implementation described in §3.1, XPCs to and from the
+    kernel are always performed by C code: a call between the kernel and
+    the decaf driver implicitly traverses the driver library, paying both
+    the kernel/user and the C/Java costs. *)
+
+type stats = {
+  mutable kernel_user_calls : int;
+      (** call/return round trips crossing the kernel/user boundary *)
+  mutable c_java_calls : int;  (** round trips crossing the C/Java boundary *)
+  mutable bytes_marshaled : int;
+}
+
+val call :
+  target:Domain.t -> ?payload_bytes:int -> ?reply_bytes:int -> (unit -> 'a) -> 'a
+(** Execute [f] in [target], charging crossing and marshaling costs for a
+    call carrying [payload_bytes] and returning [reply_bytes]. A call
+    whose target is the current domain is a plain procedure call: free,
+    and not counted. *)
+
+val set_direct_marshaling : bool -> unit
+(** The optimization §4 proposes: transfer data directly between the
+    driver nucleus and the decaf driver instead of unmarshaling in C and
+    re-marshaling in Java. When enabled, a kernel<->decaf call pays a
+    single crossing with one per-byte marshal pass (no C/Java leg). Off
+    by default, as in the paper's implementation. *)
+
+val direct_marshaling : unit -> bool
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val snapshot : unit -> stats
+(** A copy of the current counters (for before/after measurements). *)

@@ -1,0 +1,24 @@
+type t = Kernel | Driver_lib | Decaf_driver
+
+let to_string = function
+  | Kernel -> "kernel"
+  | Driver_lib -> "driver-library"
+  | Decaf_driver -> "decaf-driver"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+let cur = ref Kernel
+let current () = !cur
+
+let with_domain d f =
+  let prev = !cur in
+  cur := d;
+  match f () with
+  | v ->
+      cur := prev;
+      v
+  | exception e ->
+      cur := prev;
+      raise e
+
+let is_user = function Kernel -> false | Driver_lib | Decaf_driver -> true
+let reset () = cur := Kernel

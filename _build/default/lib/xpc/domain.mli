@@ -1,0 +1,21 @@
+(** Protection domains participating in driver execution (§2.3).
+
+    The [Kernel] domain holds the driver nucleus; [Driver_lib] is the
+    user-level C library; [Decaf_driver] is the managed-language driver.
+    The driver library and decaf driver share one process, so crossings
+    between them are cheap language transitions, while kernel crossings
+    pay the full protection-boundary cost. *)
+
+type t = Kernel | Driver_lib | Decaf_driver
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val current : unit -> t
+(** Domain executing on the (single) CPU right now; [Kernel] at boot. *)
+
+val with_domain : t -> (unit -> 'a) -> 'a
+(** Run [f] with {!current} switched to the given domain. *)
+
+val is_user : t -> bool
+val reset : unit -> unit

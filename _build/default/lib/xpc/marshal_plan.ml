@@ -1,0 +1,61 @@
+type access = Read | Write | Read_write
+
+type t = { type_id : string; fields : (string * access) list }
+
+let make ~type_id fields =
+  let names = List.map fst fields in
+  let dedup = List.sort_uniq compare names in
+  if List.length dedup <> List.length names then
+    invalid_arg ("Marshal_plan.make: duplicate field in plan for " ^ type_id);
+  { type_id; fields }
+
+let type_id t = t.type_id
+let fields t = t.fields
+
+let access t name = List.assoc_opt name t.fields
+
+let copies_in t name =
+  match access t name with
+  | Some (Read | Read_write) -> true
+  | Some Write | None -> false
+
+let copies_out t name =
+  match access t name with
+  | Some (Write | Read_write) -> true
+  | Some Read | None -> false
+
+let combine a b =
+  match (a, b) with
+  | Read_write, _ | _, Read_write -> Read_write
+  | Read, Write | Write, Read -> Read_write
+  | Read, Read -> Read
+  | Write, Write -> Write
+
+let union a b =
+  if a.type_id <> b.type_id then
+    invalid_arg "Marshal_plan.union: different types";
+  let merged =
+    List.fold_left
+      (fun acc (name, acc_b) ->
+        match List.assoc_opt name acc with
+        | Some acc_a ->
+            (name, combine acc_a acc_b) :: List.remove_assoc name acc
+        | None -> (name, acc_b) :: acc)
+      a.fields b.fields
+  in
+  { a with fields = List.rev merged }
+
+let full ~type_id names =
+  make ~type_id (List.map (fun n -> (n, Read_write)) names)
+
+let pp ppf t =
+  let pp_access ppf = function
+    | Read -> Format.pp_print_string ppf "R"
+    | Write -> Format.pp_print_string ppf "W"
+    | Read_write -> Format.pp_print_string ppf "RW"
+  in
+  Format.fprintf ppf "@[<v>plan %s:@," t.type_id;
+  List.iter
+    (fun (name, a) -> Format.fprintf ppf "  %s: %a@," name pp_access a)
+    t.fields;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Field-selective marshal plans.
+
+    XPC copies only the fields the target domain actually accesses
+    (§2.3): DriverSlicer computes, per shared structure, which fields the
+    user-level code reads and which it writes, and the generated
+    marshaling code consults the plan in both directions. *)
+
+type access = Read | Write | Read_write
+
+type t
+
+val make : type_id:string -> (string * access) list -> t
+(** Duplicate field names raise [Invalid_argument]. *)
+
+val type_id : t -> string
+val fields : t -> (string * access) list
+
+val copies_in : t -> string -> bool
+(** Whether the field is copied toward the target (target reads it). *)
+
+val copies_out : t -> string -> bool
+(** Whether the field is copied back to the source (target writes it). *)
+
+val union : t -> t -> t
+(** Merge two plans for the same type (stub regeneration after new
+    annotations); access rights are combined per field. *)
+
+val full : type_id:string -> string list -> t
+(** A plan marshaling every listed field in both directions. *)
+
+val pp : Format.formatter -> t -> unit

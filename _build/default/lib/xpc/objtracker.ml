@@ -1,0 +1,100 @@
+module K = Decaf_kernel
+
+type stats = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable registrations : int;
+}
+
+type weak_entry = { w_get : unit -> Univ.t option }
+
+type t = {
+  name : string;
+  table : (int * string, Univ.t) Hashtbl.t;
+  weak_table : (int * string, weak_entry) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(name = "objtracker") () =
+  {
+    name;
+    table = Hashtbl.create 64;
+    weak_table = Hashtbl.create 16;
+    stats = { lookups = 0; hits = 0; registrations = 0 };
+  }
+
+let associate t ~addr u =
+  t.stats.registrations <- t.stats.registrations + 1;
+  Hashtbl.replace t.table (addr, Univ.name u) u
+
+let find t ~addr key =
+  t.stats.lookups <- t.stats.lookups + 1;
+  K.Clock.consume K.Cost.current.objtracker_lookup_ns;
+  let slot = (addr, Univ.key_name key) in
+  match Hashtbl.find_opt t.table slot with
+  | Some u ->
+      t.stats.hits <- t.stats.hits + 1;
+      Univ.unpack key u
+  | None -> (
+      match Hashtbl.find_opt t.weak_table slot with
+      | Some entry -> (
+          match entry.w_get () with
+          | Some u ->
+              t.stats.hits <- t.stats.hits + 1;
+              Univ.unpack key u
+          | None ->
+              (* the decaf driver dropped its last reference *)
+              Hashtbl.remove t.weak_table slot;
+              None)
+      | None -> None)
+
+let mem t ~addr ~type_id =
+  Hashtbl.mem t.table (addr, type_id)
+  || Hashtbl.mem t.weak_table (addr, type_id)
+
+let associate_weak t ~addr key v =
+  t.stats.registrations <- t.stats.registrations + 1;
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some v);
+  let w_get () = Option.map (Univ.pack key) (Weak.get w 0) in
+  Hashtbl.replace t.weak_table (addr, Univ.key_name key) { w_get }
+
+let sweep t =
+  let dead =
+    Hashtbl.fold
+      (fun slot entry acc ->
+        if entry.w_get () = None then slot :: acc else acc)
+      t.weak_table []
+  in
+  List.iter (Hashtbl.remove t.weak_table) dead;
+  List.length dead
+
+let weak_count t = Hashtbl.length t.weak_table
+
+let types_at t ~addr =
+  let strong =
+    Hashtbl.fold
+      (fun (a, ty) _ acc -> if a = addr then ty :: acc else acc)
+      t.table []
+  in
+  let weak =
+    Hashtbl.fold
+      (fun (a, ty) entry acc ->
+        if a = addr && entry.w_get () <> None then ty :: acc else acc)
+      t.weak_table []
+  in
+  List.sort compare (strong @ weak)
+
+let remove t ~addr ~type_id =
+  Hashtbl.remove t.table (addr, type_id);
+  Hashtbl.remove t.weak_table (addr, type_id)
+
+let remove_all t ~addr =
+  List.iter (fun type_id -> remove t ~addr ~type_id) (types_at t ~addr)
+
+let count t = Hashtbl.length t.table
+let stats t = t.stats
+
+let clear t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.weak_table

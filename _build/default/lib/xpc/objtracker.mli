@@ -1,0 +1,57 @@
+(** The object tracker: associations between an object's C address and
+    its local incarnation in some other domain (§3.1.2).
+
+    A single C pointer may be associated with several objects when an
+    embedded structure shares its parent's address, so entries are keyed
+    by (address, type identifier). *)
+
+type t
+
+type stats = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable registrations : int;
+}
+
+val create : ?name:string -> unit -> t
+
+val associate : t -> addr:int -> Univ.t -> unit
+(** Record that [addr] corresponds to the given object; the object's
+    {!Univ.name} is the type identifier. Re-associating replaces the
+    entry. *)
+
+val find : t -> addr:int -> 'a Univ.key -> 'a option
+(** Look up the object of the key's type at [addr]. Charges
+    {!Decaf_kernel.Cost.t.objtracker_lookup_ns}. *)
+
+val mem : t -> addr:int -> type_id:string -> bool
+
+val types_at : t -> addr:int -> string list
+(** Every type identifier registered at the address (inner and outer
+    structures). *)
+
+val remove : t -> addr:int -> type_id:string -> unit
+val remove_all : t -> addr:int -> unit
+val count : t -> int
+val stats : t -> stats
+val clear : t -> unit
+
+(** {1 Automatic collection}
+
+    The paper's proposed extension (§3.1.2): track shared objects with
+    weak references so that, once the decaf driver drops its last
+    reference, the association disappears and the object can be
+    garbage-collected — instead of requiring drivers to free shared
+    objects explicitly. *)
+
+val associate_weak : t -> addr:int -> 'a Univ.key -> 'a -> unit
+(** Like {!associate}, but the tracker does not keep the object alive:
+    after the object becomes unreachable (and a GC has run), {!find}
+    misses and {!sweep} reclaims the entry. *)
+
+val sweep : t -> int
+(** Drop entries whose weakly-held object has been collected; returns
+    how many were reclaimed. *)
+
+val weak_count : t -> int
+(** Live weak associations (dead-but-unswept entries included). *)

@@ -1,0 +1,22 @@
+type t = { name : string; payload : exn }
+
+type 'a key = {
+  key_name : string;
+  inject : 'a -> exn;
+  project : exn -> 'a option;
+}
+
+let new_key (type a) name =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    key_name = name;
+    inject = (fun v -> M.E v);
+    project = (function M.E v -> Some v | _ -> None);
+  }
+
+let key_name k = k.key_name
+let pack k v = { name = k.key_name; payload = k.inject v }
+let unpack k u = k.project u.payload
+let name u = u.name

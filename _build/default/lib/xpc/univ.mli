@@ -1,0 +1,15 @@
+(** A universal type, used by the object tracker to store objects of any
+    shared-structure type under one table. *)
+
+type t
+type 'a key
+
+val new_key : string -> 'a key
+(** Create a distinct key; the name doubles as the tracker's type
+    identifier (the paper disambiguates C pointers shared by inner and
+    outer structures with exactly such an identifier, §3.1.2). *)
+
+val key_name : 'a key -> string
+val pack : 'a key -> 'a -> t
+val unpack : 'a key -> t -> 'a option
+val name : t -> string

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Decaf_drivers Decaf_experiments Decaf_slicer Float List Printf String Testutil

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Char Decaf_hw Decaf_kernel E1000_hw Eeprom Ens1371_hw Link List Phy Psmouse_hw Rtl8139 String Uhci_hw

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Boot Bytes Clock Decaf_kernel Inputcore Io Irq Kmem List Modules Netcore Option Panic Pci QCheck QCheck_alcotest Result Sched Sndcore Sync Timer Usbcore Workqueue

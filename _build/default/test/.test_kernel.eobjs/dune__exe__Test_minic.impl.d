@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Callgraph Decaf_minic Gen Lexer List Loc Option Parser Pp QCheck QCheck_alcotest Symtab Token

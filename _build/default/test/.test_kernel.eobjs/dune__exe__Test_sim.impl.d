@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Decaf_drivers Decaf_hw Decaf_kernel Decaf_runtime Decaf_workloads Decaf_xpc Driver_env E1000_drv Gen List Option Printf QCheck QCheck_alcotest Result Rtl8139_drv

@@ -1,0 +1,1 @@
+test/test_slicer.ml: Alcotest Annot Decaf_minic Decaf_slicer Decaf_xpc Gen List Loc_count Partition QCheck QCheck_alcotest Regen Report Slicer Splitgen Testutil Xdrspec

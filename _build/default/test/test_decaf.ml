@@ -1,0 +1,214 @@
+(* Tests for the decaf runtime: error discipline, Jeannie bridge, helper
+   routines, parameter-checker classes, and the nuclear deferral worker. *)
+
+open Decaf_runtime
+module K = Decaf_kernel
+module Xpc = Decaf_xpc
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot () =
+  K.Boot.boot ();
+  Xpc.Domain.reset ();
+  Xpc.Channel.reset_stats ();
+  Runtime.reset ()
+
+(* --- Errors --- *)
+
+let test_errors_check_and_to_errno () =
+  Errors.check ~driver:"t" ~context:"fine" 0;
+  Errors.check ~driver:"t" ~context:"fine" 7;
+  check "success maps to 0" 0 (Errors.to_errno (fun () -> ()));
+  check "Hw_error maps to -errno" (-Errors.eio)
+    (Errors.to_errno (fun () ->
+         Errors.check ~driver:"t" ~context:"io" (-Errors.eio)));
+  match Errors.to_result (fun () -> 42) with
+  | Ok v -> check "ok result" 42 v
+  | Error _ -> Alcotest.fail "expected Ok"
+
+let test_errors_protect_runs_cleanup_only_on_failure () =
+  let cleanups = ref 0 in
+  let v =
+    Errors.protect ~cleanup:(fun () -> incr cleanups) (fun () -> 10)
+  in
+  check "value through" 10 v;
+  check "no cleanup on success" 0 !cleanups;
+  (try
+     Errors.protect ~cleanup:(fun () -> incr cleanups) (fun () ->
+         Errors.throw ~driver:"t" ~errno:Errors.enomem "alloc")
+   with Errors.Hw_error _ -> ());
+  check "cleanup ran once on failure" 1 !cleanups
+
+let test_errors_protect_nests_in_order () =
+  (* the Figure 4 shape: inner cleanups run before outer ones *)
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  (try
+     Errors.protect ~cleanup:(note "outer") (fun () ->
+         Errors.protect ~cleanup:(note "inner") (fun () ->
+             Errors.throw ~driver:"t" ~errno:Errors.eio "deep"))
+   with Errors.Hw_error _ -> ());
+  Alcotest.(check (list string)) "inner unwinds first" [ "outer"; "inner" ] !order
+
+(* --- Jeannie --- *)
+
+let test_jeannie_direct_switches_domain () =
+  boot ();
+  Xpc.Domain.with_domain Xpc.Domain.Decaf_driver (fun () ->
+      let d =
+        Jeannie.direct (fun () -> Xpc.Domain.to_string (Xpc.Domain.current ()))
+      in
+      Alcotest.(check string) "ran in the driver library" "driver-library" d);
+  check "counted" 1 (Jeannie.direct_call_count ());
+  check "direct calls are not XPC" 0 (Xpc.Channel.stats ()).Xpc.Channel.c_java_calls
+
+let test_jeannie_via_xpc_counts () =
+  boot ();
+  Xpc.Domain.with_domain Xpc.Domain.Decaf_driver (fun () ->
+      ignore (Jeannie.via_xpc ~bytes:64 (fun () -> ())));
+  check "one C/Java crossing" 1 (Xpc.Channel.stats ()).Xpc.Channel.c_java_calls
+
+(* --- Runtime helpers --- *)
+
+let test_runtime_start_once () =
+  boot ();
+  check_bool "not started" false (Runtime.started ());
+  Runtime.start ();
+  let t1 = K.Clock.now () in
+  check_bool "startup cost charged" true (t1 >= K.Cost.current.jvm_startup_ns);
+  Runtime.start ();
+  check "second start free" t1 (K.Clock.now ())
+
+let test_runtime_sizeof_registry () =
+  boot ();
+  Runtime.Helpers.register_sizeof "e1000_adapter" 512;
+  check "sizeof" 512 (Runtime.Helpers.sizeof "e1000_adapter");
+  check_bool "unknown sizeof is a bug" true
+    (try
+       ignore (Runtime.Helpers.sizeof "nope");
+       false
+     with K.Panic.Kernel_bug _ -> true)
+
+let test_runtime_port_helpers_do_io () =
+  boot ();
+  let last = ref (-1) in
+  let r =
+    K.Io.register_ports ~base:0x100 ~len:4
+      ~read:(fun _ _ -> 0x5a)
+      ~write:(fun _ _ v -> last := v)
+  in
+  Runtime.Helpers.outb 0x100 0x77;
+  check "write reached the device" 0x77 !last;
+  check "read returns device data" 0x5a (Runtime.Helpers.inb 0x100);
+  K.Io.release r
+
+(* --- Params (the e1000_param.c rewrite of section 5.1) --- *)
+
+let test_params_range () =
+  boot ();
+  let c = new Params.range_checker ~name:"TxDescriptors" ~default:256 ~min:80 ~max:4096 in
+  let ok = c#check 512 in
+  check "legal kept" 512 ok.Params.value;
+  check_bool "not adjusted" false ok.Params.adjusted;
+  let bad = c#check 7 in
+  check "illegal replaced by default" 256 bad.Params.value;
+  check_bool "adjusted" true bad.Params.adjusted;
+  check_bool "warning logged" true (K.Klog.count K.Klog.Warning >= 1)
+
+let test_params_set_membership () =
+  boot ();
+  let c =
+    new Params.set_checker ~name:"ITR" ~default:3 ~allowed:[ 0; 1; 3; 8000 ]
+  in
+  check "member kept" 8000 (c#check 8000).Params.value;
+  check "non-member replaced" 3 (c#check 17).Params.value
+
+let test_params_polymorphic_check_all () =
+  boot ();
+  let results =
+    Params.check_all
+      [
+        (new Params.flag_checker ~name:"flag" ~default:0, 1);
+        (new Params.range_checker ~name:"r" ~default:5 ~min:0 ~max:10, 99);
+        (new Params.set_checker ~name:"s" ~default:2 ~allowed:[ 2; 4 ], 4);
+      ]
+  in
+  Alcotest.(check (list string))
+    "names in order" [ "flag"; "r"; "s" ]
+    (List.map fst results);
+  Alcotest.(check (list bool))
+    "adjustment flags" [ false; true; false ]
+    (List.map (fun (_, o) -> o.Params.adjusted) results)
+
+(* --- Nuclear deferral --- *)
+
+let test_nuclear_defer_and_flush () =
+  boot ();
+  let ran = ref 0 in
+  ignore
+    (K.Sched.spawn (fun () ->
+         Runtime.Nuclear.defer (fun () ->
+             K.Sched.sleep_ns 1_000;
+             incr ran);
+         Runtime.Nuclear.defer (fun () -> incr ran);
+         Runtime.Nuclear.flush ();
+         check "both ran before flush returned" 2 !ran));
+  K.Sched.run ();
+  check "deferred count" 2 (Runtime.Nuclear.deferred_count ())
+
+(* --- e1000 uses the checkers at probe time --- *)
+
+let test_e1000_validates_module_params () =
+  boot ();
+  Decaf_drivers.E1000_drv.reset_module_params ();
+  Decaf_drivers.E1000_drv.set_module_params ~tx_descriptors:7
+    ~interrupt_throttle:12345 ();
+  let link = Decaf_hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (Decaf_drivers.E1000_drv.setup_device ~slot:"00:05.0"
+       ~mmio_base:0xf000_0000 ~irq:11 ~mac:"\x00\x1b\x21\x0a\x0b\x0c" ~link ());
+  ignore
+    (K.Sched.spawn (fun () ->
+         match Decaf_drivers.E1000_drv.insmod (Decaf_drivers.Driver_env.decaf ()) with
+         | Ok t -> Decaf_drivers.E1000_drv.rmmod t
+         | Error rc -> Alcotest.failf "insmod: %d" rc));
+  K.Sched.run ();
+  let checked = !Decaf_drivers.E1000_drv.checked_params in
+  let outcome name = List.assoc name checked in
+  check "bad TxDescriptors clamped to default" 256 (outcome "TxDescriptors").Params.value;
+  check_bool "adjusted" true (outcome "TxDescriptors").Params.adjusted;
+  check "bad throttle rate clamped" 3 (outcome "InterruptThrottleRate").Params.value;
+  check_bool "legal flag kept" false (outcome "SmartPowerDownEnable").Params.adjusted;
+  Decaf_drivers.E1000_drv.reset_module_params ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "decaf_runtime"
+    [
+      ( "errors",
+        [
+          tc "check/to_errno" test_errors_check_and_to_errno;
+          tc "protect cleanup" test_errors_protect_runs_cleanup_only_on_failure;
+          tc "nested unwind order" test_errors_protect_nests_in_order;
+        ] );
+      ( "jeannie",
+        [
+          tc "direct call" test_jeannie_direct_switches_domain;
+          tc "via xpc" test_jeannie_via_xpc_counts;
+        ] );
+      ( "runtime",
+        [
+          tc "start once" test_runtime_start_once;
+          tc "sizeof registry" test_runtime_sizeof_registry;
+          tc "port helpers" test_runtime_port_helpers_do_io;
+        ] );
+      ( "params",
+        [
+          tc "range checker" test_params_range;
+          tc "set checker" test_params_set_membership;
+          tc "check_all polymorphism" test_params_polymorphic_check_all;
+          tc "e1000 probe validates" test_e1000_validates_module_params;
+        ] );
+      ("nuclear", [ tc "defer and flush" test_nuclear_defer_and_flush ]);
+    ]

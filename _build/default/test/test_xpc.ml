@@ -1,0 +1,475 @@
+(* Tests for the XPC runtime: XDR wire format, object tracker, marshal
+   plans, and costed control transfer. *)
+
+open Decaf_xpc
+module K = Decaf_kernel
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot () =
+  K.Boot.boot ();
+  Domain.reset ();
+  Channel.reset_stats ();
+  Addr.reset ()
+
+(* --- XDR --- *)
+
+let test_xdr_scalars () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.int e (-42);
+  Xdr.Enc.uint e 0xdead_beef;
+  Xdr.Enc.hyper e (-1234567890123L);
+  Xdr.Enc.bool e true;
+  Xdr.Enc.double e 3.25;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  check "int" (-42) (Xdr.Dec.int d);
+  check "uint" 0xdead_beef (Xdr.Dec.uint d);
+  Alcotest.(check int64) "hyper" (-1234567890123L) (Xdr.Dec.hyper d);
+  check_bool "bool" true (Xdr.Dec.bool d);
+  Alcotest.(check (float 0.0)) "double" 3.25 (Xdr.Dec.double d);
+  Xdr.Dec.check_drained d
+
+let test_xdr_padding () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.string e "abcde";
+  (* 4 length + 5 payload + 3 pad *)
+  check "padded size" 12 (Xdr.Enc.size e);
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Alcotest.(check string) "roundtrip" "abcde" (Xdr.Dec.string d);
+  Xdr.Dec.check_drained d
+
+let test_xdr_arrays_options () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.array_var e Xdr.Enc.int [| 1; 2; 3 |];
+  Xdr.Enc.array_fixed e Xdr.Enc.int [| 7; 8 |];
+  Xdr.Enc.option e Xdr.Enc.int (Some 9);
+  Xdr.Enc.option e Xdr.Enc.int None;
+  let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+  Alcotest.(check (array int)) "var array" [| 1; 2; 3 |]
+    (Xdr.Dec.array_var d Xdr.Dec.int);
+  Alcotest.(check (array int)) "fixed array" [| 7; 8 |]
+    (Xdr.Dec.array_fixed d Xdr.Dec.int 2);
+  Alcotest.(check (option int)) "some" (Some 9) (Xdr.Dec.option d Xdr.Dec.int);
+  Alcotest.(check (option int)) "none" None (Xdr.Dec.option d Xdr.Dec.int)
+
+let test_xdr_truncation_detected () =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.int e 1;
+  let b = Xdr.Enc.to_bytes e in
+  let d = Xdr.Dec.of_bytes (Bytes.sub b 0 2) in
+  check_bool "decode error" true
+    (try
+       ignore (Xdr.Dec.int d);
+       false
+     with Xdr.Decode_error _ -> true)
+
+let test_xdr_range_checks () =
+  let e = Xdr.Enc.create () in
+  check_bool "uint rejects negative" true
+    (try
+       Xdr.Enc.uint e (-1);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "int rejects > 2^31-1" true
+    (try
+       Xdr.Enc.int e 0x8000_0000;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_xdr_int_roundtrip =
+  QCheck.Test.make ~name:"xdr int roundtrip" ~count:500
+    QCheck.(int_range (-0x4000_0000) 0x3fff_ffff)
+    (fun v ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.int e v;
+      Xdr.Dec.int (Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e)) = v)
+
+let prop_xdr_hyper_roundtrip =
+  QCheck.Test.make ~name:"xdr hyper roundtrip" ~count:500 QCheck.int64
+    (fun v ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.hyper e v;
+      Xdr.Dec.hyper (Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e)) = v)
+
+let prop_xdr_string_roundtrip_and_alignment =
+  QCheck.Test.make ~name:"xdr string roundtrip, 4-byte aligned" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s ->
+      let e = Xdr.Enc.create () in
+      Xdr.Enc.string e s;
+      Xdr.Enc.size e mod 4 = 0
+      && Xdr.Dec.string (Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e)) = s)
+
+let prop_xdr_mixed_sequence =
+  QCheck.Test.make ~name:"xdr heterogeneous sequence roundtrip" ~count:200
+    QCheck.(small_list (pair (int_range 0 1000) (string_of_size Gen.(int_range 0 16))))
+    (fun items ->
+      let e = Xdr.Enc.create () in
+      List.iter
+        (fun (n, s) ->
+          Xdr.Enc.int e n;
+          Xdr.Enc.string e s)
+        items;
+      let d = Xdr.Dec.of_bytes (Xdr.Enc.to_bytes e) in
+      let decode_item _ =
+        let n = Xdr.Dec.int d in
+        let s = Xdr.Dec.string d in
+        (n, s)
+      in
+      let back = List.map decode_item items in
+      Xdr.Dec.check_drained d;
+      back = items)
+
+(* --- Object tracker --- *)
+
+type fake_ring = { mutable count : int }
+type fake_adapter = { mutable flags : int }
+
+let ring_key : fake_ring Univ.key = Univ.new_key "e1000_tx_ring"
+let adapter_key : fake_adapter Univ.key = Univ.new_key "e1000_adapter"
+
+let test_tracker_roundtrip () =
+  boot ();
+  let tr = Objtracker.create () in
+  let obj = { count = 3 } in
+  let addr = Addr.alloc ~size:64 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key obj);
+  (match Objtracker.find tr ~addr ring_key with
+  | Some o ->
+      check_bool "same object" true (o == obj);
+      o.count <- 7
+  | None -> Alcotest.fail "lookup failed");
+  check "mutation visible" 7 obj.count;
+  check "count" 1 (Objtracker.count tr)
+
+let test_tracker_type_disambiguation () =
+  (* An adapter whose first member is a ring: same address, two types. *)
+  boot ();
+  let tr = Objtracker.create () in
+  let adapter = { flags = 1 } in
+  let ring = { count = 0 } in
+  let base = Addr.alloc ~size:256 in
+  let inner = Addr.embedded ~parent:base ~offset:0 in
+  Objtracker.associate tr ~addr:base (Univ.pack adapter_key adapter);
+  Objtracker.associate tr ~addr:inner (Univ.pack ring_key ring);
+  check "same numeric address" base inner;
+  check_bool "adapter found" true (Objtracker.find tr ~addr:base adapter_key <> None);
+  check_bool "ring found at same addr" true (Objtracker.find tr ~addr:base ring_key <> None);
+  Alcotest.(check (list string))
+    "types at address" [ "e1000_adapter"; "e1000_tx_ring" ]
+    (Objtracker.types_at tr ~addr:base)
+
+let test_tracker_remove () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:16 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 0 });
+  Objtracker.associate tr ~addr (Univ.pack adapter_key { flags = 0 });
+  Objtracker.remove tr ~addr ~type_id:"e1000_tx_ring";
+  check "one left" 1 (Objtracker.count tr);
+  Objtracker.remove_all tr ~addr;
+  check "empty" 0 (Objtracker.count tr)
+
+let test_tracker_stats () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:16 in
+  ignore (Objtracker.find tr ~addr ring_key);
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 0 });
+  ignore (Objtracker.find tr ~addr ring_key);
+  let st = Objtracker.stats tr in
+  check "lookups" 2 st.Objtracker.lookups;
+  check "hits" 1 st.Objtracker.hits;
+  check "registrations" 1 st.Objtracker.registrations
+
+(* --- Marshal plans --- *)
+
+let test_plan_directions () =
+  let plan =
+    Marshal_plan.make ~type_id:"s"
+      [ ("a", Marshal_plan.Read); ("b", Marshal_plan.Write); ("c", Marshal_plan.Read_write) ]
+  in
+  check_bool "R copies in" true (Marshal_plan.copies_in plan "a");
+  check_bool "R not out" false (Marshal_plan.copies_out plan "a");
+  check_bool "W not in" false (Marshal_plan.copies_in plan "b");
+  check_bool "W copies out" true (Marshal_plan.copies_out plan "b");
+  check_bool "RW both" true
+    (Marshal_plan.copies_in plan "c" && Marshal_plan.copies_out plan "c");
+  check_bool "unknown field never copied" false
+    (Marshal_plan.copies_in plan "zzz" || Marshal_plan.copies_out plan "zzz")
+
+let test_plan_union () =
+  let p1 = Marshal_plan.make ~type_id:"s" [ ("a", Marshal_plan.Read) ] in
+  let p2 =
+    Marshal_plan.make ~type_id:"s"
+      [ ("a", Marshal_plan.Write); ("b", Marshal_plan.Read) ]
+  in
+  let u = Marshal_plan.union p1 p2 in
+  check_bool "a promoted to RW" true
+    (Marshal_plan.copies_in u "a" && Marshal_plan.copies_out u "a");
+  check_bool "b present" true (Marshal_plan.copies_in u "b");
+  check_bool "different types rejected" true
+    (try
+       ignore (Marshal_plan.union p1 (Marshal_plan.make ~type_id:"t" []));
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_duplicate_rejected () =
+  check_bool "duplicate rejected" true
+    (try
+       ignore
+         (Marshal_plan.make ~type_id:"s"
+            [ ("a", Marshal_plan.Read); ("a", Marshal_plan.Write) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Channel --- *)
+
+let test_channel_same_domain_free () =
+  boot ();
+  let t0 = K.Clock.now () in
+  let v = Channel.call ~target:Domain.Kernel (fun () -> 42) in
+  check "value" 42 v;
+  check "no time" t0 (K.Clock.now ());
+  check "no crossings" 0 (Channel.stats ()).Channel.kernel_user_calls
+
+let test_channel_kernel_user_accounting () =
+  boot ();
+  let result = ref 0 in
+  ignore
+    (K.Sched.spawn (fun () ->
+         result :=
+           Channel.call ~target:Domain.Driver_lib ~payload_bytes:100
+             ~reply_bytes:50 (fun () ->
+               Alcotest.(check string)
+                 "runs in target domain" "driver-library"
+                 (Domain.to_string (Domain.current ()));
+               7)));
+  K.Sched.run ();
+  check "result" 7 !result;
+  let st = Channel.stats () in
+  check "one kernel/user round trip" 1 st.Channel.kernel_user_calls;
+  check "bytes" 150 st.Channel.bytes_marshaled;
+  Alcotest.(check string) "domain restored" "kernel"
+    (Domain.to_string (Domain.current ()))
+
+let test_channel_kernel_to_java_pays_both () =
+  boot ();
+  ignore
+    (K.Sched.spawn (fun () ->
+         ignore (Channel.call ~target:Domain.Decaf_driver (fun () -> ()))));
+  K.Sched.run ();
+  let st = Channel.stats () in
+  check "kernel/user leg" 1 st.Channel.kernel_user_calls;
+  check "c/java leg" 1 st.Channel.c_java_calls
+
+let test_channel_c_java_cheaper_than_kernel () =
+  boot ();
+  let cost_of target =
+    Channel.reset_stats ();
+    let spent = ref 0 in
+    ignore
+      (K.Sched.spawn (fun () ->
+           Domain.with_domain Domain.Driver_lib (fun () ->
+               let t0 = K.Clock.now () in
+               ignore (Channel.call ~target ~payload_bytes:64 (fun () -> ()));
+               spent := K.Clock.now () - t0)));
+    K.Sched.run ();
+    !spent
+  in
+  let to_java = cost_of Domain.Decaf_driver in
+  let to_kernel = cost_of Domain.Kernel in
+  check_bool "language crossing cheaper than protection crossing" true
+    (to_java < to_kernel);
+  check_bool "both positive" true (to_java > 0 && to_kernel > 0)
+
+let test_channel_upcall_blocked_under_spinlock () =
+  boot ();
+  let raised = ref false in
+  ignore
+    (K.Sched.spawn (fun () ->
+         let l = K.Sync.Spinlock.create () in
+         K.Sync.Spinlock.lock l;
+         (try ignore (Channel.call ~target:Domain.Decaf_driver (fun () -> ()))
+          with K.Sched.Would_block_in_atomic _ -> raised := true);
+         K.Sync.Spinlock.unlock l));
+  K.Sched.run ();
+  check_bool "upcall under spinlock forbidden" true !raised
+
+let test_channel_upcall_blocked_in_irq () =
+  boot ();
+  let raised = ref false in
+  K.Irq.request_irq 4 ~name:"t" (fun () ->
+      try ignore (Channel.call ~target:Domain.Driver_lib (fun () -> ()))
+      with K.Sched.Would_block_in_atomic _ -> raised := true);
+  K.Irq.raise_irq 4;
+  check_bool "upcall from interrupt forbidden" true !raised
+
+(* --- weak associations (the paper's proposed GC integration) --- *)
+
+let test_tracker_weak_lives_while_referenced () =
+  boot ();
+  let tr = Objtracker.create () in
+  let obj = { count = 5 } in
+  let addr = Addr.alloc ~size:16 in
+  Objtracker.associate_weak tr ~addr ring_key obj;
+  Gc.full_major ();
+  (match Objtracker.find tr ~addr ring_key with
+  | Some o -> check_bool "same object after GC" true (o == obj)
+  | None -> Alcotest.fail "live object lost");
+  check "weak count" 1 (Objtracker.weak_count tr);
+  (* keep obj alive until here *)
+  check "still mutable" 5 obj.count
+
+let test_tracker_weak_collects_dropped () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:16 in
+  (* allocate in an inner function so no local keeps the object alive *)
+  let register () =
+    let obj = { count = Random.int 100 } in
+    Objtracker.associate_weak tr ~addr ring_key obj
+  in
+  register ();
+  Gc.full_major ();
+  Gc.full_major ();
+  check_bool "entry dead after the driver dropped it" true
+    (Objtracker.find tr ~addr ring_key = None);
+  (* a second registration then sweep reclaims bookkeeping *)
+  register ();
+  Gc.full_major ();
+  check "sweep reclaims dead entries" 1 (Objtracker.sweep tr);
+  check "no weak entries left" 0 (Objtracker.weak_count tr)
+
+let test_tracker_weak_removed_explicitly () =
+  boot ();
+  let tr = Objtracker.create () in
+  let obj = { count = 1 } in
+  let addr = Addr.alloc ~size:16 in
+  Objtracker.associate_weak tr ~addr ring_key obj;
+  Objtracker.remove tr ~addr ~type_id:"e1000_tx_ring";
+  check "removed" 0 (Objtracker.weak_count tr);
+  check_bool "gone" true (Objtracker.find tr ~addr ring_key = None);
+  check "object untouched" 1 obj.count
+
+(* --- direct-marshaling ablation (the optimization of section 4) --- *)
+
+let test_channel_direct_marshaling_cheaper () =
+  boot ();
+  let cost_of_call () =
+    let spent = ref 0 in
+    ignore
+      (K.Sched.spawn (fun () ->
+           let t0 = K.Clock.now () in
+           ignore
+             (Channel.call ~target:Domain.Decaf_driver ~payload_bytes:256
+                (fun () -> ()));
+           spent := K.Clock.now () - t0));
+    K.Sched.run ();
+    !spent
+  in
+  Channel.set_direct_marshaling false;
+  let indirect = cost_of_call () in
+  let st = Channel.snapshot () in
+  check "indirect pays both legs" 1 st.Channel.c_java_calls;
+  Channel.reset_stats ();
+  Channel.set_direct_marshaling true;
+  let direct = cost_of_call () in
+  let st = Channel.snapshot () in
+  check "direct skips the c/java leg" 0 st.Channel.c_java_calls;
+  check "still one kernel/user crossing" 1 st.Channel.kernel_user_calls;
+  check_bool "direct transfer is cheaper" true (direct < indirect);
+  Channel.set_direct_marshaling false
+
+let prop_xdr_garbage_never_escapes =
+  (* feeding arbitrary bytes to the decoder must fail only with
+     Decode_error, never some other exception or a crash *)
+  QCheck.Test.make ~name:"xdr decoder is total on garbage" ~count:300
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun junk ->
+      let d = Xdr.Dec.of_bytes (Bytes.of_string junk) in
+      let safe f = match f d with _ -> true | exception Xdr.Decode_error _ -> true in
+      safe Xdr.Dec.int && safe Xdr.Dec.bool
+      && safe (fun d -> Xdr.Dec.string d)
+      && safe (fun d -> Xdr.Dec.array_var d Xdr.Dec.int))
+
+let prop_plan_union_idempotent_commutative =
+  let open QCheck in
+  let gen_plan =
+    Gen.map
+      (fun fields ->
+        let fields =
+          List.sort_uniq (fun (a, _) (b, _) -> compare a b) fields
+        in
+        Marshal_plan.make ~type_id:"t" fields)
+      Gen.(
+        small_list
+          (pair
+             (oneofl [ "a"; "b"; "c"; "d"; "e" ])
+             (oneofl
+                [ Marshal_plan.Read; Marshal_plan.Write; Marshal_plan.Read_write ])))
+  in
+  let norm p =
+    List.sort compare (Marshal_plan.fields p)
+  in
+  Test.make ~name:"plan union is idempotent and commutative" ~count:200
+    (QCheck.make (Gen.pair gen_plan gen_plan))
+    (fun (p, q) ->
+      norm (Marshal_plan.union p p) = norm p
+      && norm (Marshal_plan.union p q) = norm (Marshal_plan.union q p))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_xdr_int_roundtrip;
+      prop_xdr_hyper_roundtrip;
+      prop_xdr_string_roundtrip_and_alignment;
+      prop_xdr_mixed_sequence;
+      prop_xdr_garbage_never_escapes;
+      prop_plan_union_idempotent_commutative;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "decaf_xpc"
+    [
+      ( "xdr",
+        [
+          tc "scalars" test_xdr_scalars;
+          tc "padding" test_xdr_padding;
+          tc "arrays and options" test_xdr_arrays_options;
+          tc "truncation detected" test_xdr_truncation_detected;
+          tc "range checks" test_xdr_range_checks;
+        ] );
+      ( "objtracker",
+        [
+          tc "roundtrip" test_tracker_roundtrip;
+          tc "type disambiguation" test_tracker_type_disambiguation;
+          tc "remove" test_tracker_remove;
+          tc "stats" test_tracker_stats;
+        ] );
+      ( "marshal_plan",
+        [
+          tc "directions" test_plan_directions;
+          tc "union" test_plan_union;
+          tc "duplicates rejected" test_plan_duplicate_rejected;
+        ] );
+      ( "channel",
+        [
+          tc "same domain free" test_channel_same_domain_free;
+          tc "kernel/user accounting" test_channel_kernel_user_accounting;
+          tc "kernel->java pays both" test_channel_kernel_to_java_pays_both;
+          tc "c/java cheaper" test_channel_c_java_cheaper_than_kernel;
+          tc "no upcall under spinlock" test_channel_upcall_blocked_under_spinlock;
+          tc "no upcall from irq" test_channel_upcall_blocked_in_irq;
+          tc "direct marshaling ablation" test_channel_direct_marshaling_cheaper;
+        ] );
+      ( "objtracker-weak",
+        [
+          tc "lives while referenced" test_tracker_weak_lives_while_referenced;
+          tc "collected when dropped" test_tracker_weak_collects_dropped;
+          tc "explicit remove" test_tracker_weak_removed_explicitly;
+        ] );
+      ("xdr-properties", qcheck_cases);
+    ]

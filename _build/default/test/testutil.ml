@@ -1,0 +1,29 @@
+(* Small string helpers shared by the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+
+let replace haystack ~needle ~replacement =
+  let nh = String.length haystack and nn = String.length needle in
+  let buf = Buffer.create nh in
+  let rec scan i =
+    if i >= nh then ()
+    else if i + nn <= nh && String.sub haystack i nn = needle then begin
+      Buffer.add_string buf replacement;
+      scan (i + nn)
+    end
+    else begin
+      Buffer.add_char buf haystack.[i];
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  Buffer.contents buf
