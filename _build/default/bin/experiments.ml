@@ -15,4 +15,6 @@ let () =
   print_newline ();
   print_string (E.Table4.render (E.Table4.measure ()));
   print_newline ();
-  print_string (E.Casestudy.render (E.Casestudy.measure ()))
+  print_string (E.Casestudy.render (E.Casestudy.measure ()));
+  print_newline ();
+  print_string (E.Faultcampaign.render (E.Faultcampaign.run ()))

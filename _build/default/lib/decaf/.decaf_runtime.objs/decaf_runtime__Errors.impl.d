@@ -1,1 +1,1 @@
-lib/decaf/errors.ml:
+lib/decaf/errors.ml: Decaf_kernel

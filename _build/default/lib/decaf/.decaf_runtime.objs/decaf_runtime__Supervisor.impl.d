@@ -1,0 +1,1 @@
+lib/decaf/supervisor.ml: Decaf_kernel Printexc Runtime

@@ -1,0 +1,1 @@
+lib/decaf/supervisor.mli:

@@ -15,6 +15,21 @@ let start () =
   end
 
 let started () = !is_started
+let restart_count = ref 0
+
+(* Tear down the user-level runtime after a fault and come back with
+   fresh object trackers. The next upcall's [start] re-registers the JVM
+   startup cost; the sizeof table survives (it is staged from the driver
+   source, not from runtime state). *)
+let restart () =
+  incr restart_count;
+  kernel_tracker_v := Objtracker.create ~name:"kernel-ot" ();
+  java_tracker_v := Objtracker.create ~name:"JavaOT" ();
+  is_started := false;
+  K.Klog.printk K.Klog.Warning
+    "decaf: user-level runtime restarted (restart #%d)" !restart_count
+
+let restarts () = !restart_count
 
 module Helpers = struct
   let sizeof_table : (string, int) Hashtbl.t = Hashtbl.create 16
@@ -61,6 +76,7 @@ let reset () =
   kernel_tracker_v := Objtracker.create ~name:"kernel-ot" ();
   java_tracker_v := Objtracker.create ~name:"JavaOT" ();
   is_started := false;
+  restart_count := 0;
   Hashtbl.reset Helpers.sizeof_table;
   Jeannie.reset_counters ();
   Nuclear.wq := None;

@@ -8,6 +8,15 @@ type t = {
   downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
 }
 
+(* Calls that only read state and may safely be re-issued when a crossing
+   times out. Everything else fails fast so the supervisor decides. *)
+let idempotent_call = function
+  | "pci_read_config" | "serio_status" | "usb_get_device_descriptor"
+  | "usb_get_device_descriptor_full" | "usb_get_config_descriptor"
+  | "usb_get_string_manufacturer" | "usb_get_string_product" ->
+      true
+  | _ -> false
+
 let native =
   {
     mode = Native;
@@ -19,23 +28,27 @@ let staged () =
   {
     mode = Staged;
     upcall =
-      (fun ~name:_ ~bytes f ->
-        Channel.call ~target:Domain.Driver_lib ~payload_bytes:bytes f);
+      (fun ~name ~bytes f ->
+        Channel.call ~target:Domain.Driver_lib ~payload_bytes:bytes
+          ~idempotent:(idempotent_call name) ~context:name f);
     downcall =
-      (fun ~name:_ ~bytes f ->
-        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes f);
+      (fun ~name ~bytes f ->
+        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes
+          ~idempotent:(idempotent_call name) ~context:name f);
   }
 
 let decaf () =
   {
     mode = Decaf;
     upcall =
-      (fun ~name:_ ~bytes f ->
+      (fun ~name ~bytes f ->
         Decaf_runtime.Runtime.start ();
-        Channel.call ~target:Domain.Decaf_driver ~payload_bytes:bytes f);
+        Channel.call ~target:Domain.Decaf_driver ~payload_bytes:bytes
+          ~idempotent:(idempotent_call name) ~context:name f);
     downcall =
-      (fun ~name:_ ~bytes f ->
-        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes f);
+      (fun ~name ~bytes f ->
+        Channel.call ~target:Domain.Kernel ~payload_bytes:bytes
+          ~idempotent:(idempotent_call name) ~context:name f);
   }
 
 let mode_name = function

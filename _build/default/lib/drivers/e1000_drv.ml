@@ -194,11 +194,14 @@ let reset_hw a =
   (* after reset the device comes back with registers cleared *)
   wr32 a E.reg_ctrl E.ctrl_slu
 
+(* EEPROM reads occasionally miss the done bit on real parts; retry the
+   handshake with backoff before giving up on the whole probe. *)
 let read_eeprom_word a addr =
-  wr32 a E.reg_eerd ((addr lsl 8) lor E.eerd_start);
-  let v = rd32 a E.reg_eerd in
-  if v land E.eerd_done = 0 then throw Errors.eio "EEPROM read timeout";
-  (v lsr 16) land 0xffff
+  Errors.with_retry ~attempts:3 ~backoff_ns:50_000 (fun () ->
+      wr32 a E.reg_eerd ((addr lsl 8) lor E.eerd_start);
+      let v = rd32 a E.reg_eerd in
+      if v land E.eerd_done = 0 then throw Errors.eio "EEPROM read timeout";
+      (v lsr 16) land 0xffff)
 
 (* Validate the EEPROM: the sum of all 64 words must be 0xBABA. *)
 let validate_eeprom a =
@@ -496,20 +499,31 @@ let remove (pci : K.Pci.dev) =
 let insmod env =
   let adapter_box = ref None in
   let init () =
-    K.Pci.register_driver ~name:driver
-      ~ids:(List.map (fun id -> { K.Pci.id_vendor = vendor_id; id_device = id })
-              device_ids)
-      ~probe:(fun pci ->
-        match probe env pci with
-        | Ok a ->
-            adapter_box := Some a;
-            Hashtbl.replace instances (K.Pci.slot pci) a;
-            Ok ()
-        | Error rc -> Error rc)
-      ~remove;
+    (* a failed or faulting load must leave the PCI core clean so a
+       supervisor retry can register the driver again *)
+    let register () =
+      K.Pci.register_driver ~name:driver
+        ~ids:(List.map (fun id -> { K.Pci.id_vendor = vendor_id; id_device = id })
+                device_ids)
+        ~probe:(fun pci ->
+          match probe env pci with
+          | Ok a ->
+              adapter_box := Some a;
+              Hashtbl.replace instances (K.Pci.slot pci) a;
+              Ok ()
+          | Error rc -> Error rc)
+        ~remove
+    in
+    (match register () with
+    | () -> ()
+    | exception e ->
+        K.Pci.unregister_driver driver;
+        raise e);
     match !adapter_box with
     | Some _ -> Ok ()
-    | None -> Error (-Errors.enodev)
+    | None ->
+        K.Pci.unregister_driver driver;
+        Error (-Errors.enodev)
   in
   let exit () = K.Pci.unregister_driver driver in
   match K.Modules.insmod ~name:driver ~init ~exit with

@@ -146,8 +146,13 @@ let probe env (pci : K.Pci.dev) =
             done;
             a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16 (fun () ->
                 K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a));
-            a.env.Driver_env.downcall ~name:"snd_card_register" ~bytes:32
-              (fun () -> K.Sndcore.snd_card_register card))
+            (* if registration faults, give the line back: a retry of the
+               probe must be able to claim it again *)
+            Errors.protect
+              ~cleanup:(fun () -> K.Irq.free_irq a.irq)
+              (fun () ->
+                a.env.Driver_env.downcall ~name:"snd_card_register" ~bytes:32
+                  (fun () -> K.Sndcore.snd_card_register card)))
       in
       if rc = 0 then Ok a else Error rc
 
@@ -164,19 +169,30 @@ let remove (pci : K.Pci.dev) =
 let insmod env =
   let adapter_box = ref None in
   let init () =
-    K.Pci.register_driver ~name:driver
-      ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
-      ~probe:(fun pci ->
-        match probe env pci with
-        | Ok a ->
-            adapter_box := Some a;
-            Hashtbl.replace instances (K.Pci.slot pci) a;
-            Ok ()
-        | Error rc -> Error rc)
-      ~remove;
+    let register () =
+      K.Pci.register_driver ~name:driver
+        ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+        ~probe:(fun pci ->
+          match probe env pci with
+          | Ok a ->
+              adapter_box := Some a;
+              Hashtbl.replace instances (K.Pci.slot pci) a;
+              Ok ()
+          | Error rc -> Error rc)
+        ~remove
+    in
+    (* a failed or faulting probe must leave the PCI core clean for the
+       supervisor's retry *)
+    (match register () with
+    | () -> ()
+    | exception e ->
+        K.Pci.unregister_driver driver;
+        raise e);
     match !adapter_box with
     | Some _ -> Ok ()
-    | None -> Error (-Errors.enodev)
+    | None ->
+        K.Pci.unregister_driver driver;
+        Error (-Errors.enodev)
   in
   let exit () = K.Pci.unregister_driver driver in
   match K.Modules.insmod ~name:driver ~init ~exit with

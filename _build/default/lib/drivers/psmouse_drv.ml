@@ -71,9 +71,16 @@ let interrupt a =
    this driver's initialization crossings come from. *)
 let wait_byte a =
   let deadline = K.Clock.now () + 500_000_000 in
+  (* A lost byte means the interrupt handler never wakes us: arm a wake
+     at the deadline so the timeout check below actually runs instead of
+     the wait blocking forever. *)
+  let timeout =
+    K.Clock.at deadline (fun () -> ignore (K.Sync.Waitq.wake_all a.byte_ready))
+  in
   while Queue.is_empty a.byte_fifo && K.Clock.now () < deadline do
     K.Sync.Waitq.wait a.byte_ready
   done;
+  K.Clock.cancel timeout;
   let fetched =
     a.env.Driver_env.downcall ~name:"serio_read" ~bytes:4 (fun () ->
         Queue.take_opt a.byte_fifo)
@@ -148,21 +155,43 @@ let connect env =
           input = None;
         }
       in
+      (* Drain bytes left over from an aborted earlier negotiation.  The
+         i8042 presents one byte at a time with a serial gap before the
+         next, so keep polling until the line stays quiet for several
+         gap times; done before claiming the IRQ so stale bytes go
+         nowhere. *)
+      let rec drain quiet =
+        if quiet < 4 then
+          if K.Io.inb P.status_port land P.status_obf <> 0 then begin
+            ignore (K.Io.inb P.data_port);
+            drain 0
+          end
+          else begin
+            K.Sched.sleep_ns (2 * P.byte_gap_ns);
+            drain (quiet + 1)
+          end
+      in
+      drain 0;
       K.Irq.request_irq P.aux_irq ~name:driver (fun () -> interrupt a);
       K.Io.outb P.status_port P.cmd_enable_aux;
       let rc =
-        env.Driver_env.upcall ~name:"psmouse_connect" ~bytes:state_wire_bytes
+        (* an XPC fault escapes the errno translation below: still give
+           the AUX line back so a retry can claim it *)
+        Errors.protect
+          ~cleanup:(fun () -> K.Irq.free_irq P.aux_irq)
           (fun () ->
-            Errors.to_errno (fun () ->
-                protocol_detect a;
-                a.env.Driver_env.downcall ~name:"input_register_device"
-                  ~bytes:32 (fun () ->
-                    let input = K.Inputcore.create ~name:"psmouse" in
-                    K.Inputcore.register input;
-                    a.input <- Some input);
-                a.env.Driver_env.downcall ~name:"enable_stream" ~bytes:16
-                  (fun () -> ());
-                enable_streaming a))
+            env.Driver_env.upcall ~name:"psmouse_connect"
+              ~bytes:state_wire_bytes (fun () ->
+                Errors.to_errno (fun () ->
+                    protocol_detect a;
+                    a.env.Driver_env.downcall ~name:"input_register_device"
+                      ~bytes:32 (fun () ->
+                        let input = K.Inputcore.create ~name:"psmouse" in
+                        K.Inputcore.register input;
+                        a.input <- Some input);
+                    a.env.Driver_env.downcall ~name:"enable_stream" ~bytes:16
+                      (fun () -> ());
+                    enable_streaming a)))
       in
       if rc = 0 then Ok a
       else begin

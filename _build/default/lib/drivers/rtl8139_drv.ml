@@ -238,27 +238,38 @@ let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
 let insmod env =
   let adapter_box = ref None in
   let init () =
-    K.Pci.register_driver ~name:"8139too"
-      ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
-      ~probe:(fun pci ->
-        match probe env pci with
-        | Ok a ->
-            adapter_box := Some a;
-            Hashtbl.replace instances (K.Pci.slot pci) a;
-            Ok ()
-        | Error rc -> Error rc)
-      ~remove:(fun pci ->
-        (match Hashtbl.find_opt instances (K.Pci.slot pci) with
-        | Some a -> (
-            K.Irq.free_irq a.irq;
-            match a.netdev with
-            | Some nd -> K.Netcore.unregister_netdev nd
-            | None -> ())
-        | None -> ());
-        Hashtbl.remove instances (K.Pci.slot pci));
+    (* keep the PCI core clean when the probe fails or faults, so a
+       supervisor retry can register the driver again *)
+    let register () =
+      K.Pci.register_driver ~name:"8139too"
+        ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+        ~probe:(fun pci ->
+          match probe env pci with
+          | Ok a ->
+              adapter_box := Some a;
+              Hashtbl.replace instances (K.Pci.slot pci) a;
+              Ok ()
+          | Error rc -> Error rc)
+        ~remove:(fun pci ->
+          (match Hashtbl.find_opt instances (K.Pci.slot pci) with
+          | Some a -> (
+              K.Irq.free_irq a.irq;
+              match a.netdev with
+              | Some nd -> K.Netcore.unregister_netdev nd
+              | None -> ())
+          | None -> ());
+          Hashtbl.remove instances (K.Pci.slot pci))
+    in
+    (match register () with
+    | () -> ()
+    | exception e ->
+        K.Pci.unregister_driver "8139too";
+        raise e);
     match !adapter_box with
     | Some _ -> Ok ()
-    | None -> Error (-Decaf_runtime.Errors.enodev)
+    | None ->
+        K.Pci.unregister_driver "8139too";
+        Error (-Decaf_runtime.Errors.enodev)
   in
   let exit () = K.Pci.unregister_driver "8139too" in
   match K.Modules.insmod ~name:"8139too" ~init ~exit with

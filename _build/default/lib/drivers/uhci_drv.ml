@@ -111,15 +111,21 @@ let probe env io_base irq =
                 a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16
                   (fun () ->
                     K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a));
-                a.env.Driver_env.downcall ~name:"usb_register_hcd" ~bytes:32
+                (* give the line back if HCD registration faults, so a
+                   supervisor retry can claim it again *)
+                Errors.protect
+                  ~cleanup:(fun () -> K.Irq.free_irq a.irq)
                   (fun () ->
-                    K.Usbcore.register_hcd ~name:driver
-                      {
-                        K.Usbcore.hcd_submit_urb = (fun urb -> submit_urb a urb);
-                        hcd_frame_number =
-                          (fun () -> K.Io.inw (reg a U.reg_frnum));
-                      });
-                start_schedule a))
+                    a.env.Driver_env.downcall ~name:"usb_register_hcd"
+                      ~bytes:32 (fun () ->
+                        K.Usbcore.register_hcd ~name:driver
+                          {
+                            K.Usbcore.hcd_submit_urb =
+                              (fun urb -> submit_urb a urb);
+                            hcd_frame_number =
+                              (fun () -> K.Io.inw (reg a U.reg_frnum));
+                          });
+                    start_schedule a)))
       in
       if rc = 0 then Ok a else Error rc
 

@@ -1,0 +1,1 @@
+lib/experiments/faultcampaign.mli:

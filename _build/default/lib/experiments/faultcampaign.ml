@@ -1,0 +1,384 @@
+(* Fault-injection campaign: drive every decaf driver through its
+   workload while Faultinject corrupts device reads, wedges handshakes,
+   fails allocations and times out XPC crossings, with the recovery
+   supervisor in the loop.  The figure of merit is the paper's
+   reliability claim: a misbehaving decaf driver may be restarted or
+   disabled, but it never takes the kernel down. *)
+
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module FI = K.Faultinject
+module Errors = Decaf_runtime.Errors
+module Supervisor = Decaf_runtime.Supervisor
+open Decaf_drivers
+open Decaf_workloads
+
+type trial = {
+  driver : string;
+  fault : string;
+  expected : string;
+  outcome : string;
+  injected : int;
+  detected : int;
+  recovered : int;
+  degraded : int;
+  restarts : int;
+  kernel_bugs : int;
+}
+
+type report = {
+  seed : int;
+  trials : trial list;
+  total_injected : int;
+  total_detected : int;
+  total_recovered : int;
+  total_degraded : int;
+  total_restarts : int;
+  total_kernel_bugs : int;
+}
+
+(* --- trial harness --- *)
+
+let ok_or what = function
+  | Ok v -> v
+  | Error rc -> Errors.throw ~driver:what ~errno:(-rc) what
+
+(* Spurious interrupts are campaign-raised rather than device-raised:
+   the clock event asks the fault plan whether to fire, so they obey the
+   same trigger/seed discipline as every other fault kind. *)
+let schedule_spurious irq =
+  List.iter
+    (fun at_ns ->
+      ignore
+        (K.Clock.after at_ns (fun () ->
+             if FI.fires ~site:"irq.spurious" FI.Spurious_irq then
+               K.Irq.raise_irq irq)))
+    [ 2_000_000; 30_000_000; 60_000_000 ]
+
+type case = {
+  c_driver : string;
+  c_fault : string;
+  c_expected : string;
+  c_specs : FI.spec list;
+  c_spurious : int option;
+  c_setup : unit -> unit -> unit;
+      (** runs after boot; returns the supervised body *)
+}
+
+let run_case ~seed c =
+  Scenario.boot ();
+  let body = c.c_setup () in
+  FI.arm ~seed c.c_specs;
+  (match c.c_spurious with Some irq -> schedule_spurious irq | None -> ());
+  let sup = Supervisor.create ~name:c.c_driver () in
+  let bugs = ref 0 in
+  let finished = ref false in
+  (* A Kernel_bug — or any exception the supervisor failed to contain —
+     escaping the scheduler is exactly the outcome the campaign exists
+     to rule out; count it rather than crash the campaign. *)
+  (try
+     Scenario.in_thread (fun () ->
+         match Supervisor.run sup body with
+         | Some () -> finished := true
+         | None -> ())
+   with _ -> incr bugs);
+  let injected = FI.injected_count () in
+  let st = Supervisor.stats sup in
+  let outcome =
+    if !bugs > 0 then "KERNEL-BUG"
+    else if Supervisor.state sup = Supervisor.Disabled then "degraded"
+    else if st.Supervisor.detected > 0 then "recovered"
+    else if injected > 0 then "tolerated"
+    else "clean"
+  in
+  (* Faults the stack absorbed without the supervisor's help (internal
+     retries, idempotent XPC replays, spurious-interrupt filtering)
+     still count as detected-and-recovered episodes. *)
+  if outcome = "tolerated" && !finished then Supervisor.note_tolerated sup;
+  let st = Supervisor.stats sup in
+  FI.disarm ();
+  {
+    driver = c.c_driver;
+    fault = c.c_fault;
+    expected = c.c_expected;
+    outcome;
+    injected;
+    detected = st.Supervisor.detected;
+    recovered = st.Supervisor.recovered;
+    degraded = st.Supervisor.degraded;
+    restarts = st.Supervisor.restarts;
+    kernel_bugs = !bugs;
+  }
+
+(* --- per-driver scenarios (decaf mode, as in Table 3) --- *)
+
+let rtl_setup () =
+  let link = Hw.Link.create ~rate_bps:100_000_000 () in
+  ignore
+    (Rtl8139_drv.setup_device ~slot:"00:04.0" ~io_base:0xc000 ~irq:10
+       ~mac:Scenario.mac ~link ());
+  fun () ->
+    let t = ok_or "8139too" (Rtl8139_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
+    Errors.protect
+      ~cleanup:(fun () -> Rtl8139_drv.rmmod t)
+      (fun () ->
+        let nd = Rtl8139_drv.netdev t in
+        ok_or "8139too-open" (K.Netcore.open_dev nd);
+        ignore
+          (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500));
+    Rtl8139_drv.rmmod t
+
+let e1000_setup () =
+  let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
+       ~mac:Scenario.mac ~link ());
+  fun () ->
+    let t = ok_or "e1000" (E1000_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
+    Errors.protect
+      ~cleanup:(fun () -> E1000_drv.rmmod t)
+      (fun () ->
+        let nd = E1000_drv.netdev t in
+        ok_or "e1000-open" (K.Netcore.open_dev nd);
+        ignore
+          (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500));
+    E1000_drv.rmmod t
+
+let ens_setup () =
+  let model = Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 () in
+  fun () ->
+    let t = ok_or "ens1371" (Ens1371_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
+    Errors.protect
+      ~cleanup:(fun () -> Ens1371_drv.rmmod t)
+      (fun () ->
+        ignore
+          (Mpg123.play ~substream:(Ens1371_drv.substream t) ~model
+             ~duration_ns:20_000_000));
+    Ens1371_drv.rmmod t
+
+let uhci_setup () =
+  let model = Uhci_drv.setup_device ~io_base:0xe000 ~irq:5 () in
+  fun () ->
+    let t =
+      ok_or "uhci-hcd"
+        (Uhci_drv.insmod (Scenario.env_of Driver_env.Decaf) ~io_base:0xe000 ~irq:5)
+    in
+    Errors.protect
+      ~cleanup:(fun () -> Uhci_drv.rmmod t)
+      (fun () -> ignore (Tar_usb.untar ~model ~files:1 ~file_bytes:4096));
+    Uhci_drv.rmmod t
+
+let psmouse_setup () =
+  let model = Psmouse_drv.setup_device () in
+  fun () ->
+    let t = ok_or "psmouse" (Psmouse_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
+    Errors.protect
+      ~cleanup:(fun () -> Psmouse_drv.rmmod t)
+      (fun () ->
+        ignore
+          (Mouse_move.run ~model
+             ~input:(Psmouse_drv.input_dev t)
+             ~duration_ns:20_000_000));
+    Psmouse_drv.rmmod t
+
+(* --- the trial matrix --- *)
+
+let sp ?addr site kind trigger = FI.spec ?addr ~site ~kind ~trigger ()
+
+let cases () =
+  [
+    (* 8139too: command port is io 0xc000 + 0x37 *)
+    { c_driver = "8139too"; c_fault = "none (baseline)"; c_expected = "clean";
+      c_specs = []; c_spurious = None; c_setup = rtl_setup };
+    { c_driver = "8139too"; c_fault = "reset stuck busy, 100 reads";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0xc037 "io.port" FI.Stuck_ones (FI.Span (1, 100)) ];
+      c_spurious = None; c_setup = rtl_setup };
+    { c_driver = "8139too"; c_fault = "reset wedged forever";
+      c_expected = "degraded";
+      c_specs = [ sp ~addr:0xc037 "io.port" FI.Stuck_ones FI.Always ];
+      c_spurious = None; c_setup = rtl_setup };
+    { c_driver = "8139too"; c_fault = "probe upcall XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.rtl8139_probe" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = rtl_setup };
+    { c_driver = "8139too"; c_fault = "spurious interrupts on line 10";
+      c_expected = "tolerated";
+      c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
+      c_spurious = Some 10; c_setup = rtl_setup };
+    { c_driver = "8139too"; c_fault = "lossy link, p=0.5 frame drop";
+      c_expected = "tolerated";
+      c_specs = [ sp "hw.link" FI.Link_flap (FI.Prob 0.5) ];
+      c_spurious = None; c_setup = rtl_setup };
+    (* e1000: EERD is mmio+0x14, MDIC is mmio+0x20 *)
+    { c_driver = "e1000"; c_fault = "EERD done-bit miss x2";
+      c_expected = "tolerated";
+      c_specs = [ sp ~addr:0xf000_0014 "io.mmio" FI.Stuck_zero (FI.Span (1, 2)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "EERD done-bit miss x3";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0xf000_0014 "io.mmio" FI.Stuck_zero (FI.Span (1, 3)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "EEPROM word bit flip";
+      c_expected = "recovered";
+      c_specs = [ sp "hw.eeprom" FI.Bad_read (FI.Span (10, 1)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "autonegotiation stalls once";
+      c_expected = "recovered";
+      c_specs = [ sp "hw.phy.autoneg" FI.Stuck_zero (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "autonegotiation dead";
+      c_expected = "degraded";
+      c_specs = [ sp "hw.phy.autoneg" FI.Stuck_zero FI.Always ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "tx ring allocation fails";
+      c_expected = "recovered";
+      c_specs = [ sp "dma.alloc" FI.Alloc_fail (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "rx ring allocation fails";
+      c_expected = "recovered";
+      c_specs = [ sp "dma.alloc" FI.Alloc_fail (FI.Span (2, 1)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "MDIC never ready x2";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0xf000_0020 "io.mmio" FI.Stuck_zero (FI.Span (1, 2)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "config-space read XPC timeout";
+      c_expected = "tolerated";
+      c_specs = [ sp "xpc.pci_read_config" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "config-space read XPC dead x3";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.pci_read_config" FI.Xpc_timeout (FI.Span (1, 3)) ];
+      c_spurious = None; c_setup = e1000_setup };
+    { c_driver = "e1000"; c_fault = "spurious interrupts on line 11";
+      c_expected = "tolerated";
+      c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
+      c_spurious = Some 11; c_setup = e1000_setup };
+    (* ens1371 *)
+    { c_driver = "ens1371"; c_fault = "snd_card_register XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.snd_card_register" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = ens_setup };
+    { c_driver = "ens1371"; c_fault = "probe upcall dead";
+      c_expected = "degraded";
+      c_specs = [ sp "xpc.ens1371_probe" FI.Xpc_timeout FI.Always ];
+      c_spurious = None; c_setup = ens_setup };
+    { c_driver = "ens1371"; c_fault = "spurious interrupts on line 9";
+      c_expected = "tolerated";
+      c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
+      c_spurious = Some 9; c_setup = ens_setup };
+    (* uhci-hcd: usbcmd is io 0xe000, portsc1 is 0xe010 *)
+    { c_driver = "uhci-hcd"; c_fault = "HCRESET stuck once";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0xe000 "io.port" FI.Stuck_ones (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = uhci_setup };
+    { c_driver = "uhci-hcd"; c_fault = "HCRESET wedged forever";
+      c_expected = "degraded";
+      c_specs = [ sp ~addr:0xe000 "io.port" FI.Stuck_ones FI.Always ];
+      c_spurious = None; c_setup = uhci_setup };
+    { c_driver = "uhci-hcd"; c_fault = "port never enables x2";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0xe010 "io.port" FI.Stuck_zero (FI.Span (1, 2)) ];
+      c_spurious = None; c_setup = uhci_setup };
+    { c_driver = "uhci-hcd"; c_fault = "get-config-descriptor XPC timeout";
+      c_expected = "tolerated";
+      c_specs =
+        [ sp "xpc.usb_get_config_descriptor" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = uhci_setup };
+    { c_driver = "uhci-hcd"; c_fault = "register_hcd XPC dead";
+      c_expected = "degraded";
+      c_specs = [ sp "xpc.usb_register_hcd" FI.Xpc_timeout FI.Always ];
+      c_spurious = None; c_setup = uhci_setup };
+    { c_driver = "uhci-hcd"; c_fault = "spurious interrupts on line 5";
+      c_expected = "tolerated";
+      c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
+      c_spurious = Some 5; c_setup = uhci_setup };
+    (* psmouse: i8042 data port 0x60, status port 0x64 *)
+    { c_driver = "psmouse"; c_fault = "ACK byte bit flip";
+      c_expected = "recovered";
+      c_specs = [ sp ~addr:0x60 "io.port" FI.Bad_read (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = psmouse_setup };
+    { c_driver = "psmouse"; c_fault = "controller dead (status stuck 0)";
+      c_expected = "degraded";
+      c_specs = [ sp ~addr:0x64 "io.port" FI.Stuck_zero FI.Always ];
+      c_spurious = None; c_setup = psmouse_setup };
+    { c_driver = "psmouse"; c_fault = "connect upcall XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.psmouse_connect" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = psmouse_setup };
+    { c_driver = "psmouse"; c_fault = "spurious interrupts on line 12";
+      c_expected = "tolerated";
+      c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
+      c_spurious = Some 12; c_setup = psmouse_setup };
+  ]
+
+let drivers_covered trials =
+  List.sort_uniq compare (List.map (fun t -> t.driver) trials)
+
+let run ?(seed = 0xdecaf) () =
+  let trials =
+    List.mapi (fun i c -> run_case ~seed:(seed + i) c) (cases ())
+  in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 trials in
+  {
+    seed;
+    trials;
+    total_injected = sum (fun t -> t.injected);
+    total_detected = sum (fun t -> t.detected);
+    total_recovered = sum (fun t -> t.recovered);
+    total_degraded = sum (fun t -> t.degraded);
+    total_restarts = sum (fun t -> t.restarts);
+    total_kernel_bugs = sum (fun t -> t.kernel_bugs);
+  }
+
+(* Acceptance check for the campaign, also used by the test suite. *)
+let check r =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if r.total_kernel_bugs <> 0 then
+    fail "%d fault(s) reached Panic.bug / escaped the supervisor"
+      r.total_kernel_bugs
+  else if r.total_injected < 100 then
+    fail "only %d faults injected (want >= 100)" r.total_injected
+  else if r.total_recovered + r.total_degraded <> r.total_detected then
+    fail "accounting broken: recovered %d + degraded %d <> detected %d"
+      r.total_recovered r.total_degraded r.total_detected
+  else if r.total_recovered = 0 then fail "no fault was ever recovered"
+  else if r.total_degraded = 0 then
+    fail "no fault ever exhausted the restart budget"
+  else if
+    drivers_covered r.trials
+    <> [ "8139too"; "e1000"; "ens1371"; "psmouse"; "uhci-hcd" ]
+  then
+    fail "campaign did not cover all five drivers: %s"
+      (String.concat ", " (drivers_covered r.trials))
+  else
+    match
+      List.find_opt (fun t -> t.outcome <> t.expected) r.trials
+    with
+    | Some t ->
+        fail "%s / %s: expected %s, got %s" t.driver t.fault t.expected
+          t.outcome
+    | None -> Ok ()
+
+let render r =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Fault-injection campaign (seed 0x%x): %d trials on 5 drivers\n" r.seed
+    (List.length r.trials);
+  add "%-9s %-35s %5s %4s %4s %4s %4s  %-10s\n" "Driver" "Fault" "Inj" "Det"
+    "Rec" "Deg" "Rst" "Outcome";
+  List.iter
+    (fun t ->
+      add "%-9s %-35s %5d %4d %4d %4d %4d  %-10s%s\n" t.driver t.fault
+        t.injected t.detected t.recovered t.degraded t.restarts t.outcome
+        (if t.outcome = t.expected then "" else " (expected " ^ t.expected ^ ")"))
+    r.trials;
+  add "Totals: injected=%d detected=%d recovered=%d degraded=%d restarts=%d kernel-bugs=%d\n"
+    r.total_injected r.total_detected r.total_recovered r.total_degraded
+    r.total_restarts r.total_kernel_bugs;
+  (match check r with
+  | Ok () ->
+      add "Acceptance: OK (>=100 faults, no kernel panics, recovered+degraded=detected)\n"
+  | Error m -> add "Acceptance: FAILED — %s\n" m);
+  Buffer.contents buf

@@ -5,6 +5,7 @@ let boot () =
   K.Boot.boot ();
   Decaf_xpc.Domain.reset ();
   Decaf_xpc.Channel.reset_stats ();
+  Decaf_xpc.Channel.reset_config ();
   Decaf_runtime.Runtime.reset ()
 
 let in_thread f =

@@ -1,1 +1,1 @@
-lib/hw/eeprom.ml: Array Char String
+lib/hw/eeprom.ml: Array Char Decaf_kernel String

@@ -1,10 +1,13 @@
+module K = Decaf_kernel
+
 type t = int array
 
 let create ~words = Array.make words 0
 let size = Array.length
 
 let read t i =
-  if i < 0 || i >= Array.length t then 0xffff else t.(i)
+  let v = if i < 0 || i >= Array.length t then 0xffff else t.(i) in
+  K.Faultinject.filter_read ~site:"hw.eeprom" ~addr:i v land 0xffff
 
 let write t i v = if i >= 0 && i < Array.length t then t.(i) <- v land 0xffff
 

@@ -39,10 +39,13 @@ let transmit t ?(on_done = fun () -> ()) frame =
   t.tx_free_at <- finish;
   t.tx_frames <- t.tx_frames + 1;
   t.tx_bytes <- t.tx_bytes + Bytes.length frame;
+  (* A flap drops the frame in flight: the NIC sees a completed send but
+     the peer never receives it. *)
+  let dropped = K.Faultinject.fires ~site:"hw.link" K.Faultinject.Link_flap in
   ignore
     (K.Clock.at finish (fun () ->
          on_done ();
-         t.peer t frame))
+         if not dropped then t.peer t frame))
 
 let inject t frame =
   let start = max (K.Clock.now ()) t.rx_free_at in

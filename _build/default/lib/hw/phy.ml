@@ -28,22 +28,29 @@ let autoneg_delay_ns = 50_000_000 (* 50 ms, much faster than real 1-2 s *)
 
 let start_autoneg t =
   t.autoneg_done <- false;
-  ignore
-    (K.Clock.after autoneg_delay_ns (fun () ->
-         if t.link then t.autoneg_done <- true))
+  (* a stuck handshake: negotiation starts but never completes *)
+  if not (K.Faultinject.fires ~site:"hw.phy.autoneg" K.Faultinject.Stuck_zero)
+  then
+    ignore
+      (K.Clock.after autoneg_delay_ns (fun () ->
+           if t.link then t.autoneg_done <- true))
 
-let read t = function
-  | 0 -> t.bmcr
-  | 1 ->
-      bmsr_capabilities
-      lor (if t.link then bmsr_link else 0)
-      lor if t.autoneg_done then bmsr_autoneg_done else 0
-  | 2 -> 0x0141 (* vendor id words *)
-  | 3 -> 0x0c20
-  | 4 -> t.advertise
-  | 5 -> if t.autoneg_done then t.advertise else 0
-  | r when r < 32 -> t.regs.(r)
-  | _ -> 0xffff
+let read t reg =
+  let v =
+    match reg with
+    | 0 -> t.bmcr
+    | 1 ->
+        bmsr_capabilities
+        lor (if t.link then bmsr_link else 0)
+        lor if t.autoneg_done then bmsr_autoneg_done else 0
+    | 2 -> 0x0141 (* vendor id words *)
+    | 3 -> 0x0c20
+    | 4 -> t.advertise
+    | 5 -> if t.autoneg_done then t.advertise else 0
+    | r when r < 32 -> t.regs.(r)
+    | _ -> 0xffff
+  in
+  K.Faultinject.filter_read ~site:"hw.phy" ~addr:reg v land 0xffff
 
 let write t reg v =
   match reg with

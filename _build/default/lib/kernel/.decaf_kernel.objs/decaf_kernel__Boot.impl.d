@@ -1,1 +1,1 @@
-lib/kernel/boot.ml: Clock Cost Dma Format Inputcore Io Irq Klog Kmem List Modules Netcore Pci Sched Sndcore String Usbcore
+lib/kernel/boot.ml: Clock Cost Dma Faultinject Format Inputcore Io Irq Klog Kmem List Modules Netcore Pci Sched Sndcore String Usbcore

@@ -1,1 +1,1 @@
-lib/kernel/dma.ml: Kmem
+lib/kernel/dma.ml: Faultinject Kmem

@@ -1,0 +1,1 @@
+lib/kernel/faultinject.ml: List Random

@@ -1,1 +1,1 @@
-lib/kernel/io.ml: Clock Cost List Panic
+lib/kernel/io.ml: Clock Cost Faultinject List Panic

@@ -1,1 +1,1 @@
-lib/kernel/kmem.ml: Hashtbl List Sched
+lib/kernel/kmem.ml: Faultinject Hashtbl List Sched

@@ -11,6 +11,7 @@ let boot () =
   Usbcore.reset ();
   Inputcore.reset ();
   Modules.reset ();
+  Faultinject.reset ();
   Klog.clear ();
   Cost.reset ()
 

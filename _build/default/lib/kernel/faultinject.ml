@@ -1,0 +1,112 @@
+type kind =
+  | Bad_read
+  | Stuck_ones
+  | Stuck_zero
+  | Alloc_fail
+  | Xpc_timeout
+  | Spurious_irq
+  | Link_flap
+
+type trigger = Always | Span of int * int | Prob of float
+
+type spec = { site : string; addr : int option; kind : kind; trigger : trigger }
+
+type injection = {
+  inj_site : string;
+  inj_addr : int option;
+  inj_kind : kind;
+  inj_seq : int;
+}
+
+type armed = { spec : spec; mutable matched : int }
+type plan = { rng : Random.State.t; specs : armed list }
+
+let plan_v : plan option ref = ref None
+let injected = ref 0
+let log_v : injection list ref = ref []
+
+let kind_name = function
+  | Bad_read -> "bad-read"
+  | Stuck_ones -> "stuck-ones"
+  | Stuck_zero -> "stuck-zero"
+  | Alloc_fail -> "alloc-fail"
+  | Xpc_timeout -> "xpc-timeout"
+  | Spurious_irq -> "spurious-irq"
+  | Link_flap -> "link-flap"
+
+let spec ?addr ~site ~kind ~trigger () = { site; addr; kind; trigger }
+
+let arm ~seed specs =
+  plan_v :=
+    Some
+      {
+        rng = Random.State.make [| seed |];
+        specs = List.map (fun s -> { spec = s; matched = 0 }) specs;
+      };
+  injected := 0;
+  log_v := []
+
+let disarm () = plan_v := None
+
+let active () = match !plan_v with Some _ -> true | None -> false
+
+let reset () =
+  disarm ();
+  injected := 0;
+  log_v := []
+
+let record ~site ~addr kind =
+  incr injected;
+  log_v :=
+    { inj_site = site; inj_addr = addr; inj_kind = kind; inj_seq = !injected }
+    :: !log_v
+
+(* Evaluate one armed spec's trigger against its own match counter. The
+   counter advances on every match, fired or not, so a [Span] models "the
+   k-th through (k+n-1)-th accesses to this site go wrong". *)
+let eval p (a : armed) =
+  a.matched <- a.matched + 1;
+  match a.spec.trigger with
+  | Always -> true
+  | Span (first, count) -> a.matched >= first && a.matched < first + count
+  | Prob pr -> Random.State.float p.rng 1.0 < pr
+
+let addr_matches s addr =
+  match s.addr with None -> true | Some a -> addr = Some a
+
+let fires ~site ?addr kind =
+  match !plan_v with
+  | None -> false
+  | Some p ->
+      let fired =
+        List.fold_left
+          (fun acc a ->
+            if a.spec.site = site && a.spec.kind = kind && addr_matches a.spec addr
+            then
+              let f = eval p a in
+              f || acc
+            else acc)
+          false p.specs
+      in
+      if fired then record ~site ~addr kind;
+      fired
+
+let flip_bit p v = v lxor (1 lsl Random.State.int p.rng 8)
+
+let filter_read ~site ~addr v =
+  match !plan_v with
+  | None -> v
+  | Some p ->
+      let apply v k =
+        if fires ~site ~addr k then
+          match k with
+          | Stuck_ones -> -1 (* callers mask to access width: all ones *)
+          | Stuck_zero -> 0
+          | _ -> flip_bit p v
+        else v
+      in
+      List.fold_left apply v [ Stuck_ones; Stuck_zero; Bad_read ]
+
+let record_external ~site ?addr kind = record ~site ~addr kind
+let injected_count () = !injected
+let injections () = List.rev !log_v

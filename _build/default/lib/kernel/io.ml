@@ -49,10 +49,14 @@ let charge = function
       incr mmio_count;
       Clock.consume Cost.current.mmio_ns
 
+let site_of = function Port -> "io.port" | Mmio -> "io.mmio"
+
 let read space addr width =
   let r = find space addr in
   charge space;
-  r.read (addr - r.base) width land ((1 lsl (8 * bytes_of_width width)) - 1)
+  let v = r.read (addr - r.base) width in
+  Faultinject.filter_read ~site:(site_of space) ~addr v
+  land ((1 lsl (8 * bytes_of_width width)) - 1)
 
 let write space addr width v =
   let r = find space addr in

@@ -4,11 +4,23 @@ type stats = {
   mutable kernel_user_calls : int;
   mutable c_java_calls : int;
   mutable bytes_marshaled : int;
+  mutable failures : int;
+  mutable retries : int;
 }
 
-let counters = { kernel_user_calls = 0; c_java_calls = 0; bytes_marshaled = 0 }
+let counters =
+  {
+    kernel_user_calls = 0;
+    c_java_calls = 0;
+    bytes_marshaled = 0;
+    failures = 0;
+    retries = 0;
+  }
 
 type boundary = Same | User_user | Kernel_user | Kernel_java
+
+exception
+  Xpc_failure of { boundary : string; attempts : int; context : string }
 
 let boundary (a : Domain.t) (b : Domain.t) =
   match (a, b) with
@@ -17,6 +29,12 @@ let boundary (a : Domain.t) (b : Domain.t) =
   | Driver_lib, Decaf_driver | Decaf_driver, Driver_lib -> User_user
   | Kernel, Driver_lib | Driver_lib, Kernel -> Kernel_user
   | Kernel, Decaf_driver | Decaf_driver, Kernel -> Kernel_java
+
+let boundary_name = function
+  | Same -> "same"
+  | User_user -> "user/user"
+  | Kernel_user -> "kernel/user"
+  | Kernel_java -> "kernel/java"
 
 let charge_kernel_user bytes =
   K.Sched.assert_may_block "XPC across the kernel/user boundary";
@@ -41,20 +59,57 @@ let direct = ref false
 let set_direct_marshaling v = direct := v
 let direct_marshaling () = !direct
 
-let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) f =
+(* Every crossing carries a virtual deadline: an injected Xpc_timeout
+   manifests as that deadline expiring with no reply. Idempotent calls
+   are retried with capped exponential backoff before the failure is
+   surfaced to the caller; anything with side effects fails fast. *)
+let timeout_ns = 1_000_000
+let max_attempts = 3
+let backoff_base_ns = 10_000
+let backoff_cap_ns = 80_000
+
+let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
+    ?(context = "call") f =
   let bytes = payload_bytes + reply_bytes in
-  (match boundary (Domain.current ()) target with
-  | Same -> ()
-  | User_user -> charge_c_java bytes
-  | Kernel_user -> charge_kernel_user bytes
-  | Kernel_java when !direct ->
-      (* data moves straight between nucleus and decaf driver: one
-         crossing, one marshal pass *)
-      charge_kernel_user bytes
-  | Kernel_java ->
-      charge_kernel_user bytes;
-      charge_c_java bytes);
-  Domain.with_domain target f
+  match boundary (Domain.current ()) target with
+  | Same -> Domain.with_domain target f
+  | b ->
+      let charge () =
+        match b with
+        | Same -> ()
+        | User_user -> charge_c_java bytes
+        | Kernel_user -> charge_kernel_user bytes
+        | Kernel_java when !direct ->
+            (* data moves straight between nucleus and decaf driver: one
+               crossing, one marshal pass *)
+            charge_kernel_user bytes
+        | Kernel_java ->
+            charge_kernel_user bytes;
+            charge_c_java bytes
+      in
+      let rec attempt n backoff =
+        if
+          K.Faultinject.fires ~site:("xpc." ^ context) K.Faultinject.Xpc_timeout
+        then begin
+          counters.failures <- counters.failures + 1;
+          (* the call burned its whole deadline waiting for a reply *)
+          K.Clock.consume timeout_ns;
+          if idempotent && n < max_attempts then begin
+            counters.retries <- counters.retries + 1;
+            K.Clock.consume backoff;
+            attempt (n + 1) (min (backoff * 2) backoff_cap_ns)
+          end
+          else
+            raise
+              (Xpc_failure
+                 { boundary = boundary_name b; attempts = n; context })
+        end
+        else begin
+          charge ();
+          Domain.with_domain target f
+        end
+      in
+      attempt 1 backoff_base_ns
 
 let stats () = counters
 
@@ -62,11 +117,18 @@ let reset_stats () =
   counters.kernel_user_calls <- 0;
   counters.c_java_calls <- 0;
   counters.bytes_marshaled <- 0;
-  direct := false
+  counters.failures <- 0;
+  counters.retries <- 0
+
+(* Configuration is deliberately not part of [reset_stats]: clearing the
+   counters between measurements must not flip the marshaling mode. *)
+let reset_config () = direct := false
 
 let snapshot () =
   {
     kernel_user_calls = counters.kernel_user_calls;
     c_java_calls = counters.c_java_calls;
     bytes_marshaled = counters.bytes_marshaled;
+    failures = counters.failures;
+    retries = counters.retries;
   }

@@ -17,14 +17,33 @@ type stats = {
       (** call/return round trips crossing the kernel/user boundary *)
   mutable c_java_calls : int;  (** round trips crossing the C/Java boundary *)
   mutable bytes_marshaled : int;
+  mutable failures : int;  (** crossings that missed their deadline *)
+  mutable retries : int;  (** failed idempotent crossings retried *)
 }
 
+exception
+  Xpc_failure of { boundary : string; attempts : int; context : string }
+(** A crossing that exhausted its deadline (and, for idempotent calls,
+    its retries). Surfaced to the caller so the recovery supervisor can
+    restart the user-level runtime instead of the kernel panicking. *)
+
 val call :
-  target:Domain.t -> ?payload_bytes:int -> ?reply_bytes:int -> (unit -> 'a) -> 'a
+  target:Domain.t ->
+  ?payload_bytes:int ->
+  ?reply_bytes:int ->
+  ?idempotent:bool ->
+  ?context:string ->
+  (unit -> 'a) ->
+  'a
 (** Execute [f] in [target], charging crossing and marshaling costs for a
     call carrying [payload_bytes] and returning [reply_bytes]. A call
     whose target is the current domain is a plain procedure call: free,
-    and not counted. *)
+    and not counted.
+
+    Crossings consult the fault plan (site ["xpc." ^ context]); a firing
+    [Xpc_timeout] charges the per-call deadline and raises
+    {!Xpc_failure} — except that [idempotent] calls are first retried up
+    to two more times with capped exponential backoff. *)
 
 val set_direct_marshaling : bool -> unit
 (** The optimization §4 proposes: transfer data directly between the
@@ -36,7 +55,13 @@ val set_direct_marshaling : bool -> unit
 val direct_marshaling : unit -> bool
 
 val stats : unit -> stats
+
 val reset_stats : unit -> unit
+(** Zero the counters. Does {e not} touch configuration such as the
+    direct-marshaling flag — use {!reset_config} for that. *)
+
+val reset_config : unit -> unit
+(** Restore default configuration (direct marshaling off). *)
 
 val snapshot : unit -> stats
 (** A copy of the current counters (for before/after measurements). *)

@@ -1,1 +1,1 @@
-test/test_decaf.ml: Alcotest Decaf_drivers Decaf_hw Decaf_kernel Decaf_runtime Decaf_xpc Errors Jeannie List Params Runtime
+test/test_decaf.ml: Alcotest Decaf_drivers Decaf_hw Decaf_kernel Decaf_runtime Decaf_xpc Errors Jeannie List Params Runtime Supervisor

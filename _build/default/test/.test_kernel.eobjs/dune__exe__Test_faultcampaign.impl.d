@@ -1,0 +1,1 @@
+test/test_faultcampaign.ml: Alcotest Decaf_experiments Lazy List

@@ -151,6 +151,22 @@ let test_casestudy_violation_kinds () =
           (List.map (fun v -> v.Errcheck.v_function) cs.E.Casestudy.violations))
     >= 15)
 
+(* --- Fault campaign (full acceptance run lives in test_faultcampaign) --- *)
+
+let test_faultcampaign_report_shape () =
+  let r = E.Faultcampaign.run () in
+  check_bool "covers all five drivers and passes acceptance" true
+    (E.Faultcampaign.check r = Ok ());
+  check_bool "at least 100 faults" true (r.E.Faultcampaign.total_injected >= 100);
+  check "no kernel bugs" 0 r.E.Faultcampaign.total_kernel_bugs;
+  check "recovered + degraded = detected" r.E.Faultcampaign.total_detected
+    (r.E.Faultcampaign.total_recovered + r.E.Faultcampaign.total_degraded);
+  let rendered = E.Faultcampaign.render r in
+  check_bool "render lists outcomes" true
+    (Testutil.contains rendered "recovered"
+    && Testutil.contains rendered "degraded"
+    && Testutil.contains rendered "Acceptance: OK")
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_experiments"
@@ -174,4 +190,5 @@ let () =
           tc "artifacts" test_casestudy_artifacts;
           tc "violation spread" test_casestudy_violation_kinds;
         ] );
+      ("faultcampaign", [ tc "report shape" test_faultcampaign_report_shape ]);
     ]

@@ -1,0 +1,66 @@
+(* The fault-injection campaign as a tier-1 gate: a fixed seed must
+   inject at least 100 faults across all five drivers with every one of
+   them recovered, tolerated or explicitly degraded — and none reaching
+   Panic.bug. *)
+
+module FC = Decaf_experiments.Faultcampaign
+
+let report = lazy (FC.run ~seed:0xdecaf ())
+
+let campaign_passes () =
+  let r = Lazy.force report in
+  match FC.check r with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "campaign failed:\n%s\n%s" m (FC.render r)
+
+let no_kernel_bugs () =
+  let r = Lazy.force report in
+  Alcotest.(check int) "no fault reaches Panic.bug" 0 r.FC.total_kernel_bugs
+
+let volume () =
+  let r = Lazy.force report in
+  if r.FC.total_injected < 100 then
+    Alcotest.failf "only %d faults injected" r.FC.total_injected
+
+let accounting () =
+  let r = Lazy.force report in
+  Alcotest.(check int) "recovered + degraded = detected" r.FC.total_detected
+    (r.FC.total_recovered + r.FC.total_degraded);
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (t.FC.driver ^ "/" ^ t.FC.fault ^ ": per-trial accounting")
+        t.FC.detected
+        (t.FC.recovered + t.FC.degraded))
+    r.FC.trials
+
+let both_paths_exercised () =
+  let r = Lazy.force report in
+  if r.FC.total_recovered = 0 then Alcotest.fail "no recovery happened";
+  if r.FC.total_degraded = 0 then Alcotest.fail "no degradation happened"
+
+let deterministic () =
+  (* same seed, same counters: the plan's RNG is the only randomness *)
+  let a = Lazy.force report and b = FC.run ~seed:0xdecaf () in
+  Alcotest.(check int) "injected" a.FC.total_injected b.FC.total_injected;
+  Alcotest.(check int) "detected" a.FC.total_detected b.FC.total_detected;
+  Alcotest.(check int) "restarts" a.FC.total_restarts b.FC.total_restarts;
+  Alcotest.(check (list string))
+    "outcomes"
+    (List.map (fun t -> t.FC.outcome) a.FC.trials)
+    (List.map (fun t -> t.FC.outcome) b.FC.trials)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "faultcampaign"
+    [
+      ( "campaign",
+        [
+          tc "passes acceptance" campaign_passes;
+          tc "no kernel bugs" no_kernel_bugs;
+          tc ">=100 faults injected" volume;
+          tc "episode accounting" accounting;
+          tc "recovery and degradation both seen" both_paths_exercised;
+          tc "deterministic under fixed seed" deterministic;
+        ] );
+    ]

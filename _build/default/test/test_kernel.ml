@@ -730,6 +730,123 @@ let prop_busy_never_exceeds_elapsed =
       Clock.consume 10_000;
       Clock.busy_ns () <= Clock.now ())
 
+(* --- Faultinject --- *)
+
+let test_fi_span_trigger () =
+  run_sim (fun () ->
+      Faultinject.arm ~seed:1
+        [
+          Faultinject.spec ~site:"t" ~kind:Faultinject.Alloc_fail
+            ~trigger:(Faultinject.Span (2, 3))
+            ();
+        ];
+      let pattern =
+        List.init 6 (fun _ -> Faultinject.fires ~site:"t" Faultinject.Alloc_fail)
+      in
+      Alcotest.(check (list bool))
+        "fires on accesses 2..4"
+        [ false; true; true; true; false; false ]
+        pattern;
+      check "three injections recorded" 3 (Faultinject.injected_count ());
+      check_bool "other sites unaffected" false
+        (Faultinject.fires ~site:"other" Faultinject.Alloc_fail);
+      Faultinject.disarm ();
+      check_bool "quiet after disarm" false
+        (Faultinject.fires ~site:"t" Faultinject.Alloc_fail);
+      check "counters survive disarm for reporting" 3
+        (Faultinject.injected_count ()))
+
+let test_fi_stuck_reads_respect_addr () =
+  run_sim (fun () ->
+      let region =
+        Io.register_ports ~base:0x500 ~len:4
+          ~read:(fun _ _ -> 0x5a)
+          ~write:(fun _ _ _ -> ())
+      in
+      Faultinject.arm ~seed:2
+        [
+          Faultinject.spec ~addr:0x500 ~site:"io.port"
+            ~kind:Faultinject.Stuck_ones ~trigger:Faultinject.Always ();
+          Faultinject.spec ~addr:0x502 ~site:"io.port"
+            ~kind:Faultinject.Stuck_zero ~trigger:Faultinject.Always ();
+        ];
+      check "stuck-ones masked to access width" 0xff (Io.inb 0x500);
+      check "stuck-zero" 0 (Io.inb 0x502);
+      check "other address reads clean" 0x5a (Io.inb 0x501);
+      Faultinject.disarm ();
+      check "clean after disarm" 0x5a (Io.inb 0x500);
+      Io.release region)
+
+let test_fi_bad_read_flips_one_bit () =
+  run_sim (fun () ->
+      let armed () =
+        Faultinject.arm ~seed:5
+          [
+            Faultinject.spec ~site:"hw.eeprom" ~kind:Faultinject.Bad_read
+              ~trigger:Faultinject.Always ();
+          ]
+      in
+      armed ();
+      let v = Faultinject.filter_read ~site:"hw.eeprom" ~addr:3 0xa5 in
+      let diff = v lxor 0xa5 in
+      check_bool "exactly one bit flipped" true
+        (diff <> 0 && diff land (diff - 1) = 0);
+      (* deterministic: the same seed corrupts the same bit *)
+      armed ();
+      check "same seed, same corruption" v
+        (Faultinject.filter_read ~site:"hw.eeprom" ~addr:3 0xa5);
+      Faultinject.disarm ())
+
+let test_fi_prob_deterministic () =
+  run_sim (fun () ->
+      let draw () =
+        Faultinject.arm ~seed:11
+          [
+            Faultinject.spec ~site:"p" ~kind:Faultinject.Link_flap
+              ~trigger:(Faultinject.Prob 0.3) ();
+          ];
+        let v =
+          List.init 50 (fun _ -> Faultinject.fires ~site:"p" Faultinject.Link_flap)
+        in
+        Faultinject.disarm ();
+        v
+      in
+      let a = draw () and b = draw () in
+      Alcotest.(check (list bool)) "same seed, same pattern" a b;
+      check_bool "some fire" true (List.mem true a);
+      check_bool "some do not" true (List.mem false a))
+
+let test_fi_dma_alloc_hook () =
+  run_sim (fun () ->
+      Faultinject.arm ~seed:4
+        [
+          Faultinject.spec ~site:"dma.alloc" ~kind:Faultinject.Alloc_fail
+            ~trigger:(Faultinject.Span (1, 1))
+            ();
+        ];
+      check_bool "first DMA allocation fails" true
+        (match Dma.alloc_coherent ~tag:"t" 64 with
+        | None -> true
+        | Some _ -> false);
+      check_bool "second succeeds" true
+        (match Dma.alloc_coherent ~tag:"t" 64 with
+        | None -> false
+        | Some _ -> true);
+      check "the failure was recorded" 1 (Faultinject.injected_count ());
+      Faultinject.disarm ())
+
+let test_fi_boot_resets () =
+  Boot.boot ();
+  Faultinject.arm ~seed:9
+    [
+      Faultinject.spec ~site:"x" ~kind:Faultinject.Alloc_fail
+        ~trigger:Faultinject.Always ();
+    ];
+  ignore (Faultinject.fires ~site:"x" Faultinject.Alloc_fail);
+  Boot.boot ();
+  check_bool "plan disarmed by boot" false (Faultinject.active ());
+  check "counters cleared by boot" 0 (Faultinject.injected_count ())
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -822,5 +939,14 @@ let () =
           tc "failed init" test_module_failed_init;
         ] );
       ("boot", [ tc "quiescence check" test_boot_quiescent ]);
+      ( "faultinject",
+        [
+          tc "span trigger" test_fi_span_trigger;
+          tc "stuck reads, addr filtered" test_fi_stuck_reads_respect_addr;
+          tc "bad read flips one bit" test_fi_bad_read_flips_one_bit;
+          tc "prob trigger deterministic" test_fi_prob_deterministic;
+          tc "dma alloc hook" test_fi_dma_alloc_hook;
+          tc "boot resets the plan" test_fi_boot_resets;
+        ] );
       ("properties", qcheck_cases);
     ]

@@ -306,6 +306,134 @@ let test_channel_upcall_blocked_in_irq () =
   K.Irq.raise_irq 4;
   check_bool "upcall from interrupt forbidden" true !raised
 
+(* --- objtracker edge cases: shared pointers and reset --- *)
+
+let test_tracker_same_pointer_two_types () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = 0xdead0 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 3 });
+  Objtracker.associate tr ~addr (Univ.pack adapter_key { flags = 9 });
+  (* one C pointer, two type ids: both incarnations resolvable *)
+  check "two entries" 2 (Objtracker.count tr);
+  check_bool "ring found" true
+    (match Objtracker.find tr ~addr ring_key with
+    | Some r -> r.count = 3
+    | None -> false);
+  check_bool "adapter found" true
+    (match Objtracker.find tr ~addr adapter_key with
+    | Some a -> a.flags = 9
+    | None -> false);
+  Alcotest.(check (list string))
+    "types at addr"
+    [ "e1000_adapter"; "e1000_tx_ring" ]
+    (List.sort compare (Objtracker.types_at tr ~addr));
+  (* re-registering the same (pointer, type) replaces, never duplicates *)
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 4 });
+  check "still two entries" 2 (Objtracker.count tr);
+  check_bool "replaced, not shadowed" true
+    (match Objtracker.find tr ~addr ring_key with
+    | Some r -> r.count = 4
+    | None -> false)
+
+let test_tracker_lookup_after_clear () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = 0xbeef0 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 1 });
+  Objtracker.associate tr ~addr (Univ.pack adapter_key { flags = 2 });
+  Objtracker.clear tr;
+  check "empty after clear" 0 (Objtracker.count tr);
+  check_bool "find misses after clear" true
+    (Objtracker.find tr ~addr ring_key = None);
+  check_bool "mem misses after clear" false
+    (Objtracker.mem tr ~addr ~type_id:"e1000_tx_ring");
+  Alcotest.(check (list string)) "no types" [] (Objtracker.types_at tr ~addr);
+  (* the tracker must stay usable after a runtime restart clears it *)
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 2 });
+  check_bool "usable after clear" true
+    (match Objtracker.find tr ~addr ring_key with
+    | Some r -> r.count = 2
+    | None -> false)
+
+(* --- channel hardening: failures, retries, reset semantics --- *)
+
+let test_channel_reset_stats_keeps_direct () =
+  boot ();
+  Channel.set_direct_marshaling true;
+  Channel.reset_stats ();
+  check_bool "reset_stats keeps direct marshaling" true
+    (Channel.direct_marshaling ());
+  Channel.reset_config ();
+  check_bool "reset_config restores the default" false
+    (Channel.direct_marshaling ())
+
+let test_channel_fault_raises_failure () =
+  boot ();
+  K.Faultinject.arm ~seed:7
+    [
+      K.Faultinject.spec ~site:"xpc.frob" ~kind:K.Faultinject.Xpc_timeout
+        ~trigger:K.Faultinject.Always ();
+    ];
+  let observed = ref None in
+  ignore
+    (K.Sched.spawn (fun () ->
+         try
+           ignore
+             (Channel.call ~target:Domain.Driver_lib ~context:"frob" (fun () ->
+                  1))
+         with Channel.Xpc_failure { attempts; _ } -> observed := Some attempts));
+  K.Sched.run ();
+  K.Faultinject.disarm ();
+  check_bool "fails fast: one attempt" true (!observed = Some 1);
+  let st = Channel.stats () in
+  check "failure counted" 1 st.Channel.failures;
+  check "no retry for a call with side effects" 0 st.Channel.retries
+
+let test_channel_idempotent_retry () =
+  boot ();
+  K.Faultinject.arm ~seed:7
+    [
+      K.Faultinject.spec ~site:"xpc.read_config"
+        ~kind:K.Faultinject.Xpc_timeout
+        ~trigger:(K.Faultinject.Span (1, 1))
+        ();
+    ];
+  let result = ref 0 in
+  ignore
+    (K.Sched.spawn (fun () ->
+         result :=
+           Channel.call ~target:Domain.Driver_lib ~idempotent:true
+             ~context:"read_config" (fun () -> 99)));
+  K.Sched.run ();
+  K.Faultinject.disarm ();
+  check "retried to success" 99 !result;
+  let st = Channel.stats () in
+  check "one failure" 1 st.Channel.failures;
+  check "one retry" 1 st.Channel.retries
+
+let test_channel_idempotent_exhausts () =
+  boot ();
+  K.Faultinject.arm ~seed:7
+    [
+      K.Faultinject.spec ~site:"xpc.read_config"
+        ~kind:K.Faultinject.Xpc_timeout ~trigger:K.Faultinject.Always ();
+    ];
+  let attempts_seen = ref 0 in
+  ignore
+    (K.Sched.spawn (fun () ->
+         try
+           ignore
+             (Channel.call ~target:Domain.Driver_lib ~idempotent:true
+                ~context:"read_config" (fun () -> ()))
+         with Channel.Xpc_failure { attempts; _ } -> attempts_seen := attempts));
+  K.Sched.run ();
+  K.Faultinject.disarm ();
+  check "gave up after three attempts" 3 !attempts_seen;
+  let st = Channel.stats () in
+  check "three failures" 3 st.Channel.failures;
+  check "two retries" 2 st.Channel.retries
+
 (* --- weak associations (the paper's proposed GC integration) --- *)
 
 let test_tracker_weak_lives_while_referenced () =
@@ -448,6 +576,8 @@ let () =
           tc "type disambiguation" test_tracker_type_disambiguation;
           tc "remove" test_tracker_remove;
           tc "stats" test_tracker_stats;
+          tc "same pointer, two type ids" test_tracker_same_pointer_two_types;
+          tc "lookup after clear" test_tracker_lookup_after_clear;
         ] );
       ( "marshal_plan",
         [
@@ -464,6 +594,10 @@ let () =
           tc "no upcall under spinlock" test_channel_upcall_blocked_under_spinlock;
           tc "no upcall from irq" test_channel_upcall_blocked_in_irq;
           tc "direct marshaling ablation" test_channel_direct_marshaling_cheaper;
+          tc "reset_stats keeps config" test_channel_reset_stats_keeps_direct;
+          tc "fault raises Xpc_failure" test_channel_fault_raises_failure;
+          tc "idempotent call retried" test_channel_idempotent_retry;
+          tc "idempotent retries exhausted" test_channel_idempotent_exhausts;
         ] );
       ( "objtracker-weak",
         [

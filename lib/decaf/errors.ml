@@ -28,3 +28,14 @@ let protect ~cleanup body =
   | exception e ->
       cleanup ();
       raise e
+
+let with_retry ~attempts ~backoff_ns body =
+  if attempts < 1 || backoff_ns < 0 then invalid_arg "Errors.with_retry";
+  let rec go n backoff =
+    match body () with
+    | v -> v
+    | exception Hw_error _ when n < attempts ->
+        Decaf_kernel.Sched.sleep_ns backoff;
+        go (n + 1) (min (backoff * 2) (8 * backoff_ns))
+  in
+  go 1 backoff_ns

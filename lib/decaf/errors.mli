@@ -34,3 +34,9 @@ val to_result : (unit -> 'a) -> ('a, int) result
 val protect : cleanup:(unit -> unit) -> (unit -> 'a) -> 'a
 (** Run the body; on exception, run [cleanup] then re-raise — the nested
     try/catch shape of the paper's Figure 4. *)
+
+val with_retry : attempts:int -> backoff_ns:int -> (unit -> 'a) -> 'a
+(** Run the body up to [attempts] times, sleeping [backoff_ns] (doubling
+    each round, capped at 8x) between tries. Only {!Hw_error} triggers a
+    retry — the transient-handshake idiom for EEPROM/PHY waits; the last
+    attempt's exception propagates. *)

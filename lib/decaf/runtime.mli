@@ -19,6 +19,15 @@ val start : unit -> unit
 
 val started : unit -> bool
 
+val restart : unit -> unit
+(** Restart the user-level runtime after a decaf-driver fault: both
+    object trackers are rebuilt empty and the runtime returns to the
+    not-started state, so the next upcall pays JVM startup again and
+    re-registers its objects. The sizeof table is kept. *)
+
+val restarts : unit -> int
+(** Restarts since the last {!reset}. *)
+
 (** {1 Helper routines}
 
     Callable from the decaf driver; each performs the operation in the

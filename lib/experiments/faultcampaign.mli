@@ -1,0 +1,49 @@
+(** Fault-injection campaign over the five decaf drivers.
+
+    Each trial boots the kernel, arms a seeded fault plan
+    ({!Decaf_kernel.Faultinject}), then runs one driver's insmod → open
+    → workload → rmmod cycle under a {!Decaf_runtime.Supervisor}.  The
+    campaign reports, per trial, how many faults were injected, how many
+    the supervisor detected, and whether the driver recovered, was
+    tolerated (the stack absorbed the fault without a restart), or was
+    degraded (restart budget exhausted, driver disabled, kernel alive).
+    A fault reaching [Panic.bug] is the failure the campaign exists to
+    rule out. *)
+
+type trial = {
+  driver : string;
+  fault : string;  (** human description of the armed fault *)
+  expected : string;  (** outcome the trial matrix predicts *)
+  outcome : string;
+      (** ["clean"], ["tolerated"], ["recovered"], ["degraded"] or
+          ["KERNEL-BUG"] *)
+  injected : int;
+  detected : int;
+  recovered : int;
+  degraded : int;
+  restarts : int;
+  kernel_bugs : int;
+}
+
+type report = {
+  seed : int;
+  trials : trial list;
+  total_injected : int;
+  total_detected : int;
+  total_recovered : int;
+  total_degraded : int;
+  total_restarts : int;
+  total_kernel_bugs : int;
+}
+
+val run : ?seed:int -> unit -> report
+(** Run the whole campaign.  Deterministic for a given [seed]
+    (default [0xdecaf]). *)
+
+val check : report -> (unit, string) result
+(** The acceptance criteria: at least 100 faults injected across all
+    five drivers, zero kernel bugs, [recovered + degraded = detected],
+    at least one recovery and one degradation, and every trial matching
+    its predicted outcome. *)
+
+val render : report -> string

@@ -28,6 +28,9 @@ val cmd_enable_aux : int
 val aux_irq : int
 (** IRQ 12. *)
 
+val byte_gap_ns : int
+(** Serial gap between queued bytes reaching the output buffer. *)
+
 val create : unit -> t
 (** Claims ports 0x60 and 0x64 and IRQ 12 wiring. *)
 

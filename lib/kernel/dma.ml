@@ -4,7 +4,9 @@ let next_bus_addr = ref 0x1000_0000
 let active = ref 0
 
 let alloc_coherent ~tag bytes =
-  match Kmem.alloc ~tag bytes with
+  if Faultinject.fires ~site:"dma.alloc" Faultinject.Alloc_fail then None
+  else
+    match Kmem.alloc ~tag bytes with
   | None -> None
   | Some alloc ->
       let addr = !next_bus_addr in

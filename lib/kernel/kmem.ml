@@ -30,7 +30,8 @@ let alloc ?(gfp = Kernel) ~tag bytes =
   (match gfp with
   | Kernel -> Sched.assert_may_block ("GFP_KERNEL allocation of " ^ tag)
   | Atomic -> ());
-  if should_fail () then None
+  if should_fail () || Faultinject.fires ~site:"kmem.alloc" Faultinject.Alloc_fail
+  then None
   else begin
     incr next_id;
     let a = { id = !next_id; tag; bytes; live = true } in

@@ -182,6 +182,138 @@ let test_e1000_validates_module_params () =
   check_bool "legal flag kept" false (outcome "SmartPowerDownEnable").Params.adjusted;
   Decaf_drivers.E1000_drv.reset_module_params ()
 
+(* --- Errors.with_retry --- *)
+
+let in_thread f =
+  let r = ref None in
+  ignore (K.Sched.spawn (fun () -> r := Some (f ())));
+  K.Sched.run ();
+  match !r with Some v -> v | None -> Alcotest.fail "thread did not complete"
+
+let test_with_retry_eventually_succeeds () =
+  boot ();
+  let calls = ref 0 in
+  let result =
+    in_thread (fun () ->
+        Errors.with_retry ~attempts:3 ~backoff_ns:1_000 (fun () ->
+            incr calls;
+            if !calls < 3 then Errors.throw ~driver:"t" ~errno:Errors.eio "flaky";
+            !calls * 10))
+  in
+  check "third try succeeded" 30 result;
+  check "three calls" 3 !calls
+
+let test_with_retry_exhausts () =
+  boot ();
+  let calls = ref 0 in
+  let raised =
+    in_thread (fun () ->
+        try
+          ignore
+            (Errors.with_retry ~attempts:3 ~backoff_ns:1_000 (fun () ->
+                 incr calls;
+                 Errors.throw ~driver:"t" ~errno:Errors.eio "dead"));
+          false
+        with Errors.Hw_error { errno; _ } -> errno = Errors.eio)
+  in
+  check "stopped after three attempts" 3 !calls;
+  check_bool "original error surfaced" true raised
+
+let test_with_retry_rejects_bad_args () =
+  check_bool "attempts must be positive" true
+    (try
+       ignore (Errors.with_retry ~attempts:0 ~backoff_ns:1 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Supervisor --- *)
+
+let test_supervisor_passthrough () =
+  boot ();
+  let sup = Supervisor.create ~name:"t" () in
+  let v =
+    in_thread (fun () ->
+        Supervisor.run sup ~on_restart:(fun () -> ()) (fun () -> 42))
+  in
+  check_bool "value passed through" true (v = Some 42);
+  check "nothing detected" 0 (Supervisor.stats sup).Supervisor.detected;
+  check_bool "still running" true (Supervisor.state sup = Supervisor.Running)
+
+let test_supervisor_recovers () =
+  boot ();
+  let sup = Supervisor.create ~name:"t" ~restart_delay_ns:1_000 () in
+  let restarted = ref 0 in
+  let tries = ref 0 in
+  let v =
+    in_thread (fun () ->
+        Supervisor.run sup
+          ~on_restart:(fun () -> incr restarted)
+          (fun () ->
+            incr tries;
+            if !tries < 3 then failwith "crash";
+            7))
+  in
+  check_bool "recovered value" true (v = Some 7);
+  check "restart hook ran twice" 2 !restarted;
+  let st = Supervisor.stats sup in
+  check "detected" 2 st.Supervisor.detected;
+  check "recovered" 2 st.Supervisor.recovered;
+  check "degraded" 0 st.Supervisor.degraded;
+  check "restarts" 2 st.Supervisor.restarts
+
+let test_supervisor_budget_exhausted () =
+  boot ();
+  let sup =
+    Supervisor.create ~name:"t" ~restart_budget:2 ~restart_delay_ns:1_000 ()
+  in
+  let v =
+    in_thread (fun () ->
+        Supervisor.run sup ~on_restart:(fun () -> ()) (fun () -> failwith "dead"))
+  in
+  check_bool "no value: driver disabled" true (v = None);
+  check_bool "disabled, kernel alive" true
+    (Supervisor.state sup = Supervisor.Disabled);
+  let st = Supervisor.stats sup in
+  check "every attempt detected" 3 st.Supervisor.detected;
+  check "all episodes degraded" 3 st.Supervisor.degraded;
+  check "accounting invariant" st.Supervisor.detected
+    (st.Supervisor.recovered + st.Supervisor.degraded);
+  (* a disabled supervisor refuses to run the driver again *)
+  let again = in_thread (fun () -> Supervisor.run sup (fun () -> 1)) in
+  check_bool "refuses once disabled" true (again = None)
+
+let test_supervisor_never_swallows_kernel_bug () =
+  boot ();
+  let sup = Supervisor.create ~name:"t" ~restart_delay_ns:1_000 () in
+  let saw =
+    in_thread (fun () ->
+        try
+          ignore
+            (Supervisor.run sup
+               ~on_restart:(fun () -> ())
+               (fun () -> K.Panic.bug "fatal"));
+          false
+        with K.Panic.Kernel_bug _ -> true)
+  in
+  check_bool "kernel bug propagates untouched" true saw;
+  check "not booked as a driver fault" 0
+    (Supervisor.stats sup).Supervisor.detected
+
+let test_supervisor_restart_resets_runtime () =
+  boot ();
+  Runtime.start ();
+  let before = Runtime.restarts () in
+  let sup = Supervisor.create ~name:"t" ~restart_delay_ns:1_000 () in
+  let tries = ref 0 in
+  ignore
+    (in_thread (fun () ->
+         Supervisor.run sup (fun () ->
+             incr tries;
+             if !tries < 2 then failwith "crash")));
+  check "default restart hook restarts the runtime" (before + 1)
+    (Runtime.restarts ());
+  check_bool "runtime needs a fresh start" false (Runtime.started ())
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_runtime"
@@ -211,4 +343,18 @@ let () =
           tc "e1000 probe validates" test_e1000_validates_module_params;
         ] );
       ("nuclear", [ tc "defer and flush" test_nuclear_defer_and_flush ]);
+      ( "with_retry",
+        [
+          tc "eventually succeeds" test_with_retry_eventually_succeeds;
+          tc "exhausts and rethrows" test_with_retry_exhausts;
+          tc "rejects bad arguments" test_with_retry_rejects_bad_args;
+        ] );
+      ( "supervisor",
+        [
+          tc "passthrough" test_supervisor_passthrough;
+          tc "recovers after restarts" test_supervisor_recovers;
+          tc "budget exhausted degrades" test_supervisor_budget_exhausted;
+          tc "kernel bug propagates" test_supervisor_never_swallows_kernel_bug;
+          tc "restart resets the runtime" test_supervisor_restart_resets_runtime;
+        ] );
     ]
