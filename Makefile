@@ -1,0 +1,24 @@
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Fail if the XPC fast path regressed >10% against the committed
+# trajectory (also runs as part of `dune runtest`).
+bench-check:
+	dune build @bench-smoke
+
+# Regenerate the committed trajectory after a deliberate retuning.
+bench-json:
+	dune exec bench/main.exe -- json
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+
+.PHONY: all build test bench-check bench-json bench clean

@@ -5,7 +5,11 @@
    Usage:
      bench/main.exe              run everything
      bench/main.exe table1 ...   run selected parts
-       (table1 table2 table3 table4 casestudy ablations micro)
+       (table1 table2 table3 table4 casestudy ablations xpcperf micro)
+     bench/main.exe json [path]  write the batched-XPC trajectory
+                                 (default BENCH_xpc.json)
+     bench/main.exe check path   re-measure and fail on >10% regression
+                                 against a committed trajectory
 *)
 
 module K = Decaf_kernel
@@ -141,8 +145,7 @@ let run_table_benches () =
   section "Bechamel table-regeneration benchmarks (wall-clock per run)";
   run_bechamel ~quota:1.0 ~limit:4 tables
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+let run_sections args =
   let want name = args = [] || List.mem name args in
   if want "table1" then begin
     section "Table 1";
@@ -168,7 +171,21 @@ let () =
     section "Ablations";
     print_string (E.Ablations.render (E.Ablations.measure ()))
   end;
+  if want "xpcperf" then begin
+    section "Batched XPC and delta marshaling";
+    print_string (E.Xpcperf.render (E.Xpcperf.measure ()))
+  end;
   if want "micro" then begin
     run_micro ();
     run_table_benches ()
   end
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "json" :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_xpc.json" in
+      let samples = E.Xpcperf.write_json ~path () in
+      print_string (E.Xpcperf.render samples);
+      Printf.printf "wrote %d samples to %s\n" (List.length samples) path
+  | [ "check"; path ] -> if not (E.Xpcperf.check ~path ()) then exit 1
+  | args -> run_sections args

@@ -1,1 +1,1 @@
-lib/drivers/driver_env.ml: Channel Decaf_runtime Decaf_xpc Domain
+lib/drivers/driver_env.ml: Batch Channel Decaf_runtime Decaf_xpc Domain

@@ -1,1 +1,1 @@
-lib/drivers/e1000_drv.ml: Array Bytes Char Decaf_hw Decaf_kernel Decaf_runtime Driver_env E1000_objects Hashtbl List Option String
+lib/drivers/e1000_drv.ml: Bytes Char Decaf_hw Decaf_kernel Decaf_runtime Decaf_xpc Driver_env E1000_objects Hashtbl List Option String

@@ -1,1 +1,1 @@
-lib/drivers/rtl8139_drv.ml: Bytes Char Decaf_hw Decaf_kernel Decaf_runtime Driver_env Hashtbl String
+lib/drivers/rtl8139_drv.ml: Bytes Char Decaf_hw Decaf_kernel Decaf_runtime Decaf_xpc Driver_env Hashtbl Rtl8139_objects String

@@ -1,1 +1,1 @@
-lib/drivers/rtl8139_drv.mli: Decaf_hw Decaf_kernel Driver_env
+lib/drivers/rtl8139_drv.mli: Decaf_hw Decaf_kernel Driver_env Rtl8139_objects

@@ -1,0 +1,1 @@
+lib/drivers/rtl8139_objects.ml: Addr Array Bytes Decaf_kernel Decaf_runtime Decaf_xpc Marshal_plan Objtracker Option Univ Xdr

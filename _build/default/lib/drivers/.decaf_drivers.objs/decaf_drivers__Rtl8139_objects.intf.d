@@ -1,0 +1,1 @@
+lib/drivers/rtl8139_objects.mli: Decaf_xpc

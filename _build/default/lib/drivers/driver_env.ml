@@ -6,6 +6,7 @@ type t = {
   mode : mode;
   upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+  notify : name:string -> bytes:int -> (unit -> unit) -> unit;
 }
 
 (* Calls that only read state and may safely be re-issued when a crossing
@@ -22,6 +23,7 @@ let native =
     mode = Native;
     upcall = (fun ~name:_ ~bytes:_ f -> f ());
     downcall = (fun ~name:_ ~bytes:_ f -> f ());
+    notify = (fun ~name:_ ~bytes:_ f -> f ());
   }
 
 let staged () =
@@ -35,6 +37,10 @@ let staged () =
       (fun ~name ~bytes f ->
         Channel.call ~target:Domain.Kernel ~payload_bytes:bytes
           ~idempotent:(idempotent_call name) ~context:name f);
+    notify =
+      (fun ~name ~bytes f ->
+        Batch.post ~target:Domain.Driver_lib ~payload_bytes:bytes
+          ~context:name f);
   }
 
 let decaf () =
@@ -49,6 +55,13 @@ let decaf () =
       (fun ~name ~bytes f ->
         Channel.call ~target:Domain.Kernel ~payload_bytes:bytes
           ~idempotent:(idempotent_call name) ~context:name f);
+    (* No [Runtime.start] here: a notification can be posted from
+       interrupt context, and by the time a driver has anything to notify
+       about its probe upcall has already started the runtime. *)
+    notify =
+      (fun ~name ~bytes f ->
+        Batch.post ~target:Domain.Decaf_driver ~payload_bytes:bytes
+          ~context:name f);
   }
 
 let mode_name = function

@@ -15,6 +15,12 @@ type t = {
   mode : mode;
   upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
+  notify : name:string -> bytes:int -> (unit -> unit) -> unit;
+      (** One-way, non-urgent upcall (stats update, link-state change,
+          multicast-list refresh): posted to {!Decaf_xpc.Batch} rather
+          than crossing immediately, and therefore legal from interrupt
+          context. In native mode it is an ordinary call. Never use this
+          for anything the caller's next step depends on. *)
 }
 
 val native : t

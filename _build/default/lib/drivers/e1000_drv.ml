@@ -89,6 +89,8 @@ type adapter = {
   mutable tx_in_flight : int;
   mutable watchdog : K.Timer.t option;
   mutable watchdog_runs : int;
+  mutable pkts_since_stats : int;
+  mutable user_syncs : int;
   lock : K.Sync.Combolock.t;
 }
 
@@ -113,6 +115,7 @@ let with_java_adapter a ~name f =
       result
   | Driver_env.Staged | Driver_env.Decaf ->
       if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
+      let upto = O.user_view_mark a.ka in
       let payload = O.marshal_to_user a.ka in
       let result, back =
         a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload) (fun () ->
@@ -120,8 +123,45 @@ let with_java_adapter a ~name f =
             let result = f j in
             (result, O.marshal_to_kernel j))
       in
+      (* the crossing carried every mark up to the snapshot; marks from
+         interrupts that fired during the call stay for the next sync *)
+      O.ack_user_view a.ka ~upto;
       O.unmarshal_at_kernel back a.ka;
       result
+
+(* Non-urgent kernel->user view refresh (stats rollups, link state):
+   marshal the delta now — interrupt context is fine, nothing blocks —
+   and let Batch deliver it. Acknowledge only in the delivered thunk:
+   if the flush crossing fails, the marks survive and the fields ride
+   the next sync. *)
+let post_adapter_sync a ~name =
+  match a.env.Driver_env.mode with
+  | Driver_env.Native -> ()
+  | Driver_env.Staged | Driver_env.Decaf ->
+      let upto = O.user_view_mark a.ka in
+      let payload = O.marshal_to_user a.ka in
+      a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
+          ignore (O.unmarshal_at_user payload a.ka);
+          O.ack_user_view a.ka ~upto;
+          a.user_syncs <- a.user_syncs + 1)
+
+(* The kernel nucleus refreshes the user-level stats view once per
+   [stats_notify_interval] data-path packets — often enough for user
+   tooling, rare enough that the data path is not crossing-bound. The
+   gigabit E1000 uses a longer interval than the 8139too so that even
+   the unbatched baseline stays within a couple of CPU points of the
+   native build at wire speed. *)
+let stats_notify_interval = 256
+
+let note_packets a n =
+  if n > 0 && a.env.Driver_env.mode <> Driver_env.Native then begin
+    a.pkts_since_stats <- a.pkts_since_stats + n;
+    if a.pkts_since_stats >= stats_notify_interval then begin
+      a.pkts_since_stats <- 0;
+      O.bump_k_stats a.ka;
+      post_adapter_sync a ~name:"e1000_stats"
+    end
+  end
 
 (* --- driver nucleus: data path --- *)
 
@@ -146,15 +186,18 @@ let start_xmit a (skb : K.Netcore.Skb.t) =
 let clean_tx a =
   (* descriptors up to the hardware head are done *)
   let tdh = K.Io.readl (reg a E.reg_tdh) in
+  let before = a.tx_in_flight in
   a.tx_in_flight <- (a.tx_tail - tdh + E.n_tx_desc) mod E.n_tx_desc;
-  if a.tx_in_flight < E.n_tx_desc - 1 then
-    match a.netdev with
-    | Some nd ->
-        if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
-    | None -> ()
+  (if a.tx_in_flight < E.n_tx_desc - 1 then
+     match a.netdev with
+     | Some nd ->
+         if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
+     | None -> ());
+  note_packets a (max 0 (before - a.tx_in_flight))
 
 let handle_rx a =
   let continue = ref true in
+  let received = ref 0 in
   while !continue do
     match E.take_rx a.model with
     | Some frame ->
@@ -162,18 +205,26 @@ let handle_rx a =
         (match a.netdev with
         | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
         | None -> ());
+        incr received;
         (* return the buffer to the device: advance the rx tail *)
         let rdt = K.Io.readl (reg a E.reg_rdt) in
         K.Io.writel (reg a E.reg_rdt) ((rdt + 1) mod E.n_rx_desc)
     | None -> continue := false
-  done
+  done;
+  note_packets a !received
 
 let interrupt a =
   let icr = K.Io.readl (reg a E.reg_icr) in
   if icr <> 0 then begin
     if icr land E.icr_txdw <> 0 then clean_tx a;
     if icr land E.icr_rxt0 <> 0 then handle_rx a;
-    if icr land E.icr_lsc <> 0 then a.ka.O.k_link_up <- Hw.Phy.link_up (E.phy a.model)
+    if icr land E.icr_lsc <> 0 then begin
+      let up = Hw.Phy.link_up (E.phy a.model) in
+      if up <> a.ka.O.k_link_up then begin
+        O.set_k_link_up a.ka up;
+        post_adapter_sync a ~name:"e1000_link_state"
+      end
+    end
   end
 
 (* --- decaf driver: user-level logic, exception-based (§5.1) --- *)
@@ -236,9 +287,9 @@ let phy_setup a =
    array); each dword is a downcall to the kernel's PCI services. *)
 let save_config_space a (j : O.java_adapter) =
   for i = 0 to O.config_words - 1 do
-    j.O.j_config_space.(i) <-
-      a.env.Driver_env.downcall ~name:"pci_read_config" ~bytes:8 (fun () ->
-          K.Pci.read_config32 a.pci (4 * i))
+    O.set_j_config_word j i
+      (a.env.Driver_env.downcall ~name:"pci_read_config" ~bytes:8 (fun () ->
+           K.Pci.read_config32 a.pci (4 * i)))
   done
 
 (* --- resource management with nested cleanup (Figure 4) --- *)
@@ -325,8 +376,8 @@ let e1000_open_user a (j : O.java_adapter) =
             (fun () ->
               phy_setup a;
               e1000_up a;
-              j.O.j_link_up <- true;
-              j.O.j_flags <- j.O.j_flags lor 1)))
+              O.set_j_link_up j true;
+              O.set_j_flags j (j.O.j_flags lor 1))))
 
 let e1000_close_user a (j : O.java_adapter) =
   e1000_down a;
@@ -334,15 +385,15 @@ let e1000_close_user a (j : O.java_adapter) =
       K.Irq.free_irq a.irq);
   free_rx_resources a;
   free_tx_resources a;
-  j.O.j_flags <- j.O.j_flags land lnot 1
+  O.set_j_flags j (j.O.j_flags land lnot 1)
 
 (* Watchdog: runs every two seconds in the decaf driver (§3.1.3). *)
 let watchdog_task a () =
   ignore
     (with_java_adapter a ~name:"e1000_watchdog" (fun j ->
          let status = rd32 a E.reg_status in
-         j.O.j_link_up <- status land E.status_lu <> 0;
-         j.O.j_watchdog_events <- j.O.j_watchdog_events + 1));
+         O.set_j_link_up j (status land E.status_lu <> 0);
+         O.bump_j_watchdog j));
   a.watchdog_runs <- a.watchdog_runs + 1
 
 let arm_watchdog a =
@@ -376,7 +427,7 @@ let disarm_watchdog a =
 let diag_test_adapter a =
   (* nucleus implementation: shares the kernel adapter with the irq
      handler, so the flag flip is visible *)
-  a.ka.O.k_link_up <- false;
+  O.set_k_link_up a.ka false;
   (* unmask and have the device raise a link-status-change interrupt *)
   K.Io.writel (reg a E.reg_ims) E.icr_lsc;
   K.Io.writel (reg a E.reg_ics) E.icr_lsc;
@@ -395,7 +446,7 @@ let diag_test_at_user_level_adapter a =
   (* the WRONG implementation: runs in the decaf driver against the
      marshaled copy of the adapter. The interrupt handler changes the
      kernel object; this copy stays stale and the wait times out. *)
-  a.ka.O.k_link_up <- false;
+  O.set_k_link_up a.ka false;
   with_java_adapter a ~name:"e1000_diag_test_wrong" (fun j ->
       K.Io.writel (reg a E.reg_ims) E.icr_lsc;
       K.Io.writel (reg a E.reg_ics) E.icr_lsc;
@@ -429,6 +480,9 @@ let net_ops a =
       (fun () ->
         disarm_watchdog a;
         Decaf_runtime.Runtime.Nuclear.flush ();
+        (* deliver outstanding deferred notifications before the close
+           sync, so no deferred call outlives its device *)
+        Decaf_xpc.Batch.drain ();
         with_java_adapter a ~name:"e1000_close" (fun j ->
             e1000_close_user a j);
         Ok ());
@@ -459,6 +513,8 @@ let probe env (pci : K.Pci.dev) =
           tx_in_flight = 0;
           watchdog = None;
           watchdog_runs = 0;
+          pkts_since_stats = 0;
+          user_syncs = 0;
           lock = K.Sync.Combolock.create ~name:driver ();
         }
       in
@@ -472,7 +528,7 @@ let probe env (pci : K.Pci.dev) =
                 let mac = read_mac_from_eeprom a in
                 ignore mac;
                 save_config_space a j;
-                j.O.j_msg_enable <- 7;
+                O.set_j_msg_enable j 7;
                 a.env.Driver_env.downcall ~name:"register_netdev" ~bytes:64
                   (fun () ->
                     let nd =
@@ -555,3 +611,4 @@ let diag_test t = diag_test_adapter t.adapter
 let diag_test_at_user_level t = diag_test_at_user_level_adapter t.adapter
 let watchdog_runs t = t.adapter.watchdog_runs
 let kernel_adapter t = t.adapter.ka
+let user_stat_syncs t = t.adapter.user_syncs

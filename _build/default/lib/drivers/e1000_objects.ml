@@ -15,6 +15,8 @@ type kernel_adapter = {
   mutable k_mtu : int;
   k_config_space : int array;
   mutable k_watchdog_events : int;
+  mutable k_stats_gen : int;
+  k_dirty : Plan.Dirty.t;
 }
 
 type java_adapter = {
@@ -27,12 +29,17 @@ type java_adapter = {
   mutable j_mtu : int;
   j_config_space : int array;
   mutable j_watchdog_events : int;
+  mutable j_stats_gen : int;
+  j_dirty : Plan.Dirty.t;
 }
 
 let config_words = 16
 
 (* The fields user-level code touches; tx/rx ring indices are data-path
-   state and stay out of the plan. *)
+   state and stay out of the plan. [stats_gen] is the kernel's running
+   count of data-path stats rollups — the payload of the periodic stats
+   notification, so delta marshals of an otherwise-clean adapter carry
+   one int instead of the whole struct. *)
 let plan =
   Plan.make ~type_id:"e1000_adapter"
     [
@@ -42,6 +49,7 @@ let plan =
       ("mtu", Plan.Read);
       ("config_space", Plan.Read_write);
       ("watchdog_events", Plan.Read_write);
+      ("stats_gen", Plan.Read);
     ]
 
 let adapter_key : java_adapter Univ.key = Univ.new_key "e1000_adapter"
@@ -62,22 +70,84 @@ let fresh_kernel_adapter () =
     k_mtu = 1500;
     k_config_space = Array.make config_words 0;
     k_watchdog_events = 0;
+    k_stats_gen = 0;
+    k_dirty = Plan.Dirty.create ();
   }
 
-(* Marshal layout (plan-driven): address, then each planned field in a
-   fixed order with a presence flag per direction. *)
+(* Dirty-marking writers. Kernel code that wants its write to reach the
+   user-level view must go through these (or mark manually): when delta
+   marshaling is on, only marked fields are re-copied. *)
 
-let encode_fields ~direction ~addr ~msg_enable ~flags ~link_up ~mtu
-    ~config_space ~watchdog_events =
-  let copies name =
-    match direction with
-    | `To_user -> Plan.copies_in plan name
-    | `To_kernel -> Plan.copies_out plan name
-  in
+let set_k_msg_enable k v =
+  if k.k_msg_enable <> v then begin
+    k.k_msg_enable <- v;
+    Plan.Dirty.mark k.k_dirty "msg_enable"
+  end
+
+let set_k_flags k v =
+  if k.k_flags <> v then begin
+    k.k_flags <- v;
+    Plan.Dirty.mark k.k_dirty "flags"
+  end
+
+let set_k_link_up k v =
+  if k.k_link_up <> v then begin
+    k.k_link_up <- v;
+    Plan.Dirty.mark k.k_dirty "link_up"
+  end
+
+let set_k_mtu k v =
+  if k.k_mtu <> v then begin
+    k.k_mtu <- v;
+    Plan.Dirty.mark k.k_dirty "mtu"
+  end
+
+let bump_k_stats k =
+  k.k_stats_gen <- k.k_stats_gen + 1;
+  Plan.Dirty.mark k.k_dirty "stats_gen"
+
+let user_view_mark k = Plan.Dirty.snapshot k.k_dirty
+let ack_user_view k ~upto = Plan.Dirty.acknowledge k.k_dirty ~upto
+
+let set_j_msg_enable j v =
+  if j.j_msg_enable <> v then begin
+    j.j_msg_enable <- v;
+    Plan.Dirty.mark j.j_dirty "msg_enable"
+  end
+
+let set_j_flags j v =
+  if j.j_flags <> v then begin
+    j.j_flags <- v;
+    Plan.Dirty.mark j.j_dirty "flags"
+  end
+
+let set_j_link_up j v =
+  if j.j_link_up <> v then begin
+    j.j_link_up <- v;
+    Plan.Dirty.mark j.j_dirty "link_up"
+  end
+
+let bump_j_watchdog j =
+  j.j_watchdog_events <- j.j_watchdog_events + 1;
+  Plan.Dirty.mark j.j_dirty "watchdog_events"
+
+let set_j_config_word j i v =
+  if j.j_config_space.(i) <> v then begin
+    j.j_config_space.(i) <- v;
+    Plan.Dirty.mark j.j_dirty "config_space"
+  end
+
+(* Marshal layout (plan-driven): address, then each planned field in a
+   fixed order with a presence flag. [includes] decides presence, which
+   lets the same encoder emit full images (plan-selected fields) and
+   deltas (plan-selected AND dirty). *)
+
+let encode_fields ~includes ~addr ~msg_enable ~flags ~link_up ~mtu
+    ~config_space ~watchdog_events ~stats_gen =
   let e = Xdr.Enc.create () in
   Xdr.Enc.uint e addr;
   let opt name enc =
-    if copies name then begin
+    if includes name then begin
       Xdr.Enc.bool e true;
       enc ()
     end
@@ -89,6 +159,7 @@ let encode_fields ~direction ~addr ~msg_enable ~flags ~link_up ~mtu
   opt "mtu" (fun () -> Xdr.Enc.int e mtu);
   opt "config_space" (fun () -> Xdr.Enc.array_var e Xdr.Enc.uint config_space);
   opt "watchdog_events" (fun () -> Xdr.Enc.int e watchdog_events);
+  opt "stats_gen" (fun () -> Xdr.Enc.int e stats_gen);
   Xdr.Enc.to_bytes e
 
 type decoded = {
@@ -99,6 +170,7 @@ type decoded = {
   d_mtu : int option;
   d_config_space : int array option;
   d_watchdog_events : int option;
+  d_stats_gen : int option;
 }
 
 let decode_fields bytes =
@@ -111,6 +183,7 @@ let decode_fields bytes =
   let d_mtu = opt Xdr.Dec.int in
   let d_config_space = opt (fun d -> Xdr.Dec.array_var d Xdr.Dec.uint) in
   let d_watchdog_events = opt Xdr.Dec.int in
+  let d_stats_gen = opt Xdr.Dec.int in
   Xdr.Dec.check_drained d;
   {
     d_addr;
@@ -120,15 +193,39 @@ let decode_fields bytes =
     d_mtu;
     d_config_space;
     d_watchdog_events;
+    d_stats_gen;
   }
 
+(* Delta marshals only make sense against an up-to-date peer: until the
+   user-level tracker has an object for this address (first crossing, or
+   first crossing after a runtime restart cleared the tracker), the image
+   must be full regardless of marks. *)
+let user_has_view (k : kernel_adapter) =
+  Objtracker.mem
+    (Decaf_runtime.Runtime.java_tracker ())
+    ~addr:k.k_addr ~type_id:(Plan.type_id plan)
+
 let marshal_to_user (k : kernel_adapter) =
-  encode_fields ~direction:`To_user ~addr:k.k_addr ~msg_enable:k.k_msg_enable
+  let delta = Plan.delta_enabled () && user_has_view k in
+  let includes name =
+    Plan.copies_in plan name
+    && ((not delta) || Plan.Dirty.test k.k_dirty name)
+  in
+  encode_fields ~includes ~addr:k.k_addr ~msg_enable:k.k_msg_enable
     ~flags:k.k_flags ~link_up:k.k_link_up ~mtu:k.k_mtu
     ~config_space:k.k_config_space ~watchdog_events:k.k_watchdog_events
+    ~stats_gen:k.k_stats_gen
 
+(* Note: NOT via [marshal_to_user] — the wire size of a full image must
+   not depend on the delta mode or touch the user-level tracker. *)
 let wire_size =
-  Bytes.length (marshal_to_user (fresh_kernel_adapter ()))
+  let k = fresh_kernel_adapter () in
+  Bytes.length
+    (encode_fields
+       ~includes:(Plan.copies_in plan)
+       ~addr:k.k_addr ~msg_enable:k.k_msg_enable ~flags:k.k_flags
+       ~link_up:k.k_link_up ~mtu:k.k_mtu ~config_space:k.k_config_space
+       ~watchdog_events:k.k_watchdog_events ~stats_gen:k.k_stats_gen)
 
 let unmarshal_at_user bytes (k : kernel_adapter) =
   let d = decode_fields bytes in
@@ -150,6 +247,8 @@ let unmarshal_at_user bytes (k : kernel_adapter) =
             j_mtu = 0;
             j_config_space = Array.make config_words 0;
             j_watchdog_events = 0;
+            j_stats_gen = 0;
+            j_dirty = Plan.Dirty.create ();
           }
         in
         Objtracker.associate tracker ~addr:d.d_addr (Univ.pack adapter_key j);
@@ -157,6 +256,8 @@ let unmarshal_at_user bytes (k : kernel_adapter) =
         Objtracker.associate tracker ~addr:k.k_rx_addr (Univ.pack ring_key j.j_rx);
         j
   in
+  (* plain assignments: these values just arrived from the kernel, so
+     they are in sync by construction and must not be re-marked dirty *)
   Option.iter (fun v -> j.j_msg_enable <- v) d.d_msg_enable;
   Option.iter (fun v -> j.j_flags <- v) d.d_flags;
   Option.iter (fun v -> j.j_link_up <- v) d.d_link_up;
@@ -164,13 +265,27 @@ let unmarshal_at_user bytes (k : kernel_adapter) =
   Option.iter (fun v -> Array.blit v 0 j.j_config_space 0 (Array.length v))
     d.d_config_space;
   Option.iter (fun v -> j.j_watchdog_events <- v) d.d_watchdog_events;
+  Option.iter (fun v -> j.j_stats_gen <- v) d.d_stats_gen;
   j
 
 let marshal_to_kernel (j : java_adapter) =
-  encode_fields ~direction:`To_kernel ~addr:j.j_c_addr
-    ~msg_enable:j.j_msg_enable ~flags:j.j_flags ~link_up:j.j_link_up
-    ~mtu:j.j_mtu ~config_space:j.j_config_space
-    ~watchdog_events:j.j_watchdog_events
+  let delta = Plan.delta_enabled () in
+  let upto = Plan.Dirty.snapshot j.j_dirty in
+  let includes name =
+    Plan.copies_out plan name
+    && ((not delta) || Plan.Dirty.test j.j_dirty name)
+  in
+  let b =
+    encode_fields ~includes ~addr:j.j_c_addr ~msg_enable:j.j_msg_enable
+      ~flags:j.j_flags ~link_up:j.j_link_up ~mtu:j.j_mtu
+      ~config_space:j.j_config_space ~watchdog_events:j.j_watchdog_events
+      ~stats_gen:j.j_stats_gen
+  in
+  (* The return payload rides the reply leg of a crossing that already
+     survived its deadline (the fault model fires at call time), so the
+     marks it carries are acknowledged at marshal time. *)
+  if delta then Plan.Dirty.acknowledge j.j_dirty ~upto;
+  b
 
 let unmarshal_at_kernel bytes (k : kernel_adapter) =
   let d = decode_fields bytes in
@@ -183,4 +298,5 @@ let unmarshal_at_kernel bytes (k : kernel_adapter) =
   Option.iter (fun v -> Array.blit v 0 k.k_config_space 0 (Array.length v))
     d.d_config_space;
   Option.iter (fun v -> k.k_watchdog_events <- v) d.d_watchdog_events;
-  ignore d.d_mtu
+  ignore d.d_mtu;
+  ignore d.d_stats_gen

@@ -8,7 +8,14 @@
     container of public mutable fields. Marshaling is plan-driven: only
     the fields the decaf driver accesses cross the boundary, through
     real {!Decaf_xpc.Xdr} encoding, and unmarshaling consults the object
-    tracker to update objects in place. *)
+    tracker to update objects in place.
+
+    Each side also carries a {!Decaf_xpc.Marshal_plan.Dirty} tracker;
+    when delta marshaling is enabled
+    ({!Decaf_xpc.Marshal_plan.set_delta_enabled}), repeat marshals copy
+    only fields written — through the [set_*] writers below — since the
+    last acknowledged crossing. The first crossing (no user-level view
+    yet, e.g. after a runtime restart) is always a full image. *)
 
 type ring = { mutable head : int; mutable tail : int; mutable count : int }
 
@@ -24,6 +31,10 @@ type kernel_adapter = {
   mutable k_mtu : int;
   k_config_space : int array;  (** 16 dwords, Figure 3's annotated array *)
   mutable k_watchdog_events : int;
+  mutable k_stats_gen : int;
+      (** data-path stats rollups so far; the payload of the periodic
+          stats notification *)
+  k_dirty : Decaf_xpc.Marshal_plan.Dirty.t;
 }
 
 type java_adapter = {
@@ -36,6 +47,8 @@ type java_adapter = {
   mutable j_mtu : int;
   j_config_space : int array;
   mutable j_watchdog_events : int;
+  mutable j_stats_gen : int;
+  j_dirty : Decaf_xpc.Marshal_plan.Dirty.t;
 }
 
 val config_words : int
@@ -50,11 +63,41 @@ val ring_key : ring Decaf_xpc.Univ.key
 val fresh_kernel_adapter : unit -> kernel_adapter
 (** Allocate with fresh simulated addresses. *)
 
+(** {2 Dirty-marking writers}
+
+    Kernel or decaf-driver code whose write must reach the other side
+    goes through these; with delta marshaling on, unmarked fields are
+    not re-copied. The [set_*] writers mark only on change. *)
+
+val set_k_msg_enable : kernel_adapter -> int -> unit
+val set_k_flags : kernel_adapter -> int -> unit
+val set_k_link_up : kernel_adapter -> bool -> unit
+val set_k_mtu : kernel_adapter -> int -> unit
+
+val bump_k_stats : kernel_adapter -> unit
+(** Advance [k_stats_gen] (a stats rollup happened) and mark it. *)
+
+val user_view_mark : kernel_adapter -> int
+(** Dirty-generation snapshot to take before [marshal_to_user]; pass to
+    {!ack_user_view} once the crossing carrying that payload succeeded.
+    Writes landing between snapshot and ack (an interrupt during the
+    call) keep their marks. *)
+
+val ack_user_view : kernel_adapter -> upto:int -> unit
+
+val set_j_msg_enable : java_adapter -> int -> unit
+val set_j_flags : java_adapter -> int -> unit
+val set_j_link_up : java_adapter -> bool -> unit
+val bump_j_watchdog : java_adapter -> unit
+val set_j_config_word : java_adapter -> int -> int -> unit
+
 val wire_size : int
-(** Bytes of a full plan-selected marshal (used for XPC cost). *)
+(** Bytes of a full plan-selected marshal (used for XPC cost sizing);
+    independent of the delta mode. *)
 
 val marshal_to_user : kernel_adapter -> bytes
-(** Encode the plan's copy-in fields. *)
+(** Encode the plan's copy-in fields — all of them, or (delta mode, user
+    view exists) only the dirty ones. *)
 
 val unmarshal_at_user : bytes -> kernel_adapter -> java_adapter
 (** Decode at user level: finds (or creates and registers) the Java
@@ -62,7 +105,9 @@ val unmarshal_at_user : bytes -> kernel_adapter -> java_adapter
     planned fields in place, and returns it. *)
 
 val marshal_to_kernel : java_adapter -> bytes
-(** Encode the plan's copy-out fields for the return trip. *)
+(** Encode the plan's copy-out fields for the return trip; in delta mode
+    only the decaf driver's unacknowledged writes, which this call
+    acknowledges (the reply leg cannot independently time out). *)
 
 val unmarshal_at_kernel : bytes -> kernel_adapter -> unit
 (** Apply the decaf driver's writes back to the kernel object. *)

@@ -1,11 +1,12 @@
 module K = Decaf_kernel
 module Hw = Decaf_hw
 module R = Hw.Rtl8139
+module RO = Rtl8139_objects
 module Runtime = Decaf_runtime.Runtime
 
 let vendor_id = 0x10ec
 let device_id = 0x8139
-let adapter_wire_bytes = 224
+let adapter_wire_bytes = RO.wire_size
 
 (* Device models by PCI slot: stands in for the DMA memory the driver
    and device share. *)
@@ -25,10 +26,12 @@ type adapter = {
   model : R.t;
   io_base : int;
   irq : int;
+  ka : RO.kernel_nic;
   mutable netdev : K.Netcore.t option;
   mutable cur_tx : int;  (** next transmit descriptor to use *)
   mutable dirty_tx : int;  (** oldest descriptor the NIC still owns *)
-  mutable msg_enable : int;
+  mutable pkts_since_stats : int;
+  mutable user_syncs : int;
   lock : K.Sync.Combolock.t;
 }
 
@@ -38,6 +41,54 @@ type t = {
 }
 
 let reg a off = a.io_base + off
+
+(* Run [f] on the Java view of the nic — the rtl8139 counterpart of
+   E1000_drv's [with_java_adapter]: plan-driven XDR marshaling with the
+   dirty-snapshot/ack protocol for delta mode. *)
+let with_java_nic a ~name f =
+  match a.env.Driver_env.mode with
+  | Driver_env.Native ->
+      let j = RO.unmarshal_at_user (RO.marshal_to_user a.ka) in
+      let result = f j in
+      RO.unmarshal_at_kernel (RO.marshal_to_kernel j) a.ka;
+      result
+  | Driver_env.Staged | Driver_env.Decaf ->
+      if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
+      let upto = RO.user_view_mark a.ka in
+      let payload = RO.marshal_to_user a.ka in
+      let result, back =
+        a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload) (fun () ->
+            let j = RO.unmarshal_at_user payload in
+            let result = f j in
+            (result, RO.marshal_to_kernel j))
+      in
+      RO.ack_user_view a.ka ~upto;
+      RO.unmarshal_at_kernel back a.ka;
+      result
+
+(* Deferred kernel->user view refresh, as in E1000_drv. *)
+let post_nic_sync a ~name =
+  match a.env.Driver_env.mode with
+  | Driver_env.Native -> ()
+  | Driver_env.Staged | Driver_env.Decaf ->
+      let upto = RO.user_view_mark a.ka in
+      let payload = RO.marshal_to_user a.ka in
+      a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
+          ignore (RO.unmarshal_at_user payload);
+          RO.ack_user_view a.ka ~upto;
+          a.user_syncs <- a.user_syncs + 1)
+
+let stats_notify_interval = 64
+
+let note_packets a n =
+  if n > 0 && a.env.Driver_env.mode <> Driver_env.Native then begin
+    a.pkts_since_stats <- a.pkts_since_stats + n;
+    if a.pkts_since_stats >= stats_notify_interval then begin
+      a.pkts_since_stats <- 0;
+      RO.bump_k_stats a.ka;
+      post_nic_sync a ~name:"rtl8139_stats"
+    end
+  end
 
 (* --- data path: always kernel-resident (critical roots) --- *)
 
@@ -64,15 +115,18 @@ let start_xmit a (skb : K.Netcore.Skb.t) =
 
 let handle_rx a =
   let continue = ref true in
+  let received = ref 0 in
   while !continue do
     match R.take_rx a.model with
     | Some frame -> (
         K.Clock.consume 1_000 (* per-packet receive processing *);
+        incr received;
         match a.netdev with
         | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
         | None -> ())
     | None -> continue := false
-  done
+  done;
+  note_packets a !received
 
 let interrupt a =
   let status = K.Io.inw (reg a R.isr) in
@@ -80,6 +134,7 @@ let interrupt a =
     K.Io.outw (reg a R.isr) status (* ack *);
     if status land R.isr_tok <> 0 then begin
       (* retire every descriptor the NIC has written back *)
+      let retired_from = a.dirty_tx in
       let scanning = ref true in
       while !scanning && a.dirty_tx < a.cur_tx do
         let slot = a.dirty_tx mod R.n_tx_desc in
@@ -87,19 +142,24 @@ let interrupt a =
           a.dirty_tx <- a.dirty_tx + 1
         else scanning := false
       done;
-      if tx_slots_in_flight a < R.n_tx_desc then
-        match a.netdev with
-        | Some nd ->
-            if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
-        | None -> ()
+      (if tx_slots_in_flight a < R.n_tx_desc then
+         match a.netdev with
+         | Some nd ->
+             if K.Netcore.netif_queue_stopped nd then
+               K.Netcore.netif_wake_queue nd
+         | None -> ());
+      note_packets a (a.dirty_tx - retired_from)
     end;
     if status land R.isr_rok <> 0 then handle_rx a;
-    if status land R.isr_rx_overflow <> 0 then
-      match a.netdev with
+    if status land R.isr_rx_overflow <> 0 then begin
+      (match a.netdev with
       | Some nd ->
           let st = K.Netcore.stats nd in
           st.K.Netcore.rx_dropped <- st.K.Netcore.rx_dropped + 1
-      | None -> ()
+      | None -> ());
+      RO.bump_k_rx_dropped a.ka;
+      post_nic_sync a ~name:"rtl8139_rx_dropped"
+    end
   end
 
 (* --- initialization path: runs at user level in decaf mode --- *)
@@ -145,8 +205,7 @@ let net_ops t_adapter =
         (* open runs mostly at user level: bring the chip up there, then
            come back down to enable the queue. *)
         let rc =
-          a.env.Driver_env.upcall ~name:"rtl8139_open" ~bytes:adapter_wire_bytes
-            (fun () ->
+          with_java_nic a ~name:"rtl8139_open" (fun _j ->
               let rc = chip_reset a in
               if rc = 0 then begin
                 hw_start a;
@@ -164,8 +223,9 @@ let net_ops t_adapter =
     ndo_stop =
       (fun () ->
         let a = t_adapter in
-        a.env.Driver_env.upcall ~name:"rtl8139_close" ~bytes:adapter_wire_bytes
-          (fun () ->
+        (* deliver outstanding deferred notifications before closing *)
+        Decaf_xpc.Batch.drain ();
+        with_java_nic a ~name:"rtl8139_close" (fun _j ->
             let outb =
               if a.env.Driver_env.mode <> Driver_env.Native then
                 Runtime.Helpers.outb
@@ -201,22 +261,23 @@ let probe env (pci : K.Pci.dev) =
           model;
           io_base = bar.K.Pci.base;
           irq = K.Pci.irq pci;
+          ka = RO.fresh_kernel_nic ();
           netdev = None;
           cur_tx = 0;
           dirty_tx = 0;
-          msg_enable = 0;
+          pkts_since_stats = 0;
+          user_syncs = 0;
           lock = K.Sync.Combolock.create ~name:"rtl8139" ();
         }
       in
       (* Probe-time bring-up happens at user level in decaf mode. *)
       let rc =
-        env.Driver_env.upcall ~name:"rtl8139_probe" ~bytes:adapter_wire_bytes
-          (fun () ->
+        with_java_nic a ~name:"rtl8139_probe" (fun j ->
             let rc = chip_reset a in
             if rc <> 0 then rc
             else begin
               let mac = read_mac a in
-              a.msg_enable <- 1;
+              RO.set_j_msg_enable j 1;
               (* register with the kernel: downcalls from user level *)
               a.env.Driver_env.downcall ~name:"register_netdev" ~bytes:64
                 (fun () ->
@@ -296,4 +357,15 @@ let netdev t =
   match t.adapter.netdev with
   | Some nd -> nd
   | None -> K.Panic.bug "8139too: no netdev"
+
+(* Multicast-list update: the kernel recomputes the hash filter and lets
+   the user-level view catch up via a deferred notification — the
+   classic non-urgent upcall (nothing in the kernel waits on it). *)
+let set_rx_mode t ~mc_filter:(w0, w1) =
+  let a = t.adapter in
+  RO.set_k_mc_filter a.ka w0 w1;
+  post_nic_sync a ~name:"rtl8139_set_rx_mode"
+
+let kernel_nic t = t.adapter.ka
+let user_stat_syncs t = t.adapter.user_syncs
 

@@ -24,5 +24,18 @@ val insmod : Driver_env.t -> (t, int) result
 val rmmod : t -> unit
 val init_latency_ns : t -> int
 val netdev : t -> Decaf_kernel.Netcore.t
+
 val adapter_wire_bytes : int
-(** Marshaled size of [struct rtl8139_private] used for XPC accounting. *)
+(** Marshaled size of a full [struct rtl8139_private] image (see
+    {!Rtl8139_objects.wire_size}) used for XPC accounting. *)
+
+val set_rx_mode : t -> mc_filter:int * int -> unit
+(** Update the multicast hash filter. The kernel object changes
+    immediately; the user-level view is refreshed by a deferred
+    notification through {!Decaf_xpc.Batch}. *)
+
+val kernel_nic : t -> Rtl8139_objects.kernel_nic
+
+val user_stat_syncs : t -> int
+(** Deferred view refreshes delivered to user level (stats rollups every
+    64 packets, drop and multicast updates). *)

@@ -1,0 +1,187 @@
+open Decaf_xpc
+module Plan = Marshal_plan
+
+type kernel_nic = {
+  k_addr : int;
+  mutable k_msg_enable : int;
+  k_mc_filter : int array;
+  mutable k_rx_dropped : int;
+  mutable k_stats_gen : int;
+  k_dirty : Plan.Dirty.t;
+}
+
+type java_nic = {
+  mutable j_c_addr : int;
+  mutable j_msg_enable : int;
+  j_mc_filter : int array;
+  mutable j_rx_dropped : int;
+  mutable j_stats_gen : int;
+  j_dirty : Plan.Dirty.t;
+}
+
+let mc_filter_words = 2
+
+(* What the user-level 8139too code touches: msg_enable both ways, and
+   the kernel-maintained multicast filter, drop counter and stats
+   generation as read-only views refreshed by deferred notifications. *)
+let plan =
+  Plan.make ~type_id:"rtl8139_nic"
+    [
+      ("msg_enable", Plan.Read_write);
+      ("mc_filter", Plan.Read);
+      ("rx_dropped", Plan.Read);
+      ("stats_gen", Plan.Read);
+    ]
+
+let nic_key : java_nic Univ.key = Univ.new_key "rtl8139_nic"
+
+let fresh_kernel_nic () =
+  {
+    k_addr = Addr.alloc ~size:256;
+    k_msg_enable = 0;
+    k_mc_filter = Array.make mc_filter_words 0;
+    k_rx_dropped = 0;
+    k_stats_gen = 0;
+    k_dirty = Plan.Dirty.create ();
+  }
+
+let set_k_msg_enable k v =
+  if k.k_msg_enable <> v then begin
+    k.k_msg_enable <- v;
+    Plan.Dirty.mark k.k_dirty "msg_enable"
+  end
+
+let set_k_mc_filter k w0 w1 =
+  if k.k_mc_filter.(0) <> w0 || k.k_mc_filter.(1) <> w1 then begin
+    k.k_mc_filter.(0) <- w0;
+    k.k_mc_filter.(1) <- w1;
+    Plan.Dirty.mark k.k_dirty "mc_filter"
+  end
+
+let bump_k_rx_dropped k =
+  k.k_rx_dropped <- k.k_rx_dropped + 1;
+  Plan.Dirty.mark k.k_dirty "rx_dropped"
+
+let bump_k_stats k =
+  k.k_stats_gen <- k.k_stats_gen + 1;
+  Plan.Dirty.mark k.k_dirty "stats_gen"
+
+let user_view_mark k = Plan.Dirty.snapshot k.k_dirty
+let ack_user_view k ~upto = Plan.Dirty.acknowledge k.k_dirty ~upto
+
+let set_j_msg_enable j v =
+  if j.j_msg_enable <> v then begin
+    j.j_msg_enable <- v;
+    Plan.Dirty.mark j.j_dirty "msg_enable"
+  end
+
+let encode_fields ~includes ~addr ~msg_enable ~mc_filter ~rx_dropped
+    ~stats_gen =
+  let e = Xdr.Enc.create () in
+  Xdr.Enc.uint e addr;
+  let opt name enc =
+    if includes name then begin
+      Xdr.Enc.bool e true;
+      enc ()
+    end
+    else Xdr.Enc.bool e false
+  in
+  opt "msg_enable" (fun () -> Xdr.Enc.int e msg_enable);
+  opt "mc_filter" (fun () -> Xdr.Enc.array_var e Xdr.Enc.uint mc_filter);
+  opt "rx_dropped" (fun () -> Xdr.Enc.int e rx_dropped);
+  opt "stats_gen" (fun () -> Xdr.Enc.int e stats_gen);
+  Xdr.Enc.to_bytes e
+
+type decoded = {
+  d_addr : int;
+  d_msg_enable : int option;
+  d_mc_filter : int array option;
+  d_rx_dropped : int option;
+  d_stats_gen : int option;
+}
+
+let decode_fields bytes =
+  let d = Xdr.Dec.of_bytes bytes in
+  let d_addr = Xdr.Dec.uint d in
+  let opt dec = if Xdr.Dec.bool d then Some (dec d) else None in
+  let d_msg_enable = opt Xdr.Dec.int in
+  let d_mc_filter = opt (fun d -> Xdr.Dec.array_var d Xdr.Dec.uint) in
+  let d_rx_dropped = opt Xdr.Dec.int in
+  let d_stats_gen = opt Xdr.Dec.int in
+  Xdr.Dec.check_drained d;
+  { d_addr; d_msg_enable; d_mc_filter; d_rx_dropped; d_stats_gen }
+
+let user_has_view (k : kernel_nic) =
+  Objtracker.mem
+    (Decaf_runtime.Runtime.java_tracker ())
+    ~addr:k.k_addr ~type_id:(Plan.type_id plan)
+
+let marshal_to_user (k : kernel_nic) =
+  let delta = Plan.delta_enabled () && user_has_view k in
+  let includes name =
+    Plan.copies_in plan name
+    && ((not delta) || Plan.Dirty.test k.k_dirty name)
+  in
+  encode_fields ~includes ~addr:k.k_addr ~msg_enable:k.k_msg_enable
+    ~mc_filter:k.k_mc_filter ~rx_dropped:k.k_rx_dropped
+    ~stats_gen:k.k_stats_gen
+
+let wire_size =
+  let k = fresh_kernel_nic () in
+  Bytes.length
+    (encode_fields
+       ~includes:(Plan.copies_in plan)
+       ~addr:k.k_addr ~msg_enable:k.k_msg_enable ~mc_filter:k.k_mc_filter
+       ~rx_dropped:k.k_rx_dropped ~stats_gen:k.k_stats_gen)
+
+let unmarshal_at_user bytes =
+  let d = decode_fields bytes in
+  let tracker = Decaf_runtime.Runtime.java_tracker () in
+  let j =
+    match Objtracker.find tracker ~addr:d.d_addr nic_key with
+    | Some j -> j
+    | None ->
+        let j =
+          {
+            j_c_addr = d.d_addr;
+            j_msg_enable = 0;
+            j_mc_filter = Array.make mc_filter_words 0;
+            j_rx_dropped = 0;
+            j_stats_gen = 0;
+            j_dirty = Plan.Dirty.create ();
+          }
+        in
+        Objtracker.associate tracker ~addr:d.d_addr (Univ.pack nic_key j);
+        j
+  in
+  Option.iter (fun v -> j.j_msg_enable <- v) d.d_msg_enable;
+  Option.iter (fun v -> Array.blit v 0 j.j_mc_filter 0 (Array.length v))
+    d.d_mc_filter;
+  Option.iter (fun v -> j.j_rx_dropped <- v) d.d_rx_dropped;
+  Option.iter (fun v -> j.j_stats_gen <- v) d.d_stats_gen;
+  j
+
+let marshal_to_kernel (j : java_nic) =
+  let delta = Plan.delta_enabled () in
+  let upto = Plan.Dirty.snapshot j.j_dirty in
+  let includes name =
+    Plan.copies_out plan name
+    && ((not delta) || Plan.Dirty.test j.j_dirty name)
+  in
+  let b =
+    encode_fields ~includes ~addr:j.j_c_addr ~msg_enable:j.j_msg_enable
+      ~mc_filter:j.j_mc_filter ~rx_dropped:j.j_rx_dropped
+      ~stats_gen:j.j_stats_gen
+  in
+  if delta then Plan.Dirty.acknowledge j.j_dirty ~upto;
+  b
+
+let unmarshal_at_kernel bytes (k : kernel_nic) =
+  let d = decode_fields bytes in
+  if d.d_addr <> k.k_addr then
+    Decaf_kernel.Panic.bug "8139too: marshal for wrong nic %#x" d.d_addr;
+  Option.iter (fun v -> k.k_msg_enable <- v) d.d_msg_enable;
+  (* mc_filter / rx_dropped / stats_gen are Read-only in the plan *)
+  ignore d.d_mc_filter;
+  ignore d.d_rx_dropped;
+  ignore d.d_stats_gen

@@ -1,0 +1,54 @@
+(** Shared-object layer of the 8139too decaf driver: the rtl8139
+    counterpart of {!E1000_objects}, with the same plan-driven XDR
+    marshaling and per-side {!Decaf_xpc.Marshal_plan.Dirty} trackers for
+    delta marshaling.
+
+    The kernel keeps the authoritative [msg_enable], multicast filter,
+    drop counter and stats generation; user-level code reads them
+    through a marshaled {!java_nic} view refreshed on control crossings
+    and by deferred notifications ({!Decaf_xpc.Batch}). Only
+    [msg_enable] is written back. *)
+
+type kernel_nic = {
+  k_addr : int;  (** simulated C address *)
+  mutable k_msg_enable : int;
+  k_mc_filter : int array;  (** 2 words of multicast hash filter *)
+  mutable k_rx_dropped : int;
+  mutable k_stats_gen : int;
+  k_dirty : Decaf_xpc.Marshal_plan.Dirty.t;
+}
+
+type java_nic = {
+  mutable j_c_addr : int;
+  mutable j_msg_enable : int;
+  j_mc_filter : int array;
+  mutable j_rx_dropped : int;
+  mutable j_stats_gen : int;
+  j_dirty : Decaf_xpc.Marshal_plan.Dirty.t;
+}
+
+val mc_filter_words : int
+val plan : Decaf_xpc.Marshal_plan.t
+val nic_key : java_nic Decaf_xpc.Univ.key
+val fresh_kernel_nic : unit -> kernel_nic
+
+(** {2 Dirty-marking writers} *)
+
+val set_k_msg_enable : kernel_nic -> int -> unit
+val set_k_mc_filter : kernel_nic -> int -> int -> unit
+val bump_k_rx_dropped : kernel_nic -> unit
+val bump_k_stats : kernel_nic -> unit
+
+val user_view_mark : kernel_nic -> int
+(** Snapshot/acknowledge protocol as in {!E1000_objects.user_view_mark}. *)
+
+val ack_user_view : kernel_nic -> upto:int -> unit
+val set_j_msg_enable : java_nic -> int -> unit
+
+val wire_size : int
+(** Bytes of a full plan-selected marshal; independent of delta mode. *)
+
+val marshal_to_user : kernel_nic -> bytes
+val unmarshal_at_user : bytes -> java_nic
+val marshal_to_kernel : java_nic -> bytes
+val unmarshal_at_kernel : bytes -> kernel_nic -> unit

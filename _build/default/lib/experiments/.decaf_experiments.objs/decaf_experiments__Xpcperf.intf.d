@@ -1,0 +1,1 @@
+lib/experiments/xpcperf.mli:

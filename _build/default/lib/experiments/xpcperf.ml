@@ -1,0 +1,355 @@
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module Xpc = Decaf_xpc
+open Decaf_drivers
+open Decaf_workloads
+
+type config = { batching : bool; delta : bool }
+
+let config_name c =
+  (if c.batching then "batch" else "nobatch")
+  ^ "+"
+  ^ if c.delta then "delta" else "full"
+
+(* Measured in a fixed order so the JSON trajectory is stable. *)
+let configs =
+  [
+    { batching = false; delta = false };
+    { batching = true; delta = false };
+    { batching = false; delta = true };
+    { batching = true; delta = true };
+  ]
+
+type sample = {
+  scenario : string;
+  config : config;
+  crossings : int;
+  c_java : int;
+  bytes : int;
+  posted : int;
+  delivered : int;
+  flushes : int;
+  perf_milli : int;
+  perf_unit : string;
+}
+
+let perf s = float_of_int s.perf_milli /. 1000.
+
+(* Every scenario runs the decaf build: the whole point is the cost of
+   the user-level half, and the native build has no crossings to batch. *)
+let apply_config c =
+  Xpc.Batch.set_enabled c.batching;
+  Xpc.Marshal_plan.set_delta_enabled c.delta
+
+let finish ~scenario ~config ~perf ~perf_unit =
+  let ch = Xpc.Channel.snapshot () in
+  let b = Xpc.Batch.snapshot () in
+  {
+    scenario;
+    config;
+    crossings = ch.Xpc.Channel.kernel_user_calls;
+    c_java = ch.Xpc.Channel.c_java_calls;
+    bytes = ch.Xpc.Channel.bytes_marshaled;
+    posted = b.Xpc.Batch.posted;
+    delivered = b.Xpc.Batch.delivered;
+    flushes = b.Xpc.Batch.flush_crossings;
+    perf_milli = int_of_float ((perf *. 1000.) +. 0.5);
+    perf_unit;
+  }
+
+let e1000_net which config ~duration_ns =
+  Scenario.boot ();
+  apply_config config;
+  let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
+       ~mac:Scenario.mac ~link ());
+  Scenario.in_thread (fun () ->
+      let t =
+        match E1000_drv.insmod (Scenario.env_of Driver_env.Decaf) with
+        | Ok t -> t
+        | Error rc -> K.Panic.bug "xpcperf e1000 insmod: %d" rc
+      in
+      let nd = E1000_drv.netdev t in
+      (match K.Netcore.open_dev nd with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "xpcperf e1000 open: %d" rc);
+      let r, scenario =
+        match which with
+        | `Send ->
+            ( Netperf.send ~netdev:nd ~link ~duration_ns ~msg_bytes:1500,
+              "e1000-netperf-send" )
+        | `Recv ->
+            ( Netperf.recv ~netdev:nd ~link ~duration_ns ~msg_bytes:1500,
+              "e1000-netperf-recv" )
+      in
+      Xpc.Batch.drain ();
+      E1000_drv.rmmod t;
+      finish ~scenario ~config ~perf:r.Netperf.throughput_mbps
+        ~perf_unit:"Mb/s")
+
+let rtl8139_net config ~duration_ns =
+  Scenario.boot ();
+  apply_config config;
+  let link = Hw.Link.create ~rate_bps:100_000_000 () in
+  ignore
+    (Rtl8139_drv.setup_device ~slot:"00:04.0" ~io_base:0xc000 ~irq:10
+       ~mac:Scenario.mac ~link ());
+  Scenario.in_thread (fun () ->
+      let t =
+        match Rtl8139_drv.insmod (Scenario.env_of Driver_env.Decaf) with
+        | Ok t -> t
+        | Error rc -> K.Panic.bug "xpcperf 8139too insmod: %d" rc
+      in
+      let nd = Rtl8139_drv.netdev t in
+      (match K.Netcore.open_dev nd with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "xpcperf 8139too open: %d" rc);
+      let r = Netperf.send ~netdev:nd ~link ~duration_ns ~msg_bytes:1500 in
+      Xpc.Batch.drain ();
+      Rtl8139_drv.rmmod t;
+      finish ~scenario:"8139too-netperf-send" ~config
+        ~perf:r.Netperf.throughput_mbps ~perf_unit:"Mb/s")
+
+let psmouse config ~duration_ns =
+  Scenario.boot ();
+  apply_config config;
+  let model = Psmouse_drv.setup_device () in
+  Scenario.in_thread (fun () ->
+      let t =
+        match Psmouse_drv.insmod (Scenario.env_of Driver_env.Decaf) with
+        | Ok t -> t
+        | Error rc -> K.Panic.bug "xpcperf psmouse insmod: %d" rc
+      in
+      let r =
+        Mouse_move.run ~model ~input:(Psmouse_drv.input_dev t) ~duration_ns
+      in
+      Xpc.Batch.drain ();
+      Psmouse_drv.rmmod t;
+      finish ~scenario:"psmouse-move" ~config
+        ~perf:(float_of_int r.Mouse_move.packets)
+        ~perf_unit:"packets")
+
+let ens1371 config ~duration_ns =
+  Scenario.boot ();
+  apply_config config;
+  let model =
+    Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 ()
+  in
+  Scenario.in_thread (fun () ->
+      let t =
+        match Ens1371_drv.insmod (Scenario.env_of Driver_env.Decaf) with
+        | Ok t -> t
+        | Error rc -> K.Panic.bug "xpcperf ens1371 insmod: %d" rc
+      in
+      let r = Mpg123.play ~substream:(Ens1371_drv.substream t) ~model ~duration_ns in
+      Xpc.Batch.drain ();
+      Ens1371_drv.rmmod t;
+      finish ~scenario:"ens1371-mpg123" ~config
+        ~perf:(if r.Mpg123.underruns <= 1 then 1.0 else 0.0)
+        ~perf_unit:"ok")
+
+let default_duration_ns = 300_000_000
+
+let scenarios ~duration_ns =
+  [
+    (fun cfg -> e1000_net `Send cfg ~duration_ns);
+    (fun cfg -> e1000_net `Recv cfg ~duration_ns);
+    (fun cfg -> rtl8139_net cfg ~duration_ns);
+    (fun cfg -> psmouse cfg ~duration_ns:(max duration_ns 2_000_000_000));
+    (fun cfg -> ens1371 cfg ~duration_ns);
+  ]
+
+let measure ?(duration_ns = default_duration_ns) () =
+  List.concat_map
+    (fun run -> List.map run configs)
+    (scenarios ~duration_ns)
+
+(* --- reporting --- *)
+
+let find samples ~scenario ~config =
+  List.find_opt (fun s -> s.scenario = scenario && s.config = config) samples
+
+let reduction ~off ~on =
+  if off = 0 then 0.
+  else 100. *. float_of_int (off - on) /. float_of_int off
+
+let render samples =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Batched XPC and delta marshaling (decaf build, %d configs)\n"
+    (List.length configs);
+  add "%-20s %-14s %9s %8s %10s %7s %7s %7s %10s\n" "Scenario" "Config"
+    "Crossings" "C/Java" "Bytes" "Posted" "Deliv" "Flushes" "Perf";
+  List.iter
+    (fun s ->
+      add "%-20s %-14s %9d %8d %10d %7d %7d %7d %7.2f %s\n" s.scenario
+        (config_name s.config) s.crossings s.c_java s.bytes s.posted
+        s.delivered s.flushes (perf s) s.perf_unit)
+    samples;
+  let names =
+    List.filter_map
+      (fun s ->
+        if s.config = { batching = false; delta = false } then
+          Some s.scenario
+        else None)
+      samples
+  in
+  add "\n%-20s %12s %12s %10s\n" "batch+delta vs off" "crossings" "bytes"
+    "perf";
+  List.iter
+    (fun scenario ->
+      match
+        ( find samples ~scenario ~config:{ batching = false; delta = false },
+          find samples ~scenario ~config:{ batching = true; delta = true } )
+      with
+      | Some off, Some on ->
+          add "%-20s %11.1f%% %11.1f%% %9.3fx\n" scenario
+            (reduction ~off:off.crossings ~on:on.crossings)
+            (reduction ~off:off.bytes ~on:on.bytes)
+            (if perf off = 0. then 1. else perf on /. perf off)
+      | _ -> ())
+    names;
+  Buffer.contents buf
+
+(* --- JSON trajectory: one object per line, hand-rolled both ways so
+   the committed file can be parsed without a json dependency --- *)
+
+let json_line s =
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
+    s.scenario
+    (if s.config.batching then 1 else 0)
+    (if s.config.delta then 1 else 0)
+    s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.perf_milli
+    s.perf_unit
+
+let to_json ~duration_ns samples =
+  let header =
+    Printf.sprintf "{\"bench\":\"xpc\",\"duration_ns\":%d}" duration_ns
+  in
+  String.concat "\n" (header :: List.map json_line samples) ^ "\n"
+
+let field_raw line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec scan i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else scan (i + 1)
+  in
+  scan 0
+
+let field_int line key =
+  match field_raw line key with
+  | None -> None
+  | Some start ->
+      let llen = String.length line in
+      let stop = ref start in
+      while
+        !stop < llen
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else int_of_string_opt (String.sub line start (!stop - start))
+
+let field_str line key =
+  match field_raw line key with
+  | Some start when start < String.length line && line.[start] = '"' -> (
+      match String.index_from_opt line (start + 1) '"' with
+      | Some stop -> Some (String.sub line (start + 1) (stop - start - 1))
+      | None -> None)
+  | _ -> None
+
+let sample_of_line line =
+  match
+    ( field_str line "scenario",
+      field_int line "batching",
+      field_int line "delta",
+      field_int line "crossings",
+      field_int line "bytes" )
+  with
+  | Some scenario, Some batching, Some delta, Some crossings, Some bytes ->
+      let geti key = Option.value ~default:0 (field_int line key) in
+      Some
+        {
+          scenario;
+          config = { batching = batching <> 0; delta = delta <> 0 };
+          crossings;
+          c_java = geti "c_java";
+          bytes;
+          posted = geti "posted";
+          delivered = geti "delivered";
+          flushes = geti "flushes";
+          perf_milli = geti "perf_milli";
+          perf_unit =
+            Option.value ~default:"" (field_str line "perf_unit");
+        }
+  | _ -> None
+
+let of_json text =
+  let lines = String.split_on_char '\n' text in
+  let duration_ns =
+    List.find_map (fun l -> field_int l "duration_ns") lines
+  in
+  let samples = List.filter_map sample_of_line lines in
+  (duration_ns, samples)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_json ?(duration_ns = default_duration_ns) ~path () =
+  let samples = measure ~duration_ns () in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json ~duration_ns samples));
+  samples
+
+(* The smoke gate: re-measure at the committed file's duration and fail
+   if crossings or marshaled bytes regressed by more than [slack_pct] on
+   any (scenario, config) point. The simulation is deterministic, so an
+   untouched fast path reproduces the file exactly; the slack absorbs
+   deliberate small retunings without a file update. *)
+let check ?(slack_pct = 10) ~path () =
+  let duration_ns, committed = of_json (read_file path) in
+  let duration_ns =
+    Option.value ~default:default_duration_ns duration_ns
+  in
+  if committed = [] then begin
+    Printf.printf "bench-check: %s holds no samples\n" path;
+    false
+  end
+  else begin
+    let fresh = measure ~duration_ns () in
+    let ok = ref true in
+    let complain fmt = Printf.ksprintf (fun m -> ok := false; print_endline m) fmt in
+    List.iter
+      (fun (c : sample) ->
+        match find fresh ~scenario:c.scenario ~config:c.config with
+        | None ->
+            complain "bench-check: %s %s: sample disappeared" c.scenario
+              (config_name c.config)
+        | Some f ->
+            let budget v = v + ((v * slack_pct) + 99) / 100 in
+            if f.crossings > budget c.crossings then
+              complain
+                "bench-check: %s %s: crossings regressed %d -> %d (>%d%%)"
+                c.scenario (config_name c.config) c.crossings f.crossings
+                slack_pct;
+            if f.bytes > budget c.bytes then
+              complain
+                "bench-check: %s %s: bytes_marshaled regressed %d -> %d (>%d%%)"
+                c.scenario (config_name c.config) c.bytes f.bytes slack_pct)
+      committed;
+    if !ok then
+      Printf.printf
+        "bench-check: %d samples within %d%% of %s (duration %dms)\n"
+        (List.length committed) slack_pct path (duration_ns / 1_000_000);
+    !ok
+  end

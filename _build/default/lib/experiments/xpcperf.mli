@@ -1,0 +1,68 @@
+(** The batched-XPC / delta-marshaling experiment: the crossing and
+    byte trajectory behind [BENCH_xpc.json].
+
+    Five decaf-build scenarios (e1000 netperf send and recv, 8139too
+    netperf send, psmouse move-and-click, ens1371 mpg123) are each run
+    under the four combinations of {!Decaf_xpc.Batch} batching and
+    {!Decaf_xpc.Marshal_plan} delta marshaling. Each run records the
+    whole-lifetime (insmod through rmmod) {!Decaf_xpc.Channel.snapshot}
+    counters plus the batch-queue statistics and the workload's own
+    figure of merit, so the optimizations are only credited when
+    throughput holds. *)
+
+type config = { batching : bool; delta : bool }
+
+val config_name : config -> string
+
+val configs : config list
+(** The four measured combinations, in file order: nobatch+full,
+    batch+full, nobatch+delta, batch+delta. *)
+
+type sample = {
+  scenario : string;
+  config : config;
+  crossings : int;  (** kernel/user round trips over the whole run *)
+  c_java : int;
+  bytes : int;  (** bytes marshaled across all boundaries *)
+  posted : int;  (** deferred calls enqueued via {!Decaf_xpc.Batch} *)
+  delivered : int;
+  flushes : int;  (** batched flush crossings *)
+  perf_milli : int;  (** workload figure of merit, fixed-point x1000 *)
+  perf_unit : string;
+}
+
+val perf : sample -> float
+
+val default_duration_ns : int
+
+(** {2 Single scenarios} — each boots the machine, applies [config],
+    loads the decaf build, runs the workload, drains the batch queues
+    and unloads. Must not be called from inside a scheduler thread. *)
+
+val e1000_net : [ `Send | `Recv ] -> config -> duration_ns:int -> sample
+val rtl8139_net : config -> duration_ns:int -> sample
+val psmouse : config -> duration_ns:int -> sample
+val ens1371 : config -> duration_ns:int -> sample
+
+val measure : ?duration_ns:int -> unit -> sample list
+(** The full 5-scenario x 4-config matrix (psmouse stretched to at
+    least 2 s so the mouse produces traffic). *)
+
+val render : sample list -> string
+(** Per-sample table plus a batch+delta vs nobatch+full reduction
+    summary per scenario. *)
+
+val to_json : duration_ns:int -> sample list -> string
+(** One JSON object per line (header line carries [duration_ns]);
+    parseable by {!of_json} without a JSON library. *)
+
+val of_json : string -> int option * sample list
+
+val write_json : ?duration_ns:int -> path:string -> unit -> sample list
+(** Measure and write the trajectory file; returns the samples. *)
+
+val check : ?slack_pct:int -> path:string -> unit -> bool
+(** Re-measure at the committed file's duration and compare: fails
+    (returns [false], printing why) if any committed (scenario, config)
+    point's crossings or bytes regressed by more than [slack_pct]
+    percent, or disappeared. *)

@@ -1,4 +1,11 @@
+(* Monotonic across the whole process: never reset, so a subsystem that
+   caches kernel-lifetime resources (threads, timers) can compare epochs
+   and drop anything created before the latest boot. *)
+let epoch_counter = ref 0
+let epoch () = !epoch_counter
+
 let boot () =
+  incr epoch_counter;
   Clock.reset ();
   Sched.reset ();
   Irq.reset ();

@@ -5,6 +5,12 @@ val boot : unit -> unit
     interrupt controller, I/O maps, PCI bus, memory accounting, device
     registries, kernel log, and cost table. *)
 
+val epoch : unit -> int
+(** Boot generation: incremented by every {!boot}, never reset. Resources
+    tied to the machine's lifetime (worker threads, timers) record the
+    epoch at creation and must be recreated when it no longer matches —
+    a stale worker belongs to a scheduler that no longer exists. *)
+
 val check_quiescent : unit -> (unit, string) result
 (** After a run: verify no threads are runnable, no memory is leaked, and
     no events remain pending. Used by integration tests to prove clean

@@ -1,0 +1,1 @@
+lib/xpc/batch.ml: Channel Decaf_kernel Domain Hashtbl List Option Queue

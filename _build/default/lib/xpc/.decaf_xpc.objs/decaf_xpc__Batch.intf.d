@@ -1,0 +1,1 @@
+lib/xpc/batch.mli: Domain

@@ -1,1 +1,1 @@
-lib/xpc/channel.ml: Decaf_kernel Domain
+lib/xpc/channel.ml: Decaf_kernel Domain Fun Hashtbl

@@ -1,1 +1,1 @@
-lib/xpc/marshal_plan.ml: Format List
+lib/xpc/marshal_plan.ml: Format Hashtbl List

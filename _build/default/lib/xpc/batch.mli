@@ -1,0 +1,89 @@
+(** Batched XPC: per-boundary deferred-call queues with a doorbell.
+
+    Non-urgent upcalls — stats updates, link-state notifications, log
+    events, multicast-list updates — do not need a crossing each. They
+    are posted to a per-target queue and flushed in one crossing when a
+    doorbell rings, a watermark is reached, or a timer expires: N
+    deferred calls pay one pair of crossings plus their summed payload
+    bytes instead of N pairs.
+
+    A deferred call is necessarily one-way: the poster has moved on
+    before it runs, so nothing can be returned to it. That is why
+    deferral is this module's [post] (taking [unit -> unit]) rather than
+    a flag on {!Channel.call}. It is also why correctness-critical calls
+    must never be deferred: anything executed while holding a combolock,
+    or whose reply the caller's next step depends on, must use
+    {!Channel.call} directly (see DESIGN.md, "Batched XPC and delta
+    marshaling").
+
+    Posting is non-blocking and legal from interrupt context; the actual
+    crossings happen in process context (a dedicated workqueue, or the
+    caller of {!doorbell}/{!drain}). The flush crossing goes through
+    {!Channel.call} with [~idempotent:true] under context
+    ["batch.flush"], so it inherits the timeout/retry machinery and the
+    fault plan; a flush that fails even after retries requeues its batch
+    intact — deferred calls are neither dropped nor duplicated.
+
+    A user-level runtime services one XPC at a time, so the asynchronous
+    flush paths (workqueue, timer) back off while
+    {!Channel.in_flight}[ target > 0] and retry shortly after: a
+    deferred notification never lands in the middle of a crossing that
+    already marshaled its view of the world. *)
+
+type stats = {
+  mutable posted : int;  (** deferred calls enqueued *)
+  mutable delivered : int;  (** deferred calls that have run in the target *)
+  mutable flush_crossings : int;  (** batched flushes (one crossing each) *)
+  mutable single_crossings : int;
+      (** per-call crossings paid while batching is disabled *)
+  mutable max_batch : int;  (** largest batch delivered by one crossing *)
+  mutable requeues : int;  (** failed flushes whose batch was requeued *)
+}
+
+val post :
+  target:Domain.t ->
+  ?payload_bytes:int ->
+  ?context:string ->
+  (unit -> unit) ->
+  unit
+(** Defer [f] for execution in [target]. FIFO per target. If [target] is
+    the current domain, [f] runs immediately (no crossing either way).
+
+    With batching enabled the queue is flushed when it reaches the
+    watermark or when the flush timer (armed on first post) expires.
+    With batching disabled — the measurement baseline — each post is
+    delivered promptly with its own crossing, charged under [context]
+    (default ["notify"]), which is also the fault-plan site name. *)
+
+val doorbell : unit -> unit
+(** Flush every queue now. From process context the flush happens
+    synchronously in the caller's thread; from interrupt context (or
+    under a spinlock) it is deferred to the flush workqueue. *)
+
+val drain : unit -> unit
+(** Synchronously deliver everything: flush all queues, then wait for
+    the flush workqueue to go idle. Must be called from process context.
+    Used on shutdown paths (e.g. [ndo_stop]) so no deferred call
+    outlives its device. *)
+
+val pending : unit -> int
+(** Deferred calls currently queued, all targets. *)
+
+val set_enabled : bool -> unit
+(** Turn batching on/off. Off by default (each post pays its own
+    crossing), matching the unoptimized Decaf path. *)
+
+val batching_enabled : unit -> bool
+
+val configure : ?watermark:int -> ?flush_interval_ns:int -> unit -> unit
+(** Flush triggers: queue length that forces a flush (default 32) and
+    the latency bound on a posted call (default 10 ms). *)
+
+val stats : unit -> stats
+val snapshot : unit -> stats
+
+val reset : unit -> unit
+(** Drop all queues, counters and configuration; forget the flush
+    workqueue/timer (they are re-created lazily, tagged with the current
+    {!Decaf_kernel.Boot.epoch}, so a reboot never leaves a stale worker
+    behind). Called from [Scenario.boot]. *)

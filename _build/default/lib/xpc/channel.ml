@@ -17,21 +17,25 @@ let counters =
     retries = 0;
   }
 
-type boundary = Same | User_user | Kernel_user | Kernel_java
+(* A call whose target is the caller's own domain crosses nothing, so
+   "no crossing" is the [None] of an option rather than a fourth crossing
+   kind: once a [crossing] value is in hand, every consumer (the charge
+   path, the failure message) is total over real boundaries and the
+   compiler proves there is no dead same-domain branch to maintain. *)
+type crossing = User_user | Kernel_user | Kernel_java
 
 exception
   Xpc_failure of { boundary : string; attempts : int; context : string }
 
-let boundary (a : Domain.t) (b : Domain.t) =
+let crossing_between (a : Domain.t) (b : Domain.t) =
   match (a, b) with
   | Kernel, Kernel | Driver_lib, Driver_lib | Decaf_driver, Decaf_driver ->
-      Same
-  | Driver_lib, Decaf_driver | Decaf_driver, Driver_lib -> User_user
-  | Kernel, Driver_lib | Driver_lib, Kernel -> Kernel_user
-  | Kernel, Decaf_driver | Decaf_driver, Kernel -> Kernel_java
+      None
+  | Driver_lib, Decaf_driver | Decaf_driver, Driver_lib -> Some User_user
+  | Kernel, Driver_lib | Driver_lib, Kernel -> Some Kernel_user
+  | Kernel, Decaf_driver | Decaf_driver, Kernel -> Some Kernel_java
 
-let boundary_name = function
-  | Same -> "same"
+let crossing_name = function
   | User_user -> "user/user"
   | Kernel_user -> "kernel/user"
   | Kernel_java -> "kernel/java"
@@ -59,6 +63,35 @@ let direct = ref false
 let set_direct_marshaling v = direct := v
 let direct_marshaling () = !direct
 
+(* Per-domain count of crossings currently executing in that domain.
+   A user-level runtime services one XPC at a time, so asynchronous
+   deliveries (the Batch flush worker) consult this to avoid entering a
+   domain that is mid-call. Tagged with the boot epoch: a reboot tears
+   down the scheduler with calls still nominally in flight, and a stale
+   count must not make the next life's domains look permanently busy. *)
+let in_flight_tbl : (Domain.t, int) Hashtbl.t = Hashtbl.create 4
+let in_flight_epoch = ref (-1)
+
+let in_flight_table () =
+  let e = K.Boot.epoch () in
+  if !in_flight_epoch <> e then begin
+    Hashtbl.reset in_flight_tbl;
+    in_flight_epoch := e
+  end;
+  in_flight_tbl
+
+let in_flight target =
+  match Hashtbl.find_opt (in_flight_table ()) target with
+  | Some n -> n
+  | None -> 0
+
+let executing target f =
+  let tbl = in_flight_table () in
+  Hashtbl.replace tbl target (in_flight target + 1);
+  Fun.protect
+    ~finally:(fun () -> Hashtbl.replace tbl target (in_flight target - 1))
+    f
+
 (* Every crossing carries a virtual deadline: an injected Xpc_timeout
    manifests as that deadline expiring with no reply. Idempotent calls
    are retried with capped exponential backoff before the failure is
@@ -71,12 +104,11 @@ let backoff_cap_ns = 80_000
 let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
     ?(context = "call") f =
   let bytes = payload_bytes + reply_bytes in
-  match boundary (Domain.current ()) target with
-  | Same -> Domain.with_domain target f
-  | b ->
+  match crossing_between (Domain.current ()) target with
+  | None -> Domain.with_domain target f
+  | Some b ->
       let charge () =
         match b with
-        | Same -> ()
         | User_user -> charge_c_java bytes
         | Kernel_user -> charge_kernel_user bytes
         | Kernel_java when !direct ->
@@ -102,11 +134,11 @@ let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
           else
             raise
               (Xpc_failure
-                 { boundary = boundary_name b; attempts = n; context })
+                 { boundary = crossing_name b; attempts = n; context })
         end
         else begin
           charge ();
-          Domain.with_domain target f
+          executing target (fun () -> Domain.with_domain target f)
         end
       in
       attempt 1 backoff_base_ns

@@ -43,7 +43,14 @@ val call :
     Crossings consult the fault plan (site ["xpc." ^ context]); a firing
     [Xpc_timeout] charges the per-call deadline and raises
     {!Xpc_failure} — except that [idempotent] calls are first retried up
-    to two more times with capped exponential backoff. *)
+    to two more times with capped exponential backoff.
+
+    There is deliberately no [~deferrable] flag here: a call returns
+    ['a] to its caller, and a deferred call by definition cannot — the
+    caller has moved on before it runs. Deferrable (one-way, non-urgent)
+    calls go through {!Batch.post}, whose flush crossing is issued via
+    this function and therefore reuses the same timeout/retry machinery
+    and fault plan. *)
 
 val set_direct_marshaling : bool -> unit
 (** The optimization §4 proposes: transfer data directly between the
@@ -53,6 +60,15 @@ val set_direct_marshaling : bool -> unit
     by default, as in the paper's implementation. *)
 
 val direct_marshaling : unit -> bool
+
+val in_flight : Domain.t -> int
+(** Crossings currently executing in [target]. A user-level runtime
+    services one XPC at a time, so {!Batch}'s asynchronous flush worker
+    holds off while this is non-zero — a deferred notification must not
+    reach into a domain that is mid-call (it would retroactively update
+    marshaled state an in-progress call already captured). Synchronous
+    {!Batch.doorbell}/{!Batch.drain} are not gated: their caller owns the
+    ordering. *)
 
 val stats : unit -> stats
 

@@ -1,18 +1,29 @@
 type access = Read | Write | Read_write
 
-type t = { type_id : string; fields : (string * access) list }
+type t = {
+  type_id : string;
+  fields : (string * access) list;
+  (* Precomputed name -> access map: [access] is on the per-field hot path
+     of every marshal (once per field per crossing), so the list lookup is
+     replaced by a hash probe built once at plan-construction time. *)
+  index : (string, access) Hashtbl.t;
+}
 
 let make ~type_id fields =
-  let names = List.map fst fields in
-  let dedup = List.sort_uniq compare names in
-  if List.length dedup <> List.length names then
-    invalid_arg ("Marshal_plan.make: duplicate field in plan for " ^ type_id);
-  { type_id; fields }
+  let index = Hashtbl.create (max 8 (2 * List.length fields)) in
+  List.iter
+    (fun (name, a) ->
+      if Hashtbl.mem index name then
+        invalid_arg
+          ("Marshal_plan.make: duplicate field in plan for " ^ type_id);
+      Hashtbl.replace index name a)
+    fields;
+  { type_id; fields; index }
 
 let type_id t = t.type_id
 let fields t = t.fields
 
-let access t name = List.assoc_opt name t.fields
+let access t name = Hashtbl.find_opt t.index name
 
 let copies_in t name =
   match access t name with
@@ -31,19 +42,25 @@ let combine a b =
   | Read, Read -> Read
   | Write, Write -> Write
 
+(* Field order is part of the wire format (the generated stubs walk the
+   plan in order), so [union] is deterministic: [a]'s fields first, in
+   [a]'s order, with access rights combined where [b] also lists the
+   field; then fields only [b] has, in [b]'s order. *)
 let union a b =
   if a.type_id <> b.type_id then
     invalid_arg "Marshal_plan.union: different types";
-  let merged =
-    List.fold_left
-      (fun acc (name, acc_b) ->
-        match List.assoc_opt name acc with
-        | Some acc_a ->
-            (name, combine acc_a acc_b) :: List.remove_assoc name acc
-        | None -> (name, acc_b) :: acc)
-      a.fields b.fields
+  let merged_a =
+    List.map
+      (fun (name, acc_a) ->
+        match access b name with
+        | Some acc_b -> (name, combine acc_a acc_b)
+        | None -> (name, acc_a))
+      a.fields
   in
-  { a with fields = List.rev merged }
+  let only_b =
+    List.filter (fun (name, _) -> access a name = None) b.fields
+  in
+  make ~type_id:a.type_id (merged_a @ only_b)
 
 let full ~type_id names =
   make ~type_id (List.map (fun n -> (n, Read_write)) names)
@@ -59,3 +76,40 @@ let pp ppf t =
     (fun (name, a) -> Format.fprintf ppf "  %s: %a@," name pp_access a)
     t.fields;
   Format.fprintf ppf "@]"
+
+(* Delta marshaling is a global mode, like direct marshaling: the stubs on
+   both sides of a boundary must agree on whether a payload is a full or a
+   dirty-fields-only image, and flipping it per-object would make payloads
+   ambiguous after a runtime restart. *)
+let delta = ref false
+let set_delta_enabled v = delta := v
+let delta_enabled () = !delta
+
+module Dirty = struct
+  type tracker = {
+    mutable gen : int;  (* monotonic write counter, never reset *)
+    marks : (string, int) Hashtbl.t;  (* field -> generation of last write *)
+  }
+
+  type t = tracker
+
+  let create () = { gen = 0; marks = Hashtbl.create 8 }
+
+  let mark t field =
+    t.gen <- t.gen + 1;
+    Hashtbl.replace t.marks field t.gen
+
+  let test t field = Hashtbl.mem t.marks field
+  let pending t = Hashtbl.length t.marks
+  let snapshot t = t.gen
+
+  let acknowledge t ~upto =
+    let dead =
+      Hashtbl.fold
+        (fun field gen acc -> if gen <= upto then field :: acc else acc)
+        t.marks []
+    in
+    List.iter (Hashtbl.remove t.marks) dead
+
+  let clear t = Hashtbl.reset t.marks
+end

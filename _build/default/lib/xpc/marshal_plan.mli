@@ -15,6 +15,10 @@ val make : type_id:string -> (string * access) list -> t
 val type_id : t -> string
 val fields : t -> (string * access) list
 
+val access : t -> string -> access option
+(** Per-field access lookup; O(1) via an index precomputed in {!make}
+    (this runs once per field per crossing, the hottest plan path). *)
+
 val copies_in : t -> string -> bool
 (** Whether the field is copied toward the target (target reads it). *)
 
@@ -23,9 +27,58 @@ val copies_out : t -> string -> bool
 
 val union : t -> t -> t
 (** Merge two plans for the same type (stub regeneration after new
-    annotations); access rights are combined per field. *)
+    annotations); access rights are combined per field. Field order is
+    deterministic and documented: [a]'s fields first in [a]'s order, then
+    fields only [b] lists, in [b]'s order — order is part of the wire
+    format, so it must not depend on merge internals. *)
 
 val full : type_id:string -> string list -> t
 (** A plan marshaling every listed field in both directions. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Dirty-field delta marshaling}
+
+    Shared structures cross the boundary repeatedly (the E1000 adapter
+    struct crosses on every control operation), yet between two crossings
+    typically only a field or two changed. When delta marshaling is
+    enabled, each side tracks writes per field and repeat marshals copy
+    only fields written since the last acknowledged crossing; the cost
+    model then charges only moved bytes. *)
+
+val set_delta_enabled : bool -> unit
+(** Global, like {!Channel.set_direct_marshaling}: both sides of a
+    boundary must agree on the payload format. Off by default. *)
+
+val delta_enabled : unit -> bool
+
+module Dirty : sig
+  type t
+  (** Per-object write tracker, kept alongside the objtracker entry. Every
+      {!mark} advances a monotonic generation; marshaling snapshots the
+      generation, and once the crossing is known to have succeeded the
+      sender acknowledges {e up to that snapshot} — writes that landed
+      during the crossing (an interrupt marking fields mid-call) keep
+      their marks and go out with the next delta. *)
+
+  val create : unit -> t
+
+  val mark : t -> string -> unit
+  (** Record a write to the field. *)
+
+  val test : t -> string -> bool
+  (** Whether the field has an unacknowledged write. *)
+
+  val pending : t -> int
+  (** Number of fields with unacknowledged writes. *)
+
+  val snapshot : t -> int
+  (** Current generation, to pass to {!acknowledge} after the crossing
+      carrying these fields succeeds. *)
+
+  val acknowledge : t -> upto:int -> unit
+  (** Drop marks whose write generation is [<= upto]. *)
+
+  val clear : t -> unit
+  (** Drop every mark (full-image resync). *)
+end

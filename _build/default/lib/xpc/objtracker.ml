@@ -4,6 +4,7 @@ type stats = {
   mutable lookups : int;
   mutable hits : int;
   mutable registrations : int;
+  mutable sweeps : int;
 }
 
 type weak_entry = { w_get : unit -> Univ.t option }
@@ -12,6 +13,11 @@ type t = {
   name : string;
   table : (int * string, Univ.t) Hashtbl.t;
   weak_table : (int * string, weak_entry) Hashtbl.t;
+  (* Secondary index: address -> set of type_ids registered there (strong
+     or weak). [types_at]/[remove_all] used to fold over both full tables;
+     with the index they touch only the handful of types actually at the
+     address. Maintained on every (de)registration. *)
+  by_addr : (int, (string, unit) Hashtbl.t) Hashtbl.t;
   stats : stats;
 }
 
@@ -20,23 +26,50 @@ let create ?(name = "objtracker") () =
     name;
     table = Hashtbl.create 64;
     weak_table = Hashtbl.create 16;
-    stats = { lookups = 0; hits = 0; registrations = 0 };
+    by_addr = Hashtbl.create 64;
+    stats = { lookups = 0; hits = 0; registrations = 0; sweeps = 0 };
   }
+
+let index_add t addr ty =
+  let set =
+    match Hashtbl.find_opt t.by_addr addr with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 4 in
+        Hashtbl.replace t.by_addr addr s;
+        s
+  in
+  Hashtbl.replace set ty ()
+
+let index_remove t addr ty =
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> ()
+  | Some set ->
+      Hashtbl.remove set ty;
+      if Hashtbl.length set = 0 then Hashtbl.remove t.by_addr addr
 
 let associate t ~addr u =
   t.stats.registrations <- t.stats.registrations + 1;
-  Hashtbl.replace t.table (addr, Univ.name u) u
+  let ty = Univ.name u in
+  Hashtbl.replace t.table (addr, ty) u;
+  index_add t addr ty
+
+let drop_weak t addr ty =
+  (* Reaching here means the strong table missed this slot, so dropping
+     the weak entry leaves nothing at (addr, ty). *)
+  Hashtbl.remove t.weak_table (addr, ty);
+  index_remove t addr ty
 
 let find t ~addr key =
   t.stats.lookups <- t.stats.lookups + 1;
   K.Clock.consume K.Cost.current.objtracker_lookup_ns;
-  let slot = (addr, Univ.key_name key) in
-  match Hashtbl.find_opt t.table slot with
+  let ty = Univ.key_name key in
+  match Hashtbl.find_opt t.table (addr, ty) with
   | Some u ->
       t.stats.hits <- t.stats.hits + 1;
       Univ.unpack key u
   | None -> (
-      match Hashtbl.find_opt t.weak_table slot with
+      match Hashtbl.find_opt t.weak_table (addr, ty) with
       | Some entry -> (
           match entry.w_get () with
           | Some u ->
@@ -44,7 +77,7 @@ let find t ~addr key =
               Univ.unpack key u
           | None ->
               (* the decaf driver dropped its last reference *)
-              Hashtbl.remove t.weak_table slot;
+              drop_weak t addr ty;
               None)
       | None -> None)
 
@@ -57,44 +90,61 @@ let associate_weak t ~addr key v =
   let w = Weak.create 1 in
   Weak.set w 0 (Some v);
   let w_get () = Option.map (Univ.pack key) (Weak.get w 0) in
-  Hashtbl.replace t.weak_table (addr, Univ.key_name key) { w_get }
+  let ty = Univ.key_name key in
+  Hashtbl.replace t.weak_table (addr, ty) { w_get };
+  index_add t addr ty
 
 let sweep t =
+  t.stats.sweeps <- t.stats.sweeps + 1;
+  (* One [w_get] per entry: collect the dead slots in a single pass, then
+     unregister them (table and address index together). *)
   let dead =
     Hashtbl.fold
       (fun slot entry acc ->
         if entry.w_get () = None then slot :: acc else acc)
       t.weak_table []
   in
-  List.iter (Hashtbl.remove t.weak_table) dead;
+  List.iter
+    (fun (addr, ty) ->
+      Hashtbl.remove t.weak_table (addr, ty);
+      if not (Hashtbl.mem t.table (addr, ty)) then index_remove t addr ty)
+    dead;
   List.length dead
 
 let weak_count t = Hashtbl.length t.weak_table
 
 let types_at t ~addr =
-  let strong =
-    Hashtbl.fold
-      (fun (a, ty) _ acc -> if a = addr then ty :: acc else acc)
-      t.table []
-  in
-  let weak =
-    Hashtbl.fold
-      (fun (a, ty) entry acc ->
-        if a = addr && entry.w_get () <> None then ty :: acc else acc)
-      t.weak_table []
-  in
-  List.sort compare (strong @ weak)
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> []
+  | Some set ->
+      let live =
+        Hashtbl.fold
+          (fun ty () acc ->
+            if Hashtbl.mem t.table (addr, ty) then ty :: acc
+            else
+              match Hashtbl.find_opt t.weak_table (addr, ty) with
+              | Some entry -> if entry.w_get () <> None then ty :: acc else acc
+              | None -> acc)
+          set []
+      in
+      List.sort compare live
 
 let remove t ~addr ~type_id =
   Hashtbl.remove t.table (addr, type_id);
-  Hashtbl.remove t.weak_table (addr, type_id)
+  Hashtbl.remove t.weak_table (addr, type_id);
+  index_remove t addr type_id
 
 let remove_all t ~addr =
-  List.iter (fun type_id -> remove t ~addr ~type_id) (types_at t ~addr)
+  match Hashtbl.find_opt t.by_addr addr with
+  | None -> ()
+  | Some set ->
+      let types = Hashtbl.fold (fun ty () acc -> ty :: acc) set [] in
+      List.iter (fun type_id -> remove t ~addr ~type_id) types
 
 let count t = Hashtbl.length t.table
 let stats t = t.stats
 
 let clear t =
   Hashtbl.reset t.table;
-  Hashtbl.reset t.weak_table
+  Hashtbl.reset t.weak_table;
+  Hashtbl.reset t.by_addr

@@ -11,6 +11,7 @@ type stats = {
   mutable lookups : int;
   mutable hits : int;
   mutable registrations : int;
+  mutable sweeps : int;  (** number of {!sweep} passes run *)
 }
 
 val create : ?name:string -> unit -> t
@@ -28,7 +29,8 @@ val mem : t -> addr:int -> type_id:string -> bool
 
 val types_at : t -> addr:int -> string list
 (** Every type identifier registered at the address (inner and outer
-    structures). *)
+    structures). Served from a per-address secondary index, so the cost
+    scales with the types at that address, not the table size. *)
 
 val remove : t -> addr:int -> type_id:string -> unit
 val remove_all : t -> addr:int -> unit
@@ -51,7 +53,8 @@ val associate_weak : t -> addr:int -> 'a Univ.key -> 'a -> unit
 
 val sweep : t -> int
 (** Drop entries whose weakly-held object has been collected; returns
-    how many were reclaimed. *)
+    how many were reclaimed. Each entry's weak reference is dereferenced
+    exactly once per pass; every pass bumps [stats.sweeps]. *)
 
 val weak_count : t -> int
 (** Live weak associations (dead-but-unswept entries included). *)

@@ -1,0 +1,1 @@
+test/test_batch.ml: Addr Alcotest Array Batch Bytes Channel Decaf_drivers Decaf_kernel Decaf_runtime Decaf_xpc Domain List Marshal_plan

@@ -1,1 +1,1 @@
-test/test_xpc.ml: Addr Alcotest Bytes Channel Decaf_kernel Decaf_xpc Domain Gc Gen List Marshal_plan Objtracker QCheck QCheck_alcotest Random Test Univ Xdr
+test/test_xpc.ml: Addr Alcotest Bytes Channel Decaf_kernel Decaf_xpc Domain Format Gc Gen List Marshal_plan Objtracker QCheck QCheck_alcotest Random Test Univ Xdr

@@ -1,0 +1,1 @@
+test/test_xpcperf.ml: Alcotest Decaf_experiments Printf

@@ -215,6 +215,36 @@ let test_plan_union () =
        false
      with Invalid_argument _ -> true)
 
+let test_plan_union_order_and_pp () =
+  (* field order is part of the wire format, so union's order is
+     documented and must not drift: a's fields in a's order, then fields
+     only b lists, in b's order *)
+  let a =
+    Marshal_plan.make ~type_id:"s"
+      [ ("b", Marshal_plan.Read); ("a", Marshal_plan.Write) ]
+  in
+  let b =
+    Marshal_plan.make ~type_id:"s"
+      [ ("c", Marshal_plan.Read); ("a", Marshal_plan.Read) ]
+  in
+  let u = Marshal_plan.union a b in
+  check_bool "a-first then only-b order" true
+    (Marshal_plan.fields u
+    = [
+        ("b", Marshal_plan.Read);
+        ("a", Marshal_plan.Read_write);
+        ("c", Marshal_plan.Read);
+      ]);
+  Alcotest.(check string)
+    "pp renders the documented order"
+    "plan s:\n  b: R\n  a: RW\n  c: R\n"
+    (Format.asprintf "%a" Marshal_plan.pp u);
+  (* order invariance of content: swapping the arguments changes order
+     but not the set of (field, access) pairs *)
+  check_bool "swapped union same content" true
+    (List.sort compare (Marshal_plan.fields (Marshal_plan.union b a))
+    = List.sort compare (Marshal_plan.fields u))
+
 let test_plan_duplicate_rejected () =
   check_bool "duplicate rejected" true
     (try
@@ -470,6 +500,34 @@ let test_tracker_weak_collects_dropped () =
   check "sweep reclaims dead entries" 1 (Objtracker.sweep tr);
   check "no weak entries left" 0 (Objtracker.weak_count tr)
 
+let test_tracker_sweep_stat_and_index () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:16 in
+  let register () =
+    Objtracker.associate_weak tr ~addr ring_key { count = 1 }
+  in
+  register ();
+  Gc.full_major ();
+  Gc.full_major ();
+  check "dead entry reclaimed" 1 (Objtracker.sweep tr);
+  check "sweep pass counted" 1 (Objtracker.stats tr).Objtracker.sweeps;
+  check "idle sweep reclaims nothing" 0 (Objtracker.sweep tr);
+  check "but is still counted" 2 (Objtracker.stats tr).Objtracker.sweeps;
+  (* the per-address index forgets swept entries too *)
+  Alcotest.(check (list string))
+    "index cleaned by sweep" [] (Objtracker.types_at tr ~addr);
+  (* mixed strong + dead weak at one address: sweep only drops the dead
+     weak entry and the index keeps the strong one *)
+  Objtracker.associate tr ~addr (Univ.pack adapter_key { flags = 3 });
+  register ();
+  Gc.full_major ();
+  Gc.full_major ();
+  check "only the weak entry swept" 1 (Objtracker.sweep tr);
+  Alcotest.(check (list string))
+    "strong entry survives in the index" [ "e1000_adapter" ]
+    (Objtracker.types_at tr ~addr)
+
 let test_tracker_weak_removed_explicitly () =
   boot ();
   let tr = Objtracker.create () in
@@ -578,11 +636,13 @@ let () =
           tc "stats" test_tracker_stats;
           tc "same pointer, two type ids" test_tracker_same_pointer_two_types;
           tc "lookup after clear" test_tracker_lookup_after_clear;
+          tc "sweep stat and index" test_tracker_sweep_stat_and_index;
         ] );
       ( "marshal_plan",
         [
           tc "directions" test_plan_directions;
           tc "union" test_plan_union;
+          tc "union order and pp" test_plan_union_order_and_pp;
           tc "duplicates rejected" test_plan_duplicate_rejected;
         ] );
       ( "channel",

@@ -1,0 +1,80 @@
+(* Acceptance test for the batched-XPC fast path: the optimization must
+   actually pay for itself on the paper's heaviest workload (netperf on
+   the E1000 decaf driver) without giving back throughput. *)
+
+module E = Decaf_experiments
+
+let check_bool = Alcotest.(check bool)
+
+let test_netperf_e1000_gain () =
+  let duration_ns = 300_000_000 in
+  let off =
+    E.Xpcperf.e1000_net `Send
+      { E.Xpcperf.batching = false; delta = false }
+      ~duration_ns
+  in
+  let on =
+    E.Xpcperf.e1000_net `Send
+      { E.Xpcperf.batching = true; delta = true }
+      ~duration_ns
+  in
+  let fi = float_of_int in
+  Alcotest.(check string) "same scenario" off.E.Xpcperf.scenario
+    on.E.Xpcperf.scenario;
+  check_bool
+    (Printf.sprintf "crossings down >=30%% (%d -> %d)" off.E.Xpcperf.crossings
+       on.E.Xpcperf.crossings)
+    true
+    (fi on.E.Xpcperf.crossings <= 0.7 *. fi off.E.Xpcperf.crossings);
+  check_bool
+    (Printf.sprintf "bytes_marshaled down >=20%% (%d -> %d)"
+       off.E.Xpcperf.bytes on.E.Xpcperf.bytes)
+    true
+    (fi on.E.Xpcperf.bytes <= 0.8 *. fi off.E.Xpcperf.bytes);
+  check_bool
+    (Printf.sprintf "throughput holds (%.2f vs %.2f Mb/s)"
+       (E.Xpcperf.perf off) (E.Xpcperf.perf on))
+    true
+    (E.Xpcperf.perf on >= 0.99 *. E.Xpcperf.perf off);
+  check_bool "every deferred call was delivered" true
+    (on.E.Xpcperf.posted = on.E.Xpcperf.delivered);
+  check_bool "batching actually batched" true
+    (on.E.Xpcperf.flushes > 0
+    && on.E.Xpcperf.flushes < on.E.Xpcperf.delivered)
+
+let test_json_roundtrip () =
+  let sample scenario batching delta =
+    {
+      E.Xpcperf.scenario;
+      config = { E.Xpcperf.batching; delta };
+      crossings = 123;
+      c_java = 45;
+      bytes = 6789;
+      posted = 10;
+      delivered = 10;
+      flushes = 3;
+      perf_milli = 987_654;
+      perf_unit = "Mb/s";
+    }
+  in
+  let samples =
+    [ sample "e1000-netperf-send" false false; sample "psmouse-move" true true ]
+  in
+  let duration_ns, parsed =
+    E.Xpcperf.of_json (E.Xpcperf.to_json ~duration_ns:42_000_000 samples)
+  in
+  Alcotest.(check (option int)) "duration survives" (Some 42_000_000)
+    duration_ns;
+  check_bool "samples survive verbatim" true (parsed = samples)
+
+let () =
+  Alcotest.run "xpcperf"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "netperf e1000 batching+delta pays" `Quick
+            test_netperf_e1000_gain;
+          Alcotest.test_case "trajectory json roundtrip" `Quick
+            test_json_roundtrip;
+        ] );
+    ]
