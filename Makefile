@@ -6,14 +6,18 @@ build:
 test:
 	dune runtest
 
-# Fail if the XPC fast path regressed >10% against the committed
-# trajectory (also runs as part of `dune runtest`).
+# Fail if the XPC fast path regressed against the committed trajectory:
+# >10% on crossings/bytes or >5% on virtual-time throughput per
+# (scenario, config) point (also runs as part of `dune runtest`).
 bench-check:
 	dune build @bench-smoke
 
-# Regenerate the committed trajectory after a deliberate retuning.
+# Regenerate the committed trajectory after a deliberate retuning and
+# show what changed against the committed file.
 bench-json:
-	dune exec bench/main.exe -- json
+	dune exec bench/main.exe -- json BENCH_xpc.json.new
+	-diff -u BENCH_xpc.json BENCH_xpc.json.new
+	mv BENCH_xpc.json.new BENCH_xpc.json
 
 bench:
 	dune exec bench/main.exe

@@ -50,6 +50,7 @@ let prepare_machine () =
   K.Boot.boot ();
   Xpc.Domain.reset ();
   Xpc.Channel.reset_stats ();
+  Xpc.Dispatch.reset ();
   Decaf_runtime.Runtime.reset ()
 
 let bench_tests () =
@@ -172,7 +173,7 @@ let run_sections args =
     print_string (E.Ablations.render (E.Ablations.measure ()))
   end;
   if want "xpcperf" then begin
-    section "Batched XPC and delta marshaling";
+    section "Concurrent dispatch, batched XPC and delta marshaling";
     print_string (E.Xpcperf.render (E.Xpcperf.measure ()))
   end;
   if want "micro" then begin

@@ -31,6 +31,8 @@ type adapter = {
   mutable card : K.Sndcore.card option;
   mutable sub : K.Sndcore.substream option;
   mutable rate : int;
+  mutable user_syncs : int;
+      (** deferred hardware-pointer refreshes delivered to user level *)
 }
 
 type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
@@ -44,12 +46,25 @@ let outl a off v =
 
 (* --- driver nucleus: interrupt handler (data path) --- *)
 
+(* Deferred kernel->user hardware-pointer refresh: the user-level half
+   tracks playback position for its PCM callbacks, but period interrupts
+   land in the nucleus. Each period posts a one-way notification (legal
+   from interrupt context; batched and flushed like E1000_drv's stats
+   syncs) instead of paying a synchronous crossing per interrupt. *)
+let ptr_wire_bytes = 12
+
+let post_pcm_ptr_sync a =
+  if a.env.Driver_env.mode <> Driver_env.Native then
+    a.env.Driver_env.notify ~name:"ens1371_pcm_ptr" ~bytes:ptr_wire_bytes
+      (fun () -> a.user_syncs <- a.user_syncs + 1)
+
 let interrupt a =
   let status = K.Io.inl (reg a S.reg_status) in
   if status land S.status_dac2 <> 0 then begin
     K.Io.outl (reg a S.reg_status) S.status_dac2;
     (* report progress to the sound library; writers wake as needed *)
-    match a.sub with Some sub -> K.Sndcore.period_elapsed sub | None -> ()
+    (match a.sub with Some sub -> K.Sndcore.period_elapsed sub | None -> ());
+    post_pcm_ptr_sync a
   end
 
 (* --- decaf driver: codec / SRC programming and PCM callbacks --- *)
@@ -119,6 +134,7 @@ let probe env (pci : K.Pci.dev) =
           card = None;
           sub = None;
           rate = 0;
+          user_syncs = 0;
         }
       in
       let rc =
@@ -221,3 +237,5 @@ let card t =
   match t.adapter.card with
   | Some c -> c
   | None -> K.Panic.bug "ens1371: no card"
+
+let user_ptr_syncs t = t.adapter.user_syncs

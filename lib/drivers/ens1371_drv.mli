@@ -23,4 +23,9 @@ val mixer_controls : int
 (** Number of mixer controls registered at probe (each registration is a
     downcall). *)
 
+val user_ptr_syncs : t -> int
+(** Deferred hardware-pointer refreshes ([ens1371_pcm_ptr]
+    notifications, one per period interrupt) delivered to the user-level
+    driver; 0 in native mode. *)
+
 val adapter_wire_bytes : int

@@ -28,6 +28,8 @@ type adapter = {
   mutable packets : int;
   mutable device_id : int;
   mutable input : K.Inputcore.t option;
+  mutable user_syncs : int;
+      (** deferred event-counter refreshes delivered to user level *)
 }
 
 type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
@@ -35,6 +37,18 @@ type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
 (* --- nucleus: interrupt handler --- *)
 
 let sign_extend flags bit v = if flags land bit <> 0 then v - 256 else v
+
+(* Deferred kernel->user event-counter refresh: the decaf driver keeps a
+   view of how many packets its protocol state machine has consumed, but
+   the data path runs in the nucleus, so the view is refreshed with a
+   one-way notification — postable from the interrupt handler, batched
+   and flushed like E1000_drv's stats syncs. *)
+let sync_wire_bytes = 8
+
+let post_input_sync a =
+  if a.env.Driver_env.mode <> Driver_env.Native then
+    a.env.Driver_env.notify ~name:"psmouse_sync" ~bytes:sync_wire_bytes
+      (fun () -> a.user_syncs <- a.user_syncs + 1)
 
 let deliver_packet a bytes =
   match (bytes, a.input) with
@@ -44,7 +58,8 @@ let deliver_packet a bytes =
         ~dy:(sign_extend flags 0x20 dy);
       if flags land 0x07 <> 0 then
         K.Inputcore.report_key input ~code:(flags land 0x07) ~pressed:true;
-      K.Inputcore.sync input
+      K.Inputcore.sync input;
+      post_input_sync a
   | _ -> ()
 
 let interrupt a =
@@ -153,6 +168,7 @@ let connect env =
           packets = 0;
           device_id = -1;
           input = None;
+          user_syncs = 0;
         }
       in
       (* Drain bytes left over from an aborted earlier negotiation.  The
@@ -241,3 +257,4 @@ let input_dev t =
 
 let packets_handled t = t.adapter.packets
 let detected_id t = t.adapter.device_id
+let user_event_syncs t = t.adapter.user_syncs

@@ -18,3 +18,7 @@ val input_dev : t -> Decaf_kernel.Inputcore.t
 val packets_handled : t -> int
 val detected_id : t -> int
 (** Device id reported during protocol negotiation (0 = plain PS/2). *)
+
+val user_event_syncs : t -> int
+(** Deferred event-counter refreshes ([psmouse_sync] notifications)
+    delivered to the user-level driver; 0 in native mode. *)

@@ -20,6 +20,8 @@ type adapter = {
   io_base : int;
   irq : int;
   mutable completed : int;
+  mutable user_syncs : int;
+      (** deferred completion-counter refreshes delivered to user level *)
 }
 
 type t = { adapter : adapter; mutable module_handle : K.Modules.handle option }
@@ -37,6 +39,18 @@ let inw a off =
 
 (* --- nucleus: URB scheduling (data path) --- *)
 
+(* Deferred kernel->user completion-counter refresh: the user-level half
+   watches transfer progress for its schedule bookkeeping, but TD
+   completions land in the nucleus (frame-timer context). One-way
+   notification per completion — batched and flushed like E1000_drv's
+   stats syncs. *)
+let complete_wire_bytes = 8
+
+let post_complete_sync a =
+  if a.env.Driver_env.mode <> Driver_env.Native then
+    a.env.Driver_env.notify ~name:"uhci_complete" ~bytes:complete_wire_bytes
+      (fun () -> a.user_syncs <- a.user_syncs + 1)
+
 let submit_urb a (urb : K.Usbcore.urb) =
   match urb.K.Usbcore.transfer with
   | K.Usbcore.Bulk ->
@@ -50,6 +64,7 @@ let submit_urb a (urb : K.Usbcore.urb) =
             | U.Td_stalled -> -32
             | U.Td_no_device -> -Errors.enodev);
           a.completed <- a.completed + 1;
+          post_complete_sync a;
           urb.K.Usbcore.complete urb);
       Ok ()
   | K.Usbcore.Control | K.Usbcore.Interrupt ->
@@ -100,7 +115,7 @@ let probe env io_base irq =
   match !model_box with
   | None -> Error (-Errors.enodev)
   | Some model ->
-      let a = { env; model; io_base; irq; completed = 0 } in
+      let a = { env; model; io_base; irq; completed = 0; user_syncs = 0 } in
       let rc =
         env.Driver_env.upcall ~name:"uhci_probe" ~bytes:state_wire_bytes
           (fun () ->
@@ -164,3 +179,4 @@ let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
 
 let urbs_completed t = t.adapter.completed
+let user_complete_syncs t = t.adapter.user_syncs

@@ -21,3 +21,8 @@ val insmod :
 val rmmod : t -> unit
 val init_latency_ns : t -> int
 val urbs_completed : t -> int
+
+val user_complete_syncs : t -> int
+(** Deferred completion-counter refreshes ([uhci_complete]
+    notifications, one per TD completion) delivered to the user-level
+    driver; 0 in native mode. *)

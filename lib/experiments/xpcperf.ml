@@ -4,20 +4,27 @@ module Xpc = Decaf_xpc
 open Decaf_drivers
 open Decaf_workloads
 
-type config = { batching : bool; delta : bool }
+type config = { batching : bool; delta : bool; workers : int }
 
 let config_name c =
   (if c.batching then "batch" else "nobatch")
   ^ "+"
-  ^ if c.delta then "delta" else "full"
+  ^ (if c.delta then "delta" else "full")
+  ^ Printf.sprintf "+w%d" c.workers
 
-(* Measured in a fixed order so the JSON trajectory is stable. *)
+(* Measured in a fixed order so the JSON trajectory is stable: the four
+   historical optimization combinations on the serial (one-worker) path,
+   then the worker axis — the best serial config at 2 and 4 workers,
+   plus the unoptimized baseline at 4 to separate the two effects. *)
 let configs =
   [
-    { batching = false; delta = false };
-    { batching = true; delta = false };
-    { batching = false; delta = true };
-    { batching = true; delta = true };
+    { batching = false; delta = false; workers = 1 };
+    { batching = true; delta = false; workers = 1 };
+    { batching = false; delta = true; workers = 1 };
+    { batching = true; delta = true; workers = 1 };
+    { batching = true; delta = true; workers = 2 };
+    { batching = false; delta = false; workers = 4 };
+    { batching = true; delta = true; workers = 4 };
   ]
 
 type sample = {
@@ -29,6 +36,11 @@ type sample = {
   posted : int;
   delivered : int;
   flushes : int;
+  xpc_ns : int;
+  lock_contended : int;
+  lock_wait_ns : int;
+  shard_hits : int;
+  shards_used : int;
   perf_milli : int;
   perf_unit : string;
 }
@@ -39,11 +51,21 @@ let perf s = float_of_int s.perf_milli /. 1000.
    the user-level half, and the native build has no crossings to batch. *)
 let apply_config c =
   Xpc.Batch.set_enabled c.batching;
-  Xpc.Marshal_plan.set_delta_enabled c.delta
+  Xpc.Marshal_plan.set_delta_enabled c.delta;
+  Xpc.Dispatch.set_workers c.workers
 
 let finish ~scenario ~config ~perf ~perf_unit =
   let ch = Xpc.Channel.snapshot () in
   let b = Xpc.Batch.snapshot () in
+  let shards = Xpc.Channel.tracker_shards () in
+  let shard_hits =
+    Array.fold_left (fun acc s -> acc + s.Xpc.Objtracker.hits) 0 shards
+  in
+  let shards_used =
+    Array.fold_left
+      (fun acc s -> if s.Xpc.Objtracker.lookups > 0 then acc + 1 else acc)
+      0 shards
+  in
   {
     scenario;
     config;
@@ -53,6 +75,11 @@ let finish ~scenario ~config ~perf ~perf_unit =
     posted = b.Xpc.Batch.posted;
     delivered = b.Xpc.Batch.delivered;
     flushes = b.Xpc.Batch.flush_crossings;
+    xpc_ns = Xpc.Dispatch.overhead_ns ();
+    lock_contended = ch.Xpc.Channel.lock_contended;
+    lock_wait_ns = ch.Xpc.Channel.lock_wait_ns;
+    shard_hits;
+    shards_used;
     perf_milli = int_of_float ((perf *. 1000.) +. 0.5);
     perf_unit;
   }
@@ -85,8 +112,7 @@ let e1000_net which config ~duration_ns =
       in
       Xpc.Batch.drain ();
       E1000_drv.rmmod t;
-      finish ~scenario ~config ~perf:r.Netperf.throughput_mbps
-        ~perf_unit:"Mb/s")
+      finish ~scenario ~config ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
 
 let rtl8139_net config ~duration_ns =
   Scenario.boot ();
@@ -109,7 +135,7 @@ let rtl8139_net config ~duration_ns =
       Xpc.Batch.drain ();
       Rtl8139_drv.rmmod t;
       finish ~scenario:"8139too-netperf-send" ~config
-        ~perf:r.Netperf.throughput_mbps ~perf_unit:"Mb/s")
+        ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
 
 let psmouse config ~duration_ns =
   Scenario.boot ();
@@ -127,8 +153,7 @@ let psmouse config ~duration_ns =
       Xpc.Batch.drain ();
       Psmouse_drv.rmmod t;
       finish ~scenario:"psmouse-move" ~config
-        ~perf:(float_of_int r.Mouse_move.packets)
-        ~perf_unit:"packets")
+        ~perf:r.Mouse_move.event_rate_hz ~perf_unit:"ev/s")
 
 let ens1371 config ~duration_ns =
   Scenario.boot ();
@@ -146,8 +171,8 @@ let ens1371 config ~duration_ns =
       Xpc.Batch.drain ();
       Ens1371_drv.rmmod t;
       finish ~scenario:"ens1371-mpg123" ~config
-        ~perf:(if r.Mpg123.underruns <= 1 then 1.0 else 0.0)
-        ~perf_unit:"ok")
+        ~perf:(if r.Mpg123.underruns <= 1 then r.Mpg123.realtime_factor else 0.0)
+        ~perf_unit:"rt")
 
 let default_duration_ns = 300_000_000
 
@@ -177,20 +202,22 @@ let reduction ~off ~on =
 let render samples =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "Batched XPC and delta marshaling (decaf build, %d configs)\n"
+  add "Concurrent XPC dispatch matrix (decaf build, %d configs)\n"
     (List.length configs);
-  add "%-20s %-14s %9s %8s %10s %7s %7s %7s %10s\n" "Scenario" "Config"
-    "Crossings" "C/Java" "Bytes" "Posted" "Deliv" "Flushes" "Perf";
+  add "%-20s %-17s %9s %8s %10s %7s %7s %7s %10s %6s %6s %10s\n" "Scenario"
+    "Config" "Crossings" "C/Java" "Bytes" "Posted" "Deliv" "Flushes" "XpcUs"
+    "LockC" "Shards" "Perf";
   List.iter
     (fun s ->
-      add "%-20s %-14s %9d %8d %10d %7d %7d %7d %7.2f %s\n" s.scenario
-        (config_name s.config) s.crossings s.c_java s.bytes s.posted
-        s.delivered s.flushes (perf s) s.perf_unit)
+      add "%-20s %-17s %9d %8d %10d %7d %7d %7d %10d %6d %6d %7.2f %s\n"
+        s.scenario (config_name s.config) s.crossings s.c_java s.bytes
+        s.posted s.delivered s.flushes (s.xpc_ns / 1_000) s.lock_contended
+        s.shards_used (perf s) s.perf_unit)
     samples;
   let names =
     List.filter_map
       (fun s ->
-        if s.config = { batching = false; delta = false } then
+        if s.config = { batching = false; delta = false; workers = 1 } then
           Some s.scenario
         else None)
       samples
@@ -200,14 +227,32 @@ let render samples =
   List.iter
     (fun scenario ->
       match
-        ( find samples ~scenario ~config:{ batching = false; delta = false },
-          find samples ~scenario ~config:{ batching = true; delta = true } )
+        ( find samples ~scenario
+            ~config:{ batching = false; delta = false; workers = 1 },
+          find samples ~scenario
+            ~config:{ batching = true; delta = true; workers = 1 } )
       with
       | Some off, Some on ->
           add "%-20s %11.1f%% %11.1f%% %9.3fx\n" scenario
             (reduction ~off:off.crossings ~on:on.crossings)
             (reduction ~off:off.bytes ~on:on.bytes)
             (if perf off = 0. then 1. else perf on /. perf off)
+      | _ -> ())
+    names;
+  add "\n%-20s %12s %12s %10s\n" "w4 vs w1 (b+d)" "xpc_ns" "contended" "perf";
+  List.iter
+    (fun scenario ->
+      match
+        ( find samples ~scenario
+            ~config:{ batching = true; delta = true; workers = 1 },
+          find samples ~scenario
+            ~config:{ batching = true; delta = true; workers = 4 } )
+      with
+      | Some w1, Some w4 ->
+          add "%-20s %11.1f%% %12d %9.3fx\n" scenario
+            (reduction ~off:w1.xpc_ns ~on:w4.xpc_ns)
+            w4.lock_contended
+            (if perf w1 = 0. then 1. else perf w4 /. perf w1)
       | _ -> ())
     names;
   Buffer.contents buf
@@ -217,12 +262,13 @@ let render samples =
 
 let json_line s =
   Printf.sprintf
-    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
+    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
     s.scenario
     (if s.config.batching then 1 else 0)
     (if s.config.delta then 1 else 0)
-    s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.perf_milli
-    s.perf_unit
+    s.config.workers s.crossings s.c_java s.bytes s.posted s.delivered
+    s.flushes s.xpc_ns s.lock_contended s.lock_wait_ns s.shard_hits
+    s.shards_used s.perf_milli s.perf_unit
 
 let to_json ~duration_ns samples =
   let header =
@@ -276,13 +322,26 @@ let sample_of_line line =
       Some
         {
           scenario;
-          config = { batching = batching <> 0; delta = delta <> 0 };
+          config =
+            {
+              batching = batching <> 0;
+              delta = delta <> 0;
+              (* files from before the worker axis are all serial *)
+              workers = (match field_int line "workers" with
+                        | Some w when w > 0 -> w
+                        | _ -> 1);
+            };
           crossings;
           c_java = geti "c_java";
           bytes;
           posted = geti "posted";
           delivered = geti "delivered";
           flushes = geti "flushes";
+          xpc_ns = geti "xpc_ns";
+          lock_contended = geti "lock_contended";
+          lock_wait_ns = geti "lock_wait_ns";
+          shard_hits = geti "shard_hits";
+          shards_used = geti "shards_used";
           perf_milli = geti "perf_milli";
           perf_unit =
             Option.value ~default:"" (field_str line "perf_unit");
@@ -312,11 +371,13 @@ let write_json ?(duration_ns = default_duration_ns) ~path () =
   samples
 
 (* The smoke gate: re-measure at the committed file's duration and fail
-   if crossings or marshaled bytes regressed by more than [slack_pct] on
-   any (scenario, config) point. The simulation is deterministic, so an
+   if crossings or marshaled bytes regressed by more than [slack_pct],
+   or — now that perf_milli is cost-sensitive — if any scenario's
+   virtual-time throughput dropped by more than [perf_slack_pct], on any
+   (scenario, config) point. The simulation is deterministic, so an
    untouched fast path reproduces the file exactly; the slack absorbs
    deliberate small retunings without a file update. *)
-let check ?(slack_pct = 10) ~path () =
+let check ?(slack_pct = 10) ?(perf_slack_pct = 5) ~path () =
   let duration_ns, committed = of_json (read_file path) in
   let duration_ns =
     Option.value ~default:default_duration_ns duration_ns
@@ -345,11 +406,20 @@ let check ?(slack_pct = 10) ~path () =
             if f.bytes > budget c.bytes then
               complain
                 "bench-check: %s %s: bytes_marshaled regressed %d -> %d (>%d%%)"
-                c.scenario (config_name c.config) c.bytes f.bytes slack_pct)
+                c.scenario (config_name c.config) c.bytes f.bytes slack_pct;
+            let perf_floor =
+              c.perf_milli * (100 - perf_slack_pct) / 100
+            in
+            if c.perf_milli > 0 && f.perf_milli < perf_floor then
+              complain
+                "bench-check: %s %s: perf regressed %d -> %d milli%s (>%d%%)"
+                c.scenario (config_name c.config) c.perf_milli f.perf_milli
+                c.perf_unit perf_slack_pct)
       committed;
     if !ok then
       Printf.printf
-        "bench-check: %d samples within %d%% of %s (duration %dms)\n"
-        (List.length committed) slack_pct path (duration_ns / 1_000_000);
+        "bench-check: %d samples within %d%% (perf %d%%) of %s (duration %dms)\n"
+        (List.length committed) slack_pct perf_slack_pct path
+        (duration_ns / 1_000_000);
     !ok
   end

@@ -1,22 +1,27 @@
-(** The batched-XPC / delta-marshaling experiment: the crossing and
-    byte trajectory behind [BENCH_xpc.json].
+(** The concurrent-XPC / batched-XPC / delta-marshaling experiment: the
+    crossing, byte and virtual-time trajectory behind [BENCH_xpc.json].
 
     Five decaf-build scenarios (e1000 netperf send and recv, 8139too
     netperf send, psmouse move-and-click, ens1371 mpg123) are each run
-    under the four combinations of {!Decaf_xpc.Batch} batching and
-    {!Decaf_xpc.Marshal_plan} delta marshaling. Each run records the
+    under combinations of {!Decaf_xpc.Batch} batching,
+    {!Decaf_xpc.Marshal_plan} delta marshaling and the
+    {!Decaf_xpc.Dispatch} worker count. Each run records the
     whole-lifetime (insmod through rmmod) {!Decaf_xpc.Channel.snapshot}
-    counters plus the batch-queue statistics and the workload's own
-    figure of merit, so the optimizations are only credited when
-    throughput holds. *)
+    counters, the batch-queue statistics, the dispatch-lane critical
+    path, combolock contention, object-tracker shard traffic and the
+    workload's own cost-adjusted figure of merit, so the optimizations
+    are only credited when throughput holds. *)
 
-type config = { batching : bool; delta : bool }
+type config = { batching : bool; delta : bool; workers : int }
 
 val config_name : config -> string
+(** E.g. ["batch+delta+w4"]. *)
 
 val configs : config list
-(** The four measured combinations, in file order: nobatch+full,
-    batch+full, nobatch+delta, batch+delta. *)
+(** The seven measured combinations, in file order: the four historical
+    serial points (nobatch+full, batch+full, nobatch+delta, batch+delta,
+    all at [workers = 1]), then batch+delta at 2 and the
+    nobatch+full / batch+delta pair at 4 workers. *)
 
 type sample = {
   scenario : string;
@@ -27,6 +32,13 @@ type sample = {
   posted : int;  (** deferred calls enqueued via {!Decaf_xpc.Batch} *)
   delivered : int;
   flushes : int;  (** batched flush crossings *)
+  xpc_ns : int;
+      (** whole-lifetime {!Decaf_xpc.Dispatch.overhead_ns} — the
+          longest-lane (critical-path) dispatch cost *)
+  lock_contended : int;  (** combolock contended acquisitions *)
+  lock_wait_ns : int;  (** virtual ns spent waiting on combolocks *)
+  shard_hits : int;  (** object-tracker hits summed over shards *)
+  shards_used : int;  (** shards that saw at least one lookup *)
   perf_milli : int;  (** workload figure of merit, fixed-point x1000 *)
   perf_unit : string;
 }
@@ -37,7 +49,9 @@ val default_duration_ns : int
 
 (** {2 Single scenarios} — each boots the machine, applies [config],
     loads the decaf build, runs the workload, drains the batch queues
-    and unloads. Must not be called from inside a scheduler thread. *)
+    and unloads. Must not be called from inside a scheduler thread.
+    The nets report goodput (Mb/s after dispatch overhead), psmouse
+    its delivered event rate (ev/s), ens1371 its realtime factor. *)
 
 val e1000_net : [ `Send | `Recv ] -> config -> duration_ns:int -> sample
 val rtl8139_net : config -> duration_ns:int -> sample
@@ -45,24 +59,28 @@ val psmouse : config -> duration_ns:int -> sample
 val ens1371 : config -> duration_ns:int -> sample
 
 val measure : ?duration_ns:int -> unit -> sample list
-(** The full 5-scenario x 4-config matrix (psmouse stretched to at
+(** The full 5-scenario x 7-config matrix (psmouse stretched to at
     least 2 s so the mouse produces traffic). *)
 
 val render : sample list -> string
-(** Per-sample table plus a batch+delta vs nobatch+full reduction
-    summary per scenario. *)
+(** Per-sample table plus two reduction summaries per scenario:
+    batch+delta vs nobatch+full (serial), and 4 workers vs 1 under
+    batch+delta. *)
 
 val to_json : duration_ns:int -> sample list -> string
 (** One JSON object per line (header line carries [duration_ns]);
     parseable by {!of_json} without a JSON library. *)
 
 val of_json : string -> int option * sample list
+(** Lines without a [workers] field parse as [workers = 1], so
+    trajectory files from before the worker axis stay readable. *)
 
 val write_json : ?duration_ns:int -> path:string -> unit -> sample list
 (** Measure and write the trajectory file; returns the samples. *)
 
-val check : ?slack_pct:int -> path:string -> unit -> bool
+val check : ?slack_pct:int -> ?perf_slack_pct:int -> path:string -> unit -> bool
 (** Re-measure at the committed file's duration and compare: fails
     (returns [false], printing why) if any committed (scenario, config)
     point's crossings or bytes regressed by more than [slack_pct]
-    percent, or disappeared. *)
+    percent (default 10), its [perf_milli] dropped by more than
+    [perf_slack_pct] percent (default 5), or it disappeared. *)

@@ -11,6 +11,7 @@ type t = {
   mutable marshal_byte_ns : int;
   mutable remarshal_byte_ns : int;
   mutable objtracker_lookup_ns : int;
+  mutable xpc_dispatch_ns : int;
   mutable jvm_startup_ns : int;
 }
 
@@ -28,6 +29,7 @@ let defaults () =
     marshal_byte_ns = 40;
     remarshal_byte_ns = 60;
     objtracker_lookup_ns = 150;
+    xpc_dispatch_ns = 250;
     jvm_startup_ns = 300_000_000;
   }
 
@@ -47,4 +49,5 @@ let reset () =
   current.marshal_byte_ns <- d.marshal_byte_ns;
   current.remarshal_byte_ns <- d.remarshal_byte_ns;
   current.objtracker_lookup_ns <- d.objtracker_lookup_ns;
+  current.xpc_dispatch_ns <- d.xpc_dispatch_ns;
   current.jvm_startup_ns <- d.jvm_startup_ns

@@ -20,6 +20,10 @@ type t = {
       (** per byte for the C->Java re-marshal step (the paper notes data is
           unmarshaled in C and re-marshaled in Java) *)
   mutable objtracker_lookup_ns : int;  (** one object-tracker lookup *)
+  mutable xpc_dispatch_ns : int;
+      (** per-upcall worker-pool admission overhead; charged to the
+          serving worker's lane in the dispatch accounting, not to the
+          global clock *)
   mutable jvm_startup_ns : int;  (** one-time managed-runtime start cost *)
 }
 

@@ -139,7 +139,14 @@ module Completion = struct
 end
 
 module Combolock = struct
-  type stats = { mutable spin_acquires : int; mutable sem_acquires : int }
+  type stats = {
+    mutable spin_acquires : int;
+    mutable sem_acquires : int;
+    mutable contended : int;
+    mutable spin_to_sem : int;
+    mutable wait_ns : int;
+  }
+
   type holder = No_one | Kernel_spin | Kernel_sem | User
 
   type t = {
@@ -150,16 +157,70 @@ module Combolock = struct
     stats : stats;
   }
 
+  let fresh_stats () =
+    {
+      spin_acquires = 0;
+      sem_acquires = 0;
+      contended = 0;
+      spin_to_sem = 0;
+      wait_ns = 0;
+    }
+
+  (* Machine-wide contention totals across every combolock, so Channel
+     can report lock behaviour without holding a reference to each
+     driver's locks. *)
+  let totals_v = fresh_stats ()
+
+  let totals () =
+    {
+      spin_acquires = totals_v.spin_acquires;
+      sem_acquires = totals_v.sem_acquires;
+      contended = totals_v.contended;
+      spin_to_sem = totals_v.spin_to_sem;
+      wait_ns = totals_v.wait_ns;
+    }
+
+  let reset_totals () =
+    totals_v.spin_acquires <- 0;
+    totals_v.sem_acquires <- 0;
+    totals_v.contended <- 0;
+    totals_v.spin_to_sem <- 0;
+    totals_v.wait_ns <- 0
+
+  (* Xpc.Dispatch registers here so virtual time a worker spends blocked
+     on a combolock counts against that worker's lane, not the whole
+     machine. *)
+  let wait_observer : (int -> unit) option ref = ref None
+  let set_wait_observer f = wait_observer := Some f
+
   let create ?(name = "combolock") () =
     {
       name;
       sem = Semaphore.create ~name 1;
       holder = No_one;
       user_waiters = 0;
-      stats = { spin_acquires = 0; sem_acquires = 0 };
+      stats = fresh_stats ();
     }
 
   let user_mode_active l = l.holder = User || l.user_waiters > 0
+
+  (* Semaphore acquisition with contention accounting: [contended] when
+     the semaphore was unavailable at entry, [wait_ns] the virtual time
+     blocked beyond the semaphore operation's own cost. *)
+  let sem_down l =
+    let was_contended = Semaphore.count l.sem = 0 in
+    if was_contended then begin
+      l.stats.contended <- l.stats.contended + 1;
+      totals_v.contended <- totals_v.contended + 1
+    end;
+    let t0 = Clock.now () in
+    Semaphore.down l.sem;
+    let waited = Clock.now () - t0 - Cost.current.semaphore_ns in
+    if waited > 0 then begin
+      l.stats.wait_ns <- l.stats.wait_ns + waited;
+      totals_v.wait_ns <- totals_v.wait_ns + waited;
+      match !wait_observer with Some f -> f waited | None -> ()
+    end
 
   let lock_kernel l =
     match l.holder with
@@ -168,13 +229,18 @@ module Combolock = struct
         Sched.spin_acquire ();
         Clock.consume Cost.current.spinlock_ns;
         l.holder <- Kernel_spin;
-        l.stats.spin_acquires <- l.stats.spin_acquires + 1
+        l.stats.spin_acquires <- l.stats.spin_acquires + 1;
+        totals_v.spin_acquires <- totals_v.spin_acquires + 1
     | Kernel_spin ->
         Panic.bug "combolock %s: kernel spin deadlock" l.name
     | No_one | Kernel_sem | User ->
-        (* User level holds or waits: kernel threads must block. *)
+        (* User level holds or waits: the kernel thread is pushed off the
+           spin fast path onto the semaphore. *)
         l.stats.sem_acquires <- l.stats.sem_acquires + 1;
-        Semaphore.down l.sem;
+        totals_v.sem_acquires <- totals_v.sem_acquires + 1;
+        l.stats.spin_to_sem <- l.stats.spin_to_sem + 1;
+        totals_v.spin_to_sem <- totals_v.spin_to_sem + 1;
+        sem_down l;
         l.holder <- Kernel_sem
 
   let unlock_kernel l =
@@ -191,7 +257,8 @@ module Combolock = struct
   let lock_user l =
     l.user_waiters <- l.user_waiters + 1;
     l.stats.sem_acquires <- l.stats.sem_acquires + 1;
-    Semaphore.down l.sem;
+    totals_v.sem_acquires <- totals_v.sem_acquires + 1;
+    sem_down l;
     l.user_waiters <- l.user_waiters - 1;
     l.holder <- User
 

@@ -80,6 +80,13 @@ module Combolock : sig
   type stats = {
     mutable spin_acquires : int;  (** fast-path kernel-only acquisitions *)
     mutable sem_acquires : int;  (** semaphore-path acquisitions *)
+    mutable contended : int;
+        (** semaphore-path acquisitions that found the lock unavailable *)
+    mutable spin_to_sem : int;
+        (** kernel acquisitions forced off the spin fast path because
+            user level held or was waiting for the lock *)
+    mutable wait_ns : int;
+        (** virtual ns spent blocked, beyond the semaphore op's own cost *)
   }
 
   val create : ?name:string -> unit -> t
@@ -100,4 +107,17 @@ module Combolock : sig
   val with_user : t -> (unit -> 'a) -> 'a
   val stats : t -> stats
   val user_mode_active : t -> bool
+
+  val totals : unit -> stats
+  (** Snapshot of machine-wide counters summed over every combolock
+      since the last {!reset_totals}. *)
+
+  val reset_totals : unit -> unit
+
+  val set_wait_observer : (int -> unit) -> unit
+  (** Register a callback invoked with the virtual ns a thread just spent
+      blocked on any combolock (only when > 0). Used by the XPC dispatch
+      engine to charge lock waits to the worker lane that incurred them.
+      The observer survives {!reset_totals}; registering replaces the
+      previous observer. *)
 end

@@ -6,6 +6,12 @@ type result = {
   packets : int;
   cpu_utilization : float;
   elapsed_ns : int;
+  xpc_overhead_ns : int;
+      (** XPC dispatch critical-path ns during the run
+          ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
+  event_rate_hz : float;
+      (** events over elapsed-plus-dispatch-overhead time; the
+          cost-sensitive metric Xpcperf tracks *)
 }
 
 val run :

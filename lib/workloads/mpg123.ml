@@ -1,11 +1,14 @@
 module K = Decaf_kernel
 module Hw = Decaf_hw
+module Xpc = Decaf_xpc
 
 type result = {
   seconds_played : float;
   cpu_utilization : float;
   underruns : int;
   periods : int;
+  xpc_overhead_ns : int;
+  realtime_factor : float;
 }
 
 let pcm_byte_rate = 44_100 * 4
@@ -16,6 +19,7 @@ let decode_cost = 120_000
 
 let play ~substream ~model ~duration_ns =
   let t0 = K.Clock.now () and busy0 = K.Clock.busy_ns () in
+  let xpc0 = Xpc.Dispatch.overhead_ns () in
   (match K.Sndcore.pcm_open substream with
   | Ok () -> ()
   | Error rc -> K.Panic.bug "mpg123: pcm open failed (%d)" rc);
@@ -45,11 +49,24 @@ let play ~substream ~model ~duration_ns =
   done;
   K.Sndcore.pcm_stop substream;
   K.Sndcore.pcm_close substream;
+  let seconds_played =
+    float_of_int Hw.Ens1371_hw.(consumed model) /. float_of_int pcm_byte_rate
+  in
+  let elapsed_ns = K.Clock.now () - t0 in
+  let xpc_overhead_ns = Xpc.Dispatch.overhead_ns () - xpc0 in
+  (* Audio played per unit of wall time once the dispatch engine's
+     critical path is charged: >= 1 means the driver keeps up with the
+     DAC even after paying for its upcalls. *)
+  let effective_ns = elapsed_ns + xpc_overhead_ns in
   {
-    seconds_played = float_of_int Hw.Ens1371_hw.(consumed model) /. float_of_int pcm_byte_rate;
+    seconds_played;
     cpu_utilization = K.Clock.utilization ~since:t0 ~busy_since:busy0;
     underruns = Hw.Ens1371_hw.underruns model;
     periods = Hw.Ens1371_hw.periods_played model;
+    xpc_overhead_ns;
+    realtime_factor =
+      (if effective_ns = 0 then 0.
+       else seconds_played *. 1e9 /. float_of_int effective_ns);
   }
 
 let pp ppf r =

@@ -6,6 +6,13 @@ type result = {
   cpu_utilization : float;
   underruns : int;
   periods : int;
+  xpc_overhead_ns : int;
+      (** XPC dispatch critical-path ns during the run
+          ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
+  realtime_factor : float;
+      (** seconds played per effective second (elapsed plus dispatch
+          overhead); >= 1 means playback keeps up with real time after
+          paying upcall costs *)
 }
 
 val play :

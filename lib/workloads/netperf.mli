@@ -3,9 +3,16 @@
     paper's Table 3 does. *)
 
 type result = {
-  throughput_mbps : float;
+  throughput_mbps : float;  (** raw: wire bytes over elapsed virtual time *)
+  goodput_mbps : float;
+      (** cost-adjusted: wire bytes over elapsed time {e plus} the XPC
+          dispatch engine's critical-path overhead
+          ({!Decaf_xpc.Dispatch.overhead_ns}); this is the metric that
+          responds to batching, delta marshaling, sharding and worker
+          count *)
   cpu_utilization : float;
   elapsed_ns : int;
+  xpc_overhead_ns : int;  (** dispatch critical-path ns during the run *)
   packets : int;
 }
 

@@ -1,5 +1,6 @@
 module K = Decaf_kernel
 module Hw = Decaf_hw
+module Xpc = Decaf_xpc
 
 type result = {
   bytes_written : int;
@@ -7,6 +8,8 @@ type result = {
   cpu_utilization : float;
   files : int;
   effective_kbps : float;
+  xpc_overhead_ns : int;
+  goodput_kbps : float;
 }
 
 let chunk = 4_096
@@ -16,6 +19,7 @@ let app_cost = 30_000
 
 let untar ~model ~files ~file_bytes =
   let t0 = K.Clock.now () and busy0 = K.Clock.busy_ns () in
+  let xpc0 = Xpc.Dispatch.overhead_ns () in
   let written0 = Hw.Uhci_hw.drive_bytes_written model in
   for _file = 1 to files do
     let remaining = ref file_bytes in
@@ -32,15 +36,20 @@ let untar ~model ~files ~file_bytes =
     done
   done;
   let elapsed_ns = K.Clock.now () - t0 in
+  let xpc_overhead_ns = Xpc.Dispatch.overhead_ns () - xpc0 in
   let bytes_written = Hw.Uhci_hw.drive_bytes_written model - written0 in
+  let rate over =
+    if over = 0 then 0.
+    else float_of_int (bytes_written * 8) *. 1e6 /. float_of_int over
+  in
   {
     bytes_written;
     elapsed_ns;
     cpu_utilization = K.Clock.utilization ~since:t0 ~busy_since:busy0;
     files;
-    effective_kbps =
-      (if elapsed_ns = 0 then 0.
-       else float_of_int (bytes_written * 8) *. 1e6 /. float_of_int elapsed_ns);
+    effective_kbps = rate elapsed_ns;
+    xpc_overhead_ns;
+    goodput_kbps = rate (elapsed_ns + xpc_overhead_ns);
   }
 
 let pp ppf r =

@@ -6,7 +6,13 @@ type result = {
   elapsed_ns : int;
   cpu_utilization : float;
   files : int;
-  effective_kbps : float;
+  effective_kbps : float;  (** raw: drive bytes over elapsed virtual time *)
+  xpc_overhead_ns : int;
+      (** XPC dispatch critical-path ns during the run
+          ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
+  goodput_kbps : float;
+      (** cost-adjusted: drive bytes over elapsed time plus dispatch
+          overhead *)
 }
 
 val untar :

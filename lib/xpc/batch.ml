@@ -42,11 +42,22 @@ let queue_for target =
       Hashtbl.replace queues target q;
       q
 
-(* The flush worker and timer belong to one machine lifetime: after a
-   reboot the scheduler that owned the worker thread is gone, so the
-   infrastructure is tagged with the boot epoch and lazily recreated when
-   the tag is stale. *)
-let infra : (int * K.Workqueue.t * K.Timer.t) option ref = ref None
+(* The flush workers and timer belong to one machine lifetime: after a
+   reboot the scheduler that owned the worker threads is gone, so the
+   infrastructure is tagged with the boot epoch (and the dispatch pool
+   width it was sized for) and lazily recreated when either is stale.
+   With N dispatch workers per domain, up to min(N, 4) flush workqueues
+   feed them round-robin, so independent flushes can occupy independent
+   workers. *)
+let infra : (int * int * K.Workqueue.t array * K.Timer.t) option ref =
+  ref None
+
+let rr = ref 0
+
+let queue_flush wqs job =
+  let n = Array.length wqs in
+  rr := (!rr + 1) mod n;
+  K.Workqueue.queue_work wqs.(!rr) job
 
 (* Flush the whole queue for [target] with ONE crossing: the deferred
    thunks run inside a single Channel.call, so N calls pay one pair of
@@ -127,28 +138,35 @@ let busy_retry_ns = 1_000_000
 
 let rec get_infra () =
   let e = K.Boot.epoch () in
+  let size = min (Dispatch.workers ()) 4 in
   match !infra with
-  | Some (e', wq, timer) when e' = e -> (wq, timer)
+  | Some (e', s', wqs, timer) when e' = e && s' = size -> (wqs, timer)
   | _ ->
-      let wq = K.Workqueue.create ~name:"xpc-batch" in
+      let wqs =
+        Array.init size (fun i ->
+            K.Workqueue.create ~name:(Printf.sprintf "xpc-batch/%d" i))
+      in
       let timer =
         K.Timer.create ~name:"xpc-batch-doorbell" (fun () ->
             (* interrupt context: ring the doorbell by deferring the
                flush to process context, where crossing may block *)
             List.iter
-              (fun t -> K.Workqueue.queue_work wq (fun () -> deferred_drain t))
+              (fun t -> queue_flush wqs (fun () -> deferred_drain t))
               (targets ()))
       in
-      infra := Some (e, wq, timer);
-      (wq, timer)
+      infra := Some (e, size, wqs, timer);
+      (wqs, timer)
 
-(* Asynchronous delivery (workqueue/timer): hold off while the target is
-   executing a crossing — a deferred notification entering a busy domain
-   would retroactively update state an in-progress call already
-   marshaled. Synchronous [doorbell]/[drain] are the caller's own
-   ordering and are not gated. *)
+(* Asynchronous delivery (workqueue/timer): hold off while the target's
+   worker pool is saturated — a deferred notification entering a fully
+   busy domain would retroactively update state an in-progress call
+   already marshaled, or block a flush worker behind it. With one
+   dispatch worker this is the historical "back off while any crossing
+   is in flight"; with N, flushes proceed while a worker is free.
+   Synchronous [doorbell]/[drain] are the caller's own ordering and are
+   not gated. *)
 and deferred_drain target =
-  if Channel.in_flight target > 0 then begin
+  if Channel.in_flight target >= Dispatch.workers () then begin
     let _, timer = get_infra () in
     if not (K.Timer.pending timer) then K.Timer.mod_timer_in timer busy_retry_ns
   end
@@ -168,22 +186,22 @@ let post ~target ?(payload_bytes = 0) ?(context = "notify") f =
     counters.posted <- counters.posted + 1;
     let q = queue_for target in
     Queue.push { payload_bytes; context; thunk = f } q;
-    let wq, timer = get_infra () in
+    let wqs, timer = get_infra () in
     if !enabled then begin
       if Queue.length q >= !watermark then
-        K.Workqueue.queue_work wq (fun () -> deferred_drain target)
+        queue_flush wqs (fun () -> deferred_drain target)
       else if not (K.Timer.pending timer) then
         K.Timer.mod_timer_in timer !flush_interval_ns
     end
-    else K.Workqueue.queue_work wq (fun () -> deferred_drain target)
+    else queue_flush wqs (fun () -> deferred_drain target)
   end
 
 let doorbell () =
   if Hashtbl.length queues > 0 then
     if K.Sched.in_interrupt () || K.Sched.spin_depth () > 0 then begin
-      let wq, _ = get_infra () in
+      let wqs, _ = get_infra () in
       List.iter
-        (fun t -> K.Workqueue.queue_work wq (fun () -> deferred_drain t))
+        (fun t -> queue_flush wqs (fun () -> deferred_drain t))
         (targets ())
     end
     else List.iter drain_target (targets ())
@@ -191,7 +209,8 @@ let doorbell () =
 let drain () =
   List.iter drain_target (targets ());
   match !infra with
-  | Some (e, wq, _) when e = K.Boot.epoch () -> K.Workqueue.flush wq
+  | Some (e, _, wqs, _) when e = K.Boot.epoch () ->
+      Array.iter K.Workqueue.flush wqs
   | _ -> ()
 
 let pending () = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) queues 0

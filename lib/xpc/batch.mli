@@ -24,11 +24,13 @@
     fault plan; a flush that fails even after retries requeues its batch
     intact — deferred calls are neither dropped nor duplicated.
 
-    A user-level runtime services one XPC at a time, so the asynchronous
-    flush paths (workqueue, timer) back off while
-    {!Channel.in_flight}[ target > 0] and retry shortly after: a
-    deferred notification never lands in the middle of a crossing that
-    already marshaled its view of the world. *)
+    A user-level runtime services at most {!Dispatch.workers} XPCs at a
+    time, so the asynchronous flush paths (workqueues, timer) back off
+    while {!Channel.in_flight}[ target >= Dispatch.workers ()] and retry
+    shortly after: a deferred notification never lands in a domain whose
+    worker pool is saturated mid-crossing. The flush work itself is
+    spread round-robin over min(workers, 4) workqueues so independent
+    flushes can occupy independent dispatch workers. *)
 
 type stats = {
   mutable posted : int;  (** deferred calls enqueued *)

@@ -6,6 +6,10 @@ type stats = {
   mutable bytes_marshaled : int;
   mutable failures : int;
   mutable retries : int;
+  mutable lock_acquires : int;
+  mutable lock_contended : int;
+  mutable lock_spin_to_sem : int;
+  mutable lock_wait_ns : int;
 }
 
 let counters =
@@ -15,7 +19,22 @@ let counters =
     bytes_marshaled = 0;
     failures = 0;
     retries = 0;
+    lock_acquires = 0;
+    lock_contended = 0;
+    lock_spin_to_sem = 0;
+    lock_wait_ns = 0;
   }
+
+(* The lock columns mirror Kernel.Sync.Combolock's machine-wide totals;
+   they are refreshed on every read so [stats]/[snapshot] always reflect
+   the combolocks' current counters. *)
+let refresh_lock_columns () =
+  let t = K.Sync.Combolock.totals () in
+  counters.lock_acquires <-
+    t.K.Sync.Combolock.spin_acquires + t.K.Sync.Combolock.sem_acquires;
+  counters.lock_contended <- t.K.Sync.Combolock.contended;
+  counters.lock_spin_to_sem <- t.K.Sync.Combolock.spin_to_sem;
+  counters.lock_wait_ns <- t.K.Sync.Combolock.wait_ns
 
 (* A call whose target is the caller's own domain crosses nothing, so
    "no crossing" is the [None] of an option rather than a fourth crossing
@@ -44,10 +63,13 @@ let charge_kernel_user bytes =
   K.Sched.assert_may_block "XPC across the kernel/user boundary";
   counters.kernel_user_calls <- counters.kernel_user_calls + 1;
   counters.bytes_marshaled <- counters.bytes_marshaled + bytes;
-  K.Clock.consume
-    ((2 * K.Cost.current.xpc_kernel_user_ns)
+  let ns =
+    (2 * K.Cost.current.xpc_kernel_user_ns)
     + (2 * K.Cost.current.ctx_switch_ns)
-    + (bytes * K.Cost.current.marshal_byte_ns))
+    + (bytes * K.Cost.current.marshal_byte_ns)
+  in
+  K.Clock.consume ns;
+  Dispatch.note ns
 
 let charge_c_java bytes =
   counters.c_java_calls <- counters.c_java_calls + 1;
@@ -55,9 +77,12 @@ let charge_c_java bytes =
   (* The calling thread is re-used within the process (§2.3), so there is
      no context switch; the data is unmarshaled in C and re-marshaled in
      Java, hence the second per-byte term (§4). *)
-  K.Clock.consume
-    ((2 * K.Cost.current.xpc_c_java_ns)
-    + (bytes * (K.Cost.current.marshal_byte_ns + K.Cost.current.remarshal_byte_ns)))
+  let ns =
+    (2 * K.Cost.current.xpc_c_java_ns)
+    + (bytes * (K.Cost.current.marshal_byte_ns + K.Cost.current.remarshal_byte_ns))
+  in
+  K.Clock.consume ns;
+  Dispatch.note ns
 
 let direct = ref false
 let set_direct_marshaling v = direct := v
@@ -136,31 +161,53 @@ let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
               (Xpc_failure
                  { boundary = crossing_name b; attempts = n; context })
         end
-        else begin
-          charge ();
-          executing target (fun () -> Domain.with_domain target f)
-        end
+        else
+          (* Admission first: the crossing's charges (and everything [f]
+             does) are accounted to the worker lane that serves it. *)
+          executing target (fun () ->
+              Dispatch.with_worker ~target (fun () ->
+                  charge ();
+                  Domain.with_domain target f))
       in
       attempt 1 backoff_base_ns
 
-let stats () = counters
+let stats () =
+  refresh_lock_columns ();
+  counters
+
+let tracker_shards () = Objtracker.global_shard_stats ()
 
 let reset_stats () =
   counters.kernel_user_calls <- 0;
   counters.c_java_calls <- 0;
   counters.bytes_marshaled <- 0;
   counters.failures <- 0;
-  counters.retries <- 0
+  counters.retries <- 0;
+  counters.lock_acquires <- 0;
+  counters.lock_contended <- 0;
+  counters.lock_spin_to_sem <- 0;
+  counters.lock_wait_ns <- 0;
+  (* The lock columns mirror the combolock totals and the shard columns
+     mirror the tracker registry; both restart with the counters. Every
+     reset_stats caller rebuilds the runtime (and thus its trackers)
+     right after. *)
+  K.Sync.Combolock.reset_totals ();
+  Objtracker.reset_registry ()
 
 (* Configuration is deliberately not part of [reset_stats]: clearing the
    counters between measurements must not flip the marshaling mode. *)
 let reset_config () = direct := false
 
 let snapshot () =
+  refresh_lock_columns ();
   {
     kernel_user_calls = counters.kernel_user_calls;
     c_java_calls = counters.c_java_calls;
     bytes_marshaled = counters.bytes_marshaled;
     failures = counters.failures;
     retries = counters.retries;
+    lock_acquires = counters.lock_acquires;
+    lock_contended = counters.lock_contended;
+    lock_spin_to_sem = counters.lock_spin_to_sem;
+    lock_wait_ns = counters.lock_wait_ns;
   }

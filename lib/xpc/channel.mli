@@ -19,6 +19,14 @@ type stats = {
   mutable bytes_marshaled : int;
   mutable failures : int;  (** crossings that missed their deadline *)
   mutable retries : int;  (** failed idempotent crossings retried *)
+  mutable lock_acquires : int;
+      (** combolock acquisitions, machine-wide (spin + semaphore paths) *)
+  mutable lock_contended : int;
+      (** combolock acquisitions that found the lock unavailable *)
+  mutable lock_spin_to_sem : int;
+      (** kernel acquisitions converted from spin to semaphore because
+          user level held or was waiting for the lock *)
+  mutable lock_wait_ns : int;  (** virtual ns blocked on combolocks *)
 }
 
 exception
@@ -71,10 +79,18 @@ val in_flight : Domain.t -> int
     ordering. *)
 
 val stats : unit -> stats
+(** The live counters. The [lock_*] columns are refreshed from
+    {!Decaf_kernel.Sync.Combolock.totals} on each read. *)
+
+val tracker_shards : unit -> Objtracker.stats array
+(** Per-shard object-tracker counters summed over the machine's live
+    trackers (see {!Objtracker.global_shard_stats}), so experiments can
+    report shard-hit distribution alongside crossing counts. *)
 
 val reset_stats : unit -> unit
-(** Zero the counters. Does {e not} touch configuration such as the
-    direct-marshaling flag — use {!reset_config} for that. *)
+(** Zero the counters, the machine-wide combolock totals and the
+    object-tracker registry. Does {e not} touch configuration such as
+    the direct-marshaling flag — use {!reset_config} for that. *)
 
 val reset_config : unit -> unit
 (** Restore default configuration (direct marshaling off). *)

@@ -1,0 +1,153 @@
+module K = Decaf_kernel
+
+(* One virtual runtime worker. [busy_ns] accumulates the crossing,
+   marshal, lookup and lock-wait nanoseconds of the upcalls this worker
+   served; lanes fill independently, so the pool's critical path is the
+   busiest lane, not the sum. *)
+type lane = { owner : Domain.t; mutable busy_ns : int; mutable served : int }
+
+type pool = {
+  dom : Domain.t;
+  lanes : lane array;
+  waitq : K.Sync.Waitq.t;
+  mutable active : int;
+  mutable admissions : int;
+  mutable blocked_acquires : int;
+  mutable forced : int;
+  mutable queue_wait_ns : int;
+}
+
+type pool_stats = {
+  domain : Domain.t;
+  workers : int;
+  admissions : int;  (** upcalls admitted to the pool *)
+  blocked_acquires : int;  (** admissions that waited for a free worker *)
+  forced : int;  (** atomic-context admissions that oversubscribed *)
+  queue_wait_ns : int;  (** virtual ns spent waiting for a worker *)
+  lane_busy_ns : int array;
+  lane_served : int array;
+  critical_path_ns : int;  (** busiest lane: the pool's wall-clock cost *)
+}
+
+let workers_v = ref 1
+let set_workers n = workers_v := max 1 n
+let workers () = !workers_v
+
+(* Pools belong to one machine lifetime: tagged with the boot epoch and
+   dropped when it changes, like the Batch flush infrastructure. *)
+let pools : (Domain.t, pool) Hashtbl.t = Hashtbl.create 4
+let pools_epoch = ref (-1)
+
+let live_pools () =
+  let e = K.Boot.epoch () in
+  if !pools_epoch <> e then begin
+    Hashtbl.reset pools;
+    pools_epoch := e
+  end;
+  pools
+
+let pool_for dom =
+  let pools = live_pools () in
+  match Hashtbl.find_opt pools dom with
+  | Some p when Array.length p.lanes = !workers_v -> p
+  | _ ->
+      let p =
+        {
+          dom;
+          lanes =
+            Array.init !workers_v (fun _ ->
+                { owner = dom; busy_ns = 0; served = 0 });
+          waitq = K.Sync.Waitq.create ();
+          active = 0;
+          admissions = 0;
+          blocked_acquires = 0;
+          forced = 0;
+          queue_wait_ns = 0;
+        }
+      in
+      Hashtbl.replace pools dom p;
+      p
+
+(* The lane serving the crossing the current thread is executing, if
+   any. [note] charges into it; combolock waits arrive here through the
+   observer registered below. *)
+let current_lane : lane option ref = ref None
+
+let note ns =
+  if ns > 0 then
+    match !current_lane with
+    | Some l -> l.busy_ns <- l.busy_ns + ns
+    | None -> ()
+
+let () = K.Sync.Combolock.set_wait_observer note
+
+let least_busy lanes =
+  let best = ref lanes.(0) in
+  Array.iter (fun l -> if l.busy_ns < !best.busy_ns then best := l) lanes;
+  !best
+
+let with_worker ~target f =
+  if not (Domain.is_user target) then f ()
+  else
+    match !current_lane with
+    | Some l when l.owner = target ->
+        (* Nested crossing into the domain whose worker we already are:
+           stay on our lane rather than deadlocking on our own slot. *)
+        f ()
+    | _ ->
+        let p = pool_for target in
+        p.admissions <- p.admissions + 1;
+        if p.active >= Array.length p.lanes then begin
+          if K.Sched.in_interrupt () || K.Sched.spin_depth () > 0 then
+            (* Cannot block in atomic context: oversubscribe and record
+               that the pool was overrun. *)
+            p.forced <- p.forced + 1
+          else begin
+            p.blocked_acquires <- p.blocked_acquires + 1;
+            let t0 = K.Clock.now () in
+            while p.active >= Array.length p.lanes do
+              K.Sync.Waitq.wait p.waitq
+            done;
+            p.queue_wait_ns <- p.queue_wait_ns + (K.Clock.now () - t0)
+          end
+        end;
+        p.active <- p.active + 1;
+        let lane = least_busy p.lanes in
+        lane.busy_ns <- lane.busy_ns + K.Cost.current.xpc_dispatch_ns;
+        lane.served <- lane.served + 1;
+        let prev = !current_lane in
+        current_lane := Some lane;
+        Fun.protect
+          ~finally:(fun () ->
+            current_lane := prev;
+            p.active <- p.active - 1;
+            ignore (K.Sync.Waitq.wake_one p.waitq))
+          f
+
+let critical_path p = Array.fold_left (fun m l -> max m l.busy_ns) 0 p.lanes
+
+let overhead_ns () =
+  Hashtbl.fold (fun _ p acc -> acc + critical_path p) (live_pools ()) 0
+
+let pool_stats () =
+  Hashtbl.fold
+    (fun _ p acc ->
+      {
+        domain = p.dom;
+        workers = Array.length p.lanes;
+        admissions = p.admissions;
+        blocked_acquires = p.blocked_acquires;
+        forced = p.forced;
+        queue_wait_ns = p.queue_wait_ns;
+        lane_busy_ns = Array.map (fun l -> l.busy_ns) p.lanes;
+        lane_served = Array.map (fun l -> l.served) p.lanes;
+        critical_path_ns = critical_path p;
+      }
+      :: acc)
+    (live_pools ()) []
+
+let reset () =
+  Hashtbl.reset pools;
+  pools_epoch := -1;
+  workers_v := 1;
+  current_lane := None

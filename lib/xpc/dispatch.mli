@@ -1,0 +1,66 @@
+(** Concurrent XPC dispatch: a pool of N virtual runtime workers per
+    user-level domain.
+
+    The decaf driver and the driver library are multi-threaded runtimes
+    (the paper's combolocks exist for exactly this reason), but a single
+    simulated CPU executes one upcall's code at a time. This module
+    separates the two concerns:
+
+    - {b Slot admission} is real scheduling: at most N crossings execute
+      in a user domain concurrently. Excess callers block on a wait
+      queue ({!Decaf_kernel.Sched}-level suspend), except in atomic
+      context, where blocking is forbidden and the pool oversubscribes
+      (counted as [forced]).
+    - {b Lane accounting} is the latency model: every crossing's
+      nanosecond charges — crossing entry/exit, marshaling, object
+      tracker lookups, combolock waits (via
+      {!Decaf_kernel.Sync.Combolock.set_wait_observer}) — accumulate in
+      the serving worker's lane. Independent upcalls land on independent
+      lanes, so the pool's contribution to wall-clock time is the
+      busiest lane ({!overhead_ns}), which shrinks as workers are added
+      while the total work stays constant. Calls that touch the same
+      shared object still serialize through that object's combolock, and
+      the wait shows up in the blocked worker's lane.
+
+    Pools are tagged with the boot epoch and dropped on reboot. With the
+    default [workers = 1] the admission gate reproduces the historical
+    "a user-level runtime services one XPC at a time" behaviour. *)
+
+type pool_stats = {
+  domain : Domain.t;
+  workers : int;
+  admissions : int;  (** upcalls admitted to the pool *)
+  blocked_acquires : int;  (** admissions that waited for a free worker *)
+  forced : int;  (** atomic-context admissions that oversubscribed *)
+  queue_wait_ns : int;  (** virtual ns spent waiting for a worker *)
+  lane_busy_ns : int array;  (** per-lane accumulated charge *)
+  lane_served : int array;  (** per-lane upcalls served *)
+  critical_path_ns : int;  (** busiest lane: the pool's wall-clock cost *)
+}
+
+val set_workers : int -> unit
+(** Set the worker-pool width for user domains (clamped to >= 1).
+    Existing pools are re-created at the new width on next use. *)
+
+val workers : unit -> int
+
+val with_worker : target:Domain.t -> (unit -> 'a) -> 'a
+(** Run [f] on a worker of [target]'s pool. Identity for kernel targets.
+    Charges {!Decaf_kernel.Cost.t.xpc_dispatch_ns} to the chosen lane.
+    Re-entrant: a nested crossing into the domain the current thread is
+    already serving stays on its lane instead of deadlocking. *)
+
+val note : int -> unit
+(** Charge [ns] to the lane serving the current crossing; no-op outside
+    a crossing. Called by {!Channel} and {!Objtracker} for every cost
+    they put on the global clock. *)
+
+val overhead_ns : unit -> int
+(** Critical-path dispatch overhead: the busiest lane of every pool,
+    summed across pools. Workloads fold this into their virtual-time
+    throughput budget. *)
+
+val pool_stats : unit -> pool_stats list
+val reset : unit -> unit
+(** Forget all pools and restore [workers = 1]. Called from
+    [Scenario.boot]. *)

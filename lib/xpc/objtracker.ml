@@ -7,10 +7,14 @@ type stats = {
   mutable sweeps : int;
 }
 
+let fresh_stats () = { lookups = 0; hits = 0; registrations = 0; sweeps = 0 }
+
 type weak_entry = { w_get : unit -> Univ.t option }
 
-type t = {
-  name : string;
+(* One shard: the former global tracker structure, now guarded by its
+   own combolock and counting its own traffic. Addresses hash to shards,
+   so lookups touching different objects take different locks. *)
+type shard = {
   table : (int * string, Univ.t) Hashtbl.t;
   weak_table : (int * string, weak_entry) Hashtbl.t;
   (* Secondary index: address -> set of type_ids registered there (strong
@@ -18,111 +22,178 @@ type t = {
      with the index they touch only the handful of types actually at the
      address. Maintained on every (de)registration. *)
   by_addr : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  lock : K.Sync.Combolock.t;
   stats : stats;
 }
 
-let create ?(name = "objtracker") () =
-  {
-    name;
-    table = Hashtbl.create 64;
-    weak_table = Hashtbl.create 16;
-    by_addr = Hashtbl.create 64;
-    stats = { lookups = 0; hits = 0; registrations = 0; sweeps = 0 };
-  }
+type t = { name : string; shards : shard array; mask : int }
 
-let index_add t addr ty =
+let default_shards = 8
+
+(* Every live tracker, for machine-wide per-shard reporting through
+   Channel.stats. Cleared by [reset_registry] (Scenario.boot) before the
+   runtime recreates its trackers. *)
+let registry : t list ref = ref []
+let reset_registry () = registry := []
+
+let create ?(name = "objtracker") ?(shards = default_shards) () =
+  let n =
+    (* round up to a power of two so [land mask] is a uniform hash *)
+    let rec pow2 p = if p >= shards then p else pow2 (p * 2) in
+    pow2 1
+  in
+  let t =
+    {
+      name;
+      shards =
+        Array.init n (fun i ->
+            {
+              table = Hashtbl.create 16;
+              weak_table = Hashtbl.create 8;
+              by_addr = Hashtbl.create 16;
+              lock =
+                K.Sync.Combolock.create
+                  ~name:(Printf.sprintf "%s/shard%d" name i)
+                  ();
+              stats = fresh_stats ();
+            });
+      mask = n - 1;
+    }
+  in
+  registry := t :: !registry;
+  t
+
+let shard_of t ~addr = t.shards.(Hashtbl.hash addr land t.mask)
+let shard_count t = Array.length t.shards
+
+(* Shard critical sections. User-level callers take the semaphore path
+   (flipping the combolock so kernel threads block instead of spinning);
+   kernel callers spin. Atomic context cannot block, and on this
+   single-CPU machine it also cannot overlap a user-level critical
+   section, so it runs unlocked. The lock's base cost is charged to the
+   serving dispatch lane along with the lookup cost itself. *)
+let locked sh f =
+  if K.Sched.in_interrupt () || K.Sched.spin_depth () > 0 then f ()
+  else if Domain.is_user (Domain.current ()) then begin
+    Dispatch.note K.Cost.current.semaphore_ns;
+    K.Sync.Combolock.with_user sh.lock f
+  end
+  else begin
+    Dispatch.note K.Cost.current.spinlock_ns;
+    K.Sync.Combolock.with_kernel sh.lock f
+  end
+
+let index_add sh addr ty =
   let set =
-    match Hashtbl.find_opt t.by_addr addr with
+    match Hashtbl.find_opt sh.by_addr addr with
     | Some s -> s
     | None ->
         let s = Hashtbl.create 4 in
-        Hashtbl.replace t.by_addr addr s;
+        Hashtbl.replace sh.by_addr addr s;
         s
   in
   Hashtbl.replace set ty ()
 
-let index_remove t addr ty =
-  match Hashtbl.find_opt t.by_addr addr with
+let index_remove sh addr ty =
+  match Hashtbl.find_opt sh.by_addr addr with
   | None -> ()
   | Some set ->
       Hashtbl.remove set ty;
-      if Hashtbl.length set = 0 then Hashtbl.remove t.by_addr addr
+      if Hashtbl.length set = 0 then Hashtbl.remove sh.by_addr addr
 
 let associate t ~addr u =
-  t.stats.registrations <- t.stats.registrations + 1;
-  let ty = Univ.name u in
-  Hashtbl.replace t.table (addr, ty) u;
-  index_add t addr ty
+  let sh = shard_of t ~addr in
+  locked sh (fun () ->
+      sh.stats.registrations <- sh.stats.registrations + 1;
+      let ty = Univ.name u in
+      Hashtbl.replace sh.table (addr, ty) u;
+      index_add sh addr ty)
 
-let drop_weak t addr ty =
+let drop_weak sh addr ty =
   (* Reaching here means the strong table missed this slot, so dropping
      the weak entry leaves nothing at (addr, ty). *)
-  Hashtbl.remove t.weak_table (addr, ty);
-  index_remove t addr ty
+  Hashtbl.remove sh.weak_table (addr, ty);
+  index_remove sh addr ty
 
 let find t ~addr key =
-  t.stats.lookups <- t.stats.lookups + 1;
+  let sh = shard_of t ~addr in
   K.Clock.consume K.Cost.current.objtracker_lookup_ns;
-  let ty = Univ.key_name key in
-  match Hashtbl.find_opt t.table (addr, ty) with
-  | Some u ->
-      t.stats.hits <- t.stats.hits + 1;
-      Univ.unpack key u
-  | None -> (
-      match Hashtbl.find_opt t.weak_table (addr, ty) with
-      | Some entry -> (
-          match entry.w_get () with
-          | Some u ->
-              t.stats.hits <- t.stats.hits + 1;
-              Univ.unpack key u
-          | None ->
-              (* the decaf driver dropped its last reference *)
-              drop_weak t addr ty;
-              None)
-      | None -> None)
+  Dispatch.note K.Cost.current.objtracker_lookup_ns;
+  locked sh (fun () ->
+      sh.stats.lookups <- sh.stats.lookups + 1;
+      let ty = Univ.key_name key in
+      match Hashtbl.find_opt sh.table (addr, ty) with
+      | Some u ->
+          sh.stats.hits <- sh.stats.hits + 1;
+          Univ.unpack key u
+      | None -> (
+          match Hashtbl.find_opt sh.weak_table (addr, ty) with
+          | Some entry -> (
+              match entry.w_get () with
+              | Some u ->
+                  sh.stats.hits <- sh.stats.hits + 1;
+                  Univ.unpack key u
+              | None ->
+                  (* the decaf driver dropped its last reference *)
+                  drop_weak sh addr ty;
+                  None)
+          | None -> None))
 
 let mem t ~addr ~type_id =
-  Hashtbl.mem t.table (addr, type_id)
-  || Hashtbl.mem t.weak_table (addr, type_id)
+  let sh = shard_of t ~addr in
+  Hashtbl.mem sh.table (addr, type_id)
+  || Hashtbl.mem sh.weak_table (addr, type_id)
 
 let associate_weak t ~addr key v =
-  t.stats.registrations <- t.stats.registrations + 1;
-  let w = Weak.create 1 in
-  Weak.set w 0 (Some v);
-  let w_get () = Option.map (Univ.pack key) (Weak.get w 0) in
-  let ty = Univ.key_name key in
-  Hashtbl.replace t.weak_table (addr, ty) { w_get };
-  index_add t addr ty
+  let sh = shard_of t ~addr in
+  locked sh (fun () ->
+      sh.stats.registrations <- sh.stats.registrations + 1;
+      let w = Weak.create 1 in
+      Weak.set w 0 (Some v);
+      let w_get () = Option.map (Univ.pack key) (Weak.get w 0) in
+      let ty = Univ.key_name key in
+      Hashtbl.replace sh.weak_table (addr, ty) { w_get };
+      index_add sh addr ty)
 
 let sweep t =
-  t.stats.sweeps <- t.stats.sweeps + 1;
-  (* One [w_get] per entry: collect the dead slots in a single pass, then
-     unregister them (table and address index together). *)
-  let dead =
-    Hashtbl.fold
-      (fun slot entry acc ->
-        if entry.w_get () = None then slot :: acc else acc)
-      t.weak_table []
-  in
-  List.iter
-    (fun (addr, ty) ->
-      Hashtbl.remove t.weak_table (addr, ty);
-      if not (Hashtbl.mem t.table (addr, ty)) then index_remove t addr ty)
-    dead;
-  List.length dead
+  (* Shard by shard, each pass under that shard's lock: a sweep never
+     holds more than one shard, so lookups on other shards proceed while
+     dead entries are reclaimed. One [w_get] per entry: collect the dead
+     slots in a single pass, then unregister them (table and address
+     index together). *)
+  Array.fold_left
+    (fun total sh ->
+      locked sh (fun () ->
+          sh.stats.sweeps <- sh.stats.sweeps + 1;
+          let dead =
+            Hashtbl.fold
+              (fun slot entry acc ->
+                if entry.w_get () = None then slot :: acc else acc)
+              sh.weak_table []
+          in
+          List.iter
+            (fun (addr, ty) ->
+              Hashtbl.remove sh.weak_table (addr, ty);
+              if not (Hashtbl.mem sh.table (addr, ty)) then
+                index_remove sh addr ty)
+            dead;
+          total + List.length dead))
+    0 t.shards
 
-let weak_count t = Hashtbl.length t.weak_table
+let weak_count t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.weak_table) 0 t.shards
 
 let types_at t ~addr =
-  match Hashtbl.find_opt t.by_addr addr with
+  let sh = shard_of t ~addr in
+  match Hashtbl.find_opt sh.by_addr addr with
   | None -> []
   | Some set ->
       let live =
         Hashtbl.fold
           (fun ty () acc ->
-            if Hashtbl.mem t.table (addr, ty) then ty :: acc
+            if Hashtbl.mem sh.table (addr, ty) then ty :: acc
             else
-              match Hashtbl.find_opt t.weak_table (addr, ty) with
+              match Hashtbl.find_opt sh.weak_table (addr, ty) with
               | Some entry -> if entry.w_get () <> None then ty :: acc else acc
               | None -> acc)
           set []
@@ -130,21 +201,74 @@ let types_at t ~addr =
       List.sort compare live
 
 let remove t ~addr ~type_id =
-  Hashtbl.remove t.table (addr, type_id);
-  Hashtbl.remove t.weak_table (addr, type_id);
-  index_remove t addr type_id
+  let sh = shard_of t ~addr in
+  locked sh (fun () ->
+      Hashtbl.remove sh.table (addr, type_id);
+      Hashtbl.remove sh.weak_table (addr, type_id);
+      index_remove sh addr type_id)
 
 let remove_all t ~addr =
-  match Hashtbl.find_opt t.by_addr addr with
+  let sh = shard_of t ~addr in
+  match Hashtbl.find_opt sh.by_addr addr with
   | None -> ()
   | Some set ->
       let types = Hashtbl.fold (fun ty () acc -> ty :: acc) set [] in
-      List.iter (fun type_id -> remove t ~addr ~type_id) types
+      locked sh (fun () ->
+          List.iter
+            (fun type_id ->
+              Hashtbl.remove sh.table (addr, type_id);
+              Hashtbl.remove sh.weak_table (addr, type_id);
+              index_remove sh addr type_id)
+            types)
 
-let count t = Hashtbl.length t.table
-let stats t = t.stats
+let count t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.table) 0 t.shards
+
+let add_stats into s =
+  into.lookups <- into.lookups + s.lookups;
+  into.hits <- into.hits + s.hits;
+  into.registrations <- into.registrations + s.registrations;
+  into.sweeps <- into.sweeps + s.sweeps
+
+let stats t =
+  let acc = fresh_stats () in
+  Array.iter (fun sh -> add_stats acc sh.stats) t.shards;
+  (* sweeps is per-pass, not per-shard-pass *)
+  acc.sweeps <- acc.sweeps / max 1 (Array.length t.shards);
+  acc
+
+let shard_stats t =
+  Array.map
+    (fun sh ->
+      {
+        lookups = sh.stats.lookups;
+        hits = sh.stats.hits;
+        registrations = sh.stats.registrations;
+        sweeps = sh.stats.sweeps;
+      })
+    t.shards
+
+let shard_lock_stats t =
+  Array.map (fun sh -> K.Sync.Combolock.stats sh.lock) t.shards
+
+let global_shard_stats () =
+  match !registry with
+  | [] -> [||]
+  | trackers ->
+      let width =
+        List.fold_left (fun m t -> max m (Array.length t.shards)) 0 trackers
+      in
+      let acc = Array.init width (fun _ -> fresh_stats ()) in
+      List.iter
+        (fun t ->
+          Array.iteri (fun i sh -> add_stats acc.(i) sh.stats) t.shards)
+        trackers;
+      acc
 
 let clear t =
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.weak_table;
-  Hashtbl.reset t.by_addr
+  Array.iter
+    (fun sh ->
+      Hashtbl.reset sh.table;
+      Hashtbl.reset sh.weak_table;
+      Hashtbl.reset sh.by_addr)
+    t.shards

@@ -3,7 +3,16 @@
 
     A single C pointer may be associated with several objects when an
     embedded structure shares its parent's address, so entries are keyed
-    by (address, type identifier). *)
+    by (address, type identifier).
+
+    The tracker is sharded by address hash: each shard has its own
+    tables, its own {!Decaf_kernel.Sync.Combolock} and its own counters,
+    so concurrent dispatch workers touching different objects take
+    different locks, and only same-shard traffic serializes. User-level
+    callers take the semaphore path (combolock semantics: kernel threads
+    then block instead of spinning); atomic-context callers run unlocked
+    (they cannot block, and on a single CPU they cannot overlap a
+    user-level critical section either). *)
 
 type t
 
@@ -14,7 +23,11 @@ type stats = {
   mutable sweeps : int;  (** number of {!sweep} passes run *)
 }
 
-val create : ?name:string -> unit -> t
+val create : ?name:string -> ?shards:int -> unit -> t
+(** [shards] (default 8) is rounded up to a power of two. Every tracker
+    is added to a process-wide registry consumed by
+    {!global_shard_stats}; [Scenario.boot] clears the registry via
+    {!reset_registry} before the runtime recreates its trackers. *)
 
 val associate : t -> addr:int -> Univ.t -> unit
 (** Record that [addr] corresponds to the given object; the object's
@@ -35,8 +48,29 @@ val types_at : t -> addr:int -> string list
 val remove : t -> addr:int -> type_id:string -> unit
 val remove_all : t -> addr:int -> unit
 val count : t -> int
+
 val stats : t -> stats
+(** Aggregated snapshot over all shards. [sweeps] counts whole {!sweep}
+    passes, as before sharding. *)
+
 val clear : t -> unit
+
+(** {1 Sharding} *)
+
+val shard_count : t -> int
+
+val shard_stats : t -> stats array
+(** Per-shard counter snapshots, indexed by shard. *)
+
+val shard_lock_stats : t -> Decaf_kernel.Sync.Combolock.stats array
+(** Each shard's combolock counters (live records, not snapshots). *)
+
+val global_shard_stats : unit -> stats array
+(** Per-shard counters summed across every registered tracker (the
+    kernel- and Java-side trackers of the running machine). Indexed by
+    shard; surfaced through [Channel.stats]. *)
+
+val reset_registry : unit -> unit
 
 (** {1 Automatic collection}
 

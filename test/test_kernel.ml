@@ -230,6 +230,57 @@ let test_combolock_user_converts_to_semaphore () =
   let st = Sync.Combolock.stats l in
   check "sem acquires" 2 st.Sync.Combolock.sem_acquires
 
+let test_combolock_contention_accounting () =
+  (* A user-level holder keeps the lock for 2 ms while several kernel
+     workers pile up behind it — the multi-worker dispatch picture. Each
+     kernel acquisition must be pushed off the spin fast path onto the
+     semaphore (spin_to_sem), be counted as contended, and have its
+     virtual wait time charged, both per-lock and in the machine-wide
+     totals that Channel.stats reports. *)
+  Boot.boot ();
+  Sync.Combolock.reset_totals ();
+  let l = Sync.Combolock.create ~name:"contended" () in
+  let workers = 3 in
+  let in_crit = ref false and overlaps = ref 0 and entered = ref 0 in
+  ignore
+    (Sched.spawn ~name:"user-holder" (fun () ->
+         Sync.Combolock.with_user l (fun () -> Sched.sleep_ns 2_000_000)));
+  for i = 1 to workers do
+    ignore
+      (Sched.spawn
+         ~name:(Printf.sprintf "worker%d" i)
+         (fun () ->
+           Sched.sleep_ns 10_000;
+           Sync.Combolock.with_kernel l (fun () ->
+               if !in_crit then incr overlaps;
+               in_crit := true;
+               incr entered;
+               in_crit := false)))
+  done;
+  Sched.run ();
+  check "every worker got the lock" workers !entered;
+  check "critical sections never overlapped" 0 !overlaps;
+  let st = Sync.Combolock.stats l in
+  check "no spin acquisitions while user involved" 0
+    st.Sync.Combolock.spin_acquires;
+  check "every kernel acquisition converted spin->sem" workers
+    st.Sync.Combolock.spin_to_sem;
+  check "all three workers hit a held semaphore" workers
+    st.Sync.Combolock.contended;
+  check_bool
+    (Printf.sprintf "virtual wait time charged (%d ns)"
+       st.Sync.Combolock.wait_ns)
+    true
+    (st.Sync.Combolock.wait_ns > 0);
+  (* only this lock existed since reset: machine totals must agree *)
+  let tot = Sync.Combolock.totals () in
+  check "totals: spin_to_sem" st.Sync.Combolock.spin_to_sem
+    tot.Sync.Combolock.spin_to_sem;
+  check "totals: contended" st.Sync.Combolock.contended
+    tot.Sync.Combolock.contended;
+  check "totals: wait_ns" st.Sync.Combolock.wait_ns
+    tot.Sync.Combolock.wait_ns
+
 (* --- IRQ --- *)
 
 let test_irq_basic_delivery () =
@@ -884,6 +935,8 @@ let () =
           tc "completion" test_completion;
           tc "combolock kernel fast path" test_combolock_kernel_fast_path;
           tc "combolock converts for user" test_combolock_user_converts_to_semaphore;
+          tc "combolock contention accounting"
+            test_combolock_contention_accounting;
         ] );
       ( "irq",
         [

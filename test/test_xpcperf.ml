@@ -1,21 +1,26 @@
-(* Acceptance test for the batched-XPC fast path: the optimization must
-   actually pay for itself on the paper's heaviest workload (netperf on
-   the E1000 decaf driver) without giving back throughput. *)
+(* Acceptance tests for the XPC fast path: batching+delta must pay for
+   itself on the paper's heaviest workload (netperf on the E1000 decaf
+   driver) without giving back throughput, and the concurrent dispatch
+   engine must shorten the dispatch critical path — and therefore raise
+   cost-adjusted goodput — as workers are added. *)
 
 module E = Decaf_experiments
+module Xpc = Decaf_xpc
 
 let check_bool = Alcotest.(check bool)
+
+let w1 = 1
 
 let test_netperf_e1000_gain () =
   let duration_ns = 300_000_000 in
   let off =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = false; delta = false }
+      { E.Xpcperf.batching = false; delta = false; workers = w1 }
       ~duration_ns
   in
   let on =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = true; delta = true }
+      { E.Xpcperf.batching = true; delta = true; workers = w1 }
       ~duration_ns
   in
   let fi = float_of_int in
@@ -32,7 +37,7 @@ let test_netperf_e1000_gain () =
     true
     (fi on.E.Xpcperf.bytes <= 0.8 *. fi off.E.Xpcperf.bytes);
   check_bool
-    (Printf.sprintf "throughput holds (%.2f vs %.2f Mb/s)"
+    (Printf.sprintf "goodput holds (%.2f vs %.2f Mb/s)"
        (E.Xpcperf.perf off) (E.Xpcperf.perf on))
     true
     (E.Xpcperf.perf on >= 0.99 *. E.Xpcperf.perf off);
@@ -42,23 +47,80 @@ let test_netperf_e1000_gain () =
     (on.E.Xpcperf.flushes > 0
     && on.E.Xpcperf.flushes < on.E.Xpcperf.delivered)
 
+let test_netperf_e1000_workers () =
+  let duration_ns = 300_000_000 in
+  let run workers =
+    E.Xpcperf.e1000_net `Send
+      { E.Xpcperf.batching = true; delta = true; workers }
+      ~duration_ns
+  in
+  let s1 = run 1 in
+  let s4 = run 4 in
+  (* The lane accounting must show a shorter critical path with more
+     workers, and the cost-adjusted goodput must strictly improve. *)
+  check_bool
+    (Printf.sprintf "dispatch critical path shrinks (%d -> %d ns)"
+       s1.E.Xpcperf.xpc_ns s4.E.Xpcperf.xpc_ns)
+    true
+    (s4.E.Xpcperf.xpc_ns < s1.E.Xpcperf.xpc_ns);
+  check_bool
+    (Printf.sprintf "goodput strictly higher at w4 (%d -> %d milliMb/s)"
+       s1.E.Xpcperf.perf_milli s4.E.Xpcperf.perf_milli)
+    true
+    (s4.E.Xpcperf.perf_milli > s1.E.Xpcperf.perf_milli);
+  (* Sharded object tracker and combolock accounting are live and
+     surfaced through the experiment's counters. *)
+  check_bool "objtracker shards saw hits" true (s4.E.Xpcperf.shard_hits > 0);
+  check_bool "at least one shard used" true (s4.E.Xpcperf.shards_used >= 1);
+  (* The last run's whole-machine counters are still live: Channel.stats
+     must report lock accounting and per-shard tracker traffic. *)
+  let ch = Xpc.Channel.stats () in
+  check_bool "combolock acquisitions reported" true
+    (ch.Xpc.Channel.lock_acquires > 0);
+  let shards = Xpc.Channel.tracker_shards () in
+  check_bool "tracker is sharded" true (Array.length shards > 1);
+  let hits =
+    Array.fold_left (fun acc s -> acc + s.Xpc.Objtracker.hits) 0 shards
+  in
+  check_bool "per-shard hits reported through Channel" true (hits > 0);
+  (* The dispatch pool stats expose per-lane service counts: at w4 the
+     Decaf_driver pool must have spread upcalls over several lanes. *)
+  let pools = Xpc.Dispatch.pool_stats () in
+  let spread =
+    List.exists
+      (fun p ->
+        Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0
+          p.Xpc.Dispatch.lane_served
+        > 1)
+      pools
+  in
+  check_bool "upcalls spread across lanes" true spread
+
 let test_json_roundtrip () =
-  let sample scenario batching delta =
+  let sample scenario batching delta workers =
     {
       E.Xpcperf.scenario;
-      config = { E.Xpcperf.batching; delta };
+      config = { E.Xpcperf.batching; delta; workers };
       crossings = 123;
       c_java = 45;
       bytes = 6789;
       posted = 10;
       delivered = 10;
       flushes = 3;
+      xpc_ns = 250_000;
+      lock_contended = 7;
+      lock_wait_ns = 12_500;
+      shard_hits = 90;
+      shards_used = 5;
       perf_milli = 987_654;
       perf_unit = "Mb/s";
     }
   in
   let samples =
-    [ sample "e1000-netperf-send" false false; sample "psmouse-move" true true ]
+    [
+      sample "e1000-netperf-send" false false 1;
+      sample "psmouse-move" true true 4;
+    ]
   in
   let duration_ns, parsed =
     E.Xpcperf.of_json (E.Xpcperf.to_json ~duration_ns:42_000_000 samples)
@@ -67,6 +129,20 @@ let test_json_roundtrip () =
     duration_ns;
   check_bool "samples survive verbatim" true (parsed = samples)
 
+let test_json_pre_worker_compat () =
+  (* A trajectory line from before the worker axis: no workers field, no
+     dispatch/lock/shard counters. Must parse as workers = 1. *)
+  let line =
+    "{\"scenario\":\"e1000-netperf-send\",\"batching\":1,\"delta\":1,\"crossings\":52,\"c_java\":18,\"bytes\":7928,\"posted\":40,\"delivered\":40,\"flushes\":6,\"perf_milli\":996947,\"perf_unit\":\"Mb/s\"}"
+  in
+  match E.Xpcperf.of_json line with
+  | _, [ s ] ->
+      Alcotest.(check int) "workers defaults to 1" 1 s.E.Xpcperf.config.workers;
+      Alcotest.(check int) "crossings parsed" 52 s.E.Xpcperf.crossings;
+      Alcotest.(check int) "missing counters default to 0" 0
+        s.E.Xpcperf.xpc_ns
+  | _ -> Alcotest.fail "pre-worker line did not parse as one sample"
+
 let () =
   Alcotest.run "xpcperf"
     [
@@ -74,7 +150,11 @@ let () =
         [
           Alcotest.test_case "netperf e1000 batching+delta pays" `Quick
             test_netperf_e1000_gain;
+          Alcotest.test_case "netperf e1000 scales with workers" `Quick
+            test_netperf_e1000_workers;
           Alcotest.test_case "trajectory json roundtrip" `Quick
             test_json_roundtrip;
+          Alcotest.test_case "pre-worker trajectory parses" `Quick
+            test_json_pre_worker_compat;
         ] );
     ]
