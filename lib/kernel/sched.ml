@@ -17,6 +17,7 @@ let irq_depth = ref 0
 let spins = ref 0
 
 let current_name () = !cur.name
+let current_tid () = !cur.tid
 let in_interrupt () = !irq_depth > 0
 let enter_interrupt () = incr irq_depth
 

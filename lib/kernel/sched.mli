@@ -20,6 +20,11 @@ val spawn : ?name:string -> (unit -> unit) -> thread
 val current_name : unit -> string
 (** Name of the running thread, or ["<cpu>"] outside any thread. *)
 
+val current_tid : unit -> int
+(** Id of the running thread, stable across suspensions; [0] outside any
+    thread. Lets per-thread state (e.g. {!Decaf_xpc.Dispatch} lane
+    bindings) survive interleavings of blocking green threads. *)
+
 val yield : unit -> unit
 (** Let other runnable threads execute. *)
 

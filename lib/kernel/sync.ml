@@ -234,12 +234,17 @@ module Combolock = struct
     | Kernel_spin ->
         Panic.bug "combolock %s: kernel spin deadlock" l.name
     | No_one | Kernel_sem | User ->
-        (* User level holds or waits: the kernel thread is pushed off the
-           spin fast path onto the semaphore. *)
+        (* The spin fast path is unavailable: semaphore acquisition.
+           [spin_to_sem] counts only the crossings forced by user level
+           holding or waiting — kernel-kernel contention on the
+           semaphore (holder already [Kernel_sem], no user waiters) is
+           ordinary blocking, not user interference. *)
         l.stats.sem_acquires <- l.stats.sem_acquires + 1;
         totals_v.sem_acquires <- totals_v.sem_acquires + 1;
-        l.stats.spin_to_sem <- l.stats.spin_to_sem + 1;
-        totals_v.spin_to_sem <- totals_v.spin_to_sem + 1;
+        if l.holder = User || l.user_waiters > 0 then begin
+          l.stats.spin_to_sem <- l.stats.spin_to_sem + 1;
+          totals_v.spin_to_sem <- totals_v.spin_to_sem + 1
+        end;
         sem_down l;
         l.holder <- Kernel_sem
 

@@ -10,8 +10,9 @@ type result = {
       (** XPC dispatch critical-path ns during the run
           ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
   event_rate_hz : float;
-      (** events over elapsed-plus-dispatch-overhead time; the
-          cost-sensitive metric Xpcperf tracks *)
+      (** events over effective time (elapsed minus the dispatch work
+          worker lanes overlap, {!Decaf_xpc.Dispatch.overlap_saved_ns}
+          delta); the cost-sensitive metric Xpcperf tracks *)
 }
 
 val run :

@@ -10,9 +10,10 @@ type result = {
       (** XPC dispatch critical-path ns during the run
           ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
   realtime_factor : float;
-      (** seconds played per effective second (elapsed plus dispatch
-          overhead); >= 1 means playback keeps up with real time after
-          paying upcall costs *)
+      (** seconds played per effective second (elapsed minus the
+          dispatch work worker lanes overlap,
+          {!Decaf_xpc.Dispatch.overlap_saved_ns} delta); >= 1 means
+          playback keeps up with real time after paying upcall costs *)
 }
 
 val play :

@@ -5,11 +5,13 @@
 type result = {
   throughput_mbps : float;  (** raw: wire bytes over elapsed virtual time *)
   goodput_mbps : float;
-      (** cost-adjusted: wire bytes over elapsed time {e plus} the XPC
-          dispatch engine's critical-path overhead
-          ({!Decaf_xpc.Dispatch.overhead_ns}); this is the metric that
-          responds to batching, delta marshaling, sharding and worker
-          count *)
+      (** cost-adjusted: wire bytes over elapsed time {e minus} the XPC
+          work an N-worker runtime overlaps
+          ({!Decaf_xpc.Dispatch.overlap_saved_ns} delta — total lane time
+          beyond the critical path). Elapsed time already contains every
+          dispatch charge fully serialized, so the serial (one-worker)
+          goodput equals raw throughput and worker count moves this
+          metric without double-counting the dispatch work. *)
   cpu_utilization : float;
   elapsed_ns : int;
   xpc_overhead_ns : int;  (** dispatch critical-path ns during the run *)

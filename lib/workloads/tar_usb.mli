@@ -11,8 +11,9 @@ type result = {
       (** XPC dispatch critical-path ns during the run
           ({!Decaf_xpc.Dispatch.overhead_ns} delta) *)
   goodput_kbps : float;
-      (** cost-adjusted: drive bytes over elapsed time plus dispatch
-          overhead *)
+      (** cost-adjusted: drive bytes over elapsed time minus the
+          dispatch work worker lanes overlap
+          ({!Decaf_xpc.Dispatch.overlap_saved_ns} delta) *)
 }
 
 val untar :

@@ -38,10 +38,22 @@ let workers () = !workers_v
 let pools : (Domain.t, pool) Hashtbl.t = Hashtbl.create 4
 let pools_epoch = ref (-1)
 
+(* The lane serving the crossing each simulated thread is executing, if
+   any, keyed by Sched tid: threads suspend mid-crossing (slot waits,
+   combolock semaphores, driver sleeps), so a process-global binding
+   would leak one thread's lane into whatever runs while it is blocked.
+   [note] charges into the calling thread's lane; combolock waits arrive
+   here through the observer registered below. *)
+let lane_by_tid : (int, lane) Hashtbl.t = Hashtbl.create 8
+let serving_lane () = Hashtbl.find_opt lane_by_tid (K.Sched.current_tid ())
+
 let live_pools () =
   let e = K.Boot.epoch () in
   if !pools_epoch <> e then begin
     Hashtbl.reset pools;
+    (* Sched.reset reuses tids after a reboot: bindings from the old
+       life's threads must not leak lanes onto the new life's. *)
+    Hashtbl.reset lane_by_tid;
     pools_epoch := e
   end;
   pools
@@ -50,6 +62,13 @@ let pool_for dom =
   let pools = live_pools () in
   match Hashtbl.find_opt pools dom with
   | Some p when Array.length p.lanes = !workers_v -> p
+  | Some p when p.active > 0 || K.Sync.Waitq.waiters p.waitq > 0 ->
+      (* A width change must not strand in-flight crossings on an
+         abandoned pool (their finally would decrement a stale [active]
+         and wake a stale waitq while new admissions race a fresh pool).
+         Keep serving at the old width until the pool drains; the next
+         admission against an idle pool picks up the new width. *)
+      p
   | _ ->
       let p =
         {
@@ -68,14 +87,9 @@ let pool_for dom =
       Hashtbl.replace pools dom p;
       p
 
-(* The lane serving the crossing the current thread is executing, if
-   any. [note] charges into it; combolock waits arrive here through the
-   observer registered below. *)
-let current_lane : lane option ref = ref None
-
 let note ns =
   if ns > 0 then
-    match !current_lane with
+    match serving_lane () with
     | Some l -> l.busy_ns <- l.busy_ns + ns
     | None -> ()
 
@@ -89,10 +103,12 @@ let least_busy lanes =
 let with_worker ~target f =
   if not (Domain.is_user target) then f ()
   else
-    match !current_lane with
+    match serving_lane () with
     | Some l when l.owner = target ->
-        (* Nested crossing into the domain whose worker we already are:
-           stay on our lane rather than deadlocking on our own slot. *)
+        (* Nested crossing into the domain whose worker this thread
+           already is: stay on our lane rather than deadlocking on our
+           own slot. Other threads crossing into the same domain have no
+           binding for their own tid and go through admission. *)
         f ()
     | _ ->
         let p = pool_for target in
@@ -113,13 +129,20 @@ let with_worker ~target f =
         end;
         p.active <- p.active + 1;
         let lane = least_busy p.lanes in
+        (* Dispatch admission is consumed on the global clock like every
+           other charge that lands in a lane, keeping the invariant the
+           overlap model depends on: lane ns are a subset of elapsed ns. *)
+        K.Clock.consume K.Cost.current.xpc_dispatch_ns;
         lane.busy_ns <- lane.busy_ns + K.Cost.current.xpc_dispatch_ns;
         lane.served <- lane.served + 1;
-        let prev = !current_lane in
-        current_lane := Some lane;
+        let tid = K.Sched.current_tid () in
+        let prev = Hashtbl.find_opt lane_by_tid tid in
+        Hashtbl.replace lane_by_tid tid lane;
         Fun.protect
           ~finally:(fun () ->
-            current_lane := prev;
+            (match prev with
+            | Some l -> Hashtbl.replace lane_by_tid tid l
+            | None -> Hashtbl.remove lane_by_tid tid);
             p.active <- p.active - 1;
             ignore (K.Sync.Waitq.wake_one p.waitq))
           f
@@ -128,6 +151,13 @@ let critical_path p = Array.fold_left (fun m l -> max m l.busy_ns) 0 p.lanes
 
 let overhead_ns () =
   Hashtbl.fold (fun _ p acc -> acc + critical_path p) (live_pools ()) 0
+
+let overlap_saved_ns () =
+  Hashtbl.fold
+    (fun _ p acc ->
+      let total = Array.fold_left (fun a l -> a + l.busy_ns) 0 p.lanes in
+      acc + (total - critical_path p))
+    (live_pools ()) 0
 
 let pool_stats () =
   Hashtbl.fold
@@ -150,4 +180,4 @@ let reset () =
   Hashtbl.reset pools;
   pools_epoch := -1;
   workers_v := 1;
-  current_lane := None
+  Hashtbl.reset lane_by_tid

@@ -40,25 +40,43 @@ type pool_stats = {
 
 val set_workers : int -> unit
 (** Set the worker-pool width for user domains (clamped to >= 1).
-    Existing pools are re-created at the new width on next use. *)
+    An idle pool is re-created at the new width on its next admission; a
+    pool with crossings in flight or admissions parked on its wait queue
+    keeps serving at the old width until it drains, so in-flight slot
+    and stats accounting is never stranded on an abandoned pool. Call it
+    between scenario boots for a clean matrix point. *)
 
 val workers : unit -> int
 
 val with_worker : target:Domain.t -> (unit -> 'a) -> 'a
 (** Run [f] on a worker of [target]'s pool. Identity for kernel targets.
-    Charges {!Decaf_kernel.Cost.t.xpc_dispatch_ns} to the chosen lane.
-    Re-entrant: a nested crossing into the domain the current thread is
-    already serving stays on its lane instead of deadlocking. *)
+    Charges {!Decaf_kernel.Cost.t.xpc_dispatch_ns} to the chosen lane
+    (and to the global clock, like every lane charge). The lane is bound
+    to the current {!Decaf_kernel.Sched} thread for the duration of [f],
+    so a crossing that suspends mid-call does not leak its lane onto
+    whichever thread runs while it is blocked. Re-entrant: a nested
+    crossing into the domain the current thread is already serving stays
+    on its lane instead of deadlocking on its own slot. *)
 
 val note : int -> unit
-(** Charge [ns] to the lane serving the current crossing; no-op outside
-    a crossing. Called by {!Channel} and {!Objtracker} for every cost
-    they put on the global clock. *)
+(** Charge [ns] to the lane serving the current thread's crossing;
+    no-op outside a crossing. Called by {!Channel} and {!Objtracker} for
+    every cost they put on the global clock — keeping lane time a subset
+    of elapsed time, which is what lets {!overlap_saved_ns} credit it
+    back. *)
 
 val overhead_ns : unit -> int
 (** Critical-path dispatch overhead: the busiest lane of every pool,
-    summed across pools. Workloads fold this into their virtual-time
-    throughput budget. *)
+    summed across pools. *)
+
+val overlap_saved_ns : unit -> int
+(** Virtual time an N-worker runtime overlaps away: per pool, the total
+    lane busy time minus the busiest lane, summed across pools. Every
+    lane nanosecond was also consumed on the global clock (fully
+    serialized, single virtual CPU), so workloads subtract this from
+    their elapsed time to model independent upcalls proceeding in
+    parallel. Zero with one worker — the serial path's numbers are
+    untouched. *)
 
 val pool_stats : unit -> pool_stats list
 val reset : unit -> unit

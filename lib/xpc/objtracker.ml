@@ -139,10 +139,15 @@ let find t ~addr key =
                   None)
           | None -> None))
 
+(* Read paths take the shard lock like the write paths: they are safe
+   unlocked today (no suspension point, one simulated CPU), but the
+   shard stats claim to measure this locking discipline's contention, so
+   reads must participate in it. *)
 let mem t ~addr ~type_id =
   let sh = shard_of t ~addr in
-  Hashtbl.mem sh.table (addr, type_id)
-  || Hashtbl.mem sh.weak_table (addr, type_id)
+  locked sh (fun () ->
+      Hashtbl.mem sh.table (addr, type_id)
+      || Hashtbl.mem sh.weak_table (addr, type_id))
 
 let associate_weak t ~addr key v =
   let sh = shard_of t ~addr in
@@ -181,24 +186,28 @@ let sweep t =
     0 t.shards
 
 let weak_count t =
-  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.weak_table) 0 t.shards
+  Array.fold_left
+    (fun acc sh -> acc + locked sh (fun () -> Hashtbl.length sh.weak_table))
+    0 t.shards
 
 let types_at t ~addr =
   let sh = shard_of t ~addr in
-  match Hashtbl.find_opt sh.by_addr addr with
-  | None -> []
-  | Some set ->
-      let live =
-        Hashtbl.fold
-          (fun ty () acc ->
-            if Hashtbl.mem sh.table (addr, ty) then ty :: acc
-            else
-              match Hashtbl.find_opt sh.weak_table (addr, ty) with
-              | Some entry -> if entry.w_get () <> None then ty :: acc else acc
-              | None -> acc)
-          set []
-      in
-      List.sort compare live
+  locked sh (fun () ->
+      match Hashtbl.find_opt sh.by_addr addr with
+      | None -> []
+      | Some set ->
+          let live =
+            Hashtbl.fold
+              (fun ty () acc ->
+                if Hashtbl.mem sh.table (addr, ty) then ty :: acc
+                else
+                  match Hashtbl.find_opt sh.weak_table (addr, ty) with
+                  | Some entry ->
+                      if entry.w_get () <> None then ty :: acc else acc
+                  | None -> acc)
+              set []
+          in
+          List.sort compare live)
 
 let remove t ~addr ~type_id =
   let sh = shard_of t ~addr in
@@ -209,11 +218,14 @@ let remove t ~addr ~type_id =
 
 let remove_all t ~addr =
   let sh = shard_of t ~addr in
-  match Hashtbl.find_opt sh.by_addr addr with
-  | None -> ()
-  | Some set ->
-      let types = Hashtbl.fold (fun ty () acc -> ty :: acc) set [] in
-      locked sh (fun () ->
+  (* The index read happens under the same lock as the removals: a
+     snapshot taken before blocking on the lock could go stale while the
+     holder (de)registers types at this address. *)
+  locked sh (fun () ->
+      match Hashtbl.find_opt sh.by_addr addr with
+      | None -> ()
+      | Some set ->
+          let types = Hashtbl.fold (fun ty () acc -> ty :: acc) set [] in
           List.iter
             (fun type_id ->
               Hashtbl.remove sh.table (addr, type_id);
@@ -222,7 +234,9 @@ let remove_all t ~addr =
             types)
 
 let count t =
-  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.table) 0 t.shards
+  Array.fold_left
+    (fun acc sh -> acc + locked sh (fun () -> Hashtbl.length sh.table))
+    0 t.shards
 
 let add_stats into s =
   into.lookups <- into.lookups + s.lookups;

@@ -696,6 +696,51 @@ let qcheck_cases =
       prop_plan_union_idempotent_commutative;
     ]
 
+(* --- dispatch: worker lanes are bound per thread --- *)
+
+let test_dispatch_admission_per_thread () =
+  (* One worker. Thread A suspends mid-crossing; thread B then crosses
+     into the same domain. The lane binding is per Sched thread, so B
+     must go through slot admission and block until A's crossing exits —
+     with a process-global binding B would match the nested-crossing
+     check and overlap A inside the single-slot pool, and B's notes
+     would land on A's lane. *)
+  boot ();
+  Dispatch.reset ();
+  let order = ref [] in
+  let log tag = order := tag :: !order in
+  ignore
+    (K.Sched.spawn ~name:"a" (fun () ->
+         Dispatch.with_worker ~target:Domain.Decaf_driver (fun () ->
+             log "a-enter";
+             K.Sched.sleep_ns 1_000_000;
+             log "a-exit")));
+  ignore
+    (K.Sched.spawn ~name:"b" (fun () ->
+         K.Sched.sleep_ns 10_000;
+         (* B serves no crossing here: this charge must be dropped, not
+            credited to A's suspended lane. *)
+         Dispatch.note 777;
+         Dispatch.with_worker ~target:Domain.Decaf_driver (fun () ->
+             log "b-enter")));
+  K.Sched.run ();
+  Alcotest.(check (list string))
+    "b admitted only after a's crossing exits"
+    [ "a-enter"; "a-exit"; "b-enter" ]
+    (List.rev !order);
+  match Dispatch.pool_stats () with
+  | [ p ] ->
+      check "both crossings admitted" 2 p.Dispatch.admissions;
+      check "second crossing waited for the slot" 1 p.Dispatch.blocked_acquires;
+      check "no atomic-context oversubscription" 0 p.Dispatch.forced;
+      let busy = Array.fold_left ( + ) 0 p.Dispatch.lane_busy_ns in
+      check "lanes hold only the two admission charges"
+        (2 * K.Cost.current.xpc_dispatch_ns)
+        busy
+  | ps ->
+      Alcotest.fail
+        (Printf.sprintf "expected one pool, got %d" (List.length ps))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_xpc"
@@ -741,6 +786,8 @@ let () =
           tc "idempotent call retried" test_channel_idempotent_retry;
           tc "idempotent retries exhausted" test_channel_idempotent_exhausts;
         ] );
+      ( "dispatch",
+        [ tc "admission is per thread" test_dispatch_admission_per_thread ] );
       ( "objtracker-weak",
         [
           tc "lives while referenced" test_tracker_weak_lives_while_referenced;
