@@ -22,7 +22,13 @@ bench-json:
 bench:
 	dune exec bench/main.exe
 
+# Static discipline checks over the five bundled driver sources; fails
+# on any unwaived violation or stale waiver (the same gate runs inside
+# `dune runtest` as the lint "corpus clean" test).
+lint:
+	dune exec bin/driverslicer.exe -- decaf-lint
+
 clean:
 	dune clean
 
-.PHONY: all build test bench-check bench-json bench clean
+.PHONY: all build test bench-check bench-json bench lint clean

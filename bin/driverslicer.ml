@@ -7,15 +7,59 @@ module Partition = Decaf_slicer.Partition
 module Report = Decaf_slicer.Report
 module Xdrspec = Decaf_slicer.Xdrspec
 module Errcheck = Decaf_slicer.Errcheck
+module Lint = Decaf_slicer.Lint
 open Decaf_drivers
+
+type driver = {
+  dtype : string;
+  source : string;
+  config : Slicer.config;
+  waivers : Lint.waiver list;
+  errfns : string list;  (** kernel error functions seeding Errcheck *)
+}
 
 let drivers =
   [
-    ("8139too", ("Network", Rtl8139_src.source, Rtl8139_src.config));
-    ("e1000", ("Network", E1000_src.source, E1000_src.config));
-    ("ens1371", ("Sound", Ens1371_src.source, Ens1371_src.config));
-    ("uhci-hcd", ("USB 1.0", Uhci_src.source, Uhci_src.config));
-    ("psmouse", ("Mouse", Psmouse_src.source, Psmouse_src.config));
+    ( "8139too",
+      {
+        dtype = "Network";
+        source = Rtl8139_src.source;
+        config = Rtl8139_src.config;
+        waivers = Rtl8139_src.lint_waivers;
+        errfns = [];
+      } );
+    ( "e1000",
+      {
+        dtype = "Network";
+        source = E1000_src.source;
+        config = E1000_src.config;
+        waivers = E1000_src.lint_waivers;
+        errfns = E1000_src.error_extra;
+      } );
+    ( "ens1371",
+      {
+        dtype = "Sound";
+        source = Ens1371_src.source;
+        config = Ens1371_src.config;
+        waivers = Ens1371_src.lint_waivers;
+        errfns = [];
+      } );
+    ( "uhci-hcd",
+      {
+        dtype = "USB 1.0";
+        source = Uhci_src.source;
+        config = Uhci_src.config;
+        waivers = Uhci_src.lint_waivers;
+        errfns = [];
+      } );
+    ( "psmouse",
+      {
+        dtype = "Mouse";
+        source = Psmouse_src.source;
+        config = Psmouse_src.config;
+        waivers = Psmouse_src.lint_waivers;
+        errfns = [];
+      } );
   ]
 
 type emit =
@@ -34,7 +78,7 @@ let run driver_name emits =
       Printf.eprintf "unknown driver %s; available: %s\n" driver_name
         (String.concat ", " (List.map fst drivers));
       exit 1
-  | Some (dtype, source, config) ->
+  | Some { dtype; source; config; errfns; _ } ->
       let out = Slicer.slice ~source config in
       let emits = if emits = [] then [ Table ] else emits in
       List.iter
@@ -72,10 +116,7 @@ let run driver_name emits =
           | Nucleus -> print_string out.Slicer.split.Decaf_slicer.Splitgen.nucleus_src
           | Library -> print_string out.Slicer.split.Decaf_slicer.Splitgen.library_src
           | Violations ->
-              let extra =
-                if driver_name = "e1000" then E1000_src.error_extra else []
-              in
-              let vs = Errcheck.find_violations out.Slicer.file ~extra in
+              let vs = Errcheck.find_violations out.Slicer.file ~extra:errfns in
               Printf.printf "%d broken error-handling sites\n" (List.length vs);
               List.iter
                 (fun (v : Errcheck.violation) ->
@@ -122,10 +163,75 @@ let term =
     $ flag "emit-library" "Print the patched driver-library source."
     $ flag "violations" "Run the error-handling analysis.")
 
+(* ---- decaf-lint subcommand ---- *)
+
+let lint_driver ~json name { source; config; waivers; errfns; _ } =
+  let out = Slicer.slice ~source config in
+  let findings =
+    Lint.analyze ~extra_errfns:errfns ~file:out.Slicer.file
+      ~partition:out.Slicer.partition ~annots:out.Slicer.annots
+      ~spec:out.Slicer.spec ~const_env:config.Slicer.const_env
+      ~decaf_funcs:(Slicer.decaf_functions out)
+      ~library_funcs:(Slicer.library_functions out)
+      ()
+  in
+  let report = Lint.apply_waivers ~driver:name ~waivers findings in
+  if json then print_endline (Lint.to_json report)
+  else print_string (Lint.to_text report);
+  report.Lint.r_unwaived = [] && report.Lint.r_unused_waivers = []
+
+let run_lint driver_name json =
+  let selected =
+    match driver_name with
+    | None -> drivers
+    | Some name -> (
+        match List.assoc_opt name drivers with
+        | Some d -> [ (name, d) ]
+        | None ->
+            Printf.eprintf "unknown driver %s; available: %s\n" name
+              (String.concat ", " (List.map fst drivers));
+            exit 1)
+  in
+  let clean =
+    List.fold_left
+      (fun acc (name, d) -> lint_driver ~json name d && acc)
+      true selected
+  in
+  exit (if clean then 0 else 1)
+
+let lint_cmd =
+  let driver_arg =
+    let doc =
+      "Driver to lint (8139too, e1000, ens1371, uhci-hcd, psmouse); all \
+       bundled drivers when omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DRIVER" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable report.")
+  in
+  Cmd.v
+    (Cmd.info "decaf-lint"
+       ~doc:
+         "Run the interprocedural lock/XPC, annotation, marshal-boundary \
+          and error-flow checks; exit non-zero on any unwaived violation \
+          or unused waiver.")
+    Term.(const run_lint $ driver_arg $ json_arg)
+
 let cmd =
   Cmd.v
     (Cmd.info "driverslicer"
-       ~doc:"Partition a legacy driver into nucleus and user components")
+       ~doc:
+         "Partition a legacy driver into nucleus and user components. The \
+          decaf-lint subcommand runs the static discipline checks.")
     term
 
-let () = exit (Cmd.eval cmd)
+(* Manual dispatch: [Cmd.group] would reject the historical
+   [driverslicer DRIVER --flags] form once a subcommand exists, so peel
+   off "decaf-lint" ourselves and fall through to the classic command
+   otherwise. *)
+let () =
+  match Array.to_list Sys.argv with
+  | exe :: "decaf-lint" :: rest ->
+      exit (Cmd.eval ~argv:(Array.of_list (exe :: rest)) lint_cmd)
+  | _ -> exit (Cmd.eval cmd)

@@ -20,3 +20,8 @@ val hw_layer_functions : string list
 
 val error_extra : string list
 (** Kernel functions known to return errors, seeding the analysis. *)
+
+val lint_waivers : Decaf_slicer.Lint.waiver list
+(** Line-anchored decaf-lint suppressions: the seeded error-handling
+    bugs (kept for the §5.1 measurement) and the forward-compatibility
+    annotation kept for the evolution scenario. *)

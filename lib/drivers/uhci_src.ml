@@ -323,3 +323,6 @@ let config =
     const_env = [ ("UHCI_NUMFRAMES", 1024) ];
     java_functions = Decaf_slicer.Slicer.All_user;
   }
+
+(* Line-anchored decaf-lint suppressions; see Lint.apply_waivers. *)
+let lint_waivers : Decaf_slicer.Lint.waiver list = []

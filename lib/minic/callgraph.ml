@@ -154,6 +154,10 @@ let callers t name =
 
 let address_taken t = Sset.elements t.taken
 
+let indirect_sites t = Sset.elements t.indirect_sites
+
+let has_indirect_call t name = Sset.mem name t.indirect_sites
+
 let reachable t ~roots =
   let rec go visited frontier =
     match frontier with

@@ -15,6 +15,7 @@ type var_annot = {
   va_access : access;
   va_path : string;
   va_field : string;
+  va_line : int;
 }
 
 type t = { fields : field_annot list; vars : var_annot list }
@@ -48,25 +49,65 @@ let collect_field_annots (file : Ast.file) =
         s.Ast.sfields)
     (Ast.structs file)
 
+(* Walk statements rather than bare expressions so each annotation keeps
+   the line of its enclosing statement (annotation macros are always
+   expression statements, but sub-expressions are covered too). *)
 let collect_var_annots (file : Ast.file) =
   let in_function (fn : Ast.func) =
-    Ast.fold_exprs_func
-      (fun acc e ->
-        match e with
-        | Ast.Ecall (Ast.Eident macro, [ arg ]) -> (
-            match access_of_macro macro with
-            | Some va_access ->
-                {
-                  va_function = fn.Ast.fname;
-                  va_access;
-                  va_path = Pp.expr_to_string arg;
-                  va_field = last_field arg;
-                }
-                :: acc
-            | None -> acc)
-        | _ -> acc)
-      [] fn
-    |> List.rev
+    let note line acc e =
+      match e with
+      | Ast.Ecall (Ast.Eident macro, [ arg ]) -> (
+          match access_of_macro macro with
+          | Some va_access ->
+              {
+                va_function = fn.Ast.fname;
+                va_access;
+                va_path = Pp.expr_to_string arg;
+                va_field = last_field arg;
+                va_line = line;
+              }
+              :: acc
+          | None -> acc)
+      | _ -> acc
+    in
+    let rec in_stmt acc (s : Ast.stmt) =
+      let line = s.Ast.sloc.Decaf_minic.Loc.line in
+      let acc =
+        match s.Ast.skind with
+        | Sexpr e | Sdecl (_, _, Some e) -> Ast.fold_expr (note line) acc e
+        | Sif (c, a, b) ->
+            let acc = Ast.fold_expr (note line) acc c in
+            List.fold_left in_stmt (List.fold_left in_stmt acc a) b
+        | Swhile (c, body) ->
+            List.fold_left in_stmt (Ast.fold_expr (note line) acc c) body
+        | Sdo (body, c) ->
+            Ast.fold_expr (note line) (List.fold_left in_stmt acc body) c
+        | Sfor (init, cond, update, body) ->
+            let acc = match init with Some s -> in_stmt acc s | None -> acc in
+            let acc =
+              List.fold_left
+                (fun acc e -> Ast.fold_expr (note line) acc e)
+                acc
+                (Option.to_list cond @ Option.to_list update)
+            in
+            List.fold_left in_stmt acc body
+        | Sreturn (Some e) -> Ast.fold_expr (note line) acc e
+        | Sswitch (e, cases) ->
+            let acc = Ast.fold_expr (note line) acc e in
+            List.fold_left
+              (fun acc case ->
+                match case with
+                | Ast.Case (_, body) | Ast.Default body ->
+                    List.fold_left in_stmt acc body)
+              acc cases
+        | Sblock body -> List.fold_left in_stmt acc body
+        | Sdecl (_, _, None) | Sreturn None | Sgoto _ | Slabel _ | Sbreak
+        | Scontinue ->
+            acc
+      in
+      acc
+    in
+    List.fold_left in_stmt [] fn.Ast.fbody |> List.rev
   in
   List.concat_map in_function (Ast.functions file)
 

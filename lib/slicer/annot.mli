@@ -23,6 +23,7 @@ type var_annot = {
   va_access : access;
   va_path : string;  (** annotated expression, e.g. "adapter->msg_enable" *)
   va_field : string;  (** last path component *)
+  va_line : int;  (** source line of the annotation statement *)
 }
 
 type t = { fields : field_annot list; vars : var_annot list }

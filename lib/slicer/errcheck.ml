@@ -184,6 +184,208 @@ let find_violations (file : Ast.file) ~extra =
   in
   List.concat_map check_function (Ast.functions file)
 
+(* --- flow-sensitive upgrade -------------------------------------------
+   The syntactic scan above answers "is the result ever mentioned
+   again?" over a flattened body, which misses two bug shapes: a result
+   overwritten before any test (the overwrite is a mention), and a
+   result that is tested on one path but silently dropped at a merge
+   point or early return. This per-function dataflow tracks, per
+   variable, whether it holds an untested error result. *)
+
+type flow_kind =
+  | Overwritten of int  (** line where the untested result was stored *)
+  | Dropped  (** path reaches a return / function end without a test *)
+
+type flow_violation = {
+  fv_function : string;
+  fv_callee : string;  (** the error-returning function whose result is lost *)
+  fv_var : string;
+  fv_kind : flow_kind;
+  fv_line : int;
+}
+
+module Smap = Map.Make (String)
+
+type var_state = Unchecked of string * int | Checked
+
+(* Unchecked survives a merge on either side: may-analysis, so a result
+   tested in one branch but dropped in the other is still reported. *)
+let flow_merge a b =
+  Smap.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some (Unchecked _ as u), _ | _, Some (Unchecked _ as u) -> Some u
+      | Some Checked, _ | _, Some Checked -> Some Checked
+      | None, None -> None)
+    a b
+
+let flow_check_function errfns (fn : Ast.func) =
+  let viols = ref [] in
+  let report fv = viols := fv :: !viols in
+  let store env var callee line =
+    (match Smap.find_opt var env with
+    | Some (Unchecked (c0, l0)) ->
+        report
+          {
+            fv_function = fn.Ast.fname;
+            fv_callee = c0;
+            fv_var = var;
+            fv_kind = Overwritten l0;
+            fv_line = line;
+          }
+    | _ -> ());
+    Smap.add var (Unchecked (callee, line)) env
+  in
+  (* Evaluate an expression: any read of a tracked variable counts as
+     examining it; [v = errfn(...)] starts tracking v. *)
+  let rec eval env line (e : Ast.expr) =
+    match e with
+    | Ast.Eassign (None, Ast.Eident v, rhs) -> (
+        let env = eval env line rhs in
+        match rhs with
+        | Ast.Ecall (Ast.Eident c, _) when Sset.mem c errfns ->
+            store env v c line
+        | _ ->
+            (match Smap.find_opt v env with
+            | Some (Unchecked (c0, l0)) when not (expr_mentions v rhs) ->
+                report
+                  {
+                    fv_function = fn.Ast.fname;
+                    fv_callee = c0;
+                    fv_var = v;
+                    fv_kind = Overwritten l0;
+                    fv_line = line;
+                  }
+            | _ -> ());
+            Smap.add v Checked env)
+    | Ast.Eident v ->
+        if Smap.mem v env then Smap.add v Checked env else env
+    | Ast.Econst _ | Ast.Estr _ | Ast.Echar _ | Ast.Esizeof_type _ -> env
+    | Ast.Eunop (_, a)
+    | Ast.Ecast (_, a)
+    | Ast.Esizeof_expr a
+    | Ast.Efield (a, _)
+    | Ast.Earrow (a, _)
+    | Ast.Epostincr a
+    | Ast.Epostdecr a
+    | Ast.Epreincr a
+    | Ast.Epredecr a ->
+        eval env line a
+    | Ast.Ebinop (_, a, b) | Ast.Eindex (a, b) | Ast.Eassign (_, a, b) ->
+        eval (eval env line a) line b
+    | Ast.Econd (a, b, c) -> eval (eval (eval env line a) line b) line c
+    | Ast.Ecall (callee, args) ->
+        List.fold_left (fun env a -> eval env line a) (eval env line callee) args
+  in
+  let drop_all env =
+    Smap.iter
+      (fun var st ->
+        match st with
+        | Unchecked (c, l) ->
+            report
+              {
+                fv_function = fn.Ast.fname;
+                fv_callee = c;
+                fv_var = var;
+                fv_kind = Dropped;
+                fv_line = l;
+              }
+        | Checked -> ())
+      env
+  in
+  (* Statement walk threads (env, alive); alive=false after a terminator. *)
+  let rec stmts env body =
+    List.fold_left
+      (fun (env, alive) s -> if alive then stmt env s else (env, alive))
+      (env, true) body
+  and stmt env (s : Ast.stmt) =
+    let line = s.Ast.sloc.Loc.line in
+    match s.Ast.skind with
+    | Sexpr e -> (eval env line e, true)
+    | Sdecl (_, v, Some (Ast.Ecall (Ast.Eident c, args)))
+      when Sset.mem c errfns ->
+        let env =
+          List.fold_left (fun env a -> eval env line a) env args
+        in
+        (store env v c line, true)
+    | Sdecl (_, v, Some e) ->
+        let env = eval env line e in
+        (Smap.add v Checked env, true)
+    | Sdecl (_, v, None) -> (Smap.remove v env, true)
+    | Sif (c, a, b) -> (
+        let env = eval env line c in
+        let ea, la = stmts env a in
+        let eb, lb = stmts env b in
+        match (la, lb) with
+        | true, true -> (flow_merge ea eb, true)
+        | true, false -> (ea, true)
+        | false, true -> (eb, true)
+        | false, false -> (env, false))
+    | Swhile (c, body) ->
+        let env = eval env line c in
+        let eb, _ = stmts env body in
+        (flow_merge env eb, true)
+    | Sdo (body, c) ->
+        let eb, alive = stmts env body in
+        let eb = if alive then eval eb line c else eb in
+        (flow_merge env eb, true)
+    | Sfor (init, cond, update, body) ->
+        let env, _ =
+          match init with Some s -> stmt env s | None -> (env, true)
+        in
+        let env =
+          match cond with Some e -> eval env line e | None -> env
+        in
+        let eb, alive = stmts env body in
+        let eb =
+          match update with
+          | Some e when alive -> eval eb line e
+          | _ -> eb
+        in
+        (flow_merge env eb, true)
+    | Sreturn e ->
+        let env =
+          match e with Some e -> eval env line e | None -> env
+        in
+        drop_all env;
+        (env, false)
+    | Sgoto _ ->
+        (* the label's code may still examine the result: no report *)
+        (env, false)
+    | Slabel _ ->
+        (* merge point with unknown predecessors: forget everything *)
+        (Smap.map (fun _ -> Checked) env, true)
+    | Sbreak | Scontinue -> (env, false)
+    | Sswitch (e, cases) ->
+        let env = eval env line e in
+        let has_default =
+          List.exists (function Ast.Default _ -> true | _ -> false) cases
+        in
+        let outs =
+          List.filter_map
+            (fun case ->
+              let body =
+                match case with Ast.Case (_, b) | Ast.Default b -> b
+              in
+              let e, alive = stmts env body in
+              if alive then Some e else None)
+            cases
+        in
+        let outs = if has_default then outs else env :: outs in
+        (match outs with
+        | [] -> (env, false)
+        | first :: rest -> (List.fold_left flow_merge first rest, true))
+    | Sblock body -> stmts env body
+  in
+  let env, alive = stmts Smap.empty fn.Ast.fbody in
+  if alive then drop_all env;
+  List.rev !viols
+
+let flow_violations (file : Ast.file) ~extra =
+  let errfns = Sset.of_list (error_returning_functions file ~extra) in
+  List.concat_map (flow_check_function errfns) (Ast.functions file)
+  |> List.sort_uniq compare
+
 (* [if (v) return v;], [if (v) return -C;], [if (v) goto l;] — the pure
    propagation shapes an exception rewrite deletes. *)
 let is_propagation (s : Ast.stmt) =

@@ -30,6 +30,33 @@ val error_returning_functions :
 val find_violations :
   Decaf_minic.Ast.file -> extra:string list -> violation list
 
+type flow_kind =
+  | Overwritten of int
+      (** the stored error result was overwritten before any test; the
+          payload is the line where the lost result was stored *)
+  | Dropped
+      (** some path reaches a return or the function end without ever
+          examining the stored result *)
+
+type flow_violation = {
+  fv_function : string;
+  fv_callee : string;  (** the error-returning function whose result is lost *)
+  fv_var : string;
+  fv_kind : flow_kind;
+  fv_line : int;
+      (** [Overwritten]: line of the overwrite; [Dropped]: line where the
+          dropped result was stored *)
+}
+
+val flow_violations :
+  Decaf_minic.Ast.file -> extra:string list -> flow_violation list
+(** Per-function dataflow upgrade of {!find_violations}: tracks, per
+    variable, whether it holds an untested error result. Any read
+    counts as a test; branch merges keep the untested state alive
+    (may-analysis), so results tested on one path but dropped on
+    another are still found. Purely additive — {!find_violations} is
+    unchanged. *)
+
 val propagation_sites : Decaf_minic.Ast.func -> int
 (** Count of pure error-propagation statements
     ([if (ret) return ret;] and variants) that an exception rewrite

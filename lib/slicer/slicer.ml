@@ -17,6 +17,7 @@ type output = {
   plans : Decaf_xpc.Marshal_plan.t list;
   stubs : (string * string) list;
   split : Splitgen.split;
+  lint : Lint.finding list;
 }
 
 let slice ~source (config : config) =
@@ -29,7 +30,19 @@ let slice ~source (config : config) =
   in
   let stubs = Stubgen.generate file partition in
   let split = Splitgen.run file partition in
-  { file; config; partition; annots; spec; plans; stubs; split }
+  let decaf, library =
+    match config.java_functions with
+    | All_user -> (partition.Partition.user, [])
+    | Only names ->
+        List.partition
+          (fun f -> List.mem f names)
+          partition.Partition.user
+  in
+  let lint =
+    Lint.analyze ~file ~partition ~annots ~spec ~const_env:config.const_env
+      ~decaf_funcs:decaf ~library_funcs:library ()
+  in
+  { file; config; partition; annots; spec; plans; stubs; split; lint }
 
 let decaf_functions t =
   match t.config.java_functions with

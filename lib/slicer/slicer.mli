@@ -28,6 +28,10 @@ type output = {
   plans : Decaf_xpc.Marshal_plan.t list;
   stubs : (string * string) list;
   split : Splitgen.split;
+  lint : Lint.finding list;
+      (** decaf-lint findings over the source (see {!Lint.analyze});
+          computed without [extra_errfns] — rerun {!Lint.analyze}
+          directly to seed known kernel error functions *)
 }
 
 val slice : source:string -> config -> output

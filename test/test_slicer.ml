@@ -459,6 +459,342 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_partition_soundness; prop_partition_monotone; prop_stub_completeness ]
 
+(* --- lint --- *)
+
+let lint_errors pass findings =
+  List.filter
+    (fun (f : Lint.finding) ->
+      f.Lint.f_pass = pass && f.Lint.f_severity = Lint.Error)
+    findings
+
+let has_finding ?anchor ~msg findings =
+  List.exists
+    (fun (f : Lint.finding) ->
+      (match anchor with Some a -> f.Lint.f_anchor = a | None -> true)
+      && Testutil.contains f.Lint.f_message msg)
+    findings
+
+(* A driver whose interrupt path sleeps two calls deep and whose open
+   routine crosses to the kernel with a spinlock held. *)
+let locky_driver =
+  {|
+struct lk { int n; };
+
+void spin_lock(int lock);
+void spin_unlock(int lock);
+void msleep(int msec);
+int kernel_helper(int x);
+
+static void lk_poll(struct lk *a) {
+  msleep(10);
+}
+
+static void lk_intr(struct lk *a) {
+  a->n = a->n + 1;
+  lk_poll(a);
+}
+
+static int lk_open(struct lk *a) {
+  spin_lock(0);
+  kernel_helper(a->n);
+  spin_unlock(0);
+  return 0;
+}
+|}
+
+let locky_config =
+  {
+    Slicer.partition =
+      {
+        Partition.driver_name = "locky";
+        critical_roots = [ "lk_intr" ];
+        interface_functions = [ "lk_intr"; "lk_open" ];
+      };
+    const_env = [];
+    java_functions = Slicer.All_user;
+  }
+
+let test_lint_sleep_in_atomic () =
+  let out = Slicer.slice ~source:locky_driver locky_config in
+  let errs = lint_errors Lint.Lock_discipline out.Slicer.lint in
+  check_bool "sleep while atomic caught" true
+    (has_finding ~anchor:"lk_poll" ~msg:"msleep" errs);
+  (* the witness chain walks root -> caller -> sleeping site *)
+  let witness =
+    List.find
+      (fun (f : Lint.finding) -> f.Lint.f_anchor = "lk_poll")
+      errs
+  in
+  check_bool "interprocedural witness" true
+    (List.length witness.Lint.f_witness >= 3)
+
+let test_lint_xpc_under_spinlock () =
+  let out = Slicer.slice ~source:locky_driver locky_config in
+  let errs = lint_errors Lint.Lock_discipline out.Slicer.lint in
+  check_bool "crossing under spinlock caught" true
+    (has_finding ~anchor:"lk_open" ~msg:"XPC crossing" errs);
+  (* the interrupt handler itself is disciplined *)
+  check_bool "no error on lk_intr" false (has_finding ~anchor:"lk_intr" ~msg:"" errs)
+
+let test_lint_lock_negative () =
+  (* moving the kernel call out of the critical section clears the error *)
+  let fixed =
+    Testutil.replace locky_driver
+      ~needle:{|  spin_lock(0);
+  kernel_helper(a->n);
+  spin_unlock(0);|}
+      ~replacement:{|  spin_lock(0);
+  a->n = a->n + 1;
+  spin_unlock(0);
+  kernel_helper(a->n);|}
+  in
+  let fixed = Testutil.replace fixed ~needle:"  msleep(10);\n" ~replacement:"" in
+  let out = Slicer.slice ~source:fixed locky_config in
+  check "no lock errors" 0
+    (List.length (lint_errors Lint.Lock_discipline out.Slicer.lint))
+
+let test_lint_unbalanced_lock () =
+  let src =
+    Testutil.replace locky_driver ~needle:"  spin_lock(0);\n" ~replacement:""
+  in
+  let out = Slicer.slice ~source:src locky_config in
+  check_bool "unmatched release flagged" true
+    (has_finding ~anchor:"lk_open" ~msg:"unbalanced" (Lint.violations out.Slicer.lint))
+
+let test_lint_annotation_stale_and_narrow () =
+  let src =
+    Testutil.replace toy_driver ~needle:"DECAF_RWVAR(a->msg_enable);"
+      ~replacement:"DECAF_RWVAR(a->gone); DECAF_RVAR(a->msg_enable);"
+  in
+  let out = Slicer.slice ~source:src toy_config in
+  let errs = lint_errors Lint.Annotation_soundness out.Slicer.lint in
+  check_bool "stale annotation caught" true
+    (has_finding ~anchor:"toy_open" ~msg:"no longer exists" errs);
+  (* toy_reset (reachable from toy_open) writes msg_enable, so RVAR is
+     too narrow *)
+  check_bool "wrong direction caught" true
+    (has_finding ~anchor:"toy_open" ~msg:"too narrow" errs)
+
+let test_lint_annotation_missing () =
+  (* a->irq is read by user code but carries no annotation: once the
+     bodies convert to Java the plan loses the field *)
+  let out = slice () in
+  check_bool "missing annotation warned at struct" true
+    (has_finding ~anchor:"toy_adapter" ~msg:"irq" (Lint.violations out.Slicer.lint))
+
+let test_lint_annotation_negative () =
+  (* the toy RWVAR(msg_enable) is witnessed in both directions:
+     read_phy reads it, toy_reset writes it, both reachable *)
+  let out = slice () in
+  check_bool "consistent annotation silent" false
+    (has_finding ~anchor:"toy_open" ~msg:"" (Lint.violations out.Slicer.lint))
+
+let marshal_driver =
+  {|
+struct mb {
+  int n;
+  int *buf;
+};
+
+int kernel_helper(int x);
+
+static void mb_intr(struct mb *a) {
+  a->n = a->n + 1;
+}
+
+static int mb_open(struct mb *a) {
+  a->n = 0;
+  return kernel_helper(a->n);
+}
+|}
+
+let marshal_config =
+  {
+    Slicer.partition =
+      {
+        Partition.driver_name = "mb";
+        critical_roots = [ "mb_intr" ];
+        interface_functions = [ "mb_intr"; "mb_open" ];
+      };
+    const_env = [ ("MB_LEN", 16) ];
+    java_functions = Slicer.All_user;
+  }
+
+let test_lint_marshal_unannotated_pointer () =
+  let out = Slicer.slice ~source:marshal_driver marshal_config in
+  check_bool "bare crossing pointer caught" true
+    (has_finding ~anchor:"mb" ~msg:"no exp/opt attribute"
+       (lint_errors Lint.Marshal_boundary out.Slicer.lint))
+
+let test_lint_marshal_negative_and_unknown_len () =
+  let annotated =
+    Testutil.replace marshal_driver ~needle:"int *buf;"
+      ~replacement:"int * __attribute__((exp(MB_LEN))) buf;"
+  in
+  let out = Slicer.slice ~source:annotated marshal_config in
+  check "annotated pointer clean" 0
+    (List.length (lint_errors Lint.Marshal_boundary out.Slicer.lint));
+  let unknown =
+    Testutil.replace marshal_driver ~needle:"int *buf;"
+      ~replacement:"int * __attribute__((exp(NO_SUCH))) buf;"
+  in
+  let out = Slicer.slice ~source:unknown marshal_config in
+  check_bool "unresolvable exp length warned" true
+    (has_finding ~anchor:"mb" ~msg:"NO_SUCH" (Lint.violations out.Slicer.lint))
+
+let errflow_driver =
+  {|
+struct ef { int n; };
+
+static int ef_helper(struct ef *a) {
+  if (a->n < 0)
+    return -5;
+  return 0;
+}
+
+static void ef_intr(struct ef *a) {
+  a->n = a->n + 1;
+}
+
+static int ef_overwrite(struct ef *a) {
+  int err;
+  err = ef_helper(a);
+  err = ef_helper(a);
+  if (err)
+    return err;
+  return 0;
+}
+
+static int ef_merge(struct ef *a) {
+  int err = ef_helper(a);
+  if (a->n) {
+    if (err)
+      return err;
+  }
+  return 0;
+}
+
+static int ef_good(struct ef *a) {
+  int err = ef_helper(a);
+  if (err)
+    return err;
+  return 0;
+}
+|}
+
+let errflow_config =
+  {
+    Slicer.partition =
+      {
+        Partition.driver_name = "ef";
+        critical_roots = [ "ef_intr" ];
+        interface_functions = [ "ef_intr"; "ef_overwrite"; "ef_merge"; "ef_good" ];
+      };
+    const_env = [];
+    java_functions = Slicer.All_user;
+  }
+
+let test_lint_errflow_overwrite () =
+  let out = Slicer.slice ~source:errflow_driver errflow_config in
+  let errs = lint_errors Lint.Error_flow out.Slicer.lint in
+  check_bool "overwritten before test caught" true
+    (has_finding ~anchor:"ef_overwrite" ~msg:"overwritten" errs)
+
+let test_lint_errflow_dropped_at_merge () =
+  let out = Slicer.slice ~source:errflow_driver errflow_config in
+  let errs = lint_errors Lint.Error_flow out.Slicer.lint in
+  check_bool "dropped on one path caught" true
+    (has_finding ~anchor:"ef_merge" ~msg:"dropped" errs);
+  check_bool "fully checked function silent" false
+    (has_finding ~anchor:"ef_good" ~msg:"" errs)
+
+let test_lint_waivers () =
+  let out = Slicer.slice ~source:marshal_driver marshal_config in
+  let waivers =
+    List.map
+      (fun (v : Lint.finding) ->
+        {
+          Lint.w_pass = v.Lint.f_pass;
+          w_anchor = v.Lint.f_anchor;
+          w_line = v.Lint.f_line;
+          w_reason = "test";
+        })
+      (Lint.violations out.Slicer.lint)
+  in
+  let stray = { (List.hd waivers) with Lint.w_line = 9999 } in
+  let report =
+    Lint.apply_waivers ~driver:"mb" ~waivers:(stray :: waivers) out.Slicer.lint
+  in
+  check "all violations waived" 0 (List.length report.Lint.r_unwaived);
+  check "stray waiver reported" 1 (List.length report.Lint.r_unused_waivers);
+  check_bool "json renders" true
+    (Testutil.contains (Lint.to_json report) {|"driver":"mb"|});
+  check_bool "text renders waiver" true
+    (Testutil.contains (Lint.to_text report) "waived: test")
+
+(* The shipped corpus must stay clean: every violation in the five
+   bundled drivers is either fixed or carries a line-anchored waiver,
+   and no waiver is stale. *)
+let test_lint_corpus_clean () =
+  let corpus =
+    [
+      ( "8139too",
+        Decaf_drivers.Rtl8139_src.source,
+        Decaf_drivers.Rtl8139_src.config,
+        Decaf_drivers.Rtl8139_src.lint_waivers,
+        [] );
+      ( "e1000",
+        Decaf_drivers.E1000_src.source,
+        Decaf_drivers.E1000_src.config,
+        Decaf_drivers.E1000_src.lint_waivers,
+        Decaf_drivers.E1000_src.error_extra );
+      ( "ens1371",
+        Decaf_drivers.Ens1371_src.source,
+        Decaf_drivers.Ens1371_src.config,
+        Decaf_drivers.Ens1371_src.lint_waivers,
+        [] );
+      ( "uhci-hcd",
+        Decaf_drivers.Uhci_src.source,
+        Decaf_drivers.Uhci_src.config,
+        Decaf_drivers.Uhci_src.lint_waivers,
+        [] );
+      ( "psmouse",
+        Decaf_drivers.Psmouse_src.source,
+        Decaf_drivers.Psmouse_src.config,
+        Decaf_drivers.Psmouse_src.lint_waivers,
+        [] );
+    ]
+  in
+  List.iter
+    (fun (name, source, config, waivers, errfns) ->
+      let out = Slicer.slice ~source config in
+      let findings =
+        Lint.analyze ~extra_errfns:errfns ~file:out.Slicer.file
+          ~partition:out.Slicer.partition ~annots:out.Slicer.annots
+          ~spec:out.Slicer.spec ~const_env:config.Slicer.const_env
+          ~decaf_funcs:(Slicer.decaf_functions out)
+          ~library_funcs:(Slicer.library_functions out)
+          ()
+      in
+      let report = Lint.apply_waivers ~driver:name ~waivers findings in
+      check (name ^ " unwaived") 0 (List.length report.Lint.r_unwaived);
+      check (name ^ " unused waivers") 0
+        (List.length report.Lint.r_unused_waivers))
+    corpus
+
+(* the uhci ops-table dispatch is reported as an assumption, not silence *)
+let test_lint_indirect_assumption () =
+  let out =
+    Slicer.slice ~source:Decaf_drivers.Uhci_src.source
+      Decaf_drivers.Uhci_src.config
+  in
+  check_bool "indirect call surfaces as assumption" true
+    (List.exists
+       (fun (f : Lint.finding) ->
+         f.Lint.f_severity = Lint.Info
+         && Testutil.contains f.Lint.f_message "indirect call")
+       out.Slicer.lint)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_slicer"
@@ -502,4 +838,22 @@ let () =
           tc "quiet when unchanged" test_regen_no_change_is_quiet;
         ] );
       ("report", [ tc "table 2 row" test_report_stats ]);
+      ( "lint",
+        [
+          tc "sleep in atomic" test_lint_sleep_in_atomic;
+          tc "xpc under spinlock" test_lint_xpc_under_spinlock;
+          tc "lock negative" test_lint_lock_negative;
+          tc "unbalanced lock" test_lint_unbalanced_lock;
+          tc "annotation stale and narrow" test_lint_annotation_stale_and_narrow;
+          tc "annotation missing" test_lint_annotation_missing;
+          tc "annotation negative" test_lint_annotation_negative;
+          tc "marshal unannotated pointer" test_lint_marshal_unannotated_pointer;
+          tc "marshal negative and unknown len"
+            test_lint_marshal_negative_and_unknown_len;
+          tc "errflow overwrite" test_lint_errflow_overwrite;
+          tc "errflow dropped at merge" test_lint_errflow_dropped_at_merge;
+          tc "waivers" test_lint_waivers;
+          tc "corpus clean" test_lint_corpus_clean;
+          tc "indirect assumption" test_lint_indirect_assumption;
+        ] );
     ]
