@@ -6,6 +6,11 @@ build:
 test:
 	dune runtest
 
+# The whole gate in one shot: compile, run the tier-1 test suite, hold
+# the driver corpus to the static checks, and verify the XPC fast path
+# against the committed trajectory.
+check: build test lint bench-check
+
 # Fail if the XPC fast path regressed against the committed trajectory:
 # >10% on crossings/bytes or >5% on virtual-time throughput per
 # (scenario, config) point (also runs as part of `dune runtest`).
@@ -31,4 +36,4 @@ lint:
 clean:
 	dune clean
 
-.PHONY: all build test bench-check bench-json bench lint clean
+.PHONY: all build test check bench-check bench-json bench lint clean

@@ -1,42 +1,91 @@
-(* decafctl: load one of the five drivers in native or decaf mode and run
-   its workload, printing the Table 3 measurements for that cell. *)
+(* decafctl: drive the five drivers through the unified driver model.
+
+   The default command loads one (or all) of them in native and decaf
+   mode and prints the Table 3 measurements; `decafctl status` brings
+   every driver up through the registry and prints its per-driver
+   lifecycle/XPC snapshot. *)
 
 open Cmdliner
 module E = Decaf_experiments
 
+(* --driver is validated against the registry before any measurement
+   runs; Table 3 prints "E1000" but the registry name is lowercase. *)
+let resolve_driver = function
+  | None -> Ok None
+  | Some d ->
+      let canon = String.lowercase_ascii d in
+      if List.mem canon E.Status.driver_names then Ok (Some canon)
+      else
+        Error
+          (Printf.sprintf "unknown driver %s (known: %s)" d
+             (String.concat ", " E.Status.driver_names))
+
 let run driver seconds =
-  let duration_ns = int_of_float (seconds *. 1e9) in
-  let rows = E.Table3.measure ~duration_ns () in
-  let rows =
-    match driver with
-    | None -> rows
-    | Some d ->
-        List.filter
-          (fun r -> String.lowercase_ascii r.E.Table3.driver = String.lowercase_ascii d)
-          rows
-  in
-  if rows = [] then begin
-    Printf.eprintf "no workload for driver %s\n"
-      (Option.value ~default:"?" driver);
-    exit 1
-  end;
-  print_string (E.Table3.render rows);
-  exit 0
+  match resolve_driver driver with
+  | Error msg ->
+      Printf.eprintf "decafctl: %s\n" msg;
+      exit 1
+  | Ok driver ->
+      let duration_ns = int_of_float (seconds *. 1e9) in
+      let rows = E.Table3.measure ~duration_ns () in
+      let rows =
+        match driver with
+        | None -> rows
+        | Some d ->
+            List.filter
+              (fun r -> String.lowercase_ascii r.E.Table3.driver = d)
+              rows
+      in
+      print_string (E.Table3.render rows);
+      exit 0
+
+let status driver =
+  match resolve_driver driver with
+  | Error msg ->
+      Printf.eprintf "decafctl: %s\n" msg;
+      exit 1
+  | Ok driver ->
+      let snaps = E.Status.measure () in
+      let snaps =
+        match driver with
+        | None -> snaps
+        | Some d ->
+            List.filter
+              (fun s -> s.Decaf_drivers.Driver_core.s_driver = d)
+              snaps
+      in
+      print_string (E.Status.render snaps);
+      exit 0
 
 let driver_arg =
-  let doc = "Restrict to one driver (8139too, E1000, ens1371, uhci-hcd, psmouse)." in
+  let doc =
+    "Restrict to one driver (8139too, e1000, ens1371, uhci-hcd, psmouse)."
+  in
   Arg.(value & opt (some string) None & info [ "driver" ] ~docv:"DRIVER" ~doc)
 
 let seconds_arg =
   let doc = "Virtual seconds of steady-state workload per cell." in
   Arg.(value & opt float 2.0 & info [ "seconds" ] ~docv:"SECONDS" ~doc)
 
-let term = Term.(const run $ driver_arg $ seconds_arg)
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a driver workload in native and decaf modes and compare")
+    Term.(const run $ driver_arg $ seconds_arg)
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Load every driver through the registry and print its lifecycle, \
+          crossing and supervisor snapshot")
+    Term.(const status $ driver_arg)
 
 let cmd =
-  Cmd.v
+  Cmd.group
+    ~default:Term.(const run $ driver_arg $ seconds_arg)
     (Cmd.info "decafctl"
-       ~doc:"Run a driver workload in native and decaf modes and compare")
-    term
+       ~doc:"Drive the decaf drivers through the unified driver model")
+    [ run_cmd; status_cmd ]
 
 let () = exit (Cmd.eval cmd)

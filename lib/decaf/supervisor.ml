@@ -40,6 +40,8 @@ let stats t : stats =
   }
 
 let last_fault t = t.last_fault
+let restart_budget t = t.restart_budget
+let restarts_left t = if t.state = Disabled then 0 else max 0 (t.restart_budget - t.restarts)
 
 (* Record an absorbed fault: damage was injected but the driver's own
    error handling (retries, checked exceptions, robust interrupt paths)

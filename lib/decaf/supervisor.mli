@@ -46,3 +46,11 @@ val note_tolerated : t -> unit
 val state : t -> state
 val stats : t -> stats
 val last_fault : t -> string option
+
+val restart_budget : t -> int
+(** The configured budget (restarts allowed per {!run}). *)
+
+val restarts_left : t -> int
+(** Conservative budget remaining: 0 once disabled, otherwise the
+    configured budget minus restarts already performed across this
+    supervisor's lifetime. *)

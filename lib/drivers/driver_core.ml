@@ -1,0 +1,490 @@
+module K = Decaf_kernel
+module Xpc = Decaf_xpc
+module Supervisor = Decaf_runtime.Supervisor
+module Errors = Decaf_runtime.Errors
+
+type lifecycle =
+  | Unbound
+  | Probed
+  | Running
+  | Suspended
+  | Recovering
+  | Disabled
+  | Removed
+
+exception
+  Illegal_transition of {
+    driver : string;
+    from_ : lifecycle;
+    to_ : lifecycle;
+  }
+
+let lifecycle_name = function
+  | Unbound -> "unbound"
+  | Probed -> "probed"
+  | Running -> "running"
+  | Suspended -> "suspended"
+  | Recovering -> "recovering"
+  | Disabled -> "disabled"
+  | Removed -> "removed"
+
+let () =
+  Printexc.register_printer (function
+    | Illegal_transition { driver; from_; to_ } ->
+        Some
+          (Printf.sprintf "Driver_core.Illegal_transition(%s: %s -> %s)"
+             driver (lifecycle_name from_) (lifecycle_name to_))
+    | _ -> None)
+
+module type DRIVER = sig
+  type t
+
+  val name : string
+  val bus : Decaf_kernel.Hotplug.bus
+  val ids : (int * int) list
+  val probe : Driver_env.t -> (t, int) result
+  val remove : t -> unit
+  val suspend : t -> unit
+  val resume : t -> unit
+  val owns : t -> string -> bool
+  val deferred_syncs : t -> int
+  val init_latency_ns : t -> int
+end
+
+type packed = Pack : (module DRIVER with type t = 'a) -> packed
+type bound = B : (module DRIVER with type t = 'a) * 'a -> bound
+
+type meter = {
+  mutable m_upcalls : int;
+  mutable m_downcalls : int;
+  mutable m_notifies : int;
+  mutable m_wire_bytes : int;
+}
+
+type snapshot = {
+  s_driver : string;
+  s_state : lifecycle;
+  s_mode : Driver_env.mode option;
+  s_crossings : int;
+  s_wire_bytes : int;
+  s_notifies : int;
+  s_deferred_syncs : int;
+  s_supervisor : Supervisor.stats option;
+  s_restarts_left : int;
+  s_init_latency_ns : int;
+}
+
+type binding = {
+  drv : packed;
+  b_name : string;
+  b_bus : K.Hotplug.bus;
+  b_ids : (int * int) list;
+  meter : meter;
+  mutable state : lifecycle;
+  mutable inst : bound option;
+  mutable sup : Supervisor.t option;
+  mutable mode : Driver_env.mode option;
+  mutable want : Driver_env.mode option;
+      (** mode to auto-rebind with when the device is replugged *)
+  mutable in_run : bool;
+      (** inside {!run}: nested ops must not re-wrap supervision *)
+}
+
+let bindings : binding list ref = ref []
+
+(* --- lifecycle state machine --- *)
+
+(* The [Recovering] row is deliberately permissive: the supervisor can
+   catch a fault in any phase of a supervised operation, and the
+   unwinding (protect-cleanup) may already have moved the binding. The
+   transitions a caller can request directly — probe, suspend, resume,
+   remove — are the strictly checked ones. *)
+let allowed from_ to_ =
+  match (from_, to_) with
+  | (Unbound | Removed | Recovering), Probed -> true
+  | (Probed | Suspended | Recovering), Running -> true
+  | (Running | Recovering), Suspended -> true
+  | (Unbound | Probed | Running | Suspended | Recovering | Removed), Recovering
+    ->
+      true
+  | (Unbound | Probed | Running | Suspended | Recovering | Removed), Disabled
+    ->
+      true
+  | (Probed | Running | Suspended | Recovering | Disabled), Removed -> true
+  | Probed, Unbound -> true
+  | _ -> false
+
+let transition b to_ =
+  if not (allowed b.state to_) then
+    raise (Illegal_transition { driver = b.b_name; from_ = b.state; to_ });
+  b.state <- to_
+
+let set_disabled b = if b.state <> Disabled then transition b Disabled
+
+(* --- metered driver environment --- *)
+
+let metered meter (base : Driver_env.t) =
+  (* Native-mode "calls" never leave the kernel; only count crossings
+     that a split build actually pays for. The meter itself costs no
+     virtual time, so benchmark trajectories are unaffected. *)
+  let live = base.Driver_env.mode <> Driver_env.Native in
+  {
+    Driver_env.mode = base.Driver_env.mode;
+    upcall =
+      (fun ~name ~bytes f ->
+        if live then begin
+          meter.m_upcalls <- meter.m_upcalls + 1;
+          meter.m_wire_bytes <- meter.m_wire_bytes + bytes
+        end;
+        base.Driver_env.upcall ~name ~bytes f);
+    downcall =
+      (fun ~name ~bytes f ->
+        if live then begin
+          meter.m_downcalls <- meter.m_downcalls + 1;
+          meter.m_wire_bytes <- meter.m_wire_bytes + bytes
+        end;
+        base.Driver_env.downcall ~name ~bytes f);
+    notify =
+      (fun ~name ~bytes f ->
+        if live then begin
+          meter.m_notifies <- meter.m_notifies + 1;
+          meter.m_wire_bytes <- meter.m_wire_bytes + bytes
+        end;
+        base.Driver_env.notify ~name ~bytes f);
+  }
+
+(* --- internal operations --- *)
+
+let fresh_sup b =
+  let s = Supervisor.create ~name:b.b_name () in
+  b.sup <- Some s;
+  s
+
+let sup_of b = match b.sup with Some s -> s | None -> fresh_sup b
+
+let on_restart b () =
+  transition b Recovering;
+  Decaf_runtime.Runtime.restart ()
+
+(* Deliver batched notifications, then wait for crossings already
+   executing in the user-level domains to return. Bounded: a crossing
+   wedged past the deadline is the supervisor's problem, not ours. *)
+let drain_in_flight () =
+  Xpc.Batch.drain ();
+  let busy () =
+    Xpc.Channel.in_flight Xpc.Domain.Decaf_driver
+    + Xpc.Channel.in_flight Xpc.Domain.Driver_lib
+    > 0
+  in
+  let deadline = K.Clock.now () + 1_000_000_000 in
+  while busy () && K.Clock.now () < deadline do
+    K.Sched.sleep_ns 100_000
+  done
+
+(* Transition first: bus events published during teardown (input device
+   unregistering, HCD dropping out) must not re-enter removal. *)
+let unbind b =
+  transition b Removed;
+  (match b.inst with Some (B ((module D), t)) -> D.remove t | None -> ());
+  b.inst <- None
+
+let bind b mode =
+  match b.drv with
+  | Pack (module D) -> (
+      transition b Probed;
+      b.mode <- Some mode;
+      let m = b.meter in
+      m.m_upcalls <- 0;
+      m.m_downcalls <- 0;
+      m.m_notifies <- 0;
+      m.m_wire_bytes <- 0;
+      let env = metered m (Driver_env.of_mode mode) in
+      match D.probe env with
+      | Ok t ->
+          b.inst <- Some (B ((module D), t));
+          transition b Running;
+          Ok ()
+      | Error rc ->
+          transition b Unbound;
+          Error rc
+      | exception e ->
+          transition b Unbound;
+          raise e)
+
+(* --- hotplug routing --- *)
+
+let eject_binding b =
+  drain_in_flight ();
+  unbind b
+
+let handle_removed bus id =
+  List.iter
+    (fun b ->
+      match (b.state, b.inst) with
+      | (Probed | Running | Suspended), Some (B ((module D), t))
+        when D.bus = bus && D.owns t id ->
+          K.Klog.printk K.Klog.Info "driver_core: %s: device %s removed"
+            b.b_name id;
+          eject_binding b
+      | _ -> ())
+    !bindings
+
+let handle_added bus ~vendor ~device =
+  List.iter
+    (fun b ->
+      if
+        (b.state = Unbound || b.state = Removed)
+        && b.want <> None && b.b_bus = bus
+        && List.exists (fun (v, d) -> v = vendor && d = device) b.b_ids
+      then begin
+        let mode = Option.get b.want in
+        let warn rc =
+          K.Klog.printk K.Klog.Warning
+            "driver_core: %s: hotplug re-probe failed (errno %d)" b.b_name rc
+        in
+        if b.in_run then begin
+          (* already under a supervised episode: probe directly so a
+             fault is retried as part of the whole body *)
+          match bind b mode with Ok () -> () | Error rc -> warn rc
+        end
+        else
+          match
+            Supervisor.run (sup_of b) ~on_restart:(on_restart b) (fun () ->
+                bind b mode)
+          with
+          | Some (Ok ()) -> ()
+          | Some (Error rc) -> warn rc
+          | None -> set_disabled b
+      end)
+    !bindings
+
+let hotplug_handler = function
+  | K.Hotplug.Device_removed { bus; id } -> handle_removed bus id
+  | K.Hotplug.Device_added { bus; vendor; device; _ } ->
+      handle_added bus ~vendor ~device
+
+(* --- registry bookkeeping, reset on every kernel boot --- *)
+
+let registry_epoch = ref (-1)
+
+let ensure_epoch () =
+  let e = K.Boot.epoch () in
+  if e <> !registry_epoch then begin
+    registry_epoch := e;
+    bindings := [];
+    K.Hotplug.subscribe hotplug_handler
+  end
+
+let reset () =
+  registry_epoch := -1;
+  bindings := [];
+  ensure_epoch ()
+
+let register (Pack (module D) as p) =
+  ensure_epoch ();
+  let b =
+    {
+      drv = p;
+      b_name = D.name;
+      b_bus = D.bus;
+      b_ids = D.ids;
+      meter = { m_upcalls = 0; m_downcalls = 0; m_notifies = 0; m_wire_bytes = 0 };
+      state = Unbound;
+      inst = None;
+      sup = None;
+      mode = None;
+      want = None;
+      in_run = false;
+    }
+  in
+  bindings := List.filter (fun o -> o.b_name <> D.name) !bindings @ [ b ]
+
+let registered () =
+  ensure_epoch ();
+  List.map (fun b -> b.b_name) !bindings
+
+let is_registered name =
+  ensure_epoch ();
+  List.exists (fun b -> b.b_name = name) !bindings
+
+let find name =
+  ensure_epoch ();
+  match List.find_opt (fun b -> b.b_name = name) !bindings with
+  | Some b -> b
+  | None -> invalid_arg ("driver_core: unknown driver " ^ name)
+
+let state name = (find name).state
+let supervisor name = (find name).sup
+
+(* --- public lifecycle operations --- *)
+
+let insmod name ~mode =
+  let b = find name in
+  (match b.state with
+  | Unbound | Removed -> ()
+  | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Probed }));
+  b.want <- Some mode;
+  if b.in_run then bind b mode
+  else
+    let sup = fresh_sup b in
+    match Supervisor.run sup ~on_restart:(on_restart b) (fun () -> bind b mode) with
+    | Some (Ok ()) -> Ok ()
+    | Some (Error rc) -> Error rc
+    | None ->
+        set_disabled b;
+        Error (-Errors.eio)
+
+let rmmod name =
+  let b = find name in
+  (match b.state with
+  | Running | Suspended | Disabled -> ()
+  | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Removed }));
+  (* deliver outstanding deferred notifications before teardown so no
+     deferred call outlives its driver *)
+  Xpc.Batch.drain ();
+  unbind b;
+  b.want <- None
+
+let eject name =
+  let b = find name in
+  match b.state with Running | Suspended -> eject_binding b | _ -> ()
+
+let suspend name =
+  let b = find name in
+  if b.state <> Running then
+    raise (Illegal_transition { driver = name; from_ = b.state; to_ = Suspended });
+  match b.inst with
+  | None -> Error (-Errors.enodev)
+  | Some (B ((module D), t)) -> (
+      let op () =
+        D.suspend t;
+        (* flush batched notifies — and with them any pending dirty
+           deltas — while the device is still powered *)
+        Xpc.Batch.drain ()
+      in
+      if b.in_run then begin
+        op ();
+        transition b Suspended;
+        Ok ()
+      end
+      else
+        match Supervisor.run (sup_of b) ~on_restart:(on_restart b) op with
+        | Some () ->
+            transition b Suspended;
+            Ok ()
+        | None ->
+            set_disabled b;
+            Error (-Errors.eio))
+
+let resume name =
+  let b = find name in
+  if b.state <> Suspended then
+    raise (Illegal_transition { driver = name; from_ = b.state; to_ = Running });
+  match b.inst with
+  | None -> Error (-Errors.enodev)
+  | Some (B ((module D), t)) -> (
+      let op () = D.resume t in
+      if b.in_run then begin
+        op ();
+        transition b Running;
+        Ok ()
+      end
+      else
+        match Supervisor.run (sup_of b) ~on_restart:(on_restart b) op with
+        | Some () ->
+            transition b Running;
+            Ok ()
+        | None ->
+            set_disabled b;
+            Error (-Errors.eio))
+
+(* --- whole-episode supervision (the fault campaign's shape) --- *)
+
+let run name ~mode body =
+  let b = find name in
+  (match b.state with
+  | Unbound | Removed -> ()
+  | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Probed }));
+  let sup = fresh_sup b in
+  b.want <- Some mode;
+  b.in_run <- true;
+  let attempt () =
+    (match bind b mode with
+    | Ok () -> ()
+    | Error rc -> Errors.throw ~driver:name ~errno:(-rc) "probe");
+    Errors.protect
+      ~cleanup:(fun () ->
+        (* fault unwinding: tear the driver down so the supervisor's
+           retry starts from a clean bus and module table *)
+        match b.state with Running | Suspended -> unbind b | _ -> ())
+      (fun () ->
+        let v = body () in
+        (match b.state with
+        | Running | Suspended ->
+            Xpc.Batch.drain ();
+            unbind b
+        | _ -> ());
+        v)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      b.in_run <- false;
+      b.want <- None)
+    (fun () ->
+      match Supervisor.run sup ~on_restart:(on_restart b) attempt with
+      | Some v -> Some v
+      | None ->
+          set_disabled b;
+          None)
+
+(* --- observability --- *)
+
+let snapshot_of b =
+  let deferred, init_ns =
+    match b.inst with
+    | Some (B ((module D), t)) -> (D.deferred_syncs t, D.init_latency_ns t)
+    | None -> (0, 0)
+  in
+  {
+    s_driver = b.b_name;
+    s_state = b.state;
+    s_mode = b.mode;
+    s_crossings = b.meter.m_upcalls + b.meter.m_downcalls;
+    s_wire_bytes = b.meter.m_wire_bytes;
+    s_notifies = b.meter.m_notifies;
+    s_deferred_syncs = deferred;
+    s_supervisor = Option.map Supervisor.stats b.sup;
+    s_restarts_left =
+      (match b.sup with Some s -> Supervisor.restarts_left s | None -> 0);
+    s_init_latency_ns = init_ns;
+  }
+
+let snapshot name = snapshot_of (find name)
+
+let snapshots () =
+  ensure_epoch ();
+  List.map snapshot_of !bindings
+
+let render_status snaps =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %4s %7s\n" "Driver" "State"
+    "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Det" "Rec" "Deg"
+    "Budget";
+  List.iter
+    (fun s ->
+      let stat f =
+        match s.s_supervisor with Some st -> f st | None -> 0
+      in
+      add "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %4d %7d\n" s.s_driver
+        (lifecycle_name s.s_state)
+        (match s.s_mode with
+        | Some m -> Driver_env.mode_name m
+        | None -> "-")
+        s.s_crossings s.s_wire_bytes s.s_notifies s.s_deferred_syncs
+        (stat (fun st -> st.Supervisor.detected))
+        (stat (fun st -> st.Supervisor.recovered))
+        (stat (fun st -> st.Supervisor.degraded))
+        s.s_restarts_left)
+    snaps;
+  Buffer.contents buf

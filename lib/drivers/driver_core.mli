@@ -1,0 +1,159 @@
+(** The unified driver model: one signature, one registry, one lifecycle.
+
+    Each of the five drivers exports a [Core] module implementing
+    {!DRIVER}; the registry owns, per bound driver, its
+    {!Driver_env.t} (wrapped with a crossing/byte meter), its recovery
+    {!Decaf_runtime.Supervisor.t}, and an explicit lifecycle state
+    machine. All load/unload, suspend/resume and hotplug paths go
+    through here, so the fault campaign, Table 3 and [decafctl status]
+    all observe the same per-driver snapshot instead of per-driver
+    one-off accessors.
+
+    {2 Lifecycle}
+
+    {v
+      Unbound ──insmod──▶ Probed ──ok──▶ Running ◀──resume── Suspended
+         ▲                   │              │  └──suspend──────▲
+         └────probe fails────┘              │
+                                            ▼
+      Removed ◀──rmmod/hotplug──(Running|Suspended|Disabled)
+         │                                  │fault
+         └──────replug/insmod──▶ Probed     ▼
+                                        Recovering ──budget out──▶ Disabled
+    v}
+
+    Illegal transitions (suspending a driver that is not running,
+    loading one that is already bound, resuming one that is not
+    suspended, ...) raise {!Illegal_transition}; errno-style failures
+    (probe rejected, supervisor gave up) come back as [Error _]. *)
+
+type lifecycle =
+  | Unbound
+  | Probed
+  | Running
+  | Suspended
+  | Recovering
+  | Disabled
+  | Removed
+
+exception
+  Illegal_transition of {
+    driver : string;
+    from_ : lifecycle;
+    to_ : lifecycle;
+  }
+
+val lifecycle_name : lifecycle -> string
+
+(** What a driver must provide to be managed by the registry. *)
+module type DRIVER = sig
+  type t
+
+  val name : string
+  (** Registry name; also the campaign/Table-3 row name. *)
+
+  val bus : Decaf_kernel.Hotplug.bus
+
+  val ids : (int * int) list
+  (** (vendor, device) pairs for hotplug re-probe matching; empty for
+      buses without ids (input, USB host side). *)
+
+  val probe : Driver_env.t -> (t, int) result
+  (** Load the module and probe the device(s): the existing [insmod]. *)
+
+  val remove : t -> unit
+  (** Tear down and unload: the existing [rmmod]. *)
+
+  val suspend : t -> unit
+  (** PM suspend hook: crosses to the decaf driver like any other
+      non-critical path. Raises on hardware/XPC faults. *)
+
+  val resume : t -> unit
+  (** PM resume hook; resyncs the user-level object view. *)
+
+  val owns : t -> string -> bool
+  (** Whether a bus device id (PCI slot, input/HCD name) belongs to this
+      instance — routes hotplug removal events. *)
+
+  val deferred_syncs : t -> int
+  (** Deferred view refreshes delivered to user level so far. *)
+
+  val init_latency_ns : t -> int
+end
+
+type packed = Pack : (module DRIVER with type t = 'a) -> packed
+
+type snapshot = {
+  s_driver : string;
+  s_state : lifecycle;
+  s_mode : Driver_env.mode option;  (** [None] until first bound *)
+  s_crossings : int;  (** upcalls + downcalls requested through the env *)
+  s_wire_bytes : int;  (** payload bytes of those calls *)
+  s_notifies : int;  (** deferred notifications posted *)
+  s_deferred_syncs : int;  (** deferred view refreshes delivered *)
+  s_supervisor : Decaf_runtime.Supervisor.stats option;
+  s_restarts_left : int;
+  s_init_latency_ns : int;
+}
+
+val reset : unit -> unit
+(** Drop every binding and re-arm the hotplug subscription. Implicit on
+    each kernel boot: every public entry point compares
+    {!Decaf_kernel.Boot.epoch} and starts from a clean registry after a
+    reboot, so stale bindings never leak across boots. *)
+
+val register : packed -> unit
+(** Idempotent per driver name; replaces any previous registration. *)
+
+val registered : unit -> string list
+val is_registered : string -> bool
+
+val state : string -> lifecycle
+(** Raises [Invalid_argument] for an unregistered name. *)
+
+val supervisor : string -> Decaf_runtime.Supervisor.t option
+(** The supervisor the registry attached at the last bind, if any. *)
+
+val insmod : string -> mode:Driver_env.mode -> (unit, int) result
+(** Bind the named driver: fresh supervisor, metered environment,
+    [Unbound/Removed -> Probed -> Running]. The probe runs under the
+    supervisor, so a faulting probe is retried within the restart
+    budget; [Error] is the probe's errno (or [-EIO] after the budget is
+    exhausted, leaving the driver [Disabled]). *)
+
+val rmmod : string -> unit
+(** Unbind ([Running | Suspended | Disabled] -> [Removed]): drains
+    batched notifications, then removes the instance. *)
+
+val eject : string -> unit
+(** Surprise (hotplug) removal of a bound driver's device: drains
+    in-flight crossings and batched notifies, then unbinds — the same
+    path bus [Device_removed] events take through the registry. No-op
+    for drivers that are not bound. *)
+
+val suspend : string -> (unit, int) result
+(** [Running -> Suspended]. Crosses to the decaf driver's suspend hook,
+    then flushes {!Decaf_xpc.Batch} queues (and with them any pending
+    {!Decaf_xpc.Marshal_plan.Dirty} deltas) while the device is still
+    powered. Supervised when the registry is not already inside
+    {!run}. *)
+
+val resume : string -> (unit, int) result
+(** [Suspended -> Running]. The driver's resume hook re-marks the
+    object view dirty so the resume crossing carries a full image. *)
+
+val run :
+  string -> mode:Driver_env.mode -> (unit -> 'a) -> 'a option
+(** Run a full supervised episode: bind, execute the body, unbind —
+    retried as a whole by the registry-attached supervisor on decaf
+    faults, [None] when the restart budget is exhausted (driver left
+    [Disabled]). While the body runs, nested registry operations
+    ({!suspend}, {!eject}, {!insmod} after a hotplug removal) execute
+    directly under the same supervision instead of re-wrapping. *)
+
+val snapshot : string -> snapshot
+val snapshots : unit -> snapshot list
+(** One {!snapshot} per registered driver, registration order. *)
+
+val render_status : snapshot list -> string
+(** The [decafctl status] table. *)

@@ -64,6 +64,11 @@ let decaf () =
           ~context:name f);
   }
 
+let of_mode = function
+  | Native -> native
+  | Staged -> staged ()
+  | Decaf -> decaf ()
+
 let mode_name = function
   | Native -> "native"
   | Staged -> "staged"

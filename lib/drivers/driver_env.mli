@@ -38,4 +38,7 @@ val decaf : unit -> t
     (starting the managed runtime on first use), downcalls enter the
     kernel. *)
 
+val of_mode : mode -> t
+(** [native], [staged ()] or [decaf ()] according to [mode]. *)
+
 val mode_name : mode -> string

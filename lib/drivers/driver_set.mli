@@ -1,0 +1,13 @@
+(** The five drivers of the paper's evaluation, packed for the
+    {!Driver_core} registry. *)
+
+val all : unit -> Driver_core.packed list
+(** In the paper's Table 1 order: 8139too, e1000, ens1371, uhci-hcd,
+    psmouse. *)
+
+val names : string list
+(** Registry names of {!all}, same order. *)
+
+val register_defaults : unit -> unit
+(** Register all five with {!Driver_core.register}. Idempotent; called
+    by the experiment harness after each simulated boot. *)

@@ -552,6 +552,9 @@ let remove (pci : K.Pci.dev) =
   | None -> ());
   Hashtbl.remove instances (K.Pci.slot pci)
 
+let active_box : t option ref = ref None
+let active () = !active_box
+
 let insmod env =
   let adapter_box = ref None in
   let init () =
@@ -585,19 +588,58 @@ let insmod env =
   match K.Modules.insmod ~name:driver ~init ~exit with
   | Ok handle -> (
       match !adapter_box with
-      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | Some adapter ->
+          let t = { adapter; module_handle = Some handle } in
+          active_box := Some t;
+          Ok t
       | None -> Error (-Errors.enodev))
   | Error rc -> Error rc
 
 let rmmod t =
-  match t.module_handle with
+  (match t.module_handle with
   | Some h ->
       (match t.adapter.netdev with
       | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
       | Some _ | None -> ());
       K.Modules.rmmod h;
       t.module_handle <- None
-  | None -> ()
+  | None -> ());
+  (* module parameters are insmod arguments: they must not survive the
+     module. A later insmod with no explicit params gets the defaults,
+     not whatever the previous load was given. *)
+  reset_module_params ();
+  match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
+
+(* --- power management (§3.1.3: suspend/resume run in the decaf
+   driver, like any other non-critical path) --- *)
+
+let suspend t =
+  let a = t.adapter in
+  disarm_watchdog a;
+  Decaf_runtime.Runtime.Nuclear.flush ();
+  with_java_adapter a ~name:"e1000_suspend" (fun j ->
+      e1000_down a;
+      (* snapshot config space so resume can reprogram the function
+         even if the bus power-cycled it *)
+      save_config_space a j)
+
+let resume t =
+  let a = t.adapter in
+  (* the user-level view may be arbitrarily stale (deltas were flushed
+     at suspend, nothing synced since): re-mark every copy-in field so
+     the resume crossing carries a full image *)
+  O.resync_user_view a.ka;
+  with_java_adapter a ~name:"e1000_resume" (fun j ->
+      for i = 0 to O.config_words - 1 do
+        a.env.Driver_env.downcall ~name:"pci_write_config" ~bytes:8 (fun () ->
+            K.Pci.write_config32 a.pci (4 * i) j.O.j_config_space.(i))
+      done;
+      match a.netdev with
+      | Some nd when K.Netcore.is_up nd -> e1000_up a
+      | Some _ | None -> ());
+  match a.netdev with
+  | Some nd when K.Netcore.is_up nd -> arm_watchdog a
+  | Some _ | None -> ()
 
 let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
@@ -612,3 +654,18 @@ let diag_test_at_user_level t = diag_test_at_user_level_adapter t.adapter
 let watchdog_runs t = t.adapter.watchdog_runs
 let kernel_adapter t = t.adapter.ka
 let user_stat_syncs t = t.adapter.user_syncs
+
+module Core = struct
+  type nonrec t = t
+
+  let name = driver
+  let bus = K.Hotplug.Pci
+  let ids = List.map (fun id -> (vendor_id, id)) device_ids
+  let probe env = insmod env
+  let remove = rmmod
+  let suspend = suspend
+  let resume = resume
+  let owns t slot = K.Pci.slot t.adapter.pci = slot
+  let deferred_syncs = user_stat_syncs
+  let init_latency_ns = init_latency_ns
+end

@@ -71,3 +71,22 @@ val reset_module_params : unit -> unit
 
 val checked_params : (string * Decaf_runtime.Params.outcome) list ref
 (** Name and validation outcome of each parameter after the last probe. *)
+
+val active : unit -> t option
+(** The instance bound by the most recent successful [insmod], until its
+    [rmmod]. Lets workloads reach a driver the registry loaded. *)
+
+val suspend : t -> unit
+(** PM suspend: disarm the watchdog, flush deferred work, then cross to
+    the decaf driver to bring the device down and snapshot PCI config
+    space. Batched notifies are drained by the caller (the registry)
+    while the device is still powered. *)
+
+val resume : t -> unit
+(** PM resume: re-mark the whole object view dirty
+    ({!E1000_objects.resync_user_view}), restore config space through
+    per-dword downcalls, and bring the interface back up if it was up. *)
+
+module Core : Driver_core.DRIVER with type t = t
+(** The unified-driver-model view: registry name ["e1000"], PCI bus,
+    the full id table for hotplug re-probe matching. *)

@@ -300,3 +300,8 @@ let unmarshal_at_kernel bytes (k : kernel_adapter) =
   Option.iter (fun v -> k.k_watchdog_events <- v) d.d_watchdog_events;
   ignore d.d_mtu;
   ignore d.d_stats_gen
+
+let resync_user_view (k : kernel_adapter) =
+  List.iter
+    (fun (f, _) -> if Plan.copies_in plan f then Plan.Dirty.mark k.k_dirty f)
+    (Plan.fields plan)

@@ -111,3 +111,8 @@ val marshal_to_kernel : java_adapter -> bytes
 
 val unmarshal_at_kernel : bytes -> kernel_adapter -> unit
 (** Apply the decaf driver's writes back to the kernel object. *)
+
+val resync_user_view : kernel_adapter -> unit
+(** Mark every copy-in plan field dirty so the next crossing carries a
+    full image — the resume-from-suspend resync, where the user-level
+    view may be stale but the tracker entry still exists. *)

@@ -31,6 +31,7 @@ type adapter = {
   mutable card : K.Sndcore.card option;
   mutable sub : K.Sndcore.substream option;
   mutable rate : int;
+  mutable dac_on : bool;
   mutable user_syncs : int;
       (** deferred hardware-pointer refreshes delivered to user level *)
 }
@@ -114,8 +115,12 @@ let pcm_ops a =
         a.env.Driver_env.upcall ~name:"ens1371_trigger" ~bytes:adapter_wire_bytes
           (fun () ->
             match cmd with
-            | `Start -> outl a S.reg_control S.ctrl_dac2_en
-            | `Stop -> outl a S.reg_control 0));
+            | `Start ->
+                a.dac_on <- true;
+                outl a S.reg_control S.ctrl_dac2_en
+            | `Stop ->
+                a.dac_on <- false;
+                outl a S.reg_control 0));
     pcm_pointer = (fun () -> S.consumed a.model);
   }
 
@@ -134,6 +139,7 @@ let probe env (pci : K.Pci.dev) =
           card = None;
           sub = None;
           rate = 0;
+          dac_on = false;
           user_syncs = 0;
         }
       in
@@ -182,6 +188,9 @@ let remove (pci : K.Pci.dev) =
   | None -> ());
   Hashtbl.remove instances (K.Pci.slot pci)
 
+let active_box : t option ref = ref None
+let active () = !active_box
+
 let insmod env =
   let adapter_box = ref None in
   let init () =
@@ -214,16 +223,39 @@ let insmod env =
   match K.Modules.insmod ~name:driver ~init ~exit with
   | Ok handle -> (
       match !adapter_box with
-      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | Some adapter ->
+          let t = { adapter; module_handle = Some handle } in
+          active_box := Some t;
+          Ok t
       | None -> Error (-Errors.enodev))
   | Error rc -> Error rc
 
 let rmmod t =
-  match t.module_handle with
+  (match t.module_handle with
   | Some h ->
       K.Modules.rmmod h;
       t.module_handle <- None
-  | None -> ()
+  | None -> ());
+  match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
+
+(* --- power management --- *)
+
+let suspend t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"ens1371_suspend" ~bytes:adapter_wire_bytes
+    (fun () ->
+      (* silence the DAC; period interrupts stop with it *)
+      outl a S.reg_control 0)
+
+let resume t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"ens1371_resume" ~bytes:adapter_wire_bytes
+    (fun () ->
+      (* the codec loses its registers across a power cycle *)
+      init_codec a;
+      if a.rate > 0 then outl a S.reg_src a.rate;
+      (* playback that was running when we suspended picks back up *)
+      if a.dac_on then outl a S.reg_control S.ctrl_dac2_en)
 
 let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
@@ -239,3 +271,23 @@ let card t =
   | None -> K.Panic.bug "ens1371: no card"
 
 let user_ptr_syncs t = t.adapter.user_syncs
+
+module Core = struct
+  type nonrec t = t
+
+  let name = driver
+  let bus = K.Hotplug.Pci
+  let ids = [ (vendor_id, device_id) ]
+  let probe env = insmod env
+  let remove = rmmod
+  let suspend = suspend
+  let resume = resume
+
+  let owns t slot =
+    match Hashtbl.find_opt models slot with
+    | Some m -> m == t.adapter.model
+    | None -> false
+
+  let deferred_syncs = user_ptr_syncs
+  let init_latency_ns = init_latency_ns
+end

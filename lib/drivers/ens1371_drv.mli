@@ -29,3 +29,17 @@ val user_ptr_syncs : t -> int
     driver; 0 in native mode. *)
 
 val adapter_wire_bytes : int
+
+val active : unit -> t option
+(** The instance bound by the most recent successful [insmod], until its
+    [rmmod]. *)
+
+val suspend : t -> unit
+(** PM suspend: cross to the decaf driver and silence the DAC. *)
+
+val resume : t -> unit
+(** PM resume: re-initialize the AC97 codec, reprogram the sample-rate
+    converter, and restart playback if it was running. *)
+
+module Core : Driver_core.DRIVER with type t = t
+(** Registry name ["ens1371"], PCI bus, the single (1274, 1371) id. *)

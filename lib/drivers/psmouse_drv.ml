@@ -215,6 +215,9 @@ let connect env =
         Error rc
       end
 
+let active_box : t option ref = ref None
+let active () = !active_box
+
 let insmod env =
   let adapter_box = ref None in
   let init () =
@@ -236,16 +239,40 @@ let insmod env =
   match K.Modules.insmod ~name:driver ~init ~exit with
   | Ok handle -> (
       match !adapter_box with
-      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | Some adapter ->
+          let t = { adapter; module_handle = Some handle } in
+          active_box := Some t;
+          Ok t
       | None -> Error (-Errors.enodev))
   | Error rc -> Error rc
 
 let rmmod t =
-  match t.module_handle with
+  (match t.module_handle with
   | Some h ->
       K.Modules.rmmod h;
       t.module_handle <- None
-  | None -> ()
+  | None -> ());
+  match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
+
+(* --- power management --- *)
+
+let suspend t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"psmouse_suspend" ~bytes:state_wire_bytes
+    (fun () ->
+      (* back to the init-phase byte channel so the disable ACK is
+         readable, and drop any half-assembled packet *)
+      a.phase <- Init;
+      a.packet <- [];
+      command a 0xf5)
+
+let resume t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"psmouse_resume" ~bytes:state_wire_bytes
+    (fun () ->
+      (* bytes queued across the suspend belong to no negotiation *)
+      Queue.clear a.byte_fifo;
+      enable_streaming a)
 
 let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
@@ -258,3 +285,23 @@ let input_dev t =
 let packets_handled t = t.adapter.packets
 let detected_id t = t.adapter.device_id
 let user_event_syncs t = t.adapter.user_syncs
+
+module Core = struct
+  type nonrec t = t
+
+  let name = driver
+  let bus = K.Hotplug.Input
+  let ids = []
+  let probe env = insmod env
+  let remove = rmmod
+  let suspend = suspend
+  let resume = resume
+
+  let owns t id =
+    match t.adapter.input with
+    | Some input -> K.Inputcore.name input = id
+    | None -> false
+
+  let deferred_syncs = user_event_syncs
+  let init_latency_ns = init_latency_ns
+end

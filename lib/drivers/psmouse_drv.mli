@@ -22,3 +22,19 @@ val detected_id : t -> int
 val user_event_syncs : t -> int
 (** Deferred event-counter refreshes ([psmouse_sync] notifications)
     delivered to the user-level driver; 0 in native mode. *)
+
+val active : unit -> t option
+(** The instance bound by the most recent successful [insmod], until its
+    [rmmod]. *)
+
+val suspend : t -> unit
+(** PM suspend: cross to the decaf driver and disable data reporting
+    (0xF5), returning the byte channel to the init phase. *)
+
+val resume : t -> unit
+(** PM resume: discard bytes queued across the suspend and re-enable
+    streaming (0xF4). *)
+
+module Core : Driver_core.DRIVER with type t = t
+(** Registry name ["psmouse"], input bus (no ids: the AUX port is not
+    enumerable). *)

@@ -296,6 +296,9 @@ let probe env (pci : K.Pci.dev) =
 
 let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
 
+let active_box : t option ref = ref None
+let active () = !active_box
+
 let insmod env =
   let adapter_box = ref None in
   let init () =
@@ -336,19 +339,59 @@ let insmod env =
   match K.Modules.insmod ~name:"8139too" ~init ~exit with
   | Ok handle -> (
       match !adapter_box with
-      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | Some adapter ->
+          let t = { adapter; module_handle = Some handle } in
+          active_box := Some t;
+          Ok t
       | None -> Error (-Decaf_runtime.Errors.enodev))
   | Error rc -> Error rc
 
 let rmmod t =
-  match t.module_handle with
+  (match t.module_handle with
   | Some h ->
       (match t.adapter.netdev with
       | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
       | Some _ | None -> ());
       K.Modules.rmmod h;
       t.module_handle <- None
-  | None -> ()
+  | None -> ());
+  match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
+
+(* --- power management: suspend/resume at user level --- *)
+
+let suspend t =
+  let a = t.adapter in
+  with_java_nic a ~name:"rtl8139_suspend" (fun _j ->
+      let outb =
+        if a.env.Driver_env.mode <> Driver_env.Native then Runtime.Helpers.outb
+        else K.Io.outb
+      in
+      (* quiesce the chip: no rx/tx while the bus powers down *)
+      outb (reg a R.cmd) 0;
+      a.env.Driver_env.downcall ~name:"netif_stop_queue" ~bytes:16 (fun () ->
+          match a.netdev with
+          | Some nd when K.Netcore.is_up nd ->
+              K.Netcore.netif_stop_queue nd;
+              K.Netcore.netif_carrier_off nd
+          | Some _ | None -> ()))
+
+let resume t =
+  let a = t.adapter in
+  (* full-image resync: the user view went stale across the suspend *)
+  RO.resync_user_view a.ka;
+  with_java_nic a ~name:"rtl8139_resume" (fun _j ->
+      match a.netdev with
+      | Some nd when K.Netcore.is_up nd ->
+          let rc = chip_reset a in
+          if rc <> 0 then
+            Decaf_runtime.Errors.throw ~driver:"8139too" ~errno:(-rc)
+              "resume chip reset";
+          hw_start a;
+          a.env.Driver_env.downcall ~name:"netif_start_queue" ~bytes:16
+            (fun () ->
+              K.Netcore.netif_wake_queue nd;
+              K.Netcore.netif_carrier_on nd)
+      | Some _ | None -> ())
 
 let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
@@ -369,3 +412,23 @@ let set_rx_mode t ~mc_filter:(w0, w1) =
 let kernel_nic t = t.adapter.ka
 let user_stat_syncs t = t.adapter.user_syncs
 
+
+module Core = struct
+  type nonrec t = t
+
+  let name = "8139too"
+  let bus = K.Hotplug.Pci
+  let ids = [ (vendor_id, device_id) ]
+  let probe env = insmod env
+  let remove = rmmod
+  let suspend = suspend
+  let resume = resume
+
+  let owns t slot =
+    match Hashtbl.find_opt models slot with
+    | Some m -> m == t.adapter.model
+    | None -> false
+
+  let deferred_syncs = user_stat_syncs
+  let init_latency_ns = init_latency_ns
+end

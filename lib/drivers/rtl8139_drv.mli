@@ -39,3 +39,19 @@ val kernel_nic : t -> Rtl8139_objects.kernel_nic
 val user_stat_syncs : t -> int
 (** Deferred view refreshes delivered to user level (stats rollups every
     64 packets, drop and multicast updates). *)
+
+val active : unit -> t option
+(** The instance bound by the most recent successful [insmod], until its
+    [rmmod]. *)
+
+val suspend : t -> unit
+(** PM suspend: cross to the decaf driver, quiesce the chip, stop the
+    queue. *)
+
+val resume : t -> unit
+(** PM resume: full-image view resync
+    ({!Rtl8139_objects.resync_user_view}), then chip reset and restart
+    if the interface was up. *)
+
+module Core : Driver_core.DRIVER with type t = t
+(** Registry name ["8139too"], PCI bus, the single (10ec, 8139) id. *)

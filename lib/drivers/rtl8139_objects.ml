@@ -185,3 +185,8 @@ let unmarshal_at_kernel bytes (k : kernel_nic) =
   ignore d.d_mc_filter;
   ignore d.d_rx_dropped;
   ignore d.d_stats_gen
+
+let resync_user_view (k : kernel_nic) =
+  List.iter
+    (fun (f, _) -> if Plan.copies_in plan f then Plan.Dirty.mark k.k_dirty f)
+    (Plan.fields plan)

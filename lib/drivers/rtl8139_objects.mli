@@ -52,3 +52,7 @@ val marshal_to_user : kernel_nic -> bytes
 val unmarshal_at_user : bytes -> java_nic
 val marshal_to_kernel : java_nic -> bytes
 val unmarshal_at_kernel : bytes -> kernel_nic -> unit
+
+val resync_user_view : kernel_nic -> unit
+(** Mark every copy-in field dirty: the post-resume full-image resync,
+    as in {!E1000_objects.resync_user_view}. *)

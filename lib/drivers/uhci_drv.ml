@@ -9,9 +9,14 @@ let state_wire_bytes = 96
 
 let model_box : U.t option ref = ref None
 
+(* remembered so the registry (which probes by name, not resources) can
+   re-probe the controller on insmod and hotplug re-add *)
+let setup_params : (int * int) option ref = ref None
+
 let setup_device ~io_base ~irq () =
   let model = U.create ~io_base ~irq () in
   model_box := Some model;
+  setup_params := Some (io_base, irq);
   model
 
 type adapter = {
@@ -144,6 +149,9 @@ let probe env io_base irq =
       in
       if rc = 0 then Ok a else Error rc
 
+let active_box : t option ref = ref None
+let active () = !active_box
+
 let insmod env ~io_base ~irq =
   let adapter_box = ref None in
   let init () =
@@ -164,19 +172,56 @@ let insmod env ~io_base ~irq =
   match K.Modules.insmod ~name:driver ~init ~exit with
   | Ok handle -> (
       match !adapter_box with
-      | Some adapter -> Ok { adapter; module_handle = Some handle }
+      | Some adapter ->
+          let t = { adapter; module_handle = Some handle } in
+          active_box := Some t;
+          Ok t
       | None -> Error (-Errors.enodev))
   | Error rc -> Error rc
 
 let rmmod t =
-  match t.module_handle with
+  (match t.module_handle with
   | Some h ->
       K.Modules.rmmod h;
       t.module_handle <- None
-  | None -> ()
+  | None -> ());
+  match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
+
+(* --- power management --- *)
+
+let suspend t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"uhci_suspend" ~bytes:state_wire_bytes
+    (fun () -> stop_schedule a)
+
+let resume t =
+  let a = t.adapter in
+  a.env.Driver_env.upcall ~name:"uhci_resume" ~bytes:state_wire_bytes
+    (fun () -> start_schedule a)
 
 let init_latency_ns t =
   match t.module_handle with Some h -> K.Modules.init_latency_ns h | None -> 0
 
 let urbs_completed t = t.adapter.completed
 let user_complete_syncs t = t.adapter.user_syncs
+
+module Core = struct
+  type nonrec t = t
+
+  (* registry/campaign row name; the kernel module stays "uhci_hcd" *)
+  let name = "uhci-hcd"
+  let bus = K.Hotplug.Usb
+  let ids = []
+
+  let probe env =
+    match !setup_params with
+    | Some (io_base, irq) -> insmod env ~io_base ~irq
+    | None -> Error (-Errors.enodev)
+
+  let remove = rmmod
+  let suspend = suspend
+  let resume = resume
+  let owns _t id = id = driver
+  let deferred_syncs = user_complete_syncs
+  let init_latency_ns = init_latency_ns
+end

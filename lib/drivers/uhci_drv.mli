@@ -26,3 +26,18 @@ val user_complete_syncs : t -> int
 (** Deferred completion-counter refreshes ([uhci_complete]
     notifications, one per TD completion) delivered to the user-level
     driver; 0 in native mode. *)
+
+val active : unit -> t option
+(** The instance bound by the most recent successful [insmod], until its
+    [rmmod]. *)
+
+val suspend : t -> unit
+(** PM suspend: cross to the decaf driver and stop the frame schedule. *)
+
+val resume : t -> unit
+(** PM resume: restart the schedule and re-enable interrupts. *)
+
+module Core : Driver_core.DRIVER with type t = t
+(** Registry name ["uhci-hcd"] (the campaign/Table-3 row; the kernel
+    module itself stays ["uhci_hcd"]). [probe] reuses the resources of
+    the last {!setup_device}. *)

@@ -62,15 +62,19 @@ type case = {
   c_specs : FI.spec list;
   c_spurious : int option;
   c_setup : unit -> unit -> unit;
-      (** runs after boot; returns the supervised body *)
+      (** runs after boot; returns the workload run between the
+          registry's insmod and rmmod of [c_driver] *)
 }
 
+(* Every trial loads, supervises and unloads its driver through the
+   registry: [Driver_core.run] binds the driver, runs the workload, and
+   tears the driver down, with the supervisor it attached owning the
+   restart budget.  The campaign only reads the stats back out. *)
 let run_case ~seed c =
   Scenario.boot ();
   let body = c.c_setup () in
   FI.arm ~seed c.c_specs;
   (match c.c_spurious with Some irq -> schedule_spurious irq | None -> ());
-  let sup = Supervisor.create ~name:c.c_driver () in
   let bugs = ref 0 in
   let finished = ref false in
   (* A Kernel_bug — or any exception the supervisor failed to contain —
@@ -78,11 +82,16 @@ let run_case ~seed c =
      to rule out; count it rather than crash the campaign. *)
   (try
      Scenario.in_thread (fun () ->
-         match Supervisor.run sup body with
+         match Driver_core.run c.c_driver ~mode:Driver_env.Decaf body with
          | Some () -> finished := true
          | None -> ())
    with _ -> incr bugs);
   let injected = FI.injected_count () in
+  let sup =
+    match Driver_core.supervisor c.c_driver with
+    | Some sup -> sup
+    | None -> Supervisor.create ~name:c.c_driver ()
+  in
   let st = Supervisor.stats sup in
   let outcome =
     if !bugs > 0 then "KERNEL-BUG"
@@ -110,7 +119,11 @@ let run_case ~seed c =
     kernel_bugs = !bugs;
   }
 
-(* --- per-driver scenarios (decaf mode, as in Table 3) --- *)
+(* --- per-driver scenarios (decaf mode, as in Table 3) ---
+
+   The bodies are workload-only: [Driver_core.run] has already probed
+   the driver when they start, and unloads it (faulting or not) when
+   they end, so each re-fetches the live instance via [active ()]. *)
 
 let rtl_setup () =
   let link = Hw.Link.create ~rate_bps:100_000_000 () in
@@ -118,15 +131,10 @@ let rtl_setup () =
     (Rtl8139_drv.setup_device ~slot:"00:04.0" ~io_base:0xc000 ~irq:10
        ~mac:Scenario.mac ~link ());
   fun () ->
-    let t = ok_or "8139too" (Rtl8139_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
-    Errors.protect
-      ~cleanup:(fun () -> Rtl8139_drv.rmmod t)
-      (fun () ->
-        let nd = Rtl8139_drv.netdev t in
-        ok_or "8139too-open" (K.Netcore.open_dev nd);
-        ignore
-          (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500));
-    Rtl8139_drv.rmmod t
+    let t = Option.get (Rtl8139_drv.active ()) in
+    let nd = Rtl8139_drv.netdev t in
+    ok_or "8139too-open" (K.Netcore.open_dev nd);
+    ignore (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500)
 
 let e1000_setup () =
   let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
@@ -134,52 +142,131 @@ let e1000_setup () =
     (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
        ~mac:Scenario.mac ~link ());
   fun () ->
-    let t = ok_or "e1000" (E1000_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
-    Errors.protect
-      ~cleanup:(fun () -> E1000_drv.rmmod t)
-      (fun () ->
-        let nd = E1000_drv.netdev t in
-        ok_or "e1000-open" (K.Netcore.open_dev nd);
-        ignore
-          (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500));
-    E1000_drv.rmmod t
+    let t = Option.get (E1000_drv.active ()) in
+    let nd = E1000_drv.netdev t in
+    ok_or "e1000-open" (K.Netcore.open_dev nd);
+    ignore (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500)
 
 let ens_setup () =
   let model = Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 () in
   fun () ->
-    let t = ok_or "ens1371" (Ens1371_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
-    Errors.protect
-      ~cleanup:(fun () -> Ens1371_drv.rmmod t)
-      (fun () ->
-        ignore
-          (Mpg123.play ~substream:(Ens1371_drv.substream t) ~model
-             ~duration_ns:20_000_000));
-    Ens1371_drv.rmmod t
+    let t = Option.get (Ens1371_drv.active ()) in
+    ignore
+      (Mpg123.play ~substream:(Ens1371_drv.substream t) ~model
+         ~duration_ns:20_000_000)
 
 let uhci_setup () =
   let model = Uhci_drv.setup_device ~io_base:0xe000 ~irq:5 () in
-  fun () ->
-    let t =
-      ok_or "uhci-hcd"
-        (Uhci_drv.insmod (Scenario.env_of Driver_env.Decaf) ~io_base:0xe000 ~irq:5)
-    in
-    Errors.protect
-      ~cleanup:(fun () -> Uhci_drv.rmmod t)
-      (fun () -> ignore (Tar_usb.untar ~model ~files:1 ~file_bytes:4096));
-    Uhci_drv.rmmod t
+  fun () -> ignore (Tar_usb.untar ~model ~files:1 ~file_bytes:4096)
 
 let psmouse_setup () =
   let model = Psmouse_drv.setup_device () in
   fun () ->
-    let t = ok_or "psmouse" (Psmouse_drv.insmod (Scenario.env_of Driver_env.Decaf)) in
-    Errors.protect
-      ~cleanup:(fun () -> Psmouse_drv.rmmod t)
-      (fun () ->
-        ignore
-          (Mouse_move.run ~model
-             ~input:(Psmouse_drv.input_dev t)
-             ~duration_ns:20_000_000));
-    Psmouse_drv.rmmod t
+    let t = Option.get (Psmouse_drv.active ()) in
+    ignore
+      (Mouse_move.run ~model
+         ~input:(Psmouse_drv.input_dev t)
+         ~duration_ns:20_000_000)
+
+(* --- hotplug and power-management windows --- *)
+
+let e1000_dev () =
+  K.Pci.make_dev ~slot:"00:05.0" ~vendor:0x8086 ~device:0x100e ~irq_line:11
+    ~bars:[ { K.Pci.kind = K.Pci.Mmio_bar; base = 0xf000_0000; len = 0x20000 } ]
+    ()
+
+let dev_at slot =
+  match List.find_opt (fun d -> K.Pci.slot d = slot) (K.Pci.devices ()) with
+  | Some d -> d
+  | None -> Errors.throw ~driver:"campaign" ~errno:Errors.enodev slot
+
+(* Surprise-remove the NIC mid-workload, then replug it.  The registry's
+   hotplug handler unbinds on removal and re-probes on re-add — both
+   inside the same supervised episode, so a fault in the re-probe is one
+   more recoverable crossing. *)
+let e1000_hotplug_setup () =
+  let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
+       ~mac:Scenario.mac ~link ());
+  fun () ->
+    let send () =
+      let t = Option.get (E1000_drv.active ()) in
+      let nd = E1000_drv.netdev t in
+      ok_or "e1000-open" (K.Netcore.open_dev nd);
+      ignore
+        (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500)
+    in
+    send ();
+    K.Pci.remove_device (dev_at "00:05.0");
+    K.Pci.add_device (e1000_dev ());
+    send ()
+
+let e1000_pm_setup () =
+  let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
+       ~mac:Scenario.mac ~link ());
+  fun () ->
+    let t = Option.get (E1000_drv.active ()) in
+    let nd = E1000_drv.netdev t in
+    ok_or "e1000-open" (K.Netcore.open_dev nd);
+    ignore (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500);
+    ok_or "e1000-suspend" (Driver_core.suspend "e1000");
+    ok_or "e1000-resume" (Driver_core.resume "e1000");
+    ignore (Netperf.send ~netdev:nd ~link ~duration_ns:2_000_000 ~msg_bytes:1500)
+
+let ens_pm_setup () =
+  let model = Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 () in
+  fun () ->
+    let t = Option.get (Ens1371_drv.active ()) in
+    ignore
+      (Mpg123.play ~substream:(Ens1371_drv.substream t) ~model
+         ~duration_ns:10_000_000);
+    ok_or "ens1371-suspend" (Driver_core.suspend "ens1371");
+    ok_or "ens1371-resume" (Driver_core.resume "ens1371");
+    ignore
+      (Mpg123.play ~substream:(Ens1371_drv.substream t) ~model
+         ~duration_ns:10_000_000)
+
+let uhci_pm_setup () =
+  let model = Uhci_drv.setup_device ~io_base:0xe000 ~irq:5 () in
+  fun () ->
+    ignore (Tar_usb.untar ~model ~files:1 ~file_bytes:4096);
+    ok_or "uhci-suspend" (Driver_core.suspend "uhci-hcd");
+    ok_or "uhci-resume" (Driver_core.resume "uhci-hcd");
+    ignore (Tar_usb.untar ~model ~files:1 ~file_bytes:4096)
+
+let psmouse_hotplug_setup () =
+  let model = Psmouse_drv.setup_device () in
+  fun () ->
+    let move () =
+      let t = Option.get (Psmouse_drv.active ()) in
+      ignore
+        (Mouse_move.run ~model
+           ~input:(Psmouse_drv.input_dev t)
+           ~duration_ns:20_000_000)
+    in
+    move ();
+    Driver_core.eject "psmouse";
+    ok_or "psmouse-reinsmod"
+      (Driver_core.insmod "psmouse" ~mode:Driver_env.Decaf);
+    move ()
+
+let psmouse_pm_setup () =
+  let model = Psmouse_drv.setup_device () in
+  fun () ->
+    let move () =
+      let t = Option.get (Psmouse_drv.active ()) in
+      ignore
+        (Mouse_move.run ~model
+           ~input:(Psmouse_drv.input_dev t)
+           ~duration_ns:20_000_000)
+    in
+    move ();
+    ok_or "psmouse-suspend" (Driver_core.suspend "psmouse");
+    ok_or "psmouse-resume" (Driver_core.resume "psmouse");
+    move ()
 
 (* --- the trial matrix --- *)
 
@@ -311,6 +398,40 @@ let cases () =
       c_expected = "tolerated";
       c_specs = [ sp "irq.spurious" FI.Spurious_irq (FI.Span (1, 3)) ];
       c_spurious = Some 12; c_setup = psmouse_setup };
+    (* hotplug and suspend/resume windows (appended: earlier trials keep
+       their per-case seeds) *)
+    { c_driver = "e1000"; c_fault = "surprise removal + replug";
+      c_expected = "clean"; c_specs = []; c_spurious = None;
+      c_setup = e1000_hotplug_setup };
+    { c_driver = "e1000"; c_fault = "replug re-probe XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.e1000_probe" FI.Xpc_timeout (FI.Span (2, 1)) ];
+      c_spurious = None; c_setup = e1000_hotplug_setup };
+    { c_driver = "e1000"; c_fault = "suspend/resume mid-workload";
+      c_expected = "clean"; c_specs = []; c_spurious = None;
+      c_setup = e1000_pm_setup };
+    { c_driver = "e1000"; c_fault = "suspend upcall XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.e1000_suspend" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = e1000_pm_setup };
+    { c_driver = "e1000"; c_fault = "resume upcall dead";
+      c_expected = "degraded";
+      c_specs = [ sp "xpc.e1000_resume" FI.Xpc_timeout FI.Always ];
+      c_spurious = None; c_setup = e1000_pm_setup };
+    { c_driver = "ens1371"; c_fault = "suspend/resume mid-playback";
+      c_expected = "clean"; c_specs = []; c_spurious = None;
+      c_setup = ens_pm_setup };
+    { c_driver = "uhci-hcd"; c_fault = "suspend upcall XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.uhci_suspend" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = uhci_pm_setup };
+    { c_driver = "psmouse"; c_fault = "eject + reconnect";
+      c_expected = "clean"; c_specs = []; c_spurious = None;
+      c_setup = psmouse_hotplug_setup };
+    { c_driver = "psmouse"; c_fault = "suspend upcall XPC timeout";
+      c_expected = "recovered";
+      c_specs = [ sp "xpc.psmouse_suspend" FI.Xpc_timeout (FI.Span (1, 1)) ];
+      c_spurious = None; c_setup = psmouse_pm_setup };
   ]
 
 let drivers_covered trials =

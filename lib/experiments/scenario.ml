@@ -9,7 +9,13 @@ let boot () =
   Decaf_xpc.Batch.reset ();
   Decaf_xpc.Dispatch.reset ();
   Decaf_xpc.Marshal_plan.set_delta_enabled false;
-  Decaf_runtime.Runtime.reset ()
+  Decaf_runtime.Runtime.reset ();
+  (* fresh boot, fresh driver registry: every experiment loads drivers
+     through the unified driver model *)
+  Driver_core.reset ();
+  Driver_set.register_defaults ()
+
+let env_of = Driver_env.of_mode
 
 let in_thread f =
   let result = ref None in
@@ -18,11 +24,6 @@ let in_thread f =
   match !result with
   | Some v -> v
   | None -> K.Panic.bug "scenario: workload thread did not complete"
-
-let env_of = function
-  | Driver_env.Native -> Driver_env.native
-  | Driver_env.Staged -> Driver_env.staged ()
-  | Driver_env.Decaf -> Driver_env.decaf ()
 
 let kernel_user_crossings () =
   (Decaf_xpc.Channel.stats ()).Decaf_xpc.Channel.kernel_user_calls

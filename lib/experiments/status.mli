@@ -1,0 +1,12 @@
+(** Per-driver registry snapshots for [decafctl status]. *)
+
+val driver_names : string list
+(** Names accepted by [decafctl --driver], as registered in
+    {!Decaf_drivers.Driver_set}. *)
+
+val measure : unit -> Decaf_drivers.Driver_core.snapshot list
+(** Boot, load all five drivers through the registry in decaf mode, run
+    a slice of each Table 3 workload (with one E1000 suspend/resume
+    cycle), and snapshot every driver while still bound. *)
+
+val render : Decaf_drivers.Driver_core.snapshot list -> string

@@ -30,11 +30,10 @@ let rtl8139_scenario which ~duration_ns mode =
     (Rtl8139_drv.setup_device ~slot:"00:04.0" ~io_base:0xc000 ~irq:10
        ~mac:Scenario.mac ~link ());
   Scenario.in_thread (fun () ->
-      let t =
-        match Rtl8139_drv.insmod (Scenario.env_of mode) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "8139too insmod: %d" rc
-      in
+      (match Driver_core.insmod "8139too" ~mode with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "8139too insmod: %d" rc);
+      let t = Option.get (Rtl8139_drv.active ()) in
       let nd = Rtl8139_drv.netdev t in
       let t_open0 = K.Clock.now () in
       (match K.Netcore.open_dev nd with
@@ -47,7 +46,7 @@ let rtl8139_scenario which ~duration_ns mode =
         | `Send -> Netperf.send ~netdev:nd ~link ~duration_ns ~msg_bytes:1500
         | `Recv -> Netperf.recv ~netdev:nd ~link ~duration_ns ~msg_bytes:1500
       in
-      Rtl8139_drv.rmmod t;
+      Driver_core.rmmod "8139too";
       {
         perf = r.Netperf.throughput_mbps;
         cpu = r.Netperf.cpu_utilization;
@@ -64,11 +63,10 @@ let e1000_scenario which ~duration_ns mode =
     (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
        ~mac:Scenario.mac ~link ());
   Scenario.in_thread (fun () ->
-      let t =
-        match E1000_drv.insmod (Scenario.env_of mode) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "e1000 insmod: %d" rc
-      in
+      (match Driver_core.insmod "e1000" ~mode with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "e1000 insmod: %d" rc);
+      let t = Option.get (E1000_drv.active ()) in
       let nd = E1000_drv.netdev t in
       let t_open0 = K.Clock.now () in
       (match K.Netcore.open_dev nd with
@@ -84,7 +82,7 @@ let e1000_scenario which ~duration_ns mode =
             (* the paper's UDP test with 1-byte messages *)
             Netperf.send ~netdev:nd ~link ~duration_ns ~msg_bytes:1
       in
-      E1000_drv.rmmod t;
+      Driver_core.rmmod "e1000";
       {
         perf = r.Netperf.throughput_mbps;
         cpu = r.Netperf.cpu_utilization;
@@ -98,15 +96,14 @@ let ens1371_scenario ~duration_ns mode =
   Scenario.boot ();
   let model = Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 () in
   Scenario.in_thread (fun () ->
-      let t =
-        match Ens1371_drv.insmod (Scenario.env_of mode) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "ens1371 insmod: %d" rc
-      in
+      (match Driver_core.insmod "ens1371" ~mode with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "ens1371 insmod: %d" rc);
+      let t = Option.get (Ens1371_drv.active ()) in
       let init_ns = Ens1371_drv.init_latency_ns t in
       let init_crossings = Scenario.kernel_user_crossings () in
       let r = Mpg123.play ~substream:(Ens1371_drv.substream t) ~model ~duration_ns in
-      Ens1371_drv.rmmod t;
+      Driver_core.rmmod "ens1371";
       {
         (* figure of merit: realtime playback with no mid-stream
            underrun (the final partial period is inherent) *)
@@ -122,18 +119,17 @@ let uhci_scenario ~duration_ns mode =
   Scenario.boot ();
   let model = Uhci_drv.setup_device ~io_base:0xe000 ~irq:5 () in
   Scenario.in_thread (fun () ->
-      let t =
-        match Uhci_drv.insmod (Scenario.env_of mode) ~io_base:0xe000 ~irq:5 with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "uhci insmod: %d" rc
-      in
+      (match Driver_core.insmod "uhci-hcd" ~mode with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "uhci insmod: %d" rc);
+      let t = Option.get (Uhci_drv.active ()) in
       let init_ns = Uhci_drv.init_latency_ns t in
       let init_crossings = Scenario.kernel_user_crossings () in
       (* size the archive to roughly fill the duration at USB 1.1 speed *)
       let total_bytes = 1_200 * (duration_ns / 1_000_000) in
       let files = max 1 (total_bytes / 65_536) in
       let r = Tar_usb.untar ~model ~files ~file_bytes:65_536 in
-      Uhci_drv.rmmod t;
+      Driver_core.rmmod "uhci-hcd";
       {
         perf = r.Tar_usb.effective_kbps;
         cpu = r.Tar_usb.cpu_utilization;
@@ -147,17 +143,16 @@ let psmouse_scenario ~duration_ns mode =
   Scenario.boot ();
   let model = Psmouse_drv.setup_device () in
   Scenario.in_thread (fun () ->
-      let t =
-        match Psmouse_drv.insmod (Scenario.env_of mode) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "psmouse insmod: %d" rc
-      in
+      (match Driver_core.insmod "psmouse" ~mode with
+      | Ok () -> ()
+      | Error rc -> K.Panic.bug "psmouse insmod: %d" rc);
+      let t = Option.get (Psmouse_drv.active ()) in
       let init_ns = Psmouse_drv.init_latency_ns t in
       let init_crossings = Scenario.kernel_user_crossings () in
       let r =
         Mouse_move.run ~model ~input:(Psmouse_drv.input_dev t) ~duration_ns
       in
-      Psmouse_drv.rmmod t;
+      Driver_core.rmmod "psmouse";
       {
         perf = float_of_int r.Mouse_move.packets;
         cpu = r.Mouse_move.cpu_utilization;

@@ -54,6 +54,11 @@ let apply_config c =
   Xpc.Marshal_plan.set_delta_enabled c.delta;
   Xpc.Dispatch.set_workers c.workers
 
+let insmod_via name =
+  match Driver_core.insmod name ~mode:Driver_env.Decaf with
+  | Ok () -> ()
+  | Error rc -> K.Panic.bug "xpcperf %s insmod: %d" name rc
+
 let finish ~scenario ~config ~perf ~perf_unit =
   let ch = Xpc.Channel.snapshot () in
   let b = Xpc.Batch.snapshot () in
@@ -92,11 +97,8 @@ let e1000_net which config ~duration_ns =
     (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
        ~mac:Scenario.mac ~link ());
   Scenario.in_thread (fun () ->
-      let t =
-        match E1000_drv.insmod (Scenario.env_of Driver_env.Decaf) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "xpcperf e1000 insmod: %d" rc
-      in
+      insmod_via "e1000";
+      let t = Option.get (E1000_drv.active ()) in
       let nd = E1000_drv.netdev t in
       (match K.Netcore.open_dev nd with
       | Ok () -> ()
@@ -111,7 +113,7 @@ let e1000_net which config ~duration_ns =
               "e1000-netperf-recv" )
       in
       Xpc.Batch.drain ();
-      E1000_drv.rmmod t;
+      Driver_core.rmmod "e1000";
       finish ~scenario ~config ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
 
 let rtl8139_net config ~duration_ns =
@@ -122,18 +124,15 @@ let rtl8139_net config ~duration_ns =
     (Rtl8139_drv.setup_device ~slot:"00:04.0" ~io_base:0xc000 ~irq:10
        ~mac:Scenario.mac ~link ());
   Scenario.in_thread (fun () ->
-      let t =
-        match Rtl8139_drv.insmod (Scenario.env_of Driver_env.Decaf) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "xpcperf 8139too insmod: %d" rc
-      in
+      insmod_via "8139too";
+      let t = Option.get (Rtl8139_drv.active ()) in
       let nd = Rtl8139_drv.netdev t in
       (match K.Netcore.open_dev nd with
       | Ok () -> ()
       | Error rc -> K.Panic.bug "xpcperf 8139too open: %d" rc);
       let r = Netperf.send ~netdev:nd ~link ~duration_ns ~msg_bytes:1500 in
       Xpc.Batch.drain ();
-      Rtl8139_drv.rmmod t;
+      Driver_core.rmmod "8139too";
       finish ~scenario:"8139too-netperf-send" ~config
         ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
 
@@ -142,16 +141,13 @@ let psmouse config ~duration_ns =
   apply_config config;
   let model = Psmouse_drv.setup_device () in
   Scenario.in_thread (fun () ->
-      let t =
-        match Psmouse_drv.insmod (Scenario.env_of Driver_env.Decaf) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "xpcperf psmouse insmod: %d" rc
-      in
+      insmod_via "psmouse";
+      let t = Option.get (Psmouse_drv.active ()) in
       let r =
         Mouse_move.run ~model ~input:(Psmouse_drv.input_dev t) ~duration_ns
       in
       Xpc.Batch.drain ();
-      Psmouse_drv.rmmod t;
+      Driver_core.rmmod "psmouse";
       finish ~scenario:"psmouse-move" ~config
         ~perf:r.Mouse_move.event_rate_hz ~perf_unit:"ev/s")
 
@@ -162,14 +158,11 @@ let ens1371 config ~duration_ns =
     Ens1371_drv.setup_device ~slot:"00:06.0" ~io_base:0xd000 ~irq:9 ()
   in
   Scenario.in_thread (fun () ->
-      let t =
-        match Ens1371_drv.insmod (Scenario.env_of Driver_env.Decaf) with
-        | Ok t -> t
-        | Error rc -> K.Panic.bug "xpcperf ens1371 insmod: %d" rc
-      in
+      insmod_via "ens1371";
+      let t = Option.get (Ens1371_drv.active ()) in
       let r = Mpg123.play ~substream:(Ens1371_drv.substream t) ~model ~duration_ns in
       Xpc.Batch.drain ();
-      Ens1371_drv.rmmod t;
+      Driver_core.rmmod "ens1371";
       finish ~scenario:"ens1371-mpg123" ~config
         ~perf:(if r.Mpg123.underruns <= 1 then r.Mpg123.realtime_factor else 0.0)
         ~perf_unit:"rt")

@@ -18,6 +18,7 @@ let boot () =
   Usbcore.reset ();
   Inputcore.reset ();
   Modules.reset ();
+  Hotplug.reset ();
   Faultinject.reset ();
   Klog.clear ();
   Cost.reset ()

@@ -12,9 +12,14 @@ let create ~name = { name; handler = None; events = 0 }
 let register d =
   if List.exists (fun o -> o.name = d.name) !registry then
     Panic.bug "input: device %s already registered" d.name;
-  registry := d :: !registry
+  registry := d :: !registry;
+  Hotplug.publish
+    (Hotplug.Device_added
+       { bus = Hotplug.Input; id = d.name; vendor = 0; device = 0 })
 
-let unregister d = registry := List.filter (fun o -> o != d) !registry
+let unregister d =
+  registry := List.filter (fun o -> o != d) !registry;
+  Hotplug.publish (Hotplug.Device_removed { bus = Hotplug.Input; id = d.name })
 let name d = d.name
 let set_handler d f = d.handler <- Some f
 

@@ -79,7 +79,11 @@ let add_device dev =
   if List.exists (fun d -> d.slot = dev.slot) !bus then
     Panic.bug "pci: slot %s already populated" dev.slot;
   bus := !bus @ [ dev ];
-  List.iter (fun drv -> try_bind drv dev) !drivers
+  List.iter (fun drv -> try_bind drv dev) !drivers;
+  Hotplug.publish
+    (Hotplug.Device_added
+       { bus = Hotplug.Pci; id = dev.slot; vendor = dev.vendor;
+         device = dev.device })
 
 let unbind dev =
   match dev.driver with
@@ -91,6 +95,10 @@ let unbind dev =
   | None -> ()
 
 let remove_device dev =
+  (* published before unbinding: a subscriber (the driver registry) may
+     still cross to the bound driver to drain in-flight work *)
+  Hotplug.publish
+    (Hotplug.Device_removed { bus = Hotplug.Pci; id = dev.slot });
   unbind dev;
   bus := List.filter (fun d -> d != dev) !bus
 

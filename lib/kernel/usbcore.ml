@@ -35,9 +35,17 @@ let register_hcd ~name ops =
       Panic.bug "usb: HCD %s already registered (adding %s)" existing name
   | None ->
       hcd := Some (name, ops);
-      Klog.printk Klog.Info "usb: HCD %s registered" name
+      Klog.printk Klog.Info "usb: HCD %s registered" name;
+      Hotplug.publish
+        (Hotplug.Device_added
+           { bus = Hotplug.Usb; id = name; vendor = 0; device = 0 })
 
-let unregister_hcd () = hcd := None
+let unregister_hcd () =
+  (match !hcd with
+  | Some (name, _) ->
+      Hotplug.publish (Hotplug.Device_removed { bus = Hotplug.Usb; id = name })
+  | None -> ());
+  hcd := None
 let hcd_name () = Option.map fst !hcd
 
 let require_hcd () =
