@@ -7,9 +7,21 @@ test:
 	dune runtest
 
 # The whole gate in one shot: compile, run the tier-1 test suite, hold
-# the driver corpus to the static checks, and verify the XPC fast path
+# the driver corpus to the static checks, run the hostile-driver
+# campaign against its acceptance gate, and verify the XPC fast path
 # against the committed trajectory.
-check: build test lint bench-check
+check: build test lint campaign-malicious bench-check
+
+# The fault-injection campaign (buggy drivers: Table "no panics" row).
+campaign:
+	dune exec bin/experiments.exe -- campaign
+
+# The adversarial campaign (hostile drivers: forged handles, fuzzed
+# fields, forged acks, queue floods). Renders the trial table and its
+# acceptance line; the same gate runs in `dune runtest` as
+# test_maliciouscampaign.
+campaign-malicious:
+	dune exec bin/experiments.exe -- campaign-malicious
 
 # Fail if the XPC fast path regressed against the committed trajectory:
 # >10% on crossings/bytes or >5% on virtual-time throughput per

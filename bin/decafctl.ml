@@ -39,7 +39,7 @@ let run driver seconds =
       print_string (E.Table3.render rows);
       exit 0
 
-let status driver =
+let status driver json =
   match resolve_driver driver with
   | Error msg ->
       Printf.eprintf "decafctl: %s\n" msg;
@@ -54,7 +54,8 @@ let status driver =
               (fun s -> s.Decaf_drivers.Driver_core.s_driver = d)
               snaps
       in
-      print_string (E.Status.render snaps);
+      print_string
+        (if json then E.Status.render_json snaps else E.Status.render snaps);
       exit 0
 
 let driver_arg =
@@ -73,13 +74,20 @@ let run_cmd =
        ~doc:"Run a driver workload in native and decaf modes and compare")
     Term.(const run $ driver_arg $ seconds_arg)
 
+let json_arg =
+  let doc =
+    "Emit one JSON object per driver (machine-readable snapshot, including \
+     boundary-rejection counters) instead of the table."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let status_cmd =
   Cmd.v
     (Cmd.info "status"
        ~doc:
          "Load every driver through the registry and print its lifecycle, \
           crossing and supervisor snapshot")
-    Term.(const status $ driver_arg)
+    Term.(const status $ driver_arg $ json_arg)
 
 let cmd =
   Cmd.group

@@ -1,20 +1,41 @@
-(* Regenerate the paper's entire evaluation: Tables 1-4 and the section
-   5.1 case study, in order. *)
+(* Regenerate the paper's entire evaluation: Tables 1-4, the section
+   5.1 case study, and the two robustness campaigns, in order. With
+   arguments, run only the named sections (e.g. `experiments table3
+   campaign-malicious`). *)
 
 module E = Decaf_experiments
 
+let sections =
+  [
+    ("table1", fun () -> E.Table1.render (E.Table1.measure ()));
+    ("table2", fun () -> E.Table2.render (E.Table2.measure ()));
+    ("table3", fun () -> E.Table3.render (E.Table3.measure ()));
+    ("table4", fun () -> E.Table4.render (E.Table4.measure ()));
+    ("casestudy", fun () -> E.Casestudy.render (E.Casestudy.measure ()));
+    ("campaign", fun () -> E.Faultcampaign.render (E.Faultcampaign.run ()));
+    ( "campaign-malicious",
+      fun () -> E.Maliciouscampaign.render (E.Maliciouscampaign.run ()) );
+  ]
+
 let () =
-  print_endline "Decaf Drivers: full evaluation";
-  print_endline "==============================";
-  print_newline ();
-  print_string (E.Table1.render (E.Table1.measure ()));
-  print_newline ();
-  print_string (E.Table2.render (E.Table2.measure ()));
-  print_newline ();
-  print_string (E.Table3.render (E.Table3.measure ()));
-  print_newline ();
-  print_string (E.Table4.render (E.Table4.measure ()));
-  print_newline ();
-  print_string (E.Casestudy.render (E.Casestudy.measure ()));
-  print_newline ();
-  print_string (E.Faultcampaign.render (E.Faultcampaign.run ()))
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map fst sections
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n sections) then begin
+              Printf.eprintf "unknown section %S; known: %s\n" n
+                (String.concat ", " (List.map fst sections));
+              exit 2
+            end)
+          names;
+        names
+  in
+  print_endline "Decaf Drivers: evaluation";
+  print_endline "=========================";
+  List.iter
+    (fun name ->
+      print_newline ();
+      print_string ((List.assoc name sections) ()))
+    requested

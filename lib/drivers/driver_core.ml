@@ -69,6 +69,7 @@ type snapshot = {
   s_wire_bytes : int;
   s_notifies : int;
   s_deferred_syncs : int;
+  s_rejections : int;
   s_supervisor : Supervisor.stats option;
   s_restarts_left : int;
   s_init_latency_ns : int;
@@ -123,11 +124,15 @@ let set_disabled b = if b.state <> Disabled then transition b Disabled
 
 (* --- metered driver environment --- *)
 
-let metered meter (base : Driver_env.t) =
+let metered ~driver meter (base : Driver_env.t) =
   (* Native-mode "calls" never leave the kernel; only count crossings
      that a split build actually pays for. The meter itself costs no
-     virtual time, so benchmark trajectories are unaffected. *)
+     virtual time, so benchmark trajectories are unaffected. Every
+     crossing also runs under the binding's boundary scope, so
+     validation rejections land in the per-driver counter surfaced by
+     [snapshot]. *)
   let live = base.Driver_env.mode <> Driver_env.Native in
+  let scoped f = Xpc.Boundary.scoped driver f in
   {
     Driver_env.mode = base.Driver_env.mode;
     upcall =
@@ -136,21 +141,21 @@ let metered meter (base : Driver_env.t) =
           meter.m_upcalls <- meter.m_upcalls + 1;
           meter.m_wire_bytes <- meter.m_wire_bytes + bytes
         end;
-        base.Driver_env.upcall ~name ~bytes f);
+        scoped (fun () -> base.Driver_env.upcall ~name ~bytes f));
     downcall =
       (fun ~name ~bytes f ->
         if live then begin
           meter.m_downcalls <- meter.m_downcalls + 1;
           meter.m_wire_bytes <- meter.m_wire_bytes + bytes
         end;
-        base.Driver_env.downcall ~name ~bytes f);
+        scoped (fun () -> base.Driver_env.downcall ~name ~bytes f));
     notify =
       (fun ~name ~bytes f ->
         if live then begin
           meter.m_notifies <- meter.m_notifies + 1;
           meter.m_wire_bytes <- meter.m_wire_bytes + bytes
         end;
-        base.Driver_env.notify ~name ~bytes f);
+        scoped (fun () -> base.Driver_env.notify ~name ~bytes f));
   }
 
 (* --- internal operations --- *)
@@ -198,7 +203,7 @@ let bind b mode =
       m.m_downcalls <- 0;
       m.m_notifies <- 0;
       m.m_wire_bytes <- 0;
-      let env = metered m (Driver_env.of_mode mode) in
+      let env = metered ~driver:b.b_name m (Driver_env.of_mode mode) in
       match D.probe env with
       | Ok t ->
           b.inst <- Some (B ((module D), t));
@@ -453,6 +458,7 @@ let snapshot_of b =
     s_wire_bytes = b.meter.m_wire_bytes;
     s_notifies = b.meter.m_notifies;
     s_deferred_syncs = deferred;
+    s_rejections = Xpc.Boundary.rejected_for b.b_name;
     s_supervisor = Option.map Supervisor.stats b.sup;
     s_restarts_left =
       (match b.sup with Some s -> Supervisor.restarts_left s | None -> 0);
@@ -468,20 +474,21 @@ let snapshots () =
 let render_status snaps =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %4s %7s\n" "Driver" "State"
-    "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Det" "Rec" "Deg"
-    "Budget";
+  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %4s %4s %7s\n" "Driver"
+    "State" "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Rej" "Det"
+    "Rec" "Deg" "Budget";
   List.iter
     (fun s ->
       let stat f =
         match s.s_supervisor with Some st -> f st | None -> 0
       in
-      add "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %4d %7d\n" s.s_driver
+      add "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %4d %4d %7d\n" s.s_driver
         (lifecycle_name s.s_state)
         (match s.s_mode with
         | Some m -> Driver_env.mode_name m
         | None -> "-")
         s.s_crossings s.s_wire_bytes s.s_notifies s.s_deferred_syncs
+        s.s_rejections
         (stat (fun st -> st.Supervisor.detected))
         (stat (fun st -> st.Supervisor.recovered))
         (stat (fun st -> st.Supervisor.degraded))

@@ -91,6 +91,10 @@ type snapshot = {
   s_wire_bytes : int;  (** payload bytes of those calls *)
   s_notifies : int;  (** deferred notifications posted *)
   s_deferred_syncs : int;  (** deferred view refreshes delivered *)
+  s_rejections : int;
+      (** boundary-validation rejections attributed to this binding
+          (forged/stale handles, field violations, forged acks) —
+          {!Decaf_xpc.Boundary.rejected_for} under the binding's scope *)
   s_supervisor : Decaf_runtime.Supervisor.stats option;
   s_restarts_left : int;
   s_init_latency_ns : int;

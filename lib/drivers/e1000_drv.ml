@@ -115,19 +115,23 @@ let with_java_adapter a ~name f =
       result
   | Driver_env.Staged | Driver_env.Decaf ->
       if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
-      let upto = O.user_view_mark a.ka in
-      let payload = O.marshal_to_user a.ka in
-      let result, back =
-        a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload) (fun () ->
-            let j = O.unmarshal_at_user payload a.ka in
-            let result = f j in
-            (result, O.marshal_to_kernel j))
-      in
-      (* the crossing carried every mark up to the snapshot; marks from
-         interrupts that fired during the call stay for the next sync *)
-      O.ack_user_view a.ka ~upto;
-      O.unmarshal_at_kernel back a.ka;
-      result
+      (* boundary faults caught below (handle resolution, field
+         validation, ack high-water) are attributed to this binding *)
+      Decaf_xpc.Boundary.scoped driver (fun () ->
+          let upto = O.user_view_mark a.ka in
+          let payload = O.marshal_to_user a.ka in
+          let result, back =
+            a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload)
+              (fun () ->
+                let j = O.unmarshal_at_user payload a.ka in
+                let result = f j in
+                (result, O.marshal_to_kernel j))
+          in
+          (* the crossing carried every mark up to the snapshot; marks from
+             interrupts that fired during the call stay for the next sync *)
+          O.ack_user_view a.ka ~upto;
+          O.unmarshal_at_kernel back a.ka;
+          result)
 
 (* Non-urgent kernel->user view refresh (stats rollups, link state):
    marshal the delta now — interrupt context is fine, nothing blocks —
@@ -141,9 +145,10 @@ let post_adapter_sync a ~name =
       let upto = O.user_view_mark a.ka in
       let payload = O.marshal_to_user a.ka in
       a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
-          ignore (O.unmarshal_at_user payload a.ka);
-          O.ack_user_view a.ka ~upto;
-          a.user_syncs <- a.user_syncs + 1)
+          Decaf_xpc.Boundary.scoped driver (fun () ->
+              ignore (O.unmarshal_at_user payload a.ka);
+              O.ack_user_view a.ka ~upto;
+              a.user_syncs <- a.user_syncs + 1))
 
 (* The kernel nucleus refreshes the user-level stats view once per
    [stats_notify_interval] data-path packets — often enough for user

@@ -55,6 +55,44 @@ let plan =
 let adapter_key : java_adapter Univ.key = Univ.new_key "e1000_adapter"
 let ring_key : ring Univ.key = Univ.new_key "e1000_ring"
 
+(* Inbound validation rules, next to the plan they refine. Values are
+   the honest driver's envelope: msg_enable is a NETIF_MSG_* mask,
+   flags a small bitmask, config_space at most the config window. The
+   Read-only fields carry rules too, but writability rejects them
+   before any rule runs. *)
+let guard =
+  Guard.make plan
+    [
+      ("msg_enable", Guard.Range (0, 0xffff));
+      ("flags", Guard.Non_negative);
+      ("mtu", Guard.Range (68, 9000));
+      ("config_space", Guard.Max_len config_words);
+      ("watchdog_events", Guard.Non_negative);
+      ("stats_gen", Guard.Non_negative);
+    ]
+
+let guard_rejections () = Guard.rejections guard
+
+(* Capability handles: the wire's object-reference field carries a
+   handle issued by the kernel tracker, never the C address. Issue is
+   idempotent, so outbound marshals and [user_has_view] agree on the
+   handle without extra bookkeeping. The embedded rings get their own
+   handles — same C address as the adapter (the tx ring is the first
+   member), different capabilities. *)
+let kernel_tracker () = Decaf_runtime.Runtime.kernel_tracker ()
+
+let adapter_handle (k : kernel_adapter) =
+  Objtracker.issue (kernel_tracker ()) ~addr:k.k_addr
+    ~type_id:(Plan.type_id plan)
+
+let tx_ring_handle (k : kernel_adapter) =
+  Objtracker.issue (kernel_tracker ()) ~addr:k.k_tx_addr
+    ~type_id:(Univ.key_name ring_key)
+
+let rx_ring_handle (k : kernel_adapter) =
+  Objtracker.issue (kernel_tracker ()) ~addr:k.k_rx_addr
+    ~type_id:(Univ.key_name ring_key)
+
 let fresh_kernel_adapter () =
   let k_addr = Addr.alloc ~size:512 in
   {
@@ -71,7 +109,7 @@ let fresh_kernel_adapter () =
     k_config_space = Array.make config_words 0;
     k_watchdog_events = 0;
     k_stats_gen = 0;
-    k_dirty = Plan.Dirty.create ();
+    k_dirty = Plan.Dirty.create ~owner:"e1000_adapter" ();
   }
 
 (* Dirty-marking writers. Kernel code that wants its write to reach the
@@ -200,10 +238,13 @@ let decode_fields bytes =
    user-level tracker has an object for this address (first crossing, or
    first crossing after a runtime restart cleared the tracker), the image
    must be full regardless of marks. *)
+(* The user-level tracker is keyed by the handle (that IS the object
+   reference user level holds); the kernel's C address never reaches
+   user level. *)
 let user_has_view (k : kernel_adapter) =
   Objtracker.mem
     (Decaf_runtime.Runtime.java_tracker ())
-    ~addr:k.k_addr ~type_id:(Plan.type_id plan)
+    ~addr:(adapter_handle k) ~type_id:(Plan.type_id plan)
 
 let marshal_to_user (k : kernel_adapter) =
   let delta = Plan.delta_enabled () && user_has_view k in
@@ -211,7 +252,7 @@ let marshal_to_user (k : kernel_adapter) =
     Plan.copies_in plan name
     && ((not delta) || Plan.Dirty.test k.k_dirty name)
   in
-  encode_fields ~includes ~addr:k.k_addr ~msg_enable:k.k_msg_enable
+  encode_fields ~includes ~addr:(adapter_handle k) ~msg_enable:k.k_msg_enable
     ~flags:k.k_flags ~link_up:k.k_link_up ~mtu:k.k_mtu
     ~config_space:k.k_config_space ~watchdog_events:k.k_watchdog_events
     ~stats_gen:k.k_stats_gen
@@ -248,12 +289,14 @@ let unmarshal_at_user bytes (k : kernel_adapter) =
             j_config_space = Array.make config_words 0;
             j_watchdog_events = 0;
             j_stats_gen = 0;
-            j_dirty = Plan.Dirty.create ();
+            j_dirty = Plan.Dirty.create ~owner:"e1000_adapter.user" ();
           }
         in
         Objtracker.associate tracker ~addr:d.d_addr (Univ.pack adapter_key j);
-        Objtracker.associate tracker ~addr:k.k_tx_addr (Univ.pack ring_key j.j_tx);
-        Objtracker.associate tracker ~addr:k.k_rx_addr (Univ.pack ring_key j.j_rx);
+        Objtracker.associate tracker ~addr:(tx_ring_handle k)
+          (Univ.pack ring_key j.j_tx);
+        Objtracker.associate tracker ~addr:(rx_ring_handle k)
+          (Univ.pack ring_key j.j_rx);
         j
   in
   (* plain assignments: these values just arrived from the kernel, so
@@ -287,19 +330,58 @@ let marshal_to_kernel (j : java_adapter) =
   if delta then Plan.Dirty.acknowledge j.j_dirty ~upto;
   b
 
+(* Inbound crossing: the user-level driver is untrusted, so everything
+   is checked before anything is applied — the reference resolves
+   through the capability table (a forged, stale or cross-type handle
+   is a boundary fault, not a panic), every present field clears its
+   guard rule, and only then does kernel state absorb the image. A
+   violation anywhere leaves the adapter untouched. *)
 let unmarshal_at_kernel bytes (k : kernel_adapter) =
+  Guard.check_inbound_bytes guard (Bytes.length bytes);
   let d = decode_fields bytes in
-  if d.d_addr <> k.k_addr then
-    Decaf_kernel.Panic.bug "e1000: marshal for wrong adapter %#x" d.d_addr;
-  Option.iter (fun v -> k.k_msg_enable <- v) d.d_msg_enable;
-  Option.iter (fun v -> k.k_flags <- v) d.d_flags;
-  Option.iter (fun v -> k.k_link_up <- v) d.d_link_up;
-  (* mtu is Read-only in the plan: decode_fields sees no value for it *)
-  Option.iter (fun v -> Array.blit v 0 k.k_config_space 0 (Array.length v))
-    d.d_config_space;
-  Option.iter (fun v -> k.k_watchdog_events <- v) d.d_watchdog_events;
-  ignore d.d_mtu;
-  ignore d.d_stats_gen
+  (match
+     Objtracker.resolve (kernel_tracker ()) ~handle:d.d_addr
+       ~type_id:(Plan.type_id plan)
+   with
+  | Error reason ->
+      (* resolve already counted the rejection *)
+      raise
+        (Boundary.Boundary_violation
+           { type_id = Plan.type_id plan; field = "handle"; reason })
+  | Ok addr ->
+      if addr <> k.k_addr then
+        Boundary.reject ~type_id:(Plan.type_id plan) ~field:"handle"
+          "handle %#x names adapter %#x, crossing is for %#x" d.d_addr addr
+          k.k_addr);
+  let msg_enable =
+    Option.map (Guard.int_field guard ~field:"msg_enable") d.d_msg_enable
+  in
+  let flags = Option.map (Guard.int_field guard ~field:"flags") d.d_flags in
+  let link_up =
+    Option.map (Guard.bool_field guard ~field:"link_up") d.d_link_up
+  in
+  let config_space =
+    Option.map (Guard.array_field guard ~field:"config_space") d.d_config_space
+  in
+  let watchdog_events =
+    Option.map
+      (Guard.int_field guard ~field:"watchdog_events")
+      d.d_watchdog_events
+  in
+  (* mtu / stats_gen are Read-only in the plan: never applied, and with
+     the guard on their very presence inbound is a violation *)
+  Option.iter (fun v -> ignore (Guard.int_field guard ~field:"mtu" v)) d.d_mtu;
+  Option.iter
+    (fun v -> ignore (Guard.int_field guard ~field:"stats_gen" v))
+    d.d_stats_gen;
+  Option.iter (fun v -> k.k_msg_enable <- v) msg_enable;
+  Option.iter (fun v -> k.k_flags <- v) flags;
+  Option.iter (fun v -> k.k_link_up <- v) link_up;
+  Option.iter
+    (fun v ->
+      Array.blit v 0 k.k_config_space 0 (min (Array.length v) config_words))
+    config_space;
+  Option.iter (fun v -> k.k_watchdog_events <- v) watchdog_events
 
 let resync_user_view (k : kernel_adapter) =
   List.iter

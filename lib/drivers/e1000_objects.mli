@@ -38,7 +38,9 @@ type kernel_adapter = {
 }
 
 type java_adapter = {
-  mutable j_c_addr : int;  (** C pointer this object mirrors *)
+  mutable j_c_addr : int;
+      (** capability handle this object mirrors — user level never
+          holds the kernel's C address *)
   j_tx : ring;
   j_rx : ring;
   mutable j_msg_enable : int;
@@ -59,6 +61,28 @@ val plan : Decaf_xpc.Marshal_plan.t
 
 val adapter_key : java_adapter Decaf_xpc.Univ.key
 val ring_key : ring Decaf_xpc.Univ.key
+
+val guard : Decaf_xpc.Guard.t
+(** Inbound validator derived from {!plan}: writability plus per-field
+    range/enum/length rules, applied by {!unmarshal_at_kernel}. *)
+
+val guard_rejections : unit -> int
+(** Boundary violations this validator has caught (campaign assertions). *)
+
+(** {2 Capability handles}
+
+    The wire's object-reference field carries a handle issued by the
+    kernel tracker ({!Decaf_xpc.Objtracker.issue}), never a raw C
+    address; inbound crossings resolve it back
+    ({!Decaf_xpc.Objtracker.resolve}) and treat forged, stale or
+    cross-type handles as boundary faults. The embedded rings get their
+    own handles — same C address (the tx ring is the adapter's first
+    member), different capabilities, so the §3.1.2 aliasing cannot be
+    abused for type confusion. *)
+
+val adapter_handle : kernel_adapter -> Decaf_xpc.Objtracker.handle
+val tx_ring_handle : kernel_adapter -> Decaf_xpc.Objtracker.handle
+val rx_ring_handle : kernel_adapter -> Decaf_xpc.Objtracker.handle
 
 val fresh_kernel_adapter : unit -> kernel_adapter
 (** Allocate with fresh simulated addresses. *)
@@ -101,8 +125,8 @@ val marshal_to_user : kernel_adapter -> bytes
 
 val unmarshal_at_user : bytes -> kernel_adapter -> java_adapter
 (** Decode at user level: finds (or creates and registers) the Java
-    adapter for the C address in the user-level tracker, updates the
-    planned fields in place, and returns it. *)
+    adapter for the capability handle in the user-level tracker, updates
+    the planned fields in place, and returns it. *)
 
 val marshal_to_kernel : java_adapter -> bytes
 (** Encode the plan's copy-out fields for the return trip; in delta mode
@@ -110,7 +134,11 @@ val marshal_to_kernel : java_adapter -> bytes
     acknowledges (the reply leg cannot independently time out). *)
 
 val unmarshal_at_kernel : bytes -> kernel_adapter -> unit
-(** Apply the decaf driver's writes back to the kernel object. *)
+(** Apply the decaf driver's writes back to the kernel object — after
+    resolving the capability handle and validating every present field
+    against {!guard}. Checks run before any write, so a
+    {!Decaf_xpc.Boundary.Boundary_violation} (routed to the supervisor
+    as a recoverable driver fault) leaves the adapter untouched. *)
 
 val resync_user_view : kernel_adapter -> unit
 (** Mark every copy-in plan field dirty so the next crossing carries a

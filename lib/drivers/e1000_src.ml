@@ -1243,6 +1243,23 @@ let lint_waivers : Decaf_slicer.Lint.waiver list =
         ("e1000_option", 64);
       ]
   in
+  let inbound =
+    List.map
+      (fun (w_anchor, w_line) ->
+        {
+          w_pass = Inbound_validation;
+          w_anchor;
+          w_line;
+          w_reason =
+            "pre-conversion corpus: the decaf build validates these fields \
+             at the boundary via the Guard rules in E1000_objects";
+        })
+      [
+        ("e1000_tx_ring", 21);
+        ("e1000_rx_ring", 29);
+        ("e1000_adapter", 49);
+      ]
+  in
   {
     w_pass = Annotation_soundness;
     w_anchor = "e1000_save_config_space";
@@ -1253,3 +1270,4 @@ let lint_waivers : Decaf_slicer.Lint.waiver list =
   }
   :: seeded
   @ missing
+  @ inbound

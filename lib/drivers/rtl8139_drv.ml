@@ -54,17 +54,20 @@ let with_java_nic a ~name f =
       result
   | Driver_env.Staged | Driver_env.Decaf ->
       if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
-      let upto = RO.user_view_mark a.ka in
-      let payload = RO.marshal_to_user a.ka in
-      let result, back =
-        a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload) (fun () ->
-            let j = RO.unmarshal_at_user payload in
-            let result = f j in
-            (result, RO.marshal_to_kernel j))
-      in
-      RO.ack_user_view a.ka ~upto;
-      RO.unmarshal_at_kernel back a.ka;
-      result
+      (* attribute boundary faults on this crossing to the binding *)
+      Decaf_xpc.Boundary.scoped "8139too" (fun () ->
+          let upto = RO.user_view_mark a.ka in
+          let payload = RO.marshal_to_user a.ka in
+          let result, back =
+            a.env.Driver_env.upcall ~name ~bytes:(Bytes.length payload)
+              (fun () ->
+                let j = RO.unmarshal_at_user payload in
+                let result = f j in
+                (result, RO.marshal_to_kernel j))
+          in
+          RO.ack_user_view a.ka ~upto;
+          RO.unmarshal_at_kernel back a.ka;
+          result)
 
 (* Deferred kernel->user view refresh, as in E1000_drv. *)
 let post_nic_sync a ~name =
@@ -74,9 +77,10 @@ let post_nic_sync a ~name =
       let upto = RO.user_view_mark a.ka in
       let payload = RO.marshal_to_user a.ka in
       a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
-          ignore (RO.unmarshal_at_user payload);
-          RO.ack_user_view a.ka ~upto;
-          a.user_syncs <- a.user_syncs + 1)
+          Decaf_xpc.Boundary.scoped "8139too" (fun () ->
+              ignore (RO.unmarshal_at_user payload);
+              RO.ack_user_view a.ka ~upto;
+              a.user_syncs <- a.user_syncs + 1))
 
 let stats_notify_interval = 64
 

@@ -35,6 +35,26 @@ let plan =
 
 let nic_key : java_nic Univ.key = Univ.new_key "rtl8139_nic"
 
+(* Inbound validation rules (see E1000_objects for the shape): only
+   msg_enable is writable from user level; the Read-only views carry
+   rules for completeness but writability rejects them first. *)
+let guard =
+  Guard.make plan
+    [
+      ("msg_enable", Guard.Range (0, 0xffff));
+      ("mc_filter", Guard.Max_len mc_filter_words);
+      ("rx_dropped", Guard.Non_negative);
+      ("stats_gen", Guard.Non_negative);
+    ]
+
+let guard_rejections () = Guard.rejections guard
+
+let kernel_tracker () = Decaf_runtime.Runtime.kernel_tracker ()
+
+let nic_handle (k : kernel_nic) =
+  Objtracker.issue (kernel_tracker ()) ~addr:k.k_addr
+    ~type_id:(Plan.type_id plan)
+
 let fresh_kernel_nic () =
   {
     k_addr = Addr.alloc ~size:256;
@@ -42,7 +62,7 @@ let fresh_kernel_nic () =
     k_mc_filter = Array.make mc_filter_words 0;
     k_rx_dropped = 0;
     k_stats_gen = 0;
-    k_dirty = Plan.Dirty.create ();
+    k_dirty = Plan.Dirty.create ~owner:"rtl8139_nic" ();
   }
 
 let set_k_msg_enable k v =
@@ -111,10 +131,12 @@ let decode_fields bytes =
   Xdr.Dec.check_drained d;
   { d_addr; d_msg_enable; d_mc_filter; d_rx_dropped; d_stats_gen }
 
+(* The user-level tracker is keyed by the capability handle — the C
+   address never crosses to user level. *)
 let user_has_view (k : kernel_nic) =
   Objtracker.mem
     (Decaf_runtime.Runtime.java_tracker ())
-    ~addr:k.k_addr ~type_id:(Plan.type_id plan)
+    ~addr:(nic_handle k) ~type_id:(Plan.type_id plan)
 
 let marshal_to_user (k : kernel_nic) =
   let delta = Plan.delta_enabled () && user_has_view k in
@@ -122,7 +144,7 @@ let marshal_to_user (k : kernel_nic) =
     Plan.copies_in plan name
     && ((not delta) || Plan.Dirty.test k.k_dirty name)
   in
-  encode_fields ~includes ~addr:k.k_addr ~msg_enable:k.k_msg_enable
+  encode_fields ~includes ~addr:(nic_handle k) ~msg_enable:k.k_msg_enable
     ~mc_filter:k.k_mc_filter ~rx_dropped:k.k_rx_dropped
     ~stats_gen:k.k_stats_gen
 
@@ -148,7 +170,7 @@ let unmarshal_at_user bytes =
             j_mc_filter = Array.make mc_filter_words 0;
             j_rx_dropped = 0;
             j_stats_gen = 0;
-            j_dirty = Plan.Dirty.create ();
+            j_dirty = Plan.Dirty.create ~owner:"rtl8139_nic.user" ();
           }
         in
         Objtracker.associate tracker ~addr:d.d_addr (Univ.pack nic_key j);
@@ -176,15 +198,43 @@ let marshal_to_kernel (j : java_nic) =
   if delta then Plan.Dirty.acknowledge j.j_dirty ~upto;
   b
 
+(* Inbound crossing: validate everything (capability handle, payload
+   size, field rules) before applying anything — a boundary fault
+   leaves the nic untouched and routes to the supervisor, never a
+   panic. *)
 let unmarshal_at_kernel bytes (k : kernel_nic) =
+  Guard.check_inbound_bytes guard (Bytes.length bytes);
   let d = decode_fields bytes in
-  if d.d_addr <> k.k_addr then
-    Decaf_kernel.Panic.bug "8139too: marshal for wrong nic %#x" d.d_addr;
-  Option.iter (fun v -> k.k_msg_enable <- v) d.d_msg_enable;
-  (* mc_filter / rx_dropped / stats_gen are Read-only in the plan *)
-  ignore d.d_mc_filter;
-  ignore d.d_rx_dropped;
-  ignore d.d_stats_gen
+  (match
+     Objtracker.resolve (kernel_tracker ()) ~handle:d.d_addr
+       ~type_id:(Plan.type_id plan)
+   with
+  | Error reason ->
+      (* resolve already counted the rejection *)
+      raise
+        (Boundary.Boundary_violation
+           { type_id = Plan.type_id plan; field = "handle"; reason })
+  | Ok addr ->
+      if addr <> k.k_addr then
+        Boundary.reject ~type_id:(Plan.type_id plan) ~field:"handle"
+          "handle %#x names nic %#x, crossing is for %#x" d.d_addr addr
+          k.k_addr);
+  let msg_enable =
+    Option.map (Guard.int_field guard ~field:"msg_enable") d.d_msg_enable
+  in
+  (* mc_filter / rx_dropped / stats_gen are Read-only in the plan:
+     never applied, and with the guard on their presence inbound is a
+     violation *)
+  Option.iter
+    (fun v -> ignore (Guard.array_field guard ~field:"mc_filter" v))
+    d.d_mc_filter;
+  Option.iter
+    (fun v -> ignore (Guard.int_field guard ~field:"rx_dropped" v))
+    d.d_rx_dropped;
+  Option.iter
+    (fun v -> ignore (Guard.int_field guard ~field:"stats_gen" v))
+    d.d_stats_gen;
+  Option.iter (fun v -> k.k_msg_enable <- v) msg_enable
 
 let resync_user_view (k : kernel_nic) =
   List.iter

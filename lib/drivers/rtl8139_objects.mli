@@ -19,7 +19,7 @@ type kernel_nic = {
 }
 
 type java_nic = {
-  mutable j_c_addr : int;
+  mutable j_c_addr : int;  (** capability handle this object mirrors *)
   mutable j_msg_enable : int;
   j_mc_filter : int array;
   mutable j_rx_dropped : int;
@@ -30,6 +30,16 @@ type java_nic = {
 val mc_filter_words : int
 val plan : Decaf_xpc.Marshal_plan.t
 val nic_key : java_nic Decaf_xpc.Univ.key
+
+val guard : Decaf_xpc.Guard.t
+(** Inbound validator derived from {!plan}; see {!E1000_objects.guard}. *)
+
+val guard_rejections : unit -> int
+
+val nic_handle : kernel_nic -> Decaf_xpc.Objtracker.handle
+(** The capability handle the wire carries instead of [k_addr]; see
+    {!E1000_objects.adapter_handle}. *)
+
 val fresh_kernel_nic : unit -> kernel_nic
 
 (** {2 Dirty-marking writers} *)

@@ -404,4 +404,12 @@ let lint_waivers : Decaf_slicer.Lint.waiver list =
         "pre-conversion corpus: the C bodies remain the slicer's input, and \
          the legacy plan counts the mac_addr array-element store as a read";
     };
+    {
+      w_pass = Inbound_validation;
+      w_anchor = "rtl8139_private";
+      w_line = 11;
+      w_reason =
+        "pre-conversion corpus: the decaf build validates these fields at \
+         the boundary via the Guard rules in Rtl8139_objects";
+    };
   ]

@@ -325,4 +325,14 @@ let config =
   }
 
 (* Line-anchored decaf-lint suppressions; see Lint.apply_waivers. *)
-let lint_waivers : Decaf_slicer.Lint.waiver list = []
+let lint_waivers : Decaf_slicer.Lint.waiver list =
+  [
+    {
+      Decaf_slicer.Lint.w_pass = Decaf_slicer.Lint.Inbound_validation;
+      w_anchor = "uhci_hcd";
+      w_line = 21;
+      w_reason =
+        "pre-conversion corpus: rh_state transitions are driven through the \
+         validated root-hub control path in the decaf build";
+    };
+  ]

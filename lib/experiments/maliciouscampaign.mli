@@ -1,0 +1,56 @@
+(** Malicious-driver campaign: the adversarial counterpart of
+    {!Faultcampaign}.  Instead of a failing device, each trial models a
+    compromised user-level driver attacking the XPC boundary — fuzzed
+    return values, writes through read-only fields, forged / stale /
+    cross-type capability handles, replayed delta acknowledgements,
+    oversized inbound payloads, deferred-call queue floods, and attacks
+    timed into suspend/resume and hotplug windows — with the recovery
+    supervisor in the loop.
+
+    The acceptance claim is the boundary-hardening contract: every
+    attack is rejected at the boundary and either absorbed (drop +
+    count) or converted into an ordinary recoverable driver fault; the
+    kernel never panics and no kernel object absorbs a write from a
+    rejected image. *)
+
+type trial = {
+  driver : string;
+  attack : string;
+  expected : string;
+  outcome : string;
+      (** ["clean"] (baseline), ["recovered"] (boundary fault detected,
+          supervisor restarted the driver), ["degraded"] (persistent
+          abuse exhausted the restart budget), ["dropped"] (overflow
+          absorbed without a fault), or ["KERNEL-BUG"]. *)
+  rejections : int;  (** boundary violations detected during the trial *)
+  dropped : int;  (** inbound work discarded without a fault *)
+  restarts : int;
+  corrupted : int;
+      (** kernel-object fields mutated by a rejected image — the
+          validate-then-apply discipline keeps this zero *)
+  kernel_bugs : int;
+}
+
+type report = {
+  seed : int;
+  trials : trial list;
+  total_rejections : int;
+  total_dropped : int;
+  total_restarts : int;
+  total_corrupted : int;
+  total_kernel_bugs : int;
+}
+
+val run : ?seed:int -> unit -> report
+(** Boot-per-trial, deterministic: trial [i] fuzzes with
+    [Random.State.make [| seed + i |]].  Must not be called from inside
+    a scheduler thread. *)
+
+val check : report -> (unit, string) result
+(** The gate [make campaign-malicious] and the test suite enforce:
+    zero kernel bugs, zero corrupted kernel objects, at least 25 trials
+    covering all five drivers, every attack class exercised (rejections,
+    drops and restarts all nonzero), and every trial's outcome equal to
+    its expectation. *)
+
+val render : report -> string

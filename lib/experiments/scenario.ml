@@ -9,6 +9,7 @@ let boot () =
   Decaf_xpc.Batch.reset ();
   Decaf_xpc.Dispatch.reset ();
   Decaf_xpc.Marshal_plan.set_delta_enabled false;
+  Decaf_xpc.Guard.reset ();
   Decaf_runtime.Runtime.reset ();
   (* fresh boot, fresh driver registry: every experiment loads drivers
      through the unified driver model *)

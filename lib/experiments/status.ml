@@ -68,3 +68,30 @@ let measure () =
       snaps)
 
 let render = Driver_core.render_status
+
+(* One JSON object per driver, one per line — the same hand-rolled,
+   dependency-free convention as the BENCH_xpc.json trajectory. *)
+let render_json snaps =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun s ->
+      let stat f =
+        match s.Driver_core.s_supervisor with Some st -> f st | None -> 0
+      in
+      add
+        "{\"driver\":\"%s\",\"state\":\"%s\",\"mode\":\"%s\",\"crossings\":%d,\"wire_bytes\":%d,\"notifies\":%d,\"deferred_syncs\":%d,\"rejections\":%d,\"detected\":%d,\"recovered\":%d,\"degraded\":%d,\"restarts_left\":%d,\"init_latency_ns\":%d}\n"
+        s.Driver_core.s_driver
+        (Driver_core.lifecycle_name s.Driver_core.s_state)
+        (match s.Driver_core.s_mode with
+        | Some m -> Driver_env.mode_name m
+        | None -> "-")
+        s.Driver_core.s_crossings s.Driver_core.s_wire_bytes
+        s.Driver_core.s_notifies s.Driver_core.s_deferred_syncs
+        s.Driver_core.s_rejections
+        (stat (fun st -> st.Decaf_runtime.Supervisor.detected))
+        (stat (fun st -> st.Decaf_runtime.Supervisor.recovered))
+        (stat (fun st -> st.Decaf_runtime.Supervisor.degraded))
+        s.Driver_core.s_restarts_left s.Driver_core.s_init_latency_ns)
+    snaps;
+  Buffer.contents buf

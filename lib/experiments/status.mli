@@ -10,3 +10,9 @@ val measure : unit -> Decaf_drivers.Driver_core.snapshot list
     cycle), and snapshot every driver while still bound. *)
 
 val render : Decaf_drivers.Driver_core.snapshot list -> string
+
+val render_json : Decaf_drivers.Driver_core.snapshot list -> string
+(** [decafctl status --json]: one JSON object per driver per line,
+    carrying the full snapshot — lifecycle state, mode, XPC traffic,
+    boundary rejections and supervisor counters — with no JSON library
+    involved, like the trajectory files. *)

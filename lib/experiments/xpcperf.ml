@@ -4,27 +4,34 @@ module Xpc = Decaf_xpc
 open Decaf_drivers
 open Decaf_workloads
 
-type config = { batching : bool; delta : bool; workers : int }
+type config = { batching : bool; delta : bool; workers : int; guard : bool }
 
 let config_name c =
   (if c.batching then "batch" else "nobatch")
   ^ "+"
   ^ (if c.delta then "delta" else "full")
   ^ Printf.sprintf "+w%d" c.workers
+  ^ if c.guard then "" else "+noguard"
 
 (* Measured in a fixed order so the JSON trajectory is stable: the four
    historical optimization combinations on the serial (one-worker) path,
    then the worker axis — the best serial config at 2 and 4 workers,
-   plus the unoptimized baseline at 4 to separate the two effects. *)
+   plus the unoptimized baseline at 4 to separate the two effects — and
+   finally the guard axis: the best serial and parallel configs with
+   per-field boundary validation switched off, to price the validation
+   layer. Guard on is the product configuration, so every other point
+   keeps it enabled. *)
 let configs =
   [
-    { batching = false; delta = false; workers = 1 };
-    { batching = true; delta = false; workers = 1 };
-    { batching = false; delta = true; workers = 1 };
-    { batching = true; delta = true; workers = 1 };
-    { batching = true; delta = true; workers = 2 };
-    { batching = false; delta = false; workers = 4 };
-    { batching = true; delta = true; workers = 4 };
+    { batching = false; delta = false; workers = 1; guard = true };
+    { batching = true; delta = false; workers = 1; guard = true };
+    { batching = false; delta = true; workers = 1; guard = true };
+    { batching = true; delta = true; workers = 1; guard = true };
+    { batching = true; delta = true; workers = 2; guard = true };
+    { batching = false; delta = false; workers = 4; guard = true };
+    { batching = true; delta = true; workers = 4; guard = true };
+    { batching = true; delta = true; workers = 1; guard = false };
+    { batching = true; delta = true; workers = 4; guard = false };
   ]
 
 type sample = {
@@ -52,7 +59,8 @@ let perf s = float_of_int s.perf_milli /. 1000.
 let apply_config c =
   Xpc.Batch.set_enabled c.batching;
   Xpc.Marshal_plan.set_delta_enabled c.delta;
-  Xpc.Dispatch.set_workers c.workers
+  Xpc.Dispatch.set_workers c.workers;
+  Xpc.Guard.set_enabled c.guard
 
 let insmod_via name =
   match Driver_core.insmod name ~mode:Driver_env.Decaf with
@@ -210,8 +218,10 @@ let render samples =
   let names =
     List.filter_map
       (fun s ->
-        if s.config = { batching = false; delta = false; workers = 1 } then
-          Some s.scenario
+        if
+          s.config
+          = { batching = false; delta = false; workers = 1; guard = true }
+        then Some s.scenario
         else None)
       samples
   in
@@ -221,9 +231,11 @@ let render samples =
     (fun scenario ->
       match
         ( find samples ~scenario
-            ~config:{ batching = false; delta = false; workers = 1 },
+            ~config:
+              { batching = false; delta = false; workers = 1; guard = true },
           find samples ~scenario
-            ~config:{ batching = true; delta = true; workers = 1 } )
+            ~config:
+              { batching = true; delta = true; workers = 1; guard = true } )
       with
       | Some off, Some on ->
           add "%-20s %11.1f%% %11.1f%% %9.3fx\n" scenario
@@ -237,9 +249,11 @@ let render samples =
     (fun scenario ->
       match
         ( find samples ~scenario
-            ~config:{ batching = true; delta = true; workers = 1 },
+            ~config:
+              { batching = true; delta = true; workers = 1; guard = true },
           find samples ~scenario
-            ~config:{ batching = true; delta = true; workers = 4 } )
+            ~config:
+              { batching = true; delta = true; workers = 4; guard = true } )
       with
       | Some w1, Some w4 ->
           add "%-20s %11.1f%% %12d %9.3fx\n" scenario
@@ -248,6 +262,23 @@ let render samples =
             (if perf w1 = 0. then 1. else perf w4 /. perf w1)
       | _ -> ())
     names;
+  (* the price of boundary validation: guard on vs off at the best
+     config, serial and parallel *)
+  add "\n%-20s %12s %12s\n" "guard on vs off" "w1 perf" "w4 perf";
+  List.iter
+    (fun scenario ->
+      let ratio w =
+        match
+          ( find samples ~scenario
+              ~config:{ batching = true; delta = true; workers = w; guard = false },
+            find samples ~scenario
+              ~config:{ batching = true; delta = true; workers = w; guard = true } )
+        with
+        | Some off, Some on when perf off > 0. -> perf on /. perf off
+        | _ -> 1.
+      in
+      add "%-20s %11.3fx %11.3fx\n" scenario (ratio 1) (ratio 4))
+    names;
   Buffer.contents buf
 
 (* --- JSON trajectory: one object per line, hand-rolled both ways so
@@ -255,13 +286,15 @@ let render samples =
 
 let json_line s =
   Printf.sprintf
-    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
+    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"guard\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
     s.scenario
     (if s.config.batching then 1 else 0)
     (if s.config.delta then 1 else 0)
-    s.config.workers s.crossings s.c_java s.bytes s.posted s.delivered
-    s.flushes s.xpc_ns s.lock_contended s.lock_wait_ns s.shard_hits
-    s.shards_used s.perf_milli s.perf_unit
+    s.config.workers
+    (if s.config.guard then 1 else 0)
+    s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.xpc_ns
+    s.lock_contended s.lock_wait_ns s.shard_hits s.shards_used s.perf_milli
+    s.perf_unit
 
 let to_json ~duration_ns samples =
   let header =
@@ -323,6 +356,12 @@ let sample_of_line line =
               workers = (match field_int line "workers" with
                         | Some w when w > 0 -> w
                         | _ -> 1);
+              (* files from before the guard axis ran with validation
+                 semantics equivalent to guard-on (nothing hostile in a
+                 benchmark), so missing means true *)
+              guard = (match field_int line "guard" with
+                      | Some g -> g <> 0
+                      | None -> true);
             };
           crossings;
           c_java = geti "c_java";

@@ -12,16 +12,20 @@
     workload's own cost-adjusted figure of merit, so the optimizations
     are only credited when throughput holds. *)
 
-type config = { batching : bool; delta : bool; workers : int }
+type config = { batching : bool; delta : bool; workers : int; guard : bool }
 
 val config_name : config -> string
-(** E.g. ["batch+delta+w4"]. *)
+(** E.g. ["batch+delta+w4"]; guard-off points get a ["+noguard"]
+    suffix (guard on is the default and unmarked). *)
 
 val configs : config list
-(** The seven measured combinations, in file order: the four historical
+(** The nine measured combinations, in file order: the four historical
     serial points (nobatch+full, batch+full, nobatch+delta, batch+delta,
     all at [workers = 1]), then batch+delta at 2 and the
-    nobatch+full / batch+delta pair at 4 workers. *)
+    nobatch+full / batch+delta pair at 4 workers — all with boundary
+    validation on — and finally the guard axis: batch+delta at 1 and 4
+    workers with {!Decaf_xpc.Guard} per-field validation off, pricing
+    the validation layer under the same regression gate. *)
 
 type sample = {
   scenario : string;

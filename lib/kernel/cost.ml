@@ -12,6 +12,7 @@ type t = {
   mutable remarshal_byte_ns : int;
   mutable objtracker_lookup_ns : int;
   mutable xpc_dispatch_ns : int;
+  mutable guard_check_ns : int;
   mutable jvm_startup_ns : int;
 }
 
@@ -30,6 +31,7 @@ let defaults () =
     remarshal_byte_ns = 60;
     objtracker_lookup_ns = 150;
     xpc_dispatch_ns = 250;
+    guard_check_ns = 30;
     jvm_startup_ns = 300_000_000;
   }
 
@@ -50,4 +52,5 @@ let reset () =
   current.remarshal_byte_ns <- d.remarshal_byte_ns;
   current.objtracker_lookup_ns <- d.objtracker_lookup_ns;
   current.xpc_dispatch_ns <- d.xpc_dispatch_ns;
+  current.guard_check_ns <- d.guard_check_ns;
   current.jvm_startup_ns <- d.jvm_startup_ns

@@ -24,6 +24,10 @@ type t = {
       (** per-upcall worker-pool admission overhead; charged to the
           serving worker's lane in the dispatch accounting, not to the
           global clock *)
+  mutable guard_check_ns : int;
+      (** one boundary-validation check on an inbound field (range/enum/
+          length/writability), charged per validated field when
+          [Decaf_xpc.Guard] is enabled *)
   mutable jvm_startup_ns : int;  (** one-time managed-runtime start cost *)
 }
 

@@ -10,6 +10,7 @@ type pass =
   | Annotation_soundness
   | Marshal_boundary
   | Error_flow
+  | Inbound_validation
 
 type severity = Error | Warning | Info
 
@@ -43,6 +44,7 @@ let pass_name = function
   | Annotation_soundness -> "annot"
   | Marshal_boundary -> "marshal"
   | Error_flow -> "errflow"
+  | Inbound_validation -> "inbound"
 
 let severity_name = function
   | Error -> "error"
@@ -830,6 +832,118 @@ let errflow_pass ~file ~extra () =
   in
   syn_findings @ flow_findings
 
+(* ================ pass 5: unvalidated inbound fields ================= *)
+
+(* The static counterpart of the runtime's Xpc.Guard: every field the
+   marshal plan copies IN (user level -> kernel) arrives from untrusted
+   code and must be examined by kernel-placed code before it is
+   trusted.  "Examined" means a relational comparison against it, a
+   switch over it, or passing it to a helper whose name marks it as a
+   validator (contains "valid", "check" or "clamp") — in a function the
+   partition keeps at kernel level, because a check that runs at user
+   level is an attacker checking its own homework.  An inbound field no
+   kernel-placed function ever examines is exactly the hole the
+   malicious campaign's fuzz attacks drive through. *)
+
+let inbound_pass ~file ~plans ~kernel_funcs () =
+  let module Plan = Decaf_xpc.Marshal_plan in
+  let validated = ref Sset.empty in
+  let consumed = ref Sset.empty in
+  let rec field_names acc = function
+    | Ast.Efield (base, f) | Ast.Earrow (base, f) -> field_names (f :: acc) base
+    | Ast.Eindex (e, _) | Ast.Eunop (_, e) | Ast.Ecast (_, e) ->
+        field_names acc e
+    | _ -> acc
+  in
+  let note e = List.iter (fun f -> validated := Sset.add f !validated)
+      (field_names [] e)
+  in
+  let is_validator name =
+    let l = String.lowercase_ascii name in
+    contains_sub l "valid" || contains_sub l "check" || contains_sub l "clamp"
+  in
+  let scan () (e : Ast.expr) =
+    match e with
+    | Ast.Ebinop ((Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Eq | Ast.Ne), a, b)
+      ->
+        note a;
+        note b
+    | Ast.Ecall (Ast.Eident callee, args) when is_validator callee ->
+        List.iter note args
+    | Ast.Efield (_, f) | Ast.Earrow (_, f) ->
+        consumed := Sset.add f !consumed
+    | _ -> ()
+  in
+  let scan_switch (s : Ast.stmt) =
+    match s.Ast.skind with Ast.Sswitch (e, _) -> note e | _ -> ()
+  in
+  let rec walk_switches (s : Ast.stmt) =
+    scan_switch s;
+    match s.Ast.skind with
+    | Ast.Sif (_, a, b) ->
+        List.iter walk_switches a;
+        List.iter walk_switches b
+    | Ast.Swhile (_, body)
+    | Ast.Sdo (body, _)
+    | Ast.Sfor (_, _, _, body)
+    | Ast.Sblock body ->
+        List.iter walk_switches body
+    | Ast.Sswitch (_, cases) ->
+        List.iter
+          (function
+            | Ast.Case (_, body) | Ast.Default body ->
+                List.iter walk_switches body)
+          cases
+    | _ -> ()
+  in
+  List.iter
+    (fun name ->
+      match Ast.find_function file name with
+      | Some fn ->
+          ignore (Ast.fold_exprs_stmts scan () fn.Ast.fbody);
+          List.iter walk_switches fn.Ast.fbody
+      | None -> ())
+    kernel_funcs;
+  let findings = ref [] in
+  List.iter
+    (fun p ->
+      let name = Plan.type_id p in
+      let line =
+        match Ast.find_struct file name with
+        | Some s -> s.Ast.sloc.Loc.line
+        | None -> 0
+      in
+      List.iter
+        (fun (f, _) ->
+          (* only fields kernel-placed code actually consumes: an
+             inbound field the kernel never touches cannot be driven
+             through anything *)
+          if
+            Plan.copies_in p f
+            && Sset.mem f !consumed
+            && not (Sset.mem f !validated)
+          then
+            findings :=
+              {
+                f_pass = Inbound_validation;
+                f_severity = Warning;
+                f_anchor = name;
+                f_line = line;
+                f_message =
+                  Printf.sprintf
+                    "unvalidated inbound field: '%s' of crossing struct %s is \
+                     copied in from user level and consumed by kernel-placed \
+                     code, but no kernel-placed function compares or \
+                     range-checks it; derive a Guard rule or validate before \
+                     applying"
+                    f name;
+                f_witness = [];
+              }
+              :: !findings)
+        (Plan.fields p))
+    plans;
+  List.rev !findings
+
 (* ===================== driver ======================================== *)
 
 let analyze ?atomic_roots ?(extra_errfns = []) ~file ~partition ~annots ~spec
@@ -847,18 +961,21 @@ let analyze ?atomic_roots ?(extra_errfns = []) ~file ~partition ~annots ~spec
       ~user:user_funcs ()
   in
   let annot = annot_pass ~file ~cg ~annots ~user_funcs ~library_funcs () in
-  let crossing_seeds =
-    List.map Decaf_xpc.Marshal_plan.type_id
-      (Marshalgen.plans file ~user_funcs ~annots)
-  in
+  let plans = Marshalgen.plans file ~user_funcs ~annots in
+  let crossing_seeds = List.map Decaf_xpc.Marshal_plan.type_id plans in
   let marshal = marshal_pass ~file ~spec ~const_env ~crossing_seeds () in
   let errflow = errflow_pass ~file ~extra:extra_errfns () in
+  (* only the nucleus is trusted: the driver library's C bodies run at
+     user level after conversion, so their checks prove nothing *)
+  let inbound =
+    inbound_pass ~file ~plans ~kernel_funcs:partition.Partition.nucleus ()
+  in
   let order f =
     (f.f_line, pass_name f.f_pass, f.f_anchor, f.f_message)
   in
   List.sort
     (fun a b -> compare (order a) (order b))
-    (lock @ annot @ marshal @ errflow)
+    (lock @ annot @ marshal @ errflow @ inbound)
 
 let violations findings =
   List.filter (fun f -> f.f_severity = Error || f.f_severity = Warning) findings

@@ -2,7 +2,7 @@
     source (the analysis counterpart of the runtime's combolock and
     marshaling machinery).
 
-    Four passes run over the MiniC AST and the call graph:
+    Five passes run over the MiniC AST and the call graph:
 
     - {b Lock/XPC discipline}: a lock-state lattice (spinlock depth,
       IRQ-disable depth) is propagated intraprocedurally through each
@@ -25,6 +25,13 @@
       flow-sensitive {!Errcheck.flow_violations} results (error results
       overwritten before being tested, error values dropped at merge
       points).
+    - {b Inbound validation}: every field the marshal plan copies in
+      from user level must be examined (compared, switched over, or
+      passed to a [*valid*/*check*/*clamp*] helper) by kernel-placed
+      code — the static counterpart of the runtime's
+      {!Decaf_xpc.Guard} per-field validators.  User-level checks do
+      not count: an untrusted driver checking its own output proves
+      nothing.
 
     Findings are either violations ([Error]/[Warning] — must be fixed or
     explicitly waived with a line-anchored suppression) or assumptions
@@ -36,6 +43,7 @@ type pass =
   | Annotation_soundness
   | Marshal_boundary
   | Error_flow
+  | Inbound_validation
 
 type severity = Error | Warning | Info
 
@@ -89,7 +97,7 @@ val analyze :
   library_funcs:string list ->
   unit ->
   finding list
-(** Run all four passes. [atomic_roots] defaults to
+(** Run all five passes. [atomic_roots] defaults to
     {!default_atomic_roots} of the partition config; [extra_errfns]
     seeds the error-flow pass like {!Errcheck.find_violations}'s
     [extra]. *)

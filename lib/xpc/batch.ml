@@ -13,6 +13,7 @@ type stats = {
   mutable single_crossings : int;
   mutable max_batch : int;
   mutable requeues : int;
+  mutable dropped : int;
 }
 
 let counters =
@@ -23,6 +24,7 @@ let counters =
     single_crossings = 0;
     max_batch = 0;
     requeues = 0;
+    dropped = 0;
   }
 
 let default_watermark = 32
@@ -183,8 +185,23 @@ let post ~target ?(payload_bytes = 0) ?(context = "notify") f =
     && K.Sched.spin_depth () = 0
   then f ()
   else begin
-    counters.posted <- counters.posted + 1;
     let q = queue_for target in
+    (* Queue bound: a driver that posts without ever letting the queue
+       drain is growing kernel memory without limit. Posting can run in
+       irq context, so the violation cannot raise here — the overflow
+       post is dropped and counted, and the campaign/supervisor judge
+       the abuse from the counters. Deferred calls are one-way
+       notifications, so a dropped one degrades freshness, not
+       correctness. *)
+    if Queue.length q >= Guard.limits.max_batch_queue then begin
+      counters.dropped <- counters.dropped + 1;
+      Boundary.note_dropped ();
+      K.Klog.printk K.Klog.Warning
+        "xpc-batch: queue for %s at bound %d, dropping deferred %s"
+        (Domain.to_string target) Guard.limits.max_batch_queue context
+    end
+    else begin
+    counters.posted <- counters.posted + 1;
     Queue.push { payload_bytes; context; thunk = f } q;
     let wqs, timer = get_infra () in
     if !enabled then begin
@@ -194,6 +211,7 @@ let post ~target ?(payload_bytes = 0) ?(context = "notify") f =
         K.Timer.mod_timer_in timer !flush_interval_ns
     end
     else queue_flush wqs (fun () -> deferred_drain target)
+    end
   end
 
 let doorbell () =
@@ -232,6 +250,7 @@ let snapshot () =
     single_crossings = counters.single_crossings;
     max_batch = counters.max_batch;
     requeues = counters.requeues;
+    dropped = counters.dropped;
   }
 
 let reset () =
@@ -245,4 +264,5 @@ let reset () =
   counters.flush_crossings <- 0;
   counters.single_crossings <- 0;
   counters.max_batch <- 0;
-  counters.requeues <- 0
+  counters.requeues <- 0;
+  counters.dropped <- 0

@@ -40,6 +40,12 @@ type stats = {
       (** per-call crossings paid while batching is disabled *)
   mutable max_batch : int;  (** largest batch delivered by one crossing *)
   mutable requeues : int;  (** failed flushes whose batch was requeued *)
+  mutable dropped : int;
+      (** posts refused because the target queue sat at
+          {!Guard.limits}[.max_batch_queue] — graceful degradation
+          against a driver that posts without draining. Dropping (not
+          raising) is deliberate: posting is legal from interrupt
+          context, where a boundary fault could not be supervised. *)
 }
 
 val post :

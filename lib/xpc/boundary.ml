@@ -1,0 +1,66 @@
+(* The typed fault raised when inbound data from an untrusted user-level
+   driver fails validation, plus the machine-wide rejection counters.
+   This module has no dependencies so that every boundary layer —
+   Marshal_plan.Dirty, Objtracker, Batch, Guard — can report into the
+   same accounting without import cycles. *)
+
+exception
+  Boundary_violation of {
+    type_id : string;  (** which boundary object (plan type, tracker, queue) *)
+    field : string;  (** offending field / handle / generation *)
+    reason : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Boundary_violation { type_id; field; reason } ->
+        Some
+          (Printf.sprintf "Boundary_violation(%s.%s: %s)" type_id field reason)
+    | _ -> None)
+
+type counters = {
+  mutable checks : int;  (** validations performed *)
+  mutable rejected : int;  (** violations detected (raised or refused) *)
+  mutable dropped : int;  (** inbound work discarded without a fault *)
+}
+
+let totals = { checks = 0; rejected = 0; dropped = 0 }
+
+(* Per-scope rejection attribution: Driver_core sets the scope to the
+   binding's name around every metered crossing, and the split drivers
+   set it around their own inbound unmarshal paths, so `decafctl status`
+   can show rejections per driver. Save/restore keeps nesting correct. *)
+let scope : string option ref = ref None
+let by_scope : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let scoped name f =
+  let saved = !scope in
+  scope := Some name;
+  Fun.protect ~finally:(fun () -> scope := saved) f
+
+let rejected_for name =
+  Option.value ~default:0 (Hashtbl.find_opt by_scope name)
+
+let note_check () = totals.checks <- totals.checks + 1
+
+let note_rejected () =
+  totals.rejected <- totals.rejected + 1;
+  match !scope with
+  | None -> ()
+  | Some name -> Hashtbl.replace by_scope name (1 + rejected_for name)
+
+let note_dropped () = totals.dropped <- totals.dropped + 1
+
+let reject ~type_id ~field fmt =
+  Printf.ksprintf
+    (fun reason ->
+      note_rejected ();
+      raise (Boundary_violation { type_id; field; reason }))
+    fmt
+
+let reset () =
+  totals.checks <- 0;
+  totals.rejected <- 0;
+  totals.dropped <- 0;
+  Hashtbl.reset by_scope;
+  scope := None

@@ -1,0 +1,42 @@
+(** The typed boundary fault and its machine-wide accounting.
+
+    Everything a decaf driver hands back across the XPC boundary is
+    untrusted: forged object handles, out-of-range field values,
+    replayed delta acknowledgements, unbounded queue growth. Each
+    validation layer ({!Guard}, {!Objtracker} handle resolution,
+    {!Marshal_plan.Dirty} acknowledge, {!Batch} queue bounds) reports
+    here, and a detected violation raises {!Boundary_violation} — an
+    ordinary exception, never a [Panic.Kernel_bug], so the recovery
+    supervisor treats it as one more recoverable driver fault. *)
+
+exception
+  Boundary_violation of {
+    type_id : string;
+    field : string;
+    reason : string;
+  }
+
+type counters = {
+  mutable checks : int;  (** validations performed *)
+  mutable rejected : int;  (** violations detected (raised or refused) *)
+  mutable dropped : int;  (** inbound work discarded without a fault *)
+}
+
+val totals : counters
+(** Machine-wide counters; reset by [Channel.reset_stats] on boot. *)
+
+val scoped : string -> (unit -> 'a) -> 'a
+(** Run [f] with rejections attributed to the named scope (a driver
+    binding). Nesting saves and restores the previous scope. *)
+
+val rejected_for : string -> int
+(** Rejections attributed to the named scope since the last reset. *)
+
+val note_check : unit -> unit
+val note_rejected : unit -> unit
+val note_dropped : unit -> unit
+
+val reject : type_id:string -> field:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Count a rejection and raise {!Boundary_violation}. *)
+
+val reset : unit -> unit

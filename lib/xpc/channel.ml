@@ -192,7 +192,8 @@ let reset_stats () =
      reset_stats caller rebuilds the runtime (and thus its trackers)
      right after. *)
   K.Sync.Combolock.reset_totals ();
-  Objtracker.reset_registry ()
+  Objtracker.reset_registry ();
+  Boundary.reset ()
 
 (* Configuration is deliberately not part of [reset_stats]: clearing the
    counters between measurements must not flip the marshaling mode. *)

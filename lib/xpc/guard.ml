@@ -1,0 +1,171 @@
+module K = Decaf_kernel
+module Plan = Marshal_plan
+
+(* Kernel-side validation of inbound crossings (the reply/return half of
+   an upcall, or a deferred notification's payload): the user-level
+   driver is untrusted, so every field it hands back is checked against
+   the marshal plan (writability) and a per-field rule (range, enum,
+   length) before kernel state absorbs it. *)
+
+type rule =
+  | Range of int * int  (* inclusive bounds *)
+  | Enum of int list
+  | Max_len of int  (* variable-length arrays *)
+  | Non_negative
+  | Any  (* writability check only *)
+
+type t = {
+  plan : Plan.t;
+  rules : (string, rule) Hashtbl.t;
+  mutable rejections : int;  (* per-validator, for campaign assertions *)
+}
+
+(* The guard axis: when off, field rules are skipped and uncharged — the
+   measurement baseline for the validation-cost overhead in Xpcperf.
+   Capability-handle resolution (Objtracker) is part of the wire
+   protocol and stays on either way. On by default: a secure boundary is
+   the product configuration. *)
+let enabled = ref true
+let set_enabled v = enabled := v
+let is_enabled () = !enabled
+
+(* Inbound growth limits. [max_inbound_bytes] bounds one inbound payload
+   (the kmalloc a crossing can force on the kernel side);
+   [max_batch_queue] bounds each deferred-call queue (enforced by
+   Batch.post: drop + count, never a fault from posting context). The
+   values are validated like module parameters: out-of-range settings
+   fall back to the default with a log line (Params discipline). *)
+type limits = {
+  mutable max_inbound_bytes : int;
+  mutable max_batch_queue : int;
+}
+
+let default_max_inbound_bytes = 4096
+let default_max_batch_queue = 1024
+let limits =
+  {
+    max_inbound_bytes = default_max_inbound_bytes;
+    max_batch_queue = default_max_batch_queue;
+  }
+
+let set_limit ~name ~default ~min ~max field v =
+  if v >= min && v <= max then field v
+  else begin
+    K.Klog.printk K.Klog.Warning
+      "guard: limit %s: invalid value %d, using default %d" name v default;
+    field default
+  end
+
+let configure ?max_inbound_bytes ?max_batch_queue () =
+  Option.iter
+    (set_limit ~name:"max_inbound_bytes" ~default:default_max_inbound_bytes
+       ~min:64 ~max:1_048_576 (fun v -> limits.max_inbound_bytes <- v))
+    max_inbound_bytes;
+  Option.iter
+    (set_limit ~name:"max_batch_queue" ~default:default_max_batch_queue
+       ~min:1 ~max:1_048_576 (fun v -> limits.max_batch_queue <- v))
+    max_batch_queue
+
+let reset () =
+  enabled := true;
+  limits.max_inbound_bytes <- default_max_inbound_bytes;
+  limits.max_batch_queue <- default_max_batch_queue
+
+let make plan rules =
+  let index = Hashtbl.create (max 8 (2 * List.length rules)) in
+  List.iter
+    (fun (field, rule) ->
+      if Plan.access plan field = None then
+        invalid_arg
+          (Printf.sprintf "Guard.make: %s has no field %s"
+             (Plan.type_id plan) field);
+      if Hashtbl.mem index field then
+        invalid_arg
+          (Printf.sprintf "Guard.make: duplicate rule for %s.%s"
+             (Plan.type_id plan) field);
+      Hashtbl.replace index field rule)
+    rules;
+  { plan; rules = index; rejections = 0 }
+
+let type_id t = Plan.type_id t.plan
+let rejections t = t.rejections
+
+let charge () =
+  let ns = K.Cost.current.guard_check_ns in
+  K.Clock.consume ns;
+  Dispatch.note ns;
+  Boundary.note_check ()
+
+let fail t ~field fmt =
+  Printf.ksprintf
+    (fun reason ->
+      t.rejections <- t.rejections + 1;
+      Boundary.reject ~type_id:(type_id t) ~field "%s" reason)
+    fmt
+
+(* A field the plan marks [Read] is kernel-to-user only: a presence flag
+   for it in an inbound image is an attempted write through a read-only
+   view, whatever the value. *)
+let writable t ~field =
+  charge ();
+  if not (Plan.copies_out t.plan field) then
+    fail t ~field "attempted write to a field the plan marks read-only"
+
+let rule_of t field = Hashtbl.find_opt t.rules field
+
+let int_field t ~field v =
+  if not !enabled then v
+  else begin
+    writable t ~field;
+    (match rule_of t field with
+    | Some (Range (lo, hi)) ->
+        charge ();
+        if v < lo || v > hi then
+          fail t ~field "value %d outside [%d, %d]" v lo hi
+    | Some (Enum allowed) ->
+        charge ();
+        if not (List.mem v allowed) then fail t ~field "value %d not in enum" v
+    | Some Non_negative ->
+        charge ();
+        if v < 0 then fail t ~field "negative value %d" v
+    | Some (Max_len _) ->
+        charge ();
+        fail t ~field "scalar value for an array field"
+    | Some Any | None -> ());
+    v
+  end
+
+let bool_field t ~field v =
+  if not !enabled then v
+  else begin
+    writable t ~field;
+    v
+  end
+
+let array_field t ~field v =
+  if not !enabled then v
+  else begin
+    writable t ~field;
+    (match rule_of t field with
+    | Some (Max_len n) ->
+        charge ();
+        if Array.length v > n then
+          fail t ~field "length %d exceeds bound %d" (Array.length v) n
+    | Some (Range _ | Enum _ | Non_negative) ->
+        charge ();
+        fail t ~field "array value for a scalar field"
+    | Some Any | None -> ());
+    v
+  end
+
+(* The size bound runs even with the guard axis off: an unbounded
+   inbound payload is a memory-exhaustion attack on the kernel-side
+   unmarshal buffer, not a per-field validation cost. *)
+let check_inbound_bytes t n =
+  Boundary.note_check ();
+  if n > limits.max_inbound_bytes then begin
+    t.rejections <- t.rejections + 1;
+    Boundary.reject ~type_id:(type_id t) ~field:"payload"
+      "inbound payload of %d bytes exceeds limit %d" n
+      limits.max_inbound_bytes
+  end

@@ -87,13 +87,16 @@ let delta_enabled () = !delta
 
 module Dirty = struct
   type tracker = {
+    owner : string;  (* boundary-fault attribution, default "dirty" *)
     mutable gen : int;  (* monotonic write counter, never reset *)
+    mutable issued : int;  (* high-water mark of generations snapshotted *)
     marks : (string, int) Hashtbl.t;  (* field -> generation of last write *)
   }
 
   type t = tracker
 
-  let create () = { gen = 0; marks = Hashtbl.create 8 }
+  let create ?(owner = "dirty") () =
+    { owner; gen = 0; issued = 0; marks = Hashtbl.create 8 }
 
   let mark t field =
     t.gen <- t.gen + 1;
@@ -101,9 +104,20 @@ module Dirty = struct
 
   let test t field = Hashtbl.mem t.marks field
   let pending t = Hashtbl.length t.marks
-  let snapshot t = t.gen
 
+  let snapshot t =
+    if t.gen > t.issued then t.issued <- t.gen;
+    t.gen
+
+  (* An acknowledged generation must have been issued by [snapshot]: an
+     [upto] above the high-water mark is a forged or replayed ack (a
+     hostile runtime trying to flush marks it never saw), and accepting
+     it would silently lose dirty fields on the next delta. *)
   let acknowledge t ~upto =
+    if upto > t.issued then
+      Boundary.reject ~type_id:t.owner ~field:"ack"
+        "acknowledged generation %d was never issued (high-water %d)" upto
+        t.issued;
     let dead =
       Hashtbl.fold
         (fun field gen acc -> if gen <= upto then field :: acc else acc)
@@ -111,5 +125,6 @@ module Dirty = struct
     in
     List.iter (Hashtbl.remove t.marks) dead
 
+  let issued t = t.issued
   let clear t = Hashtbl.reset t.marks
 end

@@ -61,7 +61,9 @@ module Dirty : sig
       during the crossing (an interrupt marking fields mid-call) keep
       their marks and go out with the next delta. *)
 
-  val create : unit -> t
+  val create : ?owner:string -> unit -> t
+  (** [owner] (default ["dirty"]) names the tracker in boundary-fault
+      reports. *)
 
   val mark : t -> string -> unit
   (** Record a write to the field. *)
@@ -74,10 +76,18 @@ module Dirty : sig
 
   val snapshot : t -> int
   (** Current generation, to pass to {!acknowledge} after the crossing
-      carrying these fields succeeds. *)
+      carrying these fields succeeds. Advances the issued high-water
+      mark consulted by {!acknowledge}. *)
 
   val acknowledge : t -> upto:int -> unit
-  (** Drop marks whose write generation is [<= upto]. *)
+  (** Drop marks whose write generation is [<= upto]. An [upto] above
+      the generation high-water mark returned by {!snapshot} was never
+      issued: the ack is forged or replayed from a different window, and
+      it raises {!Boundary.Boundary_violation} instead of flushing marks
+      the peer never saw. *)
+
+  val issued : t -> int
+  (** The snapshot high-water mark (highest generation ever issued). *)
 
   val clear : t -> unit
   (** Drop every mark (full-image resync). *)

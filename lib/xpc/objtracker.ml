@@ -5,11 +5,40 @@ type stats = {
   mutable hits : int;
   mutable registrations : int;
   mutable sweeps : int;
+  mutable rejected : int;
 }
 
-let fresh_stats () = { lookups = 0; hits = 0; registrations = 0; sweeps = 0 }
+let fresh_stats () =
+  { lookups = 0; hits = 0; registrations = 0; sweeps = 0; rejected = 0 }
 
 type weak_entry = { w_get : unit -> Univ.t option }
+
+type handle = int
+
+(* A capability handle names one (address, type) association without
+   revealing the address: user level gets the handle, and every inbound
+   reference resolves through the shard's handle table — a forged,
+   stale (revoked) or cross-type handle is refused and counted instead
+   of dereferenced. Layout: slot in the high bits, owning shard in bits
+   10..19, the entry's generation tag in bits 0..9. Slots are never
+   reused (monotonic per shard) and the generation is bumped when the
+   table is cleared, so a handle from before a [clear] stays invalid
+   even against a fresh table. *)
+type h_entry = { he_addr : int; he_ty : string; he_gen : int }
+
+let gen_bits = 10
+let shard_bits = 10
+let gen_mask = (1 lsl gen_bits) - 1
+let shard_mask = (1 lsl shard_bits) - 1
+
+let encode_handle ~slot ~shard ~gen =
+  (slot lsl (gen_bits + shard_bits))
+  lor ((shard land shard_mask) lsl gen_bits)
+  lor (gen land gen_mask)
+
+let handle_slot h = h lsr (gen_bits + shard_bits)
+let handle_shard h = (h lsr gen_bits) land shard_mask
+let handle_gen h = h land gen_mask
 
 (* One shard: the former global tracker structure, now guarded by its
    own combolock and counting its own traffic. Addresses hash to shards,
@@ -22,6 +51,12 @@ type shard = {
      with the index they touch only the handful of types actually at the
      address. Maintained on every (de)registration. *)
   by_addr : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* Capability handles issued for this shard's addresses: slot ->
+     entry, with a reverse index for idempotent issue. *)
+  handles : (int, h_entry) Hashtbl.t;
+  h_index : (int * string, int) Hashtbl.t;
+  mutable h_next : int;  (* next slot; starts at 1 (0 is never valid) *)
+  mutable h_gen : int;  (* generation tag stamped into new handles *)
   lock : K.Sync.Combolock.t;
   stats : stats;
 }
@@ -51,6 +86,10 @@ let create ?(name = "objtracker") ?(shards = default_shards) () =
               table = Hashtbl.create 16;
               weak_table = Hashtbl.create 8;
               by_addr = Hashtbl.create 16;
+              handles = Hashtbl.create 8;
+              h_index = Hashtbl.create 8;
+              h_next = 1;
+              h_gen = 0;
               lock =
                 K.Sync.Combolock.create
                   ~name:(Printf.sprintf "%s/shard%d" name i)
@@ -101,6 +140,62 @@ let index_remove sh addr ty =
       Hashtbl.remove set ty;
       if Hashtbl.length set = 0 then Hashtbl.remove sh.by_addr addr
 
+(* Revoke the capability handle (if any) issued for (addr, ty): after
+   the association is gone, a replayed handle must reject as stale. *)
+let revoke sh addr ty =
+  match Hashtbl.find_opt sh.h_index (addr, ty) with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove sh.handles slot;
+      Hashtbl.remove sh.h_index (addr, ty)
+
+(* --- capability handles --- *)
+
+let issue t ~addr ~type_id =
+  let i = Hashtbl.hash addr land t.mask in
+  let sh = t.shards.(i) in
+  locked sh (fun () ->
+      match Hashtbl.find_opt sh.h_index (addr, type_id) with
+      | Some slot ->
+          let e = Hashtbl.find sh.handles slot in
+          encode_handle ~slot ~shard:i ~gen:e.he_gen
+      | None ->
+          let slot = sh.h_next in
+          sh.h_next <- slot + 1;
+          Hashtbl.replace sh.handles slot
+            { he_addr = addr; he_ty = type_id; he_gen = sh.h_gen };
+          Hashtbl.replace sh.h_index (addr, type_id) slot;
+          encode_handle ~slot ~shard:i ~gen:sh.h_gen)
+
+let resolve t ~handle ~type_id =
+  K.Clock.consume K.Cost.current.objtracker_lookup_ns;
+  Dispatch.note K.Cost.current.objtracker_lookup_ns;
+  let shard_i = handle_shard handle in
+  let sh = t.shards.(if shard_i <= t.mask then shard_i else 0) in
+  locked sh (fun () ->
+      let reject reason =
+        sh.stats.rejected <- sh.stats.rejected + 1;
+        Boundary.note_rejected ();
+        Error reason
+      in
+      if handle <= 0 || shard_i > t.mask then
+        reject (Printf.sprintf "forged handle %#x: no such shard" handle)
+      else
+        match Hashtbl.find_opt sh.handles (handle_slot handle) with
+        | None ->
+            reject
+              (Printf.sprintf "forged or stale handle %#x: not issued" handle)
+        | Some e when e.he_gen land gen_mask <> handle_gen handle ->
+            reject
+              (Printf.sprintf "stale handle %#x: generation %d, table at %d"
+                 handle (handle_gen handle) (e.he_gen land gen_mask))
+        | Some e when e.he_ty <> type_id ->
+            reject
+              (Printf.sprintf
+                 "cross-type handle %#x: issued for %s, presented as %s"
+                 handle e.he_ty type_id)
+        | Some e -> Ok e.he_addr)
+
 let associate t ~addr u =
   let sh = shard_of t ~addr in
   locked sh (fun () ->
@@ -138,6 +233,34 @@ let find t ~addr key =
                   drop_weak sh addr ty;
                   None)
           | None -> None))
+
+let find_by_handle t ~handle key =
+  match resolve t ~handle ~type_id:(Univ.key_name key) with
+  | Error _ -> None
+  | Ok addr -> find t ~addr key
+
+let remove_by_handle t ~handle =
+  let shard_i = handle_shard handle in
+  let sh = t.shards.(if shard_i <= t.mask then shard_i else 0) in
+  locked sh (fun () ->
+      let reject () =
+        sh.stats.rejected <- sh.stats.rejected + 1;
+        Boundary.note_rejected ()
+      in
+      if handle <= 0 || shard_i > t.mask then reject ()
+      else
+        match Hashtbl.find_opt sh.handles (handle_slot handle) with
+        | Some e when e.he_gen land gen_mask = handle_gen handle ->
+            Hashtbl.remove sh.table (e.he_addr, e.he_ty);
+            Hashtbl.remove sh.weak_table (e.he_addr, e.he_ty);
+            index_remove sh e.he_addr e.he_ty;
+            revoke sh e.he_addr e.he_ty
+        | Some _ | None -> reject ())
+
+let handle_count t =
+  Array.fold_left
+    (fun acc sh -> acc + locked sh (fun () -> Hashtbl.length sh.handles))
+    0 t.shards
 
 (* Read paths take the shard lock like the write paths: they are safe
    unlocked today (no suspension point, one simulated CPU), but the
@@ -214,7 +337,8 @@ let remove t ~addr ~type_id =
   locked sh (fun () ->
       Hashtbl.remove sh.table (addr, type_id);
       Hashtbl.remove sh.weak_table (addr, type_id);
-      index_remove sh addr type_id)
+      index_remove sh addr type_id;
+      revoke sh addr type_id)
 
 let remove_all t ~addr =
   let sh = shard_of t ~addr in
@@ -230,7 +354,8 @@ let remove_all t ~addr =
             (fun type_id ->
               Hashtbl.remove sh.table (addr, type_id);
               Hashtbl.remove sh.weak_table (addr, type_id);
-              index_remove sh addr type_id)
+              index_remove sh addr type_id;
+              revoke sh addr type_id)
             types)
 
 let count t =
@@ -242,7 +367,8 @@ let add_stats into s =
   into.lookups <- into.lookups + s.lookups;
   into.hits <- into.hits + s.hits;
   into.registrations <- into.registrations + s.registrations;
-  into.sweeps <- into.sweeps + s.sweeps
+  into.sweeps <- into.sweeps + s.sweeps;
+  into.rejected <- into.rejected + s.rejected
 
 let stats t =
   let acc = fresh_stats () in
@@ -259,6 +385,7 @@ let shard_stats t =
         hits = sh.stats.hits;
         registrations = sh.stats.registrations;
         sweeps = sh.stats.sweeps;
+        rejected = sh.stats.rejected;
       })
     t.shards
 
@@ -284,5 +411,11 @@ let clear t =
     (fun sh ->
       Hashtbl.reset sh.table;
       Hashtbl.reset sh.weak_table;
-      Hashtbl.reset sh.by_addr)
+      Hashtbl.reset sh.by_addr;
+      (* Every outstanding handle is revoked: slots are never reused and
+         the generation tag moves on, so a handle minted before the
+         clear stays invalid against anything issued after it. *)
+      Hashtbl.reset sh.handles;
+      Hashtbl.reset sh.h_index;
+      sh.h_gen <- (sh.h_gen + 1) land gen_mask)
     t.shards

@@ -21,6 +21,8 @@ type stats = {
   mutable hits : int;
   mutable registrations : int;
   mutable sweeps : int;  (** number of {!sweep} passes run *)
+  mutable rejected : int;
+      (** capability handles refused: forged, stale, or cross-type *)
 }
 
 val create : ?name:string -> ?shards:int -> unit -> t
@@ -71,6 +73,43 @@ val global_shard_stats : unit -> stats array
     shard; surfaced through [Channel.stats]. *)
 
 val reset_registry : unit -> unit
+
+(** {1 Capability handles}
+
+    Raw C addresses never cross to user level as inbound references: the
+    kernel issues a {!handle} for each (address, type) association it
+    shares, and every inbound object reference resolves through the
+    handle table. A handle encodes its owning shard, a never-reused slot
+    and a generation tag; the table entry — not the handle's bits — is
+    authoritative, so a forged handle (never issued), a stale one
+    (revoked by {!remove}/{!remove_all}/{!clear}, or from before a
+    generation bump) and a cross-type one (issued for another type at
+    the same address, e.g. an embedded struct) are all refused, counted
+    in [stats.rejected] and {!Boundary.totals}. *)
+
+type handle = int
+(** Opaque on the wire (marshaled as a uint); validity is decided by the
+    issuing tracker's table, never by the bits alone. Never 0. *)
+
+val issue : t -> addr:int -> type_id:string -> handle
+(** The capability for (addr, type_id); idempotent until revoked —
+    re-issuing returns the same handle. *)
+
+val resolve : t -> handle:handle -> type_id:string -> (int, string) result
+(** [Ok addr] when the handle was issued for [type_id] and is still
+    live; [Error reason] (counted) for forged, stale and cross-type
+    handles. Charges {!Decaf_kernel.Cost.t.objtracker_lookup_ns}. *)
+
+val find_by_handle : t -> handle:handle -> 'a Univ.key -> 'a option
+(** {!resolve} with the key's type, then {!find}. Rejections count and
+    return [None]. *)
+
+val remove_by_handle : t -> handle:handle -> unit
+(** Remove the association the handle names and revoke the handle.
+    Forged/stale handles are counted and removed nothing. *)
+
+val handle_count : t -> int
+(** Live (issued, unrevoked) handles, all shards. *)
 
 (** {1 Automatic collection}
 

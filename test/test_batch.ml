@@ -173,6 +173,52 @@ let test_flush_retried_to_success () =
   check "the timeout was charged" 1 ch.Channel.failures;
   check "and retried" 1 ch.Channel.retries
 
+(* --- queue bound: graceful degradation against a flooding driver --- *)
+
+let test_queue_bound_drops () =
+  boot ();
+  Batch.set_enabled true;
+  Guard.configure ~max_batch_queue:4 ();
+  Fun.protect
+    ~finally:(fun () -> Guard.reset ())
+    (fun () ->
+      in_thread (fun () ->
+          (* a tight posting loop, no yield: nothing drains the queue *)
+          for i = 1 to 10 do
+            ignore i;
+            Batch.post ~target:Domain.Driver_lib ~payload_bytes:8
+              ~context:"flood" (fun () -> ())
+          done;
+          check "queue capped at the bound" 4 (Batch.pending ());
+          let st = Batch.stats () in
+          check "excess posts dropped, not queued" 6 st.Batch.dropped;
+          check_bool "drops are counted machine-wide" true
+            (Boundary.totals.Boundary.dropped >= 6);
+          (* dropping is silent degradation: posting context may be an
+             interrupt, where a boundary fault could not be supervised *)
+          Batch.doorbell ();
+          check "the bounded batch still delivers" 4
+            (Batch.stats ()).Batch.delivered))
+
+(* --- forged delta acknowledgements --- *)
+
+let test_forged_ack_rejected () =
+  boot ();
+  let t = Plan.Dirty.create ~owner:"nic" () in
+  Plan.Dirty.mark t "a";
+  let upto = Plan.Dirty.snapshot t in
+  (* an ack above the issued high-water mark was never snapshotted: a
+     hostile runtime trying to flush marks it never saw *)
+  check_bool "forged ack raises a boundary fault" true
+    (try
+       Plan.Dirty.acknowledge t ~upto:(upto + 3);
+       false
+     with Boundary.Boundary_violation v ->
+       v.type_id = "nic" && v.field = "ack");
+  check_bool "marks survive the rejected ack" true (Plan.Dirty.test t "a");
+  Plan.Dirty.acknowledge t ~upto;
+  check "honest ack still flushes" 0 (Plan.Dirty.pending t)
+
 let test_survives_reboot () =
   boot ();
   Batch.set_enabled true;
@@ -284,6 +330,10 @@ let () =
           tc "flush retried to success" test_flush_retried_to_success;
           tc "survives reboot" test_survives_reboot;
         ] );
+      ( "batch-bounds",
+        [ tc "queue bound drops excess posts" test_queue_bound_drops ] );
+      ( "delta-adversarial",
+        [ tc "forged ack rejected" test_forged_ack_rejected ] );
       ( "delta",
         [
           tc "kernel write visible, unwritten not re-copied"

@@ -236,22 +236,33 @@ let test_e1000_object_tracker_aliasing () =
       let t = insmod_e1000 Driver_env.Decaf in
       let ka = E1000_drv.kernel_adapter t in
       let tracker = Decaf_runtime.Runtime.java_tracker () in
-      (* adapter and its first-member tx ring share an address but are
-         distinct tracker entries (§3.1.2) *)
+      (* adapter and its first-member tx ring share a C address (§3.1.2)
+         but hold distinct capability handles, so the aliasing cannot be
+         abused for type confusion at the boundary *)
       check "tx ring shares the adapter address" ka.E1000_objects.k_addr
         ka.E1000_objects.k_tx_addr;
-      let types = Xpc.Objtracker.types_at tracker ~addr:ka.E1000_objects.k_addr in
-      Alcotest.(check (list string))
-        "both types registered at one address"
-        [ "e1000_adapter"; "e1000_ring" ] types;
-      check_bool "adapter findable" true
-        (Xpc.Objtracker.find tracker ~addr:ka.E1000_objects.k_addr
-           E1000_objects.adapter_key
+      let ha = E1000_objects.adapter_handle ka in
+      let htx = E1000_objects.tx_ring_handle ka in
+      check_bool "distinct handles at the shared address" true (ha <> htx);
+      (* the user-level tracker is keyed by handle, never by C address *)
+      check_bool "adapter findable by its handle" true
+        (Xpc.Objtracker.find tracker ~addr:ha E1000_objects.adapter_key
         <> None);
-      check_bool "ring findable at same addr" true
-        (Xpc.Objtracker.find tracker ~addr:ka.E1000_objects.k_tx_addr
-           E1000_objects.ring_key
-        <> None);
+      check_bool "ring findable by its own handle" true
+        (Xpc.Objtracker.find tracker ~addr:htx E1000_objects.ring_key <> None);
+      check_bool "raw C address resolves nothing at user level" true
+        (Xpc.Objtracker.types_at tracker ~addr:ka.E1000_objects.k_addr = []);
+      (* kernel-side resolution: each handle names its own type *)
+      let kt = Decaf_runtime.Runtime.kernel_tracker () in
+      check_bool "adapter handle resolves" true
+        (Xpc.Objtracker.resolve kt ~handle:ha ~type_id:"e1000_adapter"
+        = Ok ka.E1000_objects.k_addr);
+      check_bool "ring handle as adapter is cross-type" true
+        (match
+           Xpc.Objtracker.resolve kt ~handle:htx ~type_id:"e1000_adapter"
+         with
+        | Error _ -> true
+        | Ok _ -> false);
       E1000_drv.rmmod t)
 
 let test_e1000_ethtool_data_race () =

@@ -708,6 +708,144 @@ let test_lint_errflow_dropped_at_merge () =
   check_bool "fully checked function silent" false
     (has_finding ~anchor:"ef_good" ~msg:"" errs)
 
+(* A driver whose nucleus interrupt handler consumes a field the
+   user-level code shares, without ever range-checking it. The bounds
+   test in ib_open does NOT count: after conversion ib_open runs at user
+   level, so a hostile driver can skip it. *)
+let inbound_driver =
+  {|
+struct ib { int n; int total; };
+
+void printk_info(int code);
+
+static void ib_intr(struct ib *a) {
+  a->total = a->total + a->n;
+}
+
+static int ib_report(struct ib *a) {
+  return a->n;
+}
+
+static int ib_open(struct ib *a) {
+  if (a->n > 64)
+    return -22;
+  return 0;
+}
+|}
+
+let inbound_config =
+  {
+    Slicer.partition =
+      {
+        Partition.driver_name = "ib";
+        critical_roots = [ "ib_intr" ];
+        interface_functions = [ "ib_intr"; "ib_open"; "ib_report" ];
+      };
+    const_env = [];
+    java_functions = Slicer.All_user;
+  }
+
+(* Same shape, but the nucleus bounds-checks the field before use. *)
+let inbound_checked_driver =
+  {|
+struct ib { int n; int total; };
+
+void printk_info(int code);
+
+static void ib_intr(struct ib *a) {
+  if (a->n < 0 || a->n > 64)
+    return;
+  a->total = a->total + a->n;
+}
+
+static int ib_report(struct ib *a) {
+  return a->n;
+}
+|}
+
+(* Validation routed through a helper whose name marks it a validator. *)
+let inbound_clamped_driver =
+  {|
+struct ib { int n; int total; };
+
+void ib_clamp_range(int v);
+
+static void ib_intr(struct ib *a) {
+  ib_clamp_range(a->n);
+  a->total = a->total + a->n;
+}
+
+static int ib_report(struct ib *a) {
+  return a->n;
+}
+|}
+
+let inbound_checked_config =
+  {
+    inbound_config with
+    Slicer.partition =
+      {
+        inbound_config.Slicer.partition with
+        Partition.interface_functions = [ "ib_intr"; "ib_report" ];
+      };
+  }
+
+let inbound_findings findings =
+  List.filter
+    (fun (f : Lint.finding) -> f.Lint.f_pass = Lint.Inbound_validation)
+    (Lint.violations findings)
+
+let test_lint_inbound_unvalidated () =
+  let out = Slicer.slice ~source:inbound_driver inbound_config in
+  let fs = inbound_findings out.Slicer.lint in
+  check_bool "unvalidated inbound field caught" true
+    (has_finding ~anchor:"ib" ~msg:"unvalidated inbound field: 'n'" fs);
+  (* warnings, not errors: the fix may legitimately be a waiver *)
+  check "inbound findings are warnings" 0
+    (List.length (lint_errors Lint.Inbound_validation out.Slicer.lint))
+
+let test_lint_inbound_user_check_untrusted () =
+  (* ib_open's bounds test exists but runs at user level, so the field
+     must still be flagged: an adversarial driver ignores its own checks. *)
+  let out = Slicer.slice ~source:inbound_driver inbound_config in
+  check_bool "user-level check does not clear the finding" true
+    (has_finding ~anchor:"ib" ~msg:"'n'" (inbound_findings out.Slicer.lint))
+
+let test_lint_inbound_negative () =
+  let out =
+    Slicer.slice ~source:inbound_checked_driver inbound_checked_config
+  in
+  check "nucleus bounds check clears the finding" 0
+    (List.length (inbound_findings out.Slicer.lint))
+
+let test_lint_inbound_validator_call () =
+  let out =
+    Slicer.slice ~source:inbound_clamped_driver inbound_checked_config
+  in
+  check "call to a clamp/check helper clears the finding" 0
+    (List.length (inbound_findings out.Slicer.lint))
+
+let test_lint_inbound_waiver () =
+  let out = Slicer.slice ~source:inbound_driver inbound_config in
+  let waivers =
+    List.map
+      (fun (f : Lint.finding) ->
+        {
+          Lint.w_pass = f.Lint.f_pass;
+          w_anchor = f.Lint.f_anchor;
+          w_line = f.Lint.f_line;
+          w_reason = "validated at runtime by a Guard rule";
+        })
+      (inbound_findings out.Slicer.lint)
+  in
+  let report = Lint.apply_waivers ~driver:"ib" ~waivers out.Slicer.lint in
+  check "inbound violations waived" 0
+    (List.length
+       (List.filter
+          (fun (f : Lint.finding) -> f.Lint.f_pass = Lint.Inbound_validation)
+          report.Lint.r_unwaived));
+  check "waivers all consumed" 0 (List.length report.Lint.r_unused_waivers)
+
 let test_lint_waivers () =
   let out = Slicer.slice ~source:marshal_driver marshal_config in
   let waivers =
@@ -852,6 +990,11 @@ let () =
             test_lint_marshal_negative_and_unknown_len;
           tc "errflow overwrite" test_lint_errflow_overwrite;
           tc "errflow dropped at merge" test_lint_errflow_dropped_at_merge;
+          tc "inbound unvalidated" test_lint_inbound_unvalidated;
+          tc "inbound user check untrusted" test_lint_inbound_user_check_untrusted;
+          tc "inbound negative" test_lint_inbound_negative;
+          tc "inbound validator call" test_lint_inbound_validator_call;
+          tc "inbound waiver" test_lint_inbound_waiver;
           tc "waivers" test_lint_waivers;
           tc "corpus clean" test_lint_corpus_clean;
           tc "indirect assumption" test_lint_indirect_assumption;

@@ -741,6 +741,174 @@ let test_dispatch_admission_per_thread () =
       Alcotest.fail
         (Printf.sprintf "expected one pool, got %d" (List.length ps))
 
+(* --- capability handles --- *)
+
+let rejects f =
+  try
+    ignore (f ());
+    false
+  with Boundary.Boundary_violation _ -> true
+
+let test_handle_roundtrip () =
+  boot ();
+  let tr = Objtracker.create () in
+  let obj = { count = 3 } in
+  let addr = Addr.alloc ~size:64 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key obj);
+  let h = Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring" in
+  check_bool "handle does not leak the address" true (h <> addr);
+  (match Objtracker.resolve tr ~handle:h ~type_id:"e1000_tx_ring" with
+  | Ok a -> check "resolves to the address" addr a
+  | Error e -> Alcotest.fail e);
+  (match Objtracker.find_by_handle tr ~handle:h ring_key with
+  | Some o -> check_bool "same object" true (o == obj)
+  | None -> Alcotest.fail "find_by_handle missed");
+  check "one live handle" 1 (Objtracker.handle_count tr);
+  (* issuing again for the same association returns the same capability *)
+  check "issue is idempotent" h
+    (Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring")
+
+let test_handle_forged_rejected () =
+  boot ();
+  let tr = Objtracker.create () in
+  check_bool "never-issued handle refused" true
+    (Result.is_error
+       (Objtracker.resolve tr ~handle:0x5bad_f00d ~type_id:"e1000_tx_ring"));
+  check_bool "non-positive handle refused" true
+    (Result.is_error (Objtracker.resolve tr ~handle:0 ~type_id:"e1000_tx_ring"));
+  check "rejections counted" 2 (Objtracker.stats tr).Objtracker.rejected
+
+let test_handle_stale_after_remove () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:64 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 0 });
+  let h = Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring" in
+  Objtracker.remove_by_handle tr ~handle:h;
+  check "association revoked" 0 (Objtracker.count tr);
+  check "handle table emptied" 0 (Objtracker.handle_count tr);
+  check_bool "replayed handle is stale" true
+    (Result.is_error (Objtracker.resolve tr ~handle:h ~type_id:"e1000_tx_ring"));
+  (* reincarnation at the same address gets a fresh generation *)
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 1 });
+  let h' = Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring" in
+  check_bool "new incarnation, new capability" true (h' <> h);
+  check_bool "old handle still dead" true
+    (Result.is_error (Objtracker.resolve tr ~handle:h ~type_id:"e1000_tx_ring"))
+
+let test_handle_cross_type_rejected () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:256 in
+  Objtracker.associate tr ~addr (Univ.pack adapter_key { flags = 0 });
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 0 });
+  let h = Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring" in
+  check_bool "presented as the wrong type" true
+    (Result.is_error (Objtracker.resolve tr ~handle:h ~type_id:"e1000_adapter"));
+  check_bool "still valid for its own type" true
+    (Result.is_ok (Objtracker.resolve tr ~handle:h ~type_id:"e1000_tx_ring"))
+
+let test_handle_invalid_after_clear () =
+  boot ();
+  let tr = Objtracker.create () in
+  let addr = Addr.alloc ~size:64 in
+  Objtracker.associate tr ~addr (Univ.pack ring_key { count = 0 });
+  let h = Objtracker.issue tr ~addr ~type_id:"e1000_tx_ring" in
+  Objtracker.clear tr;
+  check "no handles survive a clear" 0 (Objtracker.handle_count tr);
+  check_bool "pre-clear handle refused after restart" true
+    (Result.is_error (Objtracker.resolve tr ~handle:h ~type_id:"e1000_tx_ring"))
+
+(* --- inbound guards --- *)
+
+let guard_plan () =
+  Marshal_plan.make ~type_id:"g"
+    [
+      ("ro", Marshal_plan.Read);
+      ("n", Marshal_plan.Read_write);
+      ("mode", Marshal_plan.Write);
+      ("buf", Marshal_plan.Read_write);
+      ("pos", Marshal_plan.Read_write);
+      ("up", Marshal_plan.Read_write);
+    ]
+
+let guard_rules () =
+  Guard.make (guard_plan ())
+    [
+      ("n", Guard.Range (0, 100));
+      ("mode", Guard.Enum [ 1; 2; 4 ]);
+      ("buf", Guard.Max_len 4);
+      ("pos", Guard.Non_negative);
+    ]
+
+let test_guard_rules_enforced () =
+  boot ();
+  Guard.reset ();
+  let g = guard_rules () in
+  check "in-range value passes through" 50 (Guard.int_field g ~field:"n" 50);
+  check_bool "range high" true (rejects (fun () -> Guard.int_field g ~field:"n" 101));
+  check_bool "range low" true (rejects (fun () -> Guard.int_field g ~field:"n" (-1)));
+  check_bool "enum violation" true
+    (rejects (fun () -> Guard.int_field g ~field:"mode" 3));
+  check "enum member passes" 4 (Guard.int_field g ~field:"mode" 4);
+  check_bool "oversize array" true
+    (rejects (fun () -> Guard.array_field g ~field:"buf" (Array.make 5 0)));
+  check "bounded array passes" 4
+    (Array.length (Guard.array_field g ~field:"buf" (Array.make 4 0)));
+  check_bool "negative position" true
+    (rejects (fun () -> Guard.int_field g ~field:"pos" (-7)));
+  check_bool "unruled field gets writability only" true
+    (Guard.bool_field g ~field:"up" true);
+  check "validator counted each violation" 5 (Guard.rejections g);
+  check_bool "machine-wide rejected counter moved" true
+    (Boundary.totals.Boundary.rejected >= 5)
+
+let test_guard_readonly_field () =
+  boot ();
+  Guard.reset ();
+  let g = guard_rules () in
+  (* the plan marks "ro" Read: kernel-to-user only. Any inbound value,
+     however innocuous, is a write through a read-only view. *)
+  check_bool "read-only int write refused" true
+    (rejects (fun () -> Guard.int_field g ~field:"ro" 0));
+  check_bool "unknown field refused too" true
+    (rejects (fun () -> Guard.int_field g ~field:"nosuch" 1))
+
+let test_guard_disabled_passthrough () =
+  boot ();
+  Guard.reset ();
+  let g = guard_rules () in
+  Guard.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Guard.reset ())
+    (fun () ->
+      check_bool "axis off" false (Guard.is_enabled ());
+      check "out-of-range value passes unchecked" 101
+        (Guard.int_field g ~field:"n" 101);
+      check "even read-only fields pass" 9 (Guard.int_field g ~field:"ro" 9);
+      check "no rejections recorded" 0 (Guard.rejections g);
+      (* the payload size bound is not part of the axis: still enforced *)
+      check_bool "payload bound enforced with axis off" true
+        (rejects (fun () ->
+             Guard.check_inbound_bytes g (Guard.limits.Guard.max_inbound_bytes + 1))))
+
+let test_guard_configure_fallback () =
+  boot ();
+  Guard.reset ();
+  Fun.protect
+    ~finally:(fun () -> Guard.reset ())
+    (fun () ->
+      Guard.configure ~max_inbound_bytes:16 ();
+      check "below-minimum setting falls back to default" 4096
+        Guard.limits.Guard.max_inbound_bytes;
+      Guard.configure ~max_inbound_bytes:128 ();
+      check "valid setting honored" 128 Guard.limits.Guard.max_inbound_bytes;
+      Guard.configure ~max_batch_queue:0 ();
+      check "zero queue bound falls back to default" 1024
+        Guard.limits.Guard.max_batch_queue;
+      Guard.configure ~max_batch_queue:8 ();
+      check "valid queue bound honored" 8 Guard.limits.Guard.max_batch_queue)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_xpc"
@@ -788,6 +956,21 @@ let () =
         ] );
       ( "dispatch",
         [ tc "admission is per thread" test_dispatch_admission_per_thread ] );
+      ( "objtracker-handles",
+        [
+          tc "roundtrip" test_handle_roundtrip;
+          tc "forged rejected" test_handle_forged_rejected;
+          tc "stale after remove" test_handle_stale_after_remove;
+          tc "cross-type rejected" test_handle_cross_type_rejected;
+          tc "invalid after clear" test_handle_invalid_after_clear;
+        ] );
+      ( "guard",
+        [
+          tc "rules enforced" test_guard_rules_enforced;
+          tc "read-only field" test_guard_readonly_field;
+          tc "disabled axis passthrough" test_guard_disabled_passthrough;
+          tc "configure fallback" test_guard_configure_fallback;
+        ] );
       ( "objtracker-weak",
         [
           tc "lives while referenced" test_tracker_weak_lives_while_referenced;

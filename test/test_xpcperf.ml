@@ -15,12 +15,12 @@ let test_netperf_e1000_gain () =
   let duration_ns = 300_000_000 in
   let off =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = false; delta = false; workers = w1 }
+      { E.Xpcperf.batching = false; delta = false; workers = w1; guard = true }
       ~duration_ns
   in
   let on =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = true; delta = true; workers = w1 }
+      { E.Xpcperf.batching = true; delta = true; workers = w1; guard = true }
       ~duration_ns
   in
   let fi = float_of_int in
@@ -51,7 +51,7 @@ let test_netperf_e1000_workers () =
   let duration_ns = 300_000_000 in
   let run workers =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = true; delta = true; workers }
+      { E.Xpcperf.batching = true; delta = true; workers; guard = true }
       ~duration_ns
   in
   let s1 = run 1 in
@@ -100,7 +100,7 @@ let test_json_roundtrip () =
   let sample scenario batching delta workers =
     {
       E.Xpcperf.scenario;
-      config = { E.Xpcperf.batching; delta; workers };
+      config = { E.Xpcperf.batching; delta; workers; guard = workers < 4 };
       crossings = 123;
       c_java = 45;
       bytes = 6789;
@@ -138,6 +138,7 @@ let test_json_pre_worker_compat () =
   match E.Xpcperf.of_json line with
   | _, [ s ] ->
       Alcotest.(check int) "workers defaults to 1" 1 s.E.Xpcperf.config.workers;
+      check_bool "guard defaults to true" true s.E.Xpcperf.config.guard;
       Alcotest.(check int) "crossings parsed" 52 s.E.Xpcperf.crossings;
       Alcotest.(check int) "missing counters default to 0" 0
         s.E.Xpcperf.xpc_ns
