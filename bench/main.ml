@@ -10,6 +10,12 @@
                                  (default BENCH_xpc.json)
      bench/main.exe check path   re-measure and fail on >10% regression
                                  against a committed trajectory
+
+   The xpcperf section accepts matrix filters, so one cell of the
+   5-scenario x 11-config sweep can be reproduced locally:
+     bench/main.exe xpcperf --scenario=e1000-netperf-send \
+                            --config=batch+delta+w1+ring
+   Unknown names fail fast and list the valid ones.
 *)
 
 module K = Decaf_kernel
@@ -146,7 +152,38 @@ let run_table_benches () =
   section "Bechamel table-regeneration benchmarks (wall-clock per run)";
   run_bechamel ~quota:1.0 ~limit:4 tables
 
+(* --scenario=/--config= filters for the xpcperf matrix: validate
+   against the experiment's own name lists so a typo fails fast instead
+   of silently measuring nothing. *)
+let parse_matrix_filters args =
+  let prefixed p a =
+    let pl = String.length p in
+    if String.length a > pl && String.sub a 0 pl = p then
+      Some (String.sub a pl (String.length a - pl))
+    else None
+  in
+  let check what valid = function
+    | Some name when not (List.mem name valid) ->
+        Printf.eprintf "unknown %s %S; valid: %s\n" what name
+          (String.concat ", " valid);
+        exit 2
+    | v -> v
+  in
+  let scenario, config, rest =
+    List.fold_left
+      (fun (s, c, rest) a ->
+        match (prefixed "--scenario=" a, prefixed "--config=" a) with
+        | Some v, _ -> (Some v, c, rest)
+        | _, Some v -> (s, Some v, rest)
+        | None, None -> (s, c, a :: rest))
+      (None, None, []) args
+  in
+  ( check "scenario" E.Xpcperf.scenario_names scenario,
+    check "config" (E.Xpcperf.config_names ()) config,
+    List.rev rest )
+
 let run_sections args =
+  let scenario, config, args = parse_matrix_filters args in
   let want name = args = [] || List.mem name args in
   if want "table1" then begin
     section "Table 1";
@@ -174,7 +211,8 @@ let run_sections args =
   end;
   if want "xpcperf" then begin
     section "Concurrent dispatch, batched XPC and delta marshaling";
-    print_string (E.Xpcperf.render (E.Xpcperf.measure ()))
+    print_string
+      (E.Xpcperf.render (E.Xpcperf.measure ?scenario ?config ()))
   end;
   if want "micro" then begin
     run_micro ();

@@ -70,6 +70,11 @@ type snapshot = {
   s_notifies : int;
   s_deferred_syncs : int;
   s_rejections : int;
+  s_dropped : int;
+  s_ring_occupancy : int;
+  s_ring_high_water : int;
+  s_ring_doorbells : int;
+  s_ring_drops : int;
   s_supervisor : Supervisor.stats option;
   s_restarts_left : int;
   s_init_latency_ns : int;
@@ -176,6 +181,7 @@ let on_restart b () =
    wedged past the deadline is the supervisor's problem, not ours. *)
 let drain_in_flight () =
   Xpc.Batch.drain ();
+  Xpc.Ring.drain_all ();
   let busy () =
     Xpc.Channel.in_flight Xpc.Domain.Decaf_driver
     + Xpc.Channel.in_flight Xpc.Domain.Driver_lib
@@ -344,9 +350,10 @@ let rmmod name =
   (match b.state with
   | Running | Suspended | Disabled -> ()
   | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Removed }));
-  (* deliver outstanding deferred notifications before teardown so no
-     deferred call outlives its driver *)
+  (* deliver outstanding deferred notifications and ring slots before
+     teardown so no deferred call outlives its driver *)
   Xpc.Batch.drain ();
+  Xpc.Ring.drain_all ();
   unbind b;
   b.want <- None
 
@@ -364,8 +371,10 @@ let suspend name =
       let op () =
         D.suspend t;
         (* flush batched notifies — and with them any pending dirty
-           deltas — while the device is still powered *)
-        Xpc.Batch.drain ()
+           deltas — and drain the shared ring while the device is still
+           powered, so no slot survives into the suspended state *)
+        Xpc.Batch.drain ();
+        Xpc.Ring.drain_all ()
       in
       if b.in_run then begin
         op ();
@@ -427,6 +436,7 @@ let run name ~mode body =
         (match b.state with
         | Running | Suspended ->
             Xpc.Batch.drain ();
+            Xpc.Ring.drain_all ();
             unbind b
         | _ -> ());
         v)
@@ -450,6 +460,18 @@ let snapshot_of b =
     | Some (B ((module D), t)) -> (D.deferred_syncs t, D.init_latency_ns t)
     | None -> (0, 0)
   in
+  (* Ring counters for this binding, if it owns a shared ring (rings are
+     registered under the binding's name). Zeros otherwise. *)
+  let r_occ, r_hw, r_bell, r_drop =
+    match Xpc.Ring.find ~name:b.b_name with
+    | Some r ->
+        let s = Xpc.Ring.stats_of r in
+        ( Xpc.Ring.occupancy r,
+          s.Xpc.Ring.high_water,
+          s.Xpc.Ring.doorbells,
+          s.Xpc.Ring.overflow + s.Xpc.Ring.discarded )
+    | None -> (0, 0, 0, 0)
+  in
   {
     s_driver = b.b_name;
     s_state = b.state;
@@ -459,6 +481,11 @@ let snapshot_of b =
     s_notifies = b.meter.m_notifies;
     s_deferred_syncs = deferred;
     s_rejections = Xpc.Boundary.rejected_for b.b_name;
+    s_dropped = Xpc.Boundary.dropped_for b.b_name;
+    s_ring_occupancy = r_occ;
+    s_ring_high_water = r_hw;
+    s_ring_doorbells = r_bell;
+    s_ring_drops = r_drop;
     s_supervisor = Option.map Supervisor.stats b.sup;
     s_restarts_left =
       (match b.sup with Some s -> Supervisor.restarts_left s | None -> 0);
@@ -474,21 +501,25 @@ let snapshots () =
 let render_status snaps =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %4s %4s %7s\n" "Driver"
-    "State" "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Rej" "Det"
-    "Rec" "Deg" "Budget";
+  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %9s %5s %5s %4s %4s %4s %7s\n"
+    "Driver" "State" "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Rej"
+    "Drop" "Ring(o/hw)" "Bells" "RDrop" "Det" "Rec" "Deg" "Budget";
   List.iter
     (fun s ->
       let stat f =
         match s.s_supervisor with Some st -> f st | None -> 0
       in
-      add "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %4d %4d %7d\n" s.s_driver
+      add
+        "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %9s %5d %5d %4d %4d %4d %7d\n"
+        s.s_driver
         (lifecycle_name s.s_state)
         (match s.s_mode with
         | Some m -> Driver_env.mode_name m
         | None -> "-")
         s.s_crossings s.s_wire_bytes s.s_notifies s.s_deferred_syncs
-        s.s_rejections
+        s.s_rejections s.s_dropped
+        (Printf.sprintf "%d/%d" s.s_ring_occupancy s.s_ring_high_water)
+        s.s_ring_doorbells s.s_ring_drops
         (stat (fun st -> st.Supervisor.detected))
         (stat (fun st -> st.Supervisor.recovered))
         (stat (fun st -> st.Supervisor.degraded))

@@ -95,6 +95,16 @@ type snapshot = {
       (** boundary-validation rejections attributed to this binding
           (forged/stale handles, field violations, forged acks) —
           {!Decaf_xpc.Boundary.rejected_for} under the binding's scope *)
+  s_dropped : int;
+      (** boundary drops attributed to this binding (batch queue bound,
+          ring overflow, teardown discards) —
+          {!Decaf_xpc.Boundary.dropped_for} under the same scope, so
+          drops and rejections reconcile in one accounting *)
+  s_ring_occupancy : int;  (** slots currently occupied in the binding's
+          shared ring (0 when it has none) *)
+  s_ring_high_water : int;  (** max ring occupancy observed *)
+  s_ring_doorbells : int;  (** doorbell crossings fired for this ring *)
+  s_ring_drops : int;  (** ring slots lost: overflow + teardown discards *)
   s_supervisor : Decaf_runtime.Supervisor.stats option;
   s_restarts_left : int;
   s_init_latency_ns : int;

@@ -91,6 +91,8 @@ type adapter = {
   mutable watchdog_runs : int;
   mutable pkts_since_stats : int;
   mutable user_syncs : int;
+  mutable xring : Decaf_xpc.Ring.t option;
+      (** shared-ring XPC fast path for stats/link records *)
   lock : K.Sync.Combolock.t;
 }
 
@@ -158,13 +160,29 @@ let post_adapter_sync a ~name =
    native build at wire speed. *)
 let stats_notify_interval = 256
 
+(* Ring fast path availability: the axis is on, probe allocated a ring,
+   and the user-level view exists — a freshly restarted runtime must
+   get a full-image crossing first, not slot updates against an object
+   it no longer holds. *)
+let ring_of a =
+  if Decaf_xpc.Ring.enabled () && O.user_has_view a.ka then a.xring else None
+
 let note_packets a n =
   if n > 0 && a.env.Driver_env.mode <> Driver_env.Native then begin
     a.pkts_since_stats <- a.pkts_since_stats + n;
     if a.pkts_since_stats >= stats_notify_interval then begin
       a.pkts_since_stats <- 0;
-      O.bump_k_stats a.ka;
-      post_adapter_sync a ~name:"e1000_stats"
+      match ring_of a with
+      | Some ring ->
+          (* slot write instead of a deferred marshal; an overflow drop
+             marks the field dirty so the delta path repairs it on the
+             next sync (the watchdog upcall bounds the staleness) *)
+          let r = O.ring_stats_record a.ka in
+          if not (Decaf_xpc.Ring.produce ring r) then
+            O.ring_undeliverable a.ka r
+      | None ->
+          O.bump_k_stats a.ka;
+          post_adapter_sync a ~name:"e1000_stats"
     end
   end
 
@@ -225,10 +243,19 @@ let interrupt a =
     if icr land E.icr_rxt0 <> 0 then handle_rx a;
     if icr land E.icr_lsc <> 0 then begin
       let up = Hw.Phy.link_up (E.phy a.model) in
-      if up <> a.ka.O.k_link_up then begin
-        O.set_k_link_up a.ka up;
-        post_adapter_sync a ~name:"e1000_link_state"
-      end
+      if up <> a.ka.O.k_link_up then
+        match ring_of a with
+        | Some ring ->
+            let r = O.ring_link_record a.ka up in
+            if not (Decaf_xpc.Ring.produce ring r) then begin
+              (* link transitions are too important to wait for the
+                 watchdog: mark and post the delta sync right away *)
+              O.ring_undeliverable a.ka r;
+              post_adapter_sync a ~name:"e1000_link_state"
+            end
+        | None ->
+            O.set_k_link_up a.ka up;
+            post_adapter_sync a ~name:"e1000_link_state"
     end
   end
 
@@ -485,9 +512,11 @@ let net_ops a =
       (fun () ->
         disarm_watchdog a;
         Decaf_runtime.Runtime.Nuclear.flush ();
-        (* deliver outstanding deferred notifications before the close
-           sync, so no deferred call outlives its device *)
+        (* deliver outstanding deferred notifications and ring slots
+           before the close sync, so no deferred call outlives its
+           device *)
         Decaf_xpc.Batch.drain ();
+        Option.iter Decaf_xpc.Ring.drain a.xring;
         with_java_adapter a ~name:"e1000_close" (fun j ->
             e1000_close_user a j);
         Ok ());
@@ -520,9 +549,28 @@ let probe env (pci : K.Pci.dev) =
           watchdog_runs = 0;
           pkts_since_stats = 0;
           user_syncs = 0;
+          xring = None;
           lock = K.Sync.Combolock.create ~name:driver ();
         }
       in
+      (* The shared ring exists for the life of the binding; its consumer
+         runs in whichever domain the mode's notify target is. *)
+      (match env.Driver_env.mode with
+      | Driver_env.Native -> ()
+      | Driver_env.Staged | Driver_env.Decaf ->
+          let target =
+            if env.Driver_env.mode = Driver_env.Decaf then
+              Decaf_xpc.Domain.Decaf_driver
+            else Decaf_xpc.Domain.Driver_lib
+          in
+          a.xring <-
+            Some
+              (Decaf_xpc.Ring.create ~name:driver ~target ~guard:O.ring_guard
+                 ~resolve:O.ring_resolve
+                 ~handler:(fun r ->
+                   O.apply_ring_record r;
+                   a.user_syncs <- a.user_syncs + 1)
+                 ()));
       Runtime.Helpers.register_sizeof "e1000_adapter" 512;
       let rc =
         with_java_adapter a ~name:"e1000_probe" (fun j ->
@@ -541,7 +589,12 @@ let probe env (pci : K.Pci.dev) =
                     a.netdev <- Some nd;
                     K.Netcore.register_netdev nd)))
       in
-      if rc = 0 then Ok a else Error rc
+      if rc = 0 then Ok a
+      else begin
+        Option.iter Decaf_xpc.Ring.destroy a.xring;
+        a.xring <- None;
+        Error rc
+      end
 
 let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
 
@@ -549,6 +602,10 @@ let remove (pci : K.Pci.dev) =
   (match Hashtbl.find_opt instances (K.Pci.slot pci) with
   | Some a -> (
       disarm_watchdog a;
+      (* unbind (including surprise removal): whatever is still in the
+         ring is dropped with count, never drained into a dead binding *)
+      Option.iter Decaf_xpc.Ring.destroy a.xring;
+      a.xring <- None;
       free_rx_resources a;
       free_tx_resources a;
       match a.netdev with

@@ -387,3 +387,72 @@ let resync_user_view (k : kernel_adapter) =
   List.iter
     (fun (f, _) -> if Plan.copies_in plan f then Plan.Dirty.mark k.k_dirty f)
     (Plan.fields plan)
+
+(* Ring fast path: the two hot notifications (periodic stats rollups,
+   link transitions) as fixed-layout slot records. The slot plan is
+   what DriverSlicer would derive for the shared-ring record type —
+   every field Write, because the ring lives in memory the untrusted
+   domain can scribble, so anything read out of a slot is inbound. *)
+
+let ring_ev_stats = 1
+let ring_ev_link = 2
+
+let ring_plan =
+  Plan.make ~type_id:"e1000_ring_slot"
+    [ ("kind", Plan.Write); ("arg0", Plan.Write); ("arg1", Plan.Write) ]
+
+let ring_guard =
+  Guard.make ring_plan
+    [
+      ("kind", Guard.Enum [ ring_ev_stats; ring_ev_link ]);
+      ("arg0", Guard.Non_negative);
+      ("arg1", Guard.Range (0, 1));
+    ]
+
+let ring_resolve handle =
+  Objtracker.resolve (kernel_tracker ()) ~handle ~type_id:(Plan.type_id plan)
+
+(* Record constructors bump kernel state WITHOUT a dirty mark: the ring
+   carries the new value itself, so letting the delta path re-send it
+   would pay the marshal twice. Only when a record cannot be delivered
+   (ring overflow, teardown) does {!ring_undeliverable} mark the field,
+   handing staleness repair back to the delta-sync slow path. *)
+
+let ring_stats_record (k : kernel_adapter) =
+  k.k_stats_gen <- k.k_stats_gen + 1;
+  {
+    Ring.kind = ring_ev_stats;
+    handle = adapter_handle k;
+    arg0 = k.k_stats_gen;
+    arg1 = 0;
+  }
+
+let ring_link_record (k : kernel_adapter) up =
+  k.k_link_up <- up;
+  {
+    Ring.kind = ring_ev_link;
+    handle = adapter_handle k;
+    arg0 = 0;
+    arg1 = (if up then 1 else 0);
+  }
+
+let ring_undeliverable (k : kernel_adapter) (r : Ring.record) =
+  if r.Ring.kind = ring_ev_stats then Plan.Dirty.mark k.k_dirty "stats_gen"
+  else if r.Ring.kind = ring_ev_link then Plan.Dirty.mark k.k_dirty "link_up"
+
+(* Consumer side (runs in the user domain inside the doorbell crossing,
+   after the handle resolved and the guard passed): update the Java
+   view in place, zero marshaling. Plain assignments — the values just
+   arrived from the kernel and must not be re-marked dirty. No view yet
+   (runtime restarted since produce) is benign: the next full-image
+   crossing carries everything anyway. *)
+let apply_ring_record (r : Ring.record) =
+  match
+    Objtracker.find
+      (Decaf_runtime.Runtime.java_tracker ())
+      ~addr:r.Ring.handle adapter_key
+  with
+  | None -> ()
+  | Some j ->
+      if r.Ring.kind = ring_ev_stats then j.j_stats_gen <- r.Ring.arg0
+      else if r.Ring.kind = ring_ev_link then j.j_link_up <- r.Ring.arg1 = 1

@@ -115,6 +115,11 @@ val set_j_link_up : java_adapter -> bool -> unit
 val bump_j_watchdog : java_adapter -> unit
 val set_j_config_word : java_adapter -> int -> int -> unit
 
+val user_has_view : kernel_adapter -> bool
+(** Whether the user-level tracker holds a view of this adapter (first
+    crossing happened, runtime not restarted since) — the gate for the
+    delta and ring fast paths, which both update an existing view. *)
+
 val wire_size : int
 (** Bytes of a full plan-selected marshal (used for XPC cost sizing);
     independent of the delta mode. *)
@@ -144,3 +149,36 @@ val resync_user_view : kernel_adapter -> unit
 (** Mark every copy-in plan field dirty so the next crossing carries a
     full image — the resume-from-suspend resync, where the user-level
     view may be stale but the tracker entry still exists. *)
+
+(** {2 Ring fast path}
+
+    The two hot notifications (periodic stats rollups, link
+    transitions) as fixed-layout {!Decaf_xpc.Ring} slot records. The
+    slot plan marks every field Write: the ring lives in conceptually
+    shared memory the untrusted domain can scribble, so everything read
+    out of a slot is inbound and guard-checked. *)
+
+val ring_ev_stats : int
+val ring_ev_link : int
+
+val ring_plan : Decaf_xpc.Marshal_plan.t
+val ring_guard : Decaf_xpc.Guard.t
+
+val ring_resolve : int -> (int, string) result
+(** Resolve a slot's capability handle against the kernel tracker (the
+    [resolve] argument for {!Decaf_xpc.Ring.create}). *)
+
+val ring_stats_record : kernel_adapter -> Decaf_xpc.Ring.record
+(** Advance [k_stats_gen] WITHOUT a dirty mark (the ring carries the
+    value) and build the slot record for it. *)
+
+val ring_link_record : kernel_adapter -> bool -> Decaf_xpc.Ring.record
+(** Set [k_link_up] without a mark and build the slot record. *)
+
+val ring_undeliverable : kernel_adapter -> Decaf_xpc.Ring.record -> unit
+(** The record was dropped (ring overflow, teardown): mark the field it
+    carried dirty so the delta-sync slow path repairs the staleness. *)
+
+val apply_ring_record : Decaf_xpc.Ring.record -> unit
+(** Consumer side, after validation: update the Java view in place
+    (zero marshaling); no user view yet is benign. *)

@@ -32,6 +32,8 @@ type adapter = {
   mutable dirty_tx : int;  (** oldest descriptor the NIC still owns *)
   mutable pkts_since_stats : int;
   mutable user_syncs : int;
+  mutable xring : Decaf_xpc.Ring.t option;
+      (** shared-ring XPC fast path for stats/rx-drop/mc-filter records *)
   lock : K.Sync.Combolock.t;
 }
 
@@ -84,13 +86,24 @@ let post_nic_sync a ~name =
 
 let stats_notify_interval = 64
 
+(* Ring availability, as in E1000_drv: axis on, ring allocated, and the
+   user-level view exists (else fall back to full-image syncs). *)
+let ring_of a =
+  if Decaf_xpc.Ring.enabled () && RO.user_has_view a.ka then a.xring else None
+
 let note_packets a n =
   if n > 0 && a.env.Driver_env.mode <> Driver_env.Native then begin
     a.pkts_since_stats <- a.pkts_since_stats + n;
     if a.pkts_since_stats >= stats_notify_interval then begin
       a.pkts_since_stats <- 0;
-      RO.bump_k_stats a.ka;
-      post_nic_sync a ~name:"rtl8139_stats"
+      match ring_of a with
+      | Some ring ->
+          let r = RO.ring_stats_record a.ka in
+          if not (Decaf_xpc.Ring.produce ring r) then
+            RO.ring_undeliverable a.ka r
+      | None ->
+          RO.bump_k_stats a.ka;
+          post_nic_sync a ~name:"rtl8139_stats"
     end
   end
 
@@ -161,8 +174,14 @@ let interrupt a =
           let st = K.Netcore.stats nd in
           st.K.Netcore.rx_dropped <- st.K.Netcore.rx_dropped + 1
       | None -> ());
-      RO.bump_k_rx_dropped a.ka;
-      post_nic_sync a ~name:"rtl8139_rx_dropped"
+      match ring_of a with
+      | Some ring ->
+          let r = RO.ring_rx_dropped_record a.ka in
+          if not (Decaf_xpc.Ring.produce ring r) then
+            RO.ring_undeliverable a.ka r
+      | None ->
+          RO.bump_k_rx_dropped a.ka;
+          post_nic_sync a ~name:"rtl8139_rx_dropped"
     end
   end
 
@@ -227,8 +246,10 @@ let net_ops t_adapter =
     ndo_stop =
       (fun () ->
         let a = t_adapter in
-        (* deliver outstanding deferred notifications before closing *)
+        (* deliver outstanding deferred notifications and ring slots
+           before closing *)
         Decaf_xpc.Batch.drain ();
+        Option.iter Decaf_xpc.Ring.drain a.xring;
         with_java_nic a ~name:"rtl8139_close" (fun _j ->
             let outb =
               if a.env.Driver_env.mode <> Driver_env.Native then
@@ -271,9 +292,26 @@ let probe env (pci : K.Pci.dev) =
           dirty_tx = 0;
           pkts_since_stats = 0;
           user_syncs = 0;
+          xring = None;
           lock = K.Sync.Combolock.create ~name:"rtl8139" ();
         }
       in
+      (match env.Driver_env.mode with
+      | Driver_env.Native -> ()
+      | Driver_env.Staged | Driver_env.Decaf ->
+          let target =
+            if env.Driver_env.mode = Driver_env.Decaf then
+              Decaf_xpc.Domain.Decaf_driver
+            else Decaf_xpc.Domain.Driver_lib
+          in
+          a.xring <-
+            Some
+              (Decaf_xpc.Ring.create ~name:"8139too" ~target
+                 ~guard:RO.ring_guard ~resolve:RO.ring_resolve
+                 ~handler:(fun r ->
+                   RO.apply_ring_record r;
+                   a.user_syncs <- a.user_syncs + 1)
+                 ()));
       (* Probe-time bring-up happens at user level in decaf mode. *)
       let rc =
         with_java_nic a ~name:"rtl8139_probe" (fun j ->
@@ -296,7 +334,12 @@ let probe env (pci : K.Pci.dev) =
               0
             end)
       in
-      if rc = 0 then Ok a else Error rc
+      if rc = 0 then Ok a
+      else begin
+        Option.iter Decaf_xpc.Ring.destroy a.xring;
+        a.xring <- None;
+        Error rc
+      end
 
 let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
 
@@ -322,6 +365,9 @@ let insmod env =
           (match Hashtbl.find_opt instances (K.Pci.slot pci) with
           | Some a -> (
               K.Irq.free_irq a.irq;
+              (* unbind: remaining slots dropped with count *)
+              Option.iter Decaf_xpc.Ring.destroy a.xring;
+              a.xring <- None;
               match a.netdev with
               | Some nd -> K.Netcore.unregister_netdev nd
               | None -> ())
@@ -410,8 +456,16 @@ let netdev t =
    classic non-urgent upcall (nothing in the kernel waits on it). *)
 let set_rx_mode t ~mc_filter:(w0, w1) =
   let a = t.adapter in
-  RO.set_k_mc_filter a.ka w0 w1;
-  post_nic_sync a ~name:"rtl8139_set_rx_mode"
+  match ring_of a with
+  | Some ring ->
+      let r = RO.ring_mc_filter_record a.ka w0 w1 in
+      if not (Decaf_xpc.Ring.produce ring r) then begin
+        RO.ring_undeliverable a.ka r;
+        post_nic_sync a ~name:"rtl8139_set_rx_mode"
+      end
+  | None ->
+      RO.set_k_mc_filter a.ka w0 w1;
+      post_nic_sync a ~name:"rtl8139_set_rx_mode"
 
 let kernel_nic t = t.adapter.ka
 let user_stat_syncs t = t.adapter.user_syncs

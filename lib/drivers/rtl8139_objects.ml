@@ -240,3 +240,76 @@ let resync_user_view (k : kernel_nic) =
   List.iter
     (fun (f, _) -> if Plan.copies_in plan f then Plan.Dirty.mark k.k_dirty f)
     (Plan.fields plan)
+
+(* Ring fast path (see E1000_objects for the rationale): the three hot
+   notifications — stats rollups, rx-overflow drops, multicast-filter
+   refreshes — as fixed-layout slot records, all-Write in the slot plan
+   because slots live in conceptually shared memory. *)
+
+let ring_ev_stats = 1
+let ring_ev_rx_dropped = 2
+let ring_ev_mc_filter = 3
+
+let ring_plan =
+  Plan.make ~type_id:"rtl8139_ring_slot"
+    [ ("kind", Plan.Write); ("arg0", Plan.Write); ("arg1", Plan.Write) ]
+
+let ring_guard =
+  Guard.make ring_plan
+    [
+      ("kind", Guard.Enum [ ring_ev_stats; ring_ev_rx_dropped; ring_ev_mc_filter ]);
+      ("arg0", Guard.Non_negative);
+      ("arg1", Guard.Non_negative);
+    ]
+
+let ring_resolve handle =
+  Objtracker.resolve (kernel_tracker ()) ~handle ~type_id:(Plan.type_id plan)
+
+(* Quiet bumps: the ring delivers the value, the dirty mark happens only
+   if the record turns out to be undeliverable. *)
+
+let ring_stats_record (k : kernel_nic) =
+  k.k_stats_gen <- k.k_stats_gen + 1;
+  {
+    Ring.kind = ring_ev_stats;
+    handle = nic_handle k;
+    arg0 = k.k_stats_gen;
+    arg1 = 0;
+  }
+
+let ring_rx_dropped_record (k : kernel_nic) =
+  k.k_rx_dropped <- k.k_rx_dropped + 1;
+  {
+    Ring.kind = ring_ev_rx_dropped;
+    handle = nic_handle k;
+    arg0 = k.k_rx_dropped;
+    arg1 = 0;
+  }
+
+let ring_mc_filter_record (k : kernel_nic) w0 w1 =
+  k.k_mc_filter.(0) <- w0;
+  k.k_mc_filter.(1) <- w1;
+  { Ring.kind = ring_ev_mc_filter; handle = nic_handle k; arg0 = w0; arg1 = w1 }
+
+let ring_undeliverable (k : kernel_nic) (r : Ring.record) =
+  if r.Ring.kind = ring_ev_stats then Plan.Dirty.mark k.k_dirty "stats_gen"
+  else if r.Ring.kind = ring_ev_rx_dropped then
+    Plan.Dirty.mark k.k_dirty "rx_dropped"
+  else if r.Ring.kind = ring_ev_mc_filter then
+    Plan.Dirty.mark k.k_dirty "mc_filter"
+
+let apply_ring_record (r : Ring.record) =
+  match
+    Objtracker.find
+      (Decaf_runtime.Runtime.java_tracker ())
+      ~addr:r.Ring.handle nic_key
+  with
+  | None -> ()
+  | Some j ->
+      if r.Ring.kind = ring_ev_stats then j.j_stats_gen <- r.Ring.arg0
+      else if r.Ring.kind = ring_ev_rx_dropped then
+        j.j_rx_dropped <- r.Ring.arg0
+      else if r.Ring.kind = ring_ev_mc_filter then begin
+        j.j_mc_filter.(0) <- r.Ring.arg0;
+        j.j_mc_filter.(1) <- r.Ring.arg1
+      end

@@ -55,6 +55,10 @@ val user_view_mark : kernel_nic -> int
 val ack_user_view : kernel_nic -> upto:int -> unit
 val set_j_msg_enable : java_nic -> int -> unit
 
+val user_has_view : kernel_nic -> bool
+(** Whether the user-level tracker holds a view of this nic; see
+    {!E1000_objects.user_has_view}. *)
+
 val wire_size : int
 (** Bytes of a full plan-selected marshal; independent of delta mode. *)
 
@@ -66,3 +70,21 @@ val unmarshal_at_kernel : bytes -> kernel_nic -> unit
 val resync_user_view : kernel_nic -> unit
 (** Mark every copy-in field dirty: the post-resume full-image resync,
     as in {!E1000_objects.resync_user_view}. *)
+
+(** {2 Ring fast path}
+
+    Stats rollups, rx-overflow drops and multicast-filter refreshes as
+    fixed-layout {!Decaf_xpc.Ring} slot records; see
+    {!E1000_objects.ring_plan} for the trust rationale. *)
+
+val ring_ev_stats : int
+val ring_ev_rx_dropped : int
+val ring_ev_mc_filter : int
+val ring_plan : Decaf_xpc.Marshal_plan.t
+val ring_guard : Decaf_xpc.Guard.t
+val ring_resolve : int -> (int, string) result
+val ring_stats_record : kernel_nic -> Decaf_xpc.Ring.record
+val ring_rx_dropped_record : kernel_nic -> Decaf_xpc.Ring.record
+val ring_mc_filter_record : kernel_nic -> int -> int -> Decaf_xpc.Ring.record
+val ring_undeliverable : kernel_nic -> Decaf_xpc.Ring.record -> unit
+val apply_ring_record : Decaf_xpc.Ring.record -> unit

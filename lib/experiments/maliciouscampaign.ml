@@ -341,6 +341,70 @@ let e1000_forged_ack ~corrupted:_ ka =
 
 let e1000_flood ~corrupted:_ _ka = flood_posts ~context:"e1000_stats" 50
 
+(* --- shared-ring attacks ---
+
+   The slot ring is mapped in both domains, so a compromised driver can
+   scribble arbitrary records into it and ring the doorbell.  The drain
+   path validates every slot kernel-side — capability resolution on the
+   handle, plan-derived guard rules on the scalar fields — and discards
+   what fails, drop + count, without faulting the crossing. *)
+
+let ring_of driver =
+  match Xpc.Ring.find ~name:driver with
+  | Some ring -> ring
+  | None -> Errors.throw ~driver ~errno:19 "shared ring not mapped"
+
+(* Forged slot contents: a handle the kernel never issued, an event
+   kind outside the plan's enum, and hostile args under a real handle.
+   All three slots must be rejected at drain and the kernel adapter
+   left untouched. *)
+let e1000_ring_forged rng ~corrupted ka =
+  let ring = ring_of "e1000" in
+  checked corrupted
+    (fun () -> e1000_snapshot ka)
+    (fun () ->
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = EO.ring_ev_stats;
+             handle = 0x4bad_0000 + Random.State.int rng 0xfff;
+             arg0 = 1;
+             arg1 = 0;
+           });
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = 99;
+             handle = EO.adapter_handle ka;
+             arg0 = 1;
+             arg1 = 0;
+           });
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = EO.ring_ev_link;
+             handle = EO.adapter_handle ka;
+             arg0 = hostile_int rng;
+             arg1 = 7;
+           });
+      Xpc.Ring.drain ring)
+
+(* Overflow flood: well-formed records pumped in faster than any drain,
+   past the ring's fixed depth.  The bounded ring absorbs the flood —
+   excess slots are dropped and counted, nothing blocks or faults. *)
+let e1000_ring_flood ~corrupted:_ ka =
+  let ring = ring_of "e1000" in
+  for i = 1 to 300 do
+    ignore
+      (Xpc.Ring.produce ring
+         {
+           Xpc.Ring.kind = EO.ring_ev_stats;
+           handle = EO.adapter_handle ka;
+           arg0 = i;
+           arg1 = 0;
+         })
+  done
+
 (* --- 8139too attacks --- *)
 
 let rtl_apply ~corrupted ka payload =
@@ -371,6 +435,38 @@ let rtl_forged_ack ~corrupted:_ ka =
   Xpc.Boundary.scoped "8139too" (fun () ->
       let issued = Xpc.Marshal_plan.Dirty.issued ka.RO.k_dirty in
       RO.ack_user_view ka ~upto:(issued + 3))
+
+let rtl_ring_forged rng ~corrupted ka =
+  let ring = ring_of "8139too" in
+  checked corrupted
+    (fun () -> rtl_snapshot ka)
+    (fun () ->
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = RO.ring_ev_stats;
+             handle = 0x5bad_0000 + Random.State.int rng 0xfff;
+             arg0 = 1;
+             arg1 = 0;
+           });
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = 7;
+             handle = RO.nic_handle ka;
+             arg0 = 1;
+             arg1 = 0;
+           });
+      ignore
+        (Xpc.Ring.produce ring
+           {
+             Xpc.Ring.kind = RO.ring_ev_rx_dropped;
+             handle = RO.nic_handle ka;
+             (* rx_dropped is a counter: negative is out of envelope *)
+             arg0 = -(1 + Random.State.int rng 1000);
+             arg1 = 0;
+           });
+      Xpc.Ring.drain ring)
 
 (* --- hostile hotplug / PM windows --- *)
 
@@ -496,6 +592,9 @@ let cases () =
       c_setup = (fun rng -> rtl_scene (rtl_forged_handle rng) rng) };
     { c_driver = "8139too"; c_attack = "stale handle (revoked)";
       c_expected = "recovered"; c_setup = rtl_scene rtl_stale_handle };
+    { c_driver = "8139too"; c_attack = "forged ring slots";
+      c_expected = "dropped";
+      c_setup = (fun rng -> rtl_scene (rtl_ring_forged rng) rng) };
     { c_driver = "8139too"; c_attack = "forged delta ack";
       c_expected = "recovered"; c_setup = rtl_scene rtl_forged_ack };
     (* e1000 *)
@@ -522,6 +621,11 @@ let cases () =
       c_setup = (fun rng -> e1000_scene ~persistent:true (e1000_fuzz rng) rng) };
     { c_driver = "e1000"; c_attack = "deferred-call queue flood";
       c_expected = "dropped"; c_setup = e1000_scene e1000_flood };
+    { c_driver = "e1000"; c_attack = "forged ring slots";
+      c_expected = "dropped";
+      c_setup = (fun rng -> e1000_scene (e1000_ring_forged rng) rng) };
+    { c_driver = "e1000"; c_attack = "ring overflow flood";
+      c_expected = "dropped"; c_setup = e1000_scene e1000_ring_flood };
     (* ens1371 *)
     { c_driver = "ens1371"; c_attack = "forged handle";
       c_expected = "recovered";

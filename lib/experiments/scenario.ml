@@ -7,6 +7,7 @@ let boot () =
   Decaf_xpc.Channel.reset_stats ();
   Decaf_xpc.Channel.reset_config ();
   Decaf_xpc.Batch.reset ();
+  Decaf_xpc.Ring.reset ();
   Decaf_xpc.Dispatch.reset ();
   Decaf_xpc.Marshal_plan.set_delta_enabled false;
   Decaf_xpc.Guard.reset ();

@@ -17,6 +17,9 @@ let ok what = function
 
 let measure () =
   Scenario.boot ();
+  (* the ring axis is live in status runs, so the per-binding ring
+     counters (occupancy/high-water/doorbells/drops) show real traffic *)
+  Decaf_xpc.Ring.set_enabled true;
   let link100 = Hw.Link.create ~rate_bps:100_000_000 () in
   let link1g = Hw.Link.create ~rate_bps:1_000_000_000 () in
   ignore
@@ -80,7 +83,7 @@ let render_json snaps =
         match s.Driver_core.s_supervisor with Some st -> f st | None -> 0
       in
       add
-        "{\"driver\":\"%s\",\"state\":\"%s\",\"mode\":\"%s\",\"crossings\":%d,\"wire_bytes\":%d,\"notifies\":%d,\"deferred_syncs\":%d,\"rejections\":%d,\"detected\":%d,\"recovered\":%d,\"degraded\":%d,\"restarts_left\":%d,\"init_latency_ns\":%d}\n"
+        "{\"driver\":\"%s\",\"state\":\"%s\",\"mode\":\"%s\",\"crossings\":%d,\"wire_bytes\":%d,\"notifies\":%d,\"deferred_syncs\":%d,\"rejections\":%d,\"dropped\":%d,\"ring_occupancy\":%d,\"ring_high_water\":%d,\"ring_doorbells\":%d,\"ring_drops\":%d,\"detected\":%d,\"recovered\":%d,\"degraded\":%d,\"restarts_left\":%d,\"init_latency_ns\":%d}\n"
         s.Driver_core.s_driver
         (Driver_core.lifecycle_name s.Driver_core.s_state)
         (match s.Driver_core.s_mode with
@@ -88,7 +91,9 @@ let render_json snaps =
         | None -> "-")
         s.Driver_core.s_crossings s.Driver_core.s_wire_bytes
         s.Driver_core.s_notifies s.Driver_core.s_deferred_syncs
-        s.Driver_core.s_rejections
+        s.Driver_core.s_rejections s.Driver_core.s_dropped
+        s.Driver_core.s_ring_occupancy s.Driver_core.s_ring_high_water
+        s.Driver_core.s_ring_doorbells s.Driver_core.s_ring_drops
         (stat (fun st -> st.Decaf_runtime.Supervisor.detected))
         (stat (fun st -> st.Decaf_runtime.Supervisor.recovered))
         (stat (fun st -> st.Decaf_runtime.Supervisor.degraded))

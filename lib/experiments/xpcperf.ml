@@ -4,14 +4,21 @@ module Xpc = Decaf_xpc
 open Decaf_drivers
 open Decaf_workloads
 
-type config = { batching : bool; delta : bool; workers : int; guard : bool }
+type config = {
+  batching : bool;
+  delta : bool;
+  workers : int;
+  guard : bool;
+  ring : bool;
+}
 
 let config_name c =
   (if c.batching then "batch" else "nobatch")
   ^ "+"
   ^ (if c.delta then "delta" else "full")
   ^ Printf.sprintf "+w%d" c.workers
-  ^ if c.guard then "" else "+noguard"
+  ^ (if c.guard then "" else "+noguard")
+  ^ if c.ring then "+ring" else ""
 
 (* Measured in a fixed order so the JSON trajectory is stable: the four
    historical optimization combinations on the serial (one-worker) path,
@@ -23,15 +30,20 @@ let config_name c =
    keeps it enabled. *)
 let configs =
   [
-    { batching = false; delta = false; workers = 1; guard = true };
-    { batching = true; delta = false; workers = 1; guard = true };
-    { batching = false; delta = true; workers = 1; guard = true };
-    { batching = true; delta = true; workers = 1; guard = true };
-    { batching = true; delta = true; workers = 2; guard = true };
-    { batching = false; delta = false; workers = 4; guard = true };
-    { batching = true; delta = true; workers = 4; guard = true };
-    { batching = true; delta = true; workers = 1; guard = false };
-    { batching = true; delta = true; workers = 4; guard = false };
+    { batching = false; delta = false; workers = 1; guard = true; ring = false };
+    { batching = true; delta = false; workers = 1; guard = true; ring = false };
+    { batching = false; delta = true; workers = 1; guard = true; ring = false };
+    { batching = true; delta = true; workers = 1; guard = true; ring = false };
+    { batching = true; delta = true; workers = 2; guard = true; ring = false };
+    { batching = false; delta = false; workers = 4; guard = true; ring = false };
+    { batching = true; delta = true; workers = 4; guard = true; ring = false };
+    { batching = true; delta = true; workers = 1; guard = false; ring = false };
+    { batching = true; delta = true; workers = 4; guard = false; ring = false };
+    (* the ring axis rides on top of the best serial and parallel
+       configs: slot records replace the hot deferred notifications,
+       the doorbell amortizes their crossings to ~zero *)
+    { batching = true; delta = true; workers = 1; guard = true; ring = true };
+    { batching = true; delta = true; workers = 4; guard = true; ring = true };
   ]
 
 type sample = {
@@ -43,6 +55,9 @@ type sample = {
   posted : int;
   delivered : int;
   flushes : int;
+  doorbells : int;
+  ring_produced : int;
+  ring_drops : int;
   xpc_ns : int;
   lock_contended : int;
   lock_wait_ns : int;
@@ -60,7 +75,8 @@ let apply_config c =
   Xpc.Batch.set_enabled c.batching;
   Xpc.Marshal_plan.set_delta_enabled c.delta;
   Xpc.Dispatch.set_workers c.workers;
-  Xpc.Guard.set_enabled c.guard
+  Xpc.Guard.set_enabled c.guard;
+  Xpc.Ring.set_enabled c.ring
 
 let insmod_via name =
   match Driver_core.insmod name ~mode:Driver_env.Decaf with
@@ -70,6 +86,7 @@ let insmod_via name =
 let finish ~scenario ~config ~perf ~perf_unit =
   let ch = Xpc.Channel.snapshot () in
   let b = Xpc.Batch.snapshot () in
+  let r = Xpc.Ring.snapshot () in
   let shards = Xpc.Channel.tracker_shards () in
   let shard_hits =
     Array.fold_left (fun acc s -> acc + s.Xpc.Objtracker.hits) 0 shards
@@ -88,6 +105,9 @@ let finish ~scenario ~config ~perf ~perf_unit =
     posted = b.Xpc.Batch.posted;
     delivered = b.Xpc.Batch.delivered;
     flushes = b.Xpc.Batch.flush_crossings;
+    doorbells = r.Xpc.Ring.doorbells;
+    ring_produced = r.Xpc.Ring.produced;
+    ring_drops = r.Xpc.Ring.overflow + r.Xpc.Ring.discarded;
     xpc_ns = Xpc.Dispatch.overhead_ns ();
     lock_contended = ch.Xpc.Channel.lock_contended;
     lock_wait_ns = ch.Xpc.Channel.lock_wait_ns;
@@ -179,17 +199,35 @@ let default_duration_ns = 300_000_000
 
 let scenarios ~duration_ns =
   [
-    (fun cfg -> e1000_net `Send cfg ~duration_ns);
-    (fun cfg -> e1000_net `Recv cfg ~duration_ns);
-    (fun cfg -> rtl8139_net cfg ~duration_ns);
-    (fun cfg -> psmouse cfg ~duration_ns:(max duration_ns 2_000_000_000));
-    (fun cfg -> ens1371 cfg ~duration_ns);
+    ("e1000-netperf-send", fun cfg -> e1000_net `Send cfg ~duration_ns);
+    ("e1000-netperf-recv", fun cfg -> e1000_net `Recv cfg ~duration_ns);
+    ("8139too-netperf-send", fun cfg -> rtl8139_net cfg ~duration_ns);
+    ( "psmouse-move",
+      fun cfg -> psmouse cfg ~duration_ns:(max duration_ns 2_000_000_000) );
+    ("ens1371-mpg123", fun cfg -> ens1371 cfg ~duration_ns);
   ]
 
-let measure ?(duration_ns = default_duration_ns) () =
-  List.concat_map
-    (fun run -> List.map run configs)
-    (scenarios ~duration_ns)
+let scenario_names =
+  List.map fst (scenarios ~duration_ns:default_duration_ns)
+
+let config_names () = List.map config_name configs
+
+(* [scenario]/[config] narrow the matrix to one row/column (by the
+   names the table and trajectory print), so a single cell can be
+   re-measured locally without the full sweep. *)
+let measure ?(duration_ns = default_duration_ns) ?scenario ?config () =
+  let scenes =
+    List.filter
+      (fun (name, _) ->
+        match scenario with None -> true | Some s -> s = name)
+      (scenarios ~duration_ns)
+  in
+  let cfgs =
+    List.filter
+      (fun c -> match config with None -> true | Some n -> n = config_name c)
+      configs
+  in
+  List.concat_map (fun (_, run) -> List.map run cfgs) scenes
 
 (* --- reporting --- *)
 
@@ -220,7 +258,13 @@ let render samples =
       (fun s ->
         if
           s.config
-          = { batching = false; delta = false; workers = 1; guard = true }
+          = {
+              batching = false;
+              delta = false;
+              workers = 1;
+              guard = true;
+              ring = false;
+            }
         then Some s.scenario
         else None)
       samples
@@ -232,10 +276,22 @@ let render samples =
       match
         ( find samples ~scenario
             ~config:
-              { batching = false; delta = false; workers = 1; guard = true },
+              {
+                batching = false;
+                delta = false;
+                workers = 1;
+                guard = true;
+                ring = false;
+              },
           find samples ~scenario
             ~config:
-              { batching = true; delta = true; workers = 1; guard = true } )
+              {
+                batching = true;
+                delta = true;
+                workers = 1;
+                guard = true;
+                ring = false;
+              } )
       with
       | Some off, Some on ->
           add "%-20s %11.1f%% %11.1f%% %9.3fx\n" scenario
@@ -250,10 +306,22 @@ let render samples =
       match
         ( find samples ~scenario
             ~config:
-              { batching = true; delta = true; workers = 1; guard = true },
+              {
+                batching = true;
+                delta = true;
+                workers = 1;
+                guard = true;
+                ring = false;
+              },
           find samples ~scenario
             ~config:
-              { batching = true; delta = true; workers = 4; guard = true } )
+              {
+                batching = true;
+                delta = true;
+                workers = 4;
+                guard = true;
+                ring = false;
+              } )
       with
       | Some w1, Some w4 ->
           add "%-20s %11.1f%% %12d %9.3fx\n" scenario
@@ -270,14 +338,61 @@ let render samples =
       let ratio w =
         match
           ( find samples ~scenario
-              ~config:{ batching = true; delta = true; workers = w; guard = false },
+              ~config:
+                {
+                  batching = true;
+                  delta = true;
+                  workers = w;
+                  guard = false;
+                  ring = false;
+                },
             find samples ~scenario
-              ~config:{ batching = true; delta = true; workers = w; guard = true } )
+              ~config:
+                {
+                  batching = true;
+                  delta = true;
+                  workers = w;
+                  guard = true;
+                  ring = false;
+                } )
         with
         | Some off, Some on when perf off > 0. -> perf on /. perf off
         | _ -> 1.
       in
       add "%-20s %11.3fx %11.3fx\n" scenario (ratio 1) (ratio 4))
+    names;
+  (* the ring axis: data-path crossings collapse from one flush per
+     batch to one doorbell per ring fill, throughput must hold *)
+  add "\n%-20s %12s %12s %10s\n" "ring vs batch+delta" "flush->bell"
+    "crossings" "perf";
+  List.iter
+    (fun scenario ->
+      match
+        ( find samples ~scenario
+            ~config:
+              {
+                batching = true;
+                delta = true;
+                workers = 1;
+                guard = true;
+                ring = false;
+              },
+          find samples ~scenario
+            ~config:
+              {
+                batching = true;
+                delta = true;
+                workers = 1;
+                guard = true;
+                ring = true;
+              } )
+      with
+      | Some bd, Some rg ->
+          add "%-20s %6d->%-5d %11.1f%% %9.3fx\n" scenario bd.flushes
+            rg.doorbells
+            (reduction ~off:bd.crossings ~on:rg.crossings)
+            (if perf bd = 0. then 1. else perf rg /. perf bd)
+      | _ -> ())
     names;
   Buffer.contents buf
 
@@ -286,15 +401,16 @@ let render samples =
 
 let json_line s =
   Printf.sprintf
-    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"guard\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
+    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"guard\":%d,\"ring\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"doorbells\":%d,\"ring_produced\":%d,\"ring_drops\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
     s.scenario
     (if s.config.batching then 1 else 0)
     (if s.config.delta then 1 else 0)
     s.config.workers
     (if s.config.guard then 1 else 0)
-    s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.xpc_ns
-    s.lock_contended s.lock_wait_ns s.shard_hits s.shards_used s.perf_milli
-    s.perf_unit
+    (if s.config.ring then 1 else 0)
+    s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.doorbells
+    s.ring_produced s.ring_drops s.xpc_ns s.lock_contended s.lock_wait_ns
+    s.shard_hits s.shards_used s.perf_milli s.perf_unit
 
 let to_json ~duration_ns samples =
   let header =
@@ -362,6 +478,10 @@ let sample_of_line line =
               guard = (match field_int line "guard" with
                       | Some g -> g <> 0
                       | None -> true);
+              (* files from before the ring axis never used the ring *)
+              ring = (match field_int line "ring" with
+                     | Some r -> r <> 0
+                     | None -> false);
             };
           crossings;
           c_java = geti "c_java";
@@ -369,6 +489,9 @@ let sample_of_line line =
           posted = geti "posted";
           delivered = geti "delivered";
           flushes = geti "flushes";
+          doorbells = geti "doorbells";
+          ring_produced = geti "ring_produced";
+          ring_drops = geti "ring_drops";
           xpc_ns = geti "xpc_ns";
           lock_contended = geti "lock_contended";
           lock_wait_ns = geti "lock_wait_ns";

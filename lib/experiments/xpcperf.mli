@@ -12,20 +12,32 @@
     workload's own cost-adjusted figure of merit, so the optimizations
     are only credited when throughput holds. *)
 
-type config = { batching : bool; delta : bool; workers : int; guard : bool }
+type config = {
+  batching : bool;
+  delta : bool;
+  workers : int;
+  guard : bool;
+  ring : bool;
+      (** route high-rate notify paths through the {!Decaf_xpc.Ring}
+          shared-slot ring (doorbell crossings only) instead of posting
+          each event through {!Decaf_xpc.Batch} *)
+}
 
 val config_name : config -> string
 (** E.g. ["batch+delta+w4"]; guard-off points get a ["+noguard"]
-    suffix (guard on is the default and unmarked). *)
+    suffix (guard on is the default and unmarked); ring points a
+    ["+ring"] suffix. *)
 
 val configs : config list
-(** The nine measured combinations, in file order: the four historical
+(** The eleven measured combinations, in file order: the four historical
     serial points (nobatch+full, batch+full, nobatch+delta, batch+delta,
     all at [workers = 1]), then batch+delta at 2 and the
     nobatch+full / batch+delta pair at 4 workers — all with boundary
-    validation on — and finally the guard axis: batch+delta at 1 and 4
+    validation on — then the guard axis: batch+delta at 1 and 4
     workers with {!Decaf_xpc.Guard} per-field validation off, pricing
-    the validation layer under the same regression gate. *)
+    the validation layer under the same regression gate — and finally
+    the ring axis: batch+delta at 1 and 4 workers with the shared ring
+    carrying the notify traffic. *)
 
 type sample = {
   scenario : string;
@@ -36,6 +48,9 @@ type sample = {
   posted : int;  (** deferred calls enqueued via {!Decaf_xpc.Batch} *)
   delivered : int;
   flushes : int;  (** batched flush crossings *)
+  doorbells : int;  (** ring doorbell crossings (0 with the ring off) *)
+  ring_produced : int;  (** slot records written into shared rings *)
+  ring_drops : int;  (** ring slots lost to overflow or teardown *)
   xpc_ns : int;
       (** whole-lifetime {!Decaf_xpc.Dispatch.overhead_ns} — the
           longest-lane (critical-path) dispatch cost *)
@@ -62,14 +77,25 @@ val rtl8139_net : config -> duration_ns:int -> sample
 val psmouse : config -> duration_ns:int -> sample
 val ens1371 : config -> duration_ns:int -> sample
 
-val measure : ?duration_ns:int -> unit -> sample list
-(** The full 5-scenario x 7-config matrix (psmouse stretched to at
-    least 2 s so the mouse produces traffic). *)
+val scenario_names : string list
+(** The five scenario names, matrix order. *)
+
+val config_names : unit -> string list
+(** [config_name] of each element of {!configs}, file order. *)
+
+val measure :
+  ?duration_ns:int -> ?scenario:string -> ?config:string -> unit -> sample list
+(** The full 5-scenario x 11-config matrix (psmouse stretched to at
+    least 2 s so the mouse produces traffic). [?scenario] and [?config]
+    restrict the run to matching rows/columns (exact match against
+    {!scenario_names} / {!config_names}), so a single matrix cell can be
+    reproduced locally; unknown names simply select nothing. *)
 
 val render : sample list -> string
-(** Per-sample table plus two reduction summaries per scenario:
-    batch+delta vs nobatch+full (serial), and 4 workers vs 1 under
-    batch+delta. *)
+(** Per-sample table plus reduction summaries per scenario:
+    batch+delta vs nobatch+full (serial), 4 workers vs 1 under
+    batch+delta, guard pricing, and ring vs batch+delta (flushes
+    collapsing into doorbells). *)
 
 val to_json : duration_ns:int -> sample list -> string
 (** One JSON object per line (header line carries [duration_ns]);

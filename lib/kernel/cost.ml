@@ -13,6 +13,8 @@ type t = {
   mutable objtracker_lookup_ns : int;
   mutable xpc_dispatch_ns : int;
   mutable guard_check_ns : int;
+  mutable ring_slot_write_ns : int;
+  mutable ring_slot_read_ns : int;
   mutable jvm_startup_ns : int;
 }
 
@@ -32,6 +34,8 @@ let defaults () =
     objtracker_lookup_ns = 150;
     xpc_dispatch_ns = 250;
     guard_check_ns = 30;
+    ring_slot_write_ns = 45;
+    ring_slot_read_ns = 25;
     jvm_startup_ns = 300_000_000;
   }
 
@@ -53,4 +57,6 @@ let reset () =
   current.objtracker_lookup_ns <- d.objtracker_lookup_ns;
   current.xpc_dispatch_ns <- d.xpc_dispatch_ns;
   current.guard_check_ns <- d.guard_check_ns;
+  current.ring_slot_write_ns <- d.ring_slot_write_ns;
+  current.ring_slot_read_ns <- d.ring_slot_read_ns;
   current.jvm_startup_ns <- d.jvm_startup_ns

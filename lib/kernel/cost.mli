@@ -28,6 +28,13 @@ type t = {
       (** one boundary-validation check on an inbound field (range/enum/
           length/writability), charged per validated field when
           [Decaf_xpc.Guard] is enabled *)
+  mutable ring_slot_write_ns : int;
+      (** writing one fixed-layout record into a shared XPC ring slot —
+          a handful of stores into already-mapped memory, orders of
+          magnitude below a crossing *)
+  mutable ring_slot_read_ns : int;
+      (** reading one record out of a shared ring slot on the consumer
+          side, before guard validation *)
   mutable jvm_startup_ns : int;  (** one-time managed-runtime start cost *)
 }
 

@@ -41,6 +41,15 @@ let scoped name f =
 let rejected_for name =
   Option.value ~default:0 (Hashtbl.find_opt by_scope name)
 
+(* Drops share the same attribution path as rejections: Batch queue-bound
+   drops and Ring overflow/teardown drops land here under the binding's
+   scope, so status output can reconcile per-driver drops against the
+   machine-wide total. *)
+let dropped_by_scope : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let dropped_for name =
+  Option.value ~default:0 (Hashtbl.find_opt dropped_by_scope name)
+
 let note_check () = totals.checks <- totals.checks + 1
 
 let note_rejected () =
@@ -49,7 +58,11 @@ let note_rejected () =
   | None -> ()
   | Some name -> Hashtbl.replace by_scope name (1 + rejected_for name)
 
-let note_dropped () = totals.dropped <- totals.dropped + 1
+let note_dropped () =
+  totals.dropped <- totals.dropped + 1;
+  match !scope with
+  | None -> ()
+  | Some name -> Hashtbl.replace dropped_by_scope name (1 + dropped_for name)
 
 let reject ~type_id ~field fmt =
   Printf.ksprintf
@@ -63,4 +76,5 @@ let reset () =
   totals.rejected <- 0;
   totals.dropped <- 0;
   Hashtbl.reset by_scope;
+  Hashtbl.reset dropped_by_scope;
   scope := None

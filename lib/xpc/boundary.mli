@@ -32,9 +32,18 @@ val scoped : string -> (unit -> 'a) -> 'a
 val rejected_for : string -> int
 (** Rejections attributed to the named scope since the last reset. *)
 
+val dropped_for : string -> int
+(** Drops (queue-bound, ring overflow, teardown discards) attributed to
+    the named scope since the last reset. [Batch.post] and [Ring] both
+    report through {!note_dropped}, so the per-scope figures reconcile
+    against [totals.dropped]. *)
+
 val note_check : unit -> unit
 val note_rejected : unit -> unit
+
 val note_dropped : unit -> unit
+(** Count one inbound-work drop, attributed to the current scope (set
+    with {!scoped}) like rejections are. *)
 
 val reject : type_id:string -> field:string -> ('a, unit, string, 'b) format4 -> 'a
 (** Count a rejection and raise {!Boundary_violation}. *)

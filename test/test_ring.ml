@@ -1,0 +1,368 @@
+(* Tests for the zero-copy shared-ring XPC path (Xpc.Ring): doorbell
+   coalescing, bounded depth, kernel-side slot validation, failed
+   doorbells, and the PM/unbind flush discipline through the unified
+   driver model. *)
+
+open Decaf_xpc
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module FI = K.Faultinject
+module Plan = Marshal_plan
+module EO = Decaf_drivers.E1000_objects
+module E1000_drv = Decaf_drivers.E1000_drv
+module Driver_core = Decaf_drivers.Driver_core
+module Driver_env = Decaf_drivers.Driver_env
+module Scenario = Decaf_experiments.Scenario
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot () =
+  K.Boot.boot ();
+  Domain.reset ();
+  Channel.reset_stats ();
+  Channel.reset_config ();
+  Batch.reset ();
+  Ring.reset ();
+  Dispatch.reset ();
+  Guard.reset ();
+  Plan.set_delta_enabled false;
+  Decaf_runtime.Runtime.reset ();
+  Addr.reset ()
+
+let in_thread f =
+  ignore (K.Sched.spawn ~name:"test" f);
+  K.Sched.run ()
+
+let crossings () = (Channel.snapshot ()).Channel.kernel_user_calls
+
+(* produced = consumed + rejected + discarded + pending: overflow slots
+   were never accepted, so every accepted slot is accounted for exactly
+   once. *)
+let invariant () =
+  let s = Ring.snapshot () in
+  check "produced = consumed + rejected + discarded + pending"
+    s.Ring.produced
+    (s.Ring.consumed + s.Ring.rejected + s.Ring.discarded + Ring.pending ())
+
+(* A standalone test ring: its own slot plan and guard, a real handle
+   issued by the kernel tracker. *)
+let test_plan =
+  Plan.make ~type_id:"test_slot"
+    [ ("kind", Plan.Write); ("arg0", Plan.Write); ("arg1", Plan.Write) ]
+
+let test_guard =
+  Guard.make test_plan
+    [
+      ("kind", Guard.Enum [ 1; 2 ]);
+      ("arg0", Guard.Non_negative);
+      ("arg1", Guard.Range (0, 1));
+    ]
+
+let fresh_ring ?depth ~handler () =
+  let kt = Decaf_runtime.Runtime.kernel_tracker () in
+  let addr = Addr.alloc ~size:64 in
+  let handle = Objtracker.issue kt ~addr ~type_id:"test_slot" in
+  let resolve h = Objtracker.resolve kt ~handle:h ~type_id:"test_slot" in
+  let ring =
+    Ring.create ~name:"t" ~target:Domain.Driver_lib ~guard:test_guard ~resolve
+      ~handler ?depth ()
+  in
+  (ring, handle)
+
+let slot ?(kind = 1) ~handle ?(arg0 = 0) ?(arg1 = 0) () =
+  { Ring.kind; handle; arg0; arg1 }
+
+(* --- doorbell coalescing --- *)
+
+let test_watermark_doorbell_fifo () =
+  boot ();
+  Ring.configure ~watermark:4 ();
+  let order = ref [] in
+  in_thread (fun () ->
+      let ring, handle =
+        fresh_ring ~handler:(fun r -> order := r.Ring.arg0 :: !order) ()
+      in
+      let before = crossings () in
+      for i = 1 to 4 do
+        check_bool "slot accepted" true
+          (Ring.produce ring (slot ~handle ~arg0:i ()))
+      done;
+      (* the watermark queued a doorbell on the workqueue; let it run *)
+      K.Sched.sleep_ns 1_000_000;
+      check "four slots, one doorbell crossing" 1 (crossings () - before);
+      check "nothing left occupied" 0 (Ring.occupancy ring));
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4 ] (List.rev !order);
+  let s = Ring.snapshot () in
+  check "produced" 4 s.Ring.produced;
+  check "consumed" 4 s.Ring.consumed;
+  check "one doorbell" 1 s.Ring.doorbells;
+  check "high water" 4 s.Ring.high_water;
+  invariant ()
+
+let test_timer_bounds_latency () =
+  boot ();
+  let ran = ref 0 in
+  in_thread (fun () ->
+      let ring, handle = fresh_ring ~handler:(fun _ -> incr ran) () in
+      ignore (Ring.produce ring (slot ~handle ()));
+      ignore (Ring.produce ring (slot ~handle ()));
+      check "below watermark: still occupied" 2 (Ring.occupancy ring);
+      check "no eager crossing" 0 !ran;
+      (* default flush interval is 100 ms — an order looser than the
+         batch queue's latency bound *)
+      K.Sched.sleep_ns 150_000_000;
+      check "timer rang the doorbell" 2 !ran;
+      check "drained" 0 (Ring.occupancy ring));
+  check "one doorbell for both slots" 1 (Ring.snapshot ()).Ring.doorbells;
+  invariant ()
+
+(* --- bounded depth --- *)
+
+let test_overflow_drops_and_counts () =
+  boot ();
+  in_thread (fun () ->
+      let ring, handle = fresh_ring ~depth:4 ~handler:(fun _ -> ()) () in
+      (* a tight producing loop, no yield: nothing drains the ring *)
+      let accepted = ref 0 in
+      for i = 1 to 10 do
+        if Ring.produce ring (slot ~handle ~arg0:i ()) then incr accepted
+      done;
+      check "ring capped at its depth" 4 (Ring.occupancy ring);
+      check "exactly depth slots accepted" 4 !accepted;
+      let s = Ring.stats_of ring in
+      check "excess slots dropped, not queued" 6 s.Ring.overflow;
+      check "drops attributed to the ring's scope" 6 (Boundary.dropped_for "t");
+      invariant ();
+      (* overflow is graceful degradation, not a fault: the bounded ring
+         still delivers what it holds *)
+      Ring.drain ring;
+      check "the bounded ring still delivers" 4 (Ring.stats_of ring).Ring.consumed);
+  invariant ()
+
+(* --- kernel-side slot validation --- *)
+
+let test_hostile_slots_rejected () =
+  boot ();
+  let applied = ref 0 in
+  in_thread (fun () ->
+      let ring, handle = fresh_ring ~handler:(fun _ -> incr applied) () in
+      (* a forged handle, an out-of-enum kind, an out-of-range arg —
+         and one honest record *)
+      ignore (Ring.produce ring (slot ~handle:0x4bad_f00d ()));
+      ignore (Ring.produce ring (slot ~kind:9 ~handle ()));
+      ignore (Ring.produce ring (slot ~handle ~arg1:5 ()));
+      ignore (Ring.produce ring (slot ~handle ~arg0:7 ()));
+      Ring.drain ring;
+      check "only the honest slot reached the handler" 1 !applied;
+      let s = Ring.stats_of ring in
+      check "three slots rejected" 3 s.Ring.rejected;
+      check "rejected slots also count as boundary drops" 3
+        (Boundary.dropped_for "t");
+      check_bool "validation layers counted their rejections" true
+        (Boundary.totals.Boundary.rejected >= 3);
+      check "drained regardless" 0 (Ring.occupancy ring));
+  invariant ()
+
+(* --- failed doorbells --- *)
+
+let test_failed_doorbell_keeps_slots () =
+  boot ();
+  let ran = ref 0 in
+  in_thread (fun () ->
+      let ring, handle = fresh_ring ~handler:(fun _ -> incr ran) () in
+      ignore (Ring.produce ring (slot ~handle ()));
+      ignore (Ring.produce ring (slot ~handle ()));
+      FI.arm ~seed:7
+        [
+          FI.spec ~site:"xpc.ring.doorbell" ~kind:FI.Xpc_timeout
+            ~trigger:FI.Always ();
+        ];
+      Ring.drain ring;
+      (* the fault fires before the drain body runs: nothing consumed,
+         nothing lost — the slots sit in shared memory for the retry *)
+      check "no slot consumed" 0 !ran;
+      check "slots still in place" 2 (Ring.occupancy ring);
+      check "requeue counted" 1 (Ring.stats_of ring).Ring.requeues;
+      FI.disarm ();
+      (* the failure reprogrammed the timer to the short retry interval *)
+      K.Sched.sleep_ns 5_000_000;
+      check "retried drain delivered exactly once" 2 !ran;
+      check "empty after retry" 0 (Ring.occupancy ring));
+  check "exactly one doorbell succeeded" 1 (Ring.snapshot ()).Ring.doorbells;
+  invariant ()
+
+(* --- teardown --- *)
+
+let test_destroy_discards_with_count () =
+  boot ();
+  in_thread (fun () ->
+      let ring, handle = fresh_ring ~handler:(fun _ -> ()) () in
+      for i = 1 to 3 do
+        ignore (Ring.produce ring (slot ~handle ~arg0:i ()))
+      done;
+      Ring.destroy ring;
+      check "leftover slots discarded, never silently" 3
+        (Ring.stats_of ring).Ring.discarded;
+      check "discards attributed to the ring's scope" 3
+        (Boundary.dropped_for "t");
+      check "unregistered" 0 (Ring.occupancy ring);
+      check_bool "gone from the registry" true (Ring.find ~name:"t" = None));
+  invariant ()
+
+(* --- PM and surprise removal through the unified driver model --- *)
+
+let setup_e1000 () =
+  let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+  ignore
+    (E1000_drv.setup_device ~slot:"00:05.0" ~mmio_base:0xf000_0000 ~irq:11
+       ~mac:Scenario.mac ~link ());
+  link
+
+let insmod_ok name =
+  match Driver_core.insmod name ~mode:Driver_env.Decaf with
+  | Ok () -> ()
+  | Error rc -> Alcotest.failf "%s insmod failed: %d" name rc
+
+let ok_or what = function
+  | Ok () -> ()
+  | Error rc -> Alcotest.failf "%s failed: %d" what rc
+
+let java_view ka =
+  Objtracker.find
+    (Decaf_runtime.Runtime.java_tracker ())
+    ~addr:(EO.adapter_handle ka) EO.adapter_key
+
+let test_suspend_flushes_nonempty_ring () =
+  Scenario.boot ();
+  Ring.set_enabled true;
+  let link = setup_e1000 () in
+  Scenario.in_thread (fun () ->
+      insmod_ok "e1000";
+      let t = Option.get (E1000_drv.active ()) in
+      let ka = E1000_drv.kernel_adapter t in
+      let nd = E1000_drv.netdev t in
+      ok_or "e1000-open" (K.Netcore.open_dev nd);
+      ignore
+        (Decaf_workloads.Netperf.send ~netdev:nd ~link ~duration_ns:1_000_000
+           ~msg_bytes:1500);
+      let ring = Option.get (Ring.find ~name:"e1000") in
+      let kt = Decaf_runtime.Runtime.kernel_tracker () in
+      let tracked_before = Objtracker.handle_count kt in
+      let consumed_before = (Ring.stats_of ring).Ring.consumed in
+      for _ = 1 to 3 do
+        check_bool "stats slot accepted" true
+          (Ring.produce ring (EO.ring_stats_record ka))
+      done;
+      (* the driver's own notify paths may have slots pending too *)
+      let occ = Ring.occupancy ring in
+      check_bool "ring non-empty going into suspend" true (occ >= 3);
+      ok_or "e1000-suspend" (Driver_core.suspend "e1000");
+      (* the PM flush drained the ring while the device was still
+         powered: delivered, not discarded *)
+      check "ring empty after suspend" 0 (Ring.occupancy ring);
+      check "slots delivered to the user view" (consumed_before + occ)
+        (Ring.stats_of ring).Ring.consumed;
+      check "nothing discarded by a clean suspend" 0
+        (Ring.stats_of ring).Ring.discarded;
+      let j = Option.get (java_view ka) in
+      check "user view caught up through the ring" ka.EO.k_stats_gen
+        j.EO.j_stats_gen;
+      check "ring slots leaked no tracker entries" tracked_before
+        (Objtracker.handle_count kt);
+      invariant ();
+      (* resume resyncs the full view; the driver keeps working *)
+      ok_or "e1000-resume" (Driver_core.resume "e1000");
+      let r =
+        Decaf_workloads.Netperf.send ~netdev:nd ~link ~duration_ns:1_000_000
+          ~msg_bytes:1500
+      in
+      check_bool "traffic flows after resume" true
+        (r.Decaf_workloads.Netperf.packets > 0);
+      check "view still consistent after resume resync" ka.EO.k_stats_gen
+        (Option.get (java_view ka)).EO.j_stats_gen;
+      Driver_core.rmmod "e1000";
+      check_bool "ring unregistered at unbind" true
+        (Ring.find ~name:"e1000" = None);
+      check "machine-wide rings empty" 0 (Ring.pending ());
+      invariant ())
+
+let test_surprise_removal_discards_with_count () =
+  Scenario.boot ();
+  Ring.set_enabled true;
+  let link = setup_e1000 () in
+  Scenario.in_thread (fun () ->
+      insmod_ok "e1000";
+      let t = Option.get (E1000_drv.active ()) in
+      let ka = E1000_drv.kernel_adapter t in
+      let nd = E1000_drv.netdev t in
+      ok_or "e1000-open" (K.Netcore.open_dev nd);
+      ignore
+        (Decaf_workloads.Netperf.send ~netdev:nd ~link ~duration_ns:1_000_000
+           ~msg_bytes:1500);
+      let ring = Option.get (Ring.find ~name:"e1000") in
+      let kt = Decaf_runtime.Runtime.kernel_tracker () in
+      let tracked_before = Objtracker.handle_count kt in
+      let dropped_before = Boundary.dropped_for "e1000" in
+      for _ = 1 to 3 do
+        ignore (Ring.produce ring (EO.ring_stats_record ka))
+      done;
+      (* the driver's own notify paths may have slots pending too *)
+      let occ = Ring.occupancy ring in
+      check_bool "ring non-empty going into eject" true (occ >= 3);
+      (* the doorbell can no longer cross (the runtime died with the
+         device): the eject path must drop the slots with count, never
+         drain them into a dead binding or leak them *)
+      FI.arm ~seed:7
+        [
+          FI.spec ~site:"xpc.ring.doorbell" ~kind:FI.Xpc_timeout
+            ~trigger:FI.Always ();
+        ];
+      Driver_core.eject "e1000";
+      FI.disarm ();
+      (* everything occupied at eject — plus whatever the teardown path
+         itself produced (the link-down event) — was discarded *)
+      check_bool "undeliverable slots discarded at unbind" true
+        ((Ring.stats_of ring).Ring.discarded >= occ);
+      check "nothing was drained into the dead binding" 0
+        (Ring.stats_of ring).Ring.consumed;
+      check_bool "discards counted as boundary drops" true
+        (Boundary.dropped_for "e1000" >= dropped_before + 3);
+      check_bool "ring unregistered by surprise removal" true
+        (Ring.find ~name:"e1000" = None);
+      check "no slot left anywhere" 0 (Ring.pending ());
+      check "zero leaked tracker entries" tracked_before
+        (Objtracker.handle_count kt);
+      Alcotest.(check string)
+        "driver removed" "removed"
+        (Driver_core.lifecycle_name (Driver_core.state "e1000"));
+      invariant ())
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "decaf_ring"
+    [
+      ( "ring",
+        [
+          tc "watermark doorbell is FIFO, one crossing"
+            test_watermark_doorbell_fifo;
+          tc "timer bounds latency" test_timer_bounds_latency;
+        ] );
+      ( "ring-bounds",
+        [ tc "overflow drops and counts" test_overflow_drops_and_counts ] );
+      ( "ring-adversarial",
+        [ tc "hostile slots rejected at drain" test_hostile_slots_rejected ] );
+      ( "ring-faults",
+        [
+          tc "failed doorbell keeps slots intact"
+            test_failed_doorbell_keeps_slots;
+        ] );
+      ( "ring-teardown",
+        [
+          tc "destroy discards with count" test_destroy_discards_with_count;
+          tc "suspend flushes a non-empty ring"
+            test_suspend_flushes_nonempty_ring;
+          tc "surprise removal discards with count"
+            test_surprise_removal_discards_with_count;
+        ] );
+    ]

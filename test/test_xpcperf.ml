@@ -15,12 +15,24 @@ let test_netperf_e1000_gain () =
   let duration_ns = 300_000_000 in
   let off =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = false; delta = false; workers = w1; guard = true }
+      {
+        E.Xpcperf.batching = false;
+        delta = false;
+        workers = w1;
+        guard = true;
+        ring = false;
+      }
       ~duration_ns
   in
   let on =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = true; delta = true; workers = w1; guard = true }
+      {
+        E.Xpcperf.batching = true;
+        delta = true;
+        workers = w1;
+        guard = true;
+        ring = false;
+      }
       ~duration_ns
   in
   let fi = float_of_int in
@@ -51,7 +63,13 @@ let test_netperf_e1000_workers () =
   let duration_ns = 300_000_000 in
   let run workers =
     E.Xpcperf.e1000_net `Send
-      { E.Xpcperf.batching = true; delta = true; workers; guard = true }
+      {
+        E.Xpcperf.batching = true;
+        delta = true;
+        workers;
+        guard = true;
+        ring = false;
+      }
       ~duration_ns
   in
   let s1 = run 1 in
@@ -96,17 +114,88 @@ let test_netperf_e1000_workers () =
   in
   check_bool "upcalls spread across lanes" true spread
 
+(* The fast ring cell: one e1000 send run with and without the shared
+   ring under batch+delta. The ring must collapse the data-path
+   crossings — each batch flush becomes at most one doorbell, for a
+   >= 5x reduction — without giving back goodput or dropping slots. *)
+let test_netperf_e1000_ring () =
+  let duration_ns = 300_000_000 in
+  let run ring =
+    E.Xpcperf.e1000_net `Send
+      {
+        E.Xpcperf.batching = true;
+        delta = true;
+        workers = w1;
+        guard = true;
+        ring;
+      }
+      ~duration_ns
+  in
+  let bd = run false in
+  let rg = run true in
+  check_bool "ring produced slot records" true (rg.E.Xpcperf.ring_produced > 0);
+  check_bool
+    (Printf.sprintf "doorbells >=5x fewer than flushes (%d flushes -> %d bells)"
+       bd.E.Xpcperf.flushes rg.E.Xpcperf.doorbells)
+    true
+    (rg.E.Xpcperf.doorbells > 0
+    && rg.E.Xpcperf.doorbells * 5 <= bd.E.Xpcperf.flushes);
+  check_bool
+    (Printf.sprintf "total crossings do not grow (%d -> %d)"
+       bd.E.Xpcperf.crossings rg.E.Xpcperf.crossings)
+    true
+    (rg.E.Xpcperf.crossings <= bd.E.Xpcperf.crossings);
+  check_bool "no ring slots lost" true (rg.E.Xpcperf.ring_drops = 0);
+  check_bool
+    (Printf.sprintf "goodput within 5%% (%.2f vs %.2f Mb/s)"
+       (E.Xpcperf.perf bd) (E.Xpcperf.perf rg))
+    true
+    (E.Xpcperf.perf rg >= 0.95 *. E.Xpcperf.perf bd);
+  check_bool "batch-only run rang no doorbells" true
+    (bd.E.Xpcperf.doorbells = 0)
+
+(* The --scenario/--config filters behind `bench/main.exe run`: a single
+   matrix cell must be selectable by exact name. *)
+let test_measure_filters () =
+  check_bool "scenario names listed" true
+    (List.mem "e1000-netperf-send" E.Xpcperf.scenario_names);
+  check_bool "ring config listed" true
+    (List.mem "batch+delta+w1+ring" (E.Xpcperf.config_names ()));
+  let cell =
+    E.Xpcperf.measure ~duration_ns:20_000_000
+      ~scenario:"8139too-netperf-send" ~config:"batch+delta+w1" ()
+  in
+  match cell with
+  | [ s ] ->
+      Alcotest.(check string) "right scenario" "8139too-netperf-send"
+        s.E.Xpcperf.scenario;
+      Alcotest.(check string) "right config" "batch+delta+w1"
+        (E.Xpcperf.config_name s.E.Xpcperf.config)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one cell, got %d" (List.length l))
+
 let test_json_roundtrip () =
   let sample scenario batching delta workers =
     {
       E.Xpcperf.scenario;
-      config = { E.Xpcperf.batching; delta; workers; guard = workers < 4 };
+      config =
+        {
+          E.Xpcperf.batching;
+          delta;
+          workers;
+          guard = workers < 4;
+          ring = workers >= 4;
+        };
       crossings = 123;
       c_java = 45;
       bytes = 6789;
       posted = 10;
       delivered = 10;
       flushes = 3;
+      doorbells = 2;
+      ring_produced = 64;
+      ring_drops = 1;
       xpc_ns = 250_000;
       lock_contended = 7;
       lock_wait_ns = 12_500;
@@ -139,9 +228,12 @@ let test_json_pre_worker_compat () =
   | _, [ s ] ->
       Alcotest.(check int) "workers defaults to 1" 1 s.E.Xpcperf.config.workers;
       check_bool "guard defaults to true" true s.E.Xpcperf.config.guard;
+      check_bool "ring defaults to false" false s.E.Xpcperf.config.ring;
       Alcotest.(check int) "crossings parsed" 52 s.E.Xpcperf.crossings;
       Alcotest.(check int) "missing counters default to 0" 0
-        s.E.Xpcperf.xpc_ns
+        s.E.Xpcperf.xpc_ns;
+      Alcotest.(check int) "missing doorbells default to 0" 0
+        s.E.Xpcperf.doorbells
   | _ -> Alcotest.fail "pre-worker line did not parse as one sample"
 
 let () =
@@ -153,6 +245,10 @@ let () =
             test_netperf_e1000_gain;
           Alcotest.test_case "netperf e1000 scales with workers" `Quick
             test_netperf_e1000_workers;
+          Alcotest.test_case "netperf e1000 ring collapses crossings" `Quick
+            test_netperf_e1000_ring;
+          Alcotest.test_case "measure filters select one cell" `Quick
+            test_measure_filters;
           Alcotest.test_case "trajectory json roundtrip" `Quick
             test_json_roundtrip;
           Alcotest.test_case "pre-worker trajectory parses" `Quick
