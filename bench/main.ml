@@ -12,9 +12,12 @@
                                  against a committed trajectory
 
    The xpcperf section accepts matrix filters, so one cell of the
-   5-scenario x 11-config sweep can be reproduced locally:
+   sweep (five single-instance scenarios x 11 configs, plus the
+   e1000-fleet axis at i in {1,16,64,256}) can be reproduced locally:
      bench/main.exe xpcperf --scenario=e1000-netperf-send \
                             --config=batch+delta+w1+ring
+     bench/main.exe xpcperf --scenario=e1000-fleet \
+                            --config=batch+delta+w4+ring+i64
    Unknown names fail fast and list the valid ones.
 *)
 

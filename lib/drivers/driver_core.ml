@@ -42,7 +42,10 @@ module type DRIVER = sig
   val name : string
   val bus : Decaf_kernel.Hotplug.bus
   val ids : (int * int) list
-  val probe : Driver_env.t -> (t, int) result
+
+  (* [dev = Some id] pins the probe to that bus device (a PCI slot);
+     [None] claims any matching unbound device. One call per binding. *)
+  val probe : Driver_env.t -> dev:string option -> (t, int) result
   val remove : t -> unit
   val suspend : t -> unit
   val resume : t -> unit
@@ -62,7 +65,9 @@ type meter = {
 }
 
 type snapshot = {
-  s_driver : string;
+  s_driver : string;  (** bare driver name, shared by every instance *)
+  s_binding : string;  (** binding id: [s_driver] or ["name#k"] *)
+  s_instance : int;
   s_state : lifecycle;
   s_mode : Driver_env.mode option;
   s_crossings : int;
@@ -80,11 +85,20 @@ type snapshot = {
   s_init_latency_ns : int;
 }
 
+(* One binding = one (driver, instance) pair. Instance 0 keeps the bare
+   driver name as its binding id, so every pre-fleet consumer — ring
+   names, boundary scopes, `insmod "e1000"` — keeps meaning "the first
+   instance" unchanged; instance k > 0 is "name#k". *)
 type binding = {
   drv : packed;
   b_name : string;
+  b_instance : int;
+  b_id : string;
   b_bus : K.Hotplug.bus;
   b_ids : (int * int) list;
+  mutable b_dev : string option;
+      (** bus device this binding is pinned to, when bound via
+          {!bind_device} with an explicit device *)
   meter : meter;
   mutable state : lifecycle;
   mutable inst : bound option;
@@ -122,7 +136,7 @@ let allowed from_ to_ =
 
 let transition b to_ =
   if not (allowed b.state to_) then
-    raise (Illegal_transition { driver = b.b_name; from_ = b.state; to_ });
+    raise (Illegal_transition { driver = b.b_id; from_ = b.state; to_ });
   b.state <- to_
 
 let set_disabled b = if b.state <> Disabled then transition b Disabled
@@ -140,6 +154,7 @@ let metered ~driver meter (base : Driver_env.t) =
   let scoped f = Xpc.Boundary.scoped driver f in
   {
     Driver_env.mode = base.Driver_env.mode;
+    scope = driver;
     upcall =
       (fun ~name ~bytes f ->
         if live then begin
@@ -166,7 +181,7 @@ let metered ~driver meter (base : Driver_env.t) =
 (* --- internal operations --- *)
 
 let fresh_sup b =
-  let s = Supervisor.create ~name:b.b_name () in
+  let s = Supervisor.create ~name:b.b_id () in
   b.sup <- Some s;
   s
 
@@ -209,8 +224,8 @@ let bind b mode =
       m.m_downcalls <- 0;
       m.m_notifies <- 0;
       m.m_wire_bytes <- 0;
-      let env = metered ~driver:b.b_name m (Driver_env.of_mode mode) in
-      match D.probe env with
+      let env = metered ~driver:b.b_id m (Driver_env.of_mode mode) in
+      match D.probe env ~dev:b.b_dev with
       | Ok t ->
           b.inst <- Some (B ((module D), t));
           transition b Running;
@@ -240,13 +255,16 @@ let handle_removed bus id =
       | _ -> ())
     !bindings
 
-let handle_added bus ~vendor ~device =
+let handle_added bus ~id ~vendor ~device =
   List.iter
     (fun b ->
       if
         (b.state = Unbound || b.state = Removed)
         && b.want <> None && b.b_bus = bus
         && List.exists (fun (v, d) -> v = vendor && d = device) b.b_ids
+        (* a binding pinned to a specific bus device only rebinds when
+           that very device returns; unpinned bindings take any match *)
+        && (match b.b_dev with None -> true | Some d -> d = id)
       then begin
         let mode = Option.get b.want in
         let warn rc =
@@ -271,8 +289,8 @@ let handle_added bus ~vendor ~device =
 
 let hotplug_handler = function
   | K.Hotplug.Device_removed { bus; id } -> handle_removed bus id
-  | K.Hotplug.Device_added { bus; vendor; device; _ } ->
-      handle_added bus ~vendor ~device
+  | K.Hotplug.Device_added { bus; id; vendor; device } ->
+      handle_added bus ~id ~vendor ~device
 
 (* --- registry bookkeeping, reset on every kernel boot --- *)
 
@@ -297,8 +315,11 @@ let register (Pack (module D) as p) =
     {
       drv = p;
       b_name = D.name;
+      b_instance = 0;
+      b_id = D.name;
       b_bus = D.bus;
       b_ids = D.ids;
+      b_dev = None;
       meter = { m_upcalls = 0; m_downcalls = 0; m_notifies = 0; m_wire_bytes = 0 };
       state = Unbound;
       inst = None;
@@ -308,32 +329,43 @@ let register (Pack (module D) as p) =
       in_run = false;
     }
   in
+  (* re-registering a driver discards its whole instance family *)
   bindings := List.filter (fun o -> o.b_name <> D.name) !bindings @ [ b ]
 
 let registered () =
   ensure_epoch ();
-  List.map (fun b -> b.b_name) !bindings
+  List.filter_map
+    (fun b -> if b.b_instance = 0 then Some b.b_name else None)
+    !bindings
 
 let is_registered name =
   ensure_epoch ();
   List.exists (fun b -> b.b_name = name) !bindings
 
+(* Binding ids resolve exactly: the bare driver name IS instance 0's id,
+   so every pre-fleet call site addressing "e1000" still lands on the
+   first instance, and "e1000#3" addresses the fourth. *)
 let find name =
   ensure_epoch ();
-  match List.find_opt (fun b -> b.b_name = name) !bindings with
+  match List.find_opt (fun b -> b.b_id = name) !bindings with
   | Some b -> b
   | None -> invalid_arg ("driver_core: unknown driver " ^ name)
+
+let family name = List.filter (fun b -> b.b_name = name) !bindings
+
+let instances_of name =
+  let b = find name in
+  List.map (fun b -> b.b_id) (family b.b_name)
 
 let state name = (find name).state
 let supervisor name = (find name).sup
 
 (* --- public lifecycle operations --- *)
 
-let insmod name ~mode =
-  let b = find name in
+let insmod_binding b ~mode =
   (match b.state with
   | Unbound | Removed -> ()
-  | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Probed }));
+  | s -> raise (Illegal_transition { driver = b.b_id; from_ = s; to_ = Probed }));
   b.want <- Some mode;
   if b.in_run then bind b mode
   else
@@ -344,6 +376,49 @@ let insmod name ~mode =
     | None ->
         set_disabled b;
         Error (-Errors.eio)
+
+let insmod name ~mode = insmod_binding (find name) ~mode
+
+(* N-way binding: reuse a free (Unbound/Removed) member of the driver's
+   instance family or mint the next instance, pin it to [dev] when
+   given, and run the ordinary supervised insmod on that binding. The
+   returned binding id is the handle for every other registry call. *)
+let bind_device name ?dev ~mode () =
+  let proto = find name in
+  let fam = family proto.b_name in
+  let b =
+    match
+      List.find_opt (fun b -> b.state = Unbound || b.state = Removed) fam
+    with
+    | Some b -> b
+    | None ->
+        let inst =
+          1 + List.fold_left (fun acc b -> max acc b.b_instance) 0 fam
+        in
+        let b =
+          {
+            proto with
+            b_instance = inst;
+            b_id = Printf.sprintf "%s#%d" proto.b_name inst;
+            b_dev = None;
+            meter =
+              { m_upcalls = 0; m_downcalls = 0; m_notifies = 0;
+                m_wire_bytes = 0 };
+            state = Unbound;
+            inst = None;
+            sup = None;
+            mode = None;
+            want = None;
+            in_run = false;
+          }
+        in
+        bindings := !bindings @ [ b ];
+        b
+  in
+  b.b_dev <- dev;
+  match insmod_binding b ~mode with
+  | Ok () -> Ok b.b_id
+  | Error rc -> Error rc
 
 let rmmod name =
   let b = find name in
@@ -463,7 +538,7 @@ let snapshot_of b =
   (* Ring counters for this binding, if it owns a shared ring (rings are
      registered under the binding's name). Zeros otherwise. *)
   let r_occ, r_hw, r_bell, r_drop =
-    match Xpc.Ring.find ~name:b.b_name with
+    match Xpc.Ring.find ~name:b.b_id with
     | Some r ->
         let s = Xpc.Ring.stats_of r in
         ( Xpc.Ring.occupancy r,
@@ -474,14 +549,16 @@ let snapshot_of b =
   in
   {
     s_driver = b.b_name;
+    s_binding = b.b_id;
+    s_instance = b.b_instance;
     s_state = b.state;
     s_mode = b.mode;
     s_crossings = b.meter.m_upcalls + b.meter.m_downcalls;
     s_wire_bytes = b.meter.m_wire_bytes;
     s_notifies = b.meter.m_notifies;
     s_deferred_syncs = deferred;
-    s_rejections = Xpc.Boundary.rejected_for b.b_name;
-    s_dropped = Xpc.Boundary.dropped_for b.b_name;
+    s_rejections = Xpc.Boundary.rejected_for b.b_id;
+    s_dropped = Xpc.Boundary.dropped_for b.b_id;
     s_ring_occupancy = r_occ;
     s_ring_high_water = r_hw;
     s_ring_doorbells = r_bell;
@@ -496,12 +573,22 @@ let snapshot name = snapshot_of (find name)
 
 let snapshots () =
   ensure_epoch ();
-  List.map snapshot_of !bindings
+  (* stable (driver, instance) order: a 256-instance fleet renders as a
+     contiguous, deterministically ordered block per driver *)
+  let ordered =
+    List.stable_sort
+      (fun a b ->
+        match compare a.b_name b.b_name with
+        | 0 -> compare a.b_instance b.b_instance
+        | c -> c)
+      !bindings
+  in
+  List.map snapshot_of ordered
 
 let render_status snaps =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "%-9s %-10s %-7s %9s %10s %8s %7s %4s %4s %9s %5s %5s %4s %4s %4s %7s\n"
+  add "%-11s %-10s %-7s %9s %10s %8s %7s %4s %4s %9s %5s %5s %4s %4s %4s %7s\n"
     "Driver" "State" "Mode" "Crossings" "WireBytes" "Notifies" "Synced" "Rej"
     "Drop" "Ring(o/hw)" "Bells" "RDrop" "Det" "Rec" "Deg" "Budget";
   List.iter
@@ -510,8 +597,8 @@ let render_status snaps =
         match s.s_supervisor with Some st -> f st | None -> 0
       in
       add
-        "%-9s %-10s %-7s %9d %10d %8d %7d %4d %4d %9s %5d %5d %4d %4d %4d %7d\n"
-        s.s_driver
+        "%-11s %-10s %-7s %9d %10d %8d %7d %4d %4d %9s %5d %5d %4d %4d %4d %7d\n"
+        s.s_binding
         (lifecycle_name s.s_state)
         (match s.s_mode with
         | Some m -> Driver_env.mode_name m
@@ -525,4 +612,39 @@ let render_status snaps =
         (stat (fun st -> st.Supervisor.degraded))
         s.s_restarts_left)
     snaps;
+  (* aggregate row: at fleet scale the per-instance block is a wall of
+     detail; the totals line is what a human reads first *)
+  if List.length snaps > 1 then begin
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 snaps in
+    add
+      "%-11s %-10s %-7s %9d %10d %8d %7d %4d %4d %9s %5d %5d %4d %4d %4d %7s\n"
+      "TOTAL"
+      (Printf.sprintf "%d bound"
+         (List.length
+            (List.filter
+               (fun s ->
+                 match s.s_state with
+                 | Running | Suspended | Probed -> true
+                 | _ -> false)
+               snaps)))
+      "-"
+      (sum (fun s -> s.s_crossings))
+      (sum (fun s -> s.s_wire_bytes))
+      (sum (fun s -> s.s_notifies))
+      (sum (fun s -> s.s_deferred_syncs))
+      (sum (fun s -> s.s_rejections))
+      (sum (fun s -> s.s_dropped))
+      (Printf.sprintf "%d/%d"
+         (sum (fun s -> s.s_ring_occupancy))
+         (sum (fun s -> s.s_ring_high_water)))
+      (sum (fun s -> s.s_ring_doorbells))
+      (sum (fun s -> s.s_ring_drops))
+      (sum (fun s -> match s.s_supervisor with
+         | Some st -> st.Supervisor.detected | None -> 0))
+      (sum (fun s -> match s.s_supervisor with
+         | Some st -> st.Supervisor.recovered | None -> 0))
+      (sum (fun s -> match s.s_supervisor with
+         | Some st -> st.Supervisor.degraded | None -> 0))
+      "-"
+  end;
   Buffer.contents buf

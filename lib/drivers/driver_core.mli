@@ -58,8 +58,11 @@ module type DRIVER = sig
   (** (vendor, device) pairs for hotplug re-probe matching; empty for
       buses without ids (input, USB host side). *)
 
-  val probe : Driver_env.t -> (t, int) result
-  (** Load the module and probe the device(s): the existing [insmod]. *)
+  val probe : Driver_env.t -> dev:string option -> (t, int) result
+  (** Load the module (first instance) and bind one device. [dev]
+      pins the probe to a specific bus device id (a PCI slot);
+      [None] claims any matching unbound device. A module serving a
+      fleet is probed once per instance. *)
 
   val remove : t -> unit
   (** Tear down and unload: the existing [rmmod]. *)
@@ -84,7 +87,12 @@ end
 type packed = Pack : (module DRIVER with type t = 'a) -> packed
 
 type snapshot = {
-  s_driver : string;
+  s_driver : string;  (** bare driver name, shared by the whole fleet *)
+  s_binding : string;
+      (** binding id: equal to [s_driver] for instance 0, ["name#k"]
+          for instance [k > 0] — the key under which this instance's
+          ring and boundary scopes are registered *)
+  s_instance : int;
   s_state : lifecycle;
   s_mode : Driver_env.mode option;  (** [None] until first bound *)
   s_crossings : int;  (** upcalls + downcalls requested through the env *)
@@ -120,10 +128,19 @@ val register : packed -> unit
 (** Idempotent per driver name; replaces any previous registration. *)
 
 val registered : unit -> string list
+(** Distinct driver names, registration order (one entry per driver,
+    however many instances exist). *)
+
 val is_registered : string -> bool
 
+val instances_of : string -> string list
+(** Binding ids of every instance of the named driver (or of the named
+    binding's driver), instance order. *)
+
 val state : string -> lifecycle
-(** Raises [Invalid_argument] for an unregistered name. *)
+(** Raises [Invalid_argument] for an unregistered name. Every
+    string-keyed operation below accepts either a bare driver name
+    (instance 0) or a binding id ["name#k"]. *)
 
 val supervisor : string -> Decaf_runtime.Supervisor.t option
 (** The supervisor the registry attached at the last bind, if any. *)
@@ -134,6 +151,18 @@ val insmod : string -> mode:Driver_env.mode -> (unit, int) result
     supervisor, so a faulting probe is retried within the restart
     budget; [Error] is the probe's errno (or [-EIO] after the budget is
     exhausted, leaving the driver [Disabled]). *)
+
+val bind_device :
+  string ->
+  ?dev:string ->
+  mode:Driver_env.mode ->
+  unit ->
+  (string, int) result
+(** Bind one more device to the named driver: reuses a free
+    (Unbound/Removed) instance binding or creates the next one, pins it
+    to [dev] when given (hotplug re-probe then only accepts that
+    device back), and runs the same supervised insmod path. Returns the
+    binding id to use with {!rmmod}, {!suspend}, {!snapshot}, ... *)
 
 val rmmod : string -> unit
 (** Unbind ([Running | Suspended | Disabled] -> [Removed]): drains
@@ -166,8 +195,11 @@ val run :
     directly under the same supervision instead of re-wrapping. *)
 
 val snapshot : string -> snapshot
+
 val snapshots : unit -> snapshot list
-(** One {!snapshot} per registered driver, registration order. *)
+(** One {!snapshot} per binding, stable-sorted by
+    (driver name, instance id). *)
 
 val render_status : snapshot list -> string
-(** The [decafctl status] table. *)
+(** The [decafctl status] table: one row per binding plus an aggregate
+    TOTAL row when more than one binding exists. *)

@@ -4,10 +4,17 @@ type mode = Native | Staged | Decaf
 
 type t = {
   mode : mode;
+  scope : string;
+      (* binding id this environment belongs to; "" until the registry
+         wraps the env in [Driver_core.metered], which stamps the
+         binding's id so drivers attribute Boundary/Ring traffic to
+         their own instance instead of the bare driver name *)
   upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   notify : name:string -> bytes:int -> (unit -> unit) -> unit;
 }
+
+let scope_or env default = if env.scope = "" then default else env.scope
 
 (* Calls that only read state and may safely be re-issued when a crossing
    times out. Everything else fails fast so the supervisor decides. *)
@@ -21,6 +28,7 @@ let idempotent_call = function
 let native =
   {
     mode = Native;
+    scope = "";
     upcall = (fun ~name:_ ~bytes:_ f -> f ());
     downcall = (fun ~name:_ ~bytes:_ f -> f ());
     notify = (fun ~name:_ ~bytes:_ f -> f ());
@@ -29,6 +37,7 @@ let native =
 let staged () =
   {
     mode = Staged;
+    scope = "";
     upcall =
       (fun ~name ~bytes f ->
         Channel.call ~target:Domain.Driver_lib ~payload_bytes:bytes
@@ -46,6 +55,7 @@ let staged () =
 let decaf () =
   {
     mode = Decaf;
+    scope = "";
     upcall =
       (fun ~name ~bytes f ->
         Decaf_runtime.Runtime.start ();

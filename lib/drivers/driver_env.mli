@@ -13,6 +13,13 @@ type mode = Native | Staged | Decaf
 
 type t = {
   mode : mode;
+  scope : string;
+      (** The binding id this environment serves, stamped by the driver
+          registry when it meters the env; [""] for the bare
+          constructors below. Drivers name their {!Decaf_xpc.Boundary}
+          scopes and XPC rings after it (falling back to the driver
+          name via {!scope_or}) so a fleet of instances of one module
+          keeps per-instance accounting. *)
   upcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   downcall : 'a. name:string -> bytes:int -> (unit -> 'a) -> 'a;
   notify : name:string -> bytes:int -> (unit -> unit) -> unit;
@@ -22,6 +29,10 @@ type t = {
           context. In native mode it is an ordinary call. Never use this
           for anything the caller's next step depends on. *)
 }
+
+val scope_or : t -> string -> string
+(** [scope_or env default] is the env's binding id, or [default] when
+    the env was never metered (direct driver use in tests/benches). *)
 
 val native : t
 

@@ -60,6 +60,32 @@ let check_options () =
       ];
   !checked_params
 
+(* Per-instance parameter snapshot (satellite of the fleet work): the
+   module-level refs above model the insmod command line and are still
+   reset between loads, but each binding captures its own validated
+   copy at probe time, so two NICs probed with different params never
+   share a ref cell. *)
+type params = {
+  p_tx_descriptors : int;
+  p_interrupt_throttle : int;
+  p_smart_power_down : int;
+}
+
+let default_params =
+  { p_tx_descriptors = 256; p_interrupt_throttle = 3; p_smart_power_down = 0 }
+
+let snapshot_params outcomes =
+  let v name default =
+    match List.assoc_opt name outcomes with
+    | Some o -> o.Decaf_runtime.Params.value
+    | None -> default
+  in
+  {
+    p_tx_descriptors = v "TxDescriptors" 256;
+    p_interrupt_throttle = v "InterruptThrottleRate" 3;
+    p_smart_power_down = v "SmartPowerDownEnable" 0;
+  }
+
 let models : (string, E.t) Hashtbl.t = Hashtbl.create 4
 
 let setup_device ~slot ~mmio_base ~irq ?(device_id = 0x100e) ~mac ~link () =
@@ -78,6 +104,9 @@ type resources = {
 
 type adapter = {
   env : Driver_env.t;
+  scope : string;
+      (** binding id this adapter is accounted under (ring name,
+          boundary scope); the bare driver name for the first instance *)
   model : E.t;
   pci : K.Pci.dev;
   mmio : int;
@@ -91,6 +120,8 @@ type adapter = {
   mutable watchdog_runs : int;
   mutable pkts_since_stats : int;
   mutable user_syncs : int;
+  mutable params : params;  (** validated snapshot from this probe *)
+  mutable itr_reg : int;  (** last value programmed into ITR *)
   mutable xring : Decaf_xpc.Ring.t option;
       (** shared-ring XPC fast path for stats/link records *)
   lock : K.Sync.Combolock.t;
@@ -119,7 +150,7 @@ let with_java_adapter a ~name f =
       if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
       (* boundary faults caught below (handle resolution, field
          validation, ack high-water) are attributed to this binding *)
-      Decaf_xpc.Boundary.scoped driver (fun () ->
+      Decaf_xpc.Boundary.scoped a.scope (fun () ->
           let upto = O.user_view_mark a.ka in
           let payload = O.marshal_to_user a.ka in
           let result, back =
@@ -147,7 +178,7 @@ let post_adapter_sync a ~name =
       let upto = O.user_view_mark a.ka in
       let payload = O.marshal_to_user a.ka in
       a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
-          Decaf_xpc.Boundary.scoped driver (fun () ->
+          Decaf_xpc.Boundary.scoped a.scope (fun () ->
               ignore (O.unmarshal_at_user payload a.ka);
               O.ack_user_view a.ka ~upto;
               a.user_syncs <- a.user_syncs + 1))
@@ -188,8 +219,28 @@ let note_packets a n =
 
 (* --- driver nucleus: data path --- *)
 
+let clean_tx a =
+  (* descriptors up to the hardware head are done *)
+  let tdh = K.Io.readl (reg a E.reg_tdh) in
+  let before = a.tx_in_flight in
+  a.tx_in_flight <- (a.tx_tail - tdh + E.n_tx_desc) mod E.n_tx_desc;
+  (if a.tx_in_flight < E.n_tx_desc - 1 then
+     match a.netdev with
+     | Some nd ->
+         if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
+     | None -> ());
+  let retired = max 0 (before - a.tx_in_flight) in
+  note_packets a retired;
+  retired
+
 let start_xmit a (skb : K.Netcore.Skb.t) =
   K.Sync.Combolock.with_kernel a.lock (fun () ->
+      (* lazy TX reclaim, as the real driver does in hard_start_xmit:
+         when the ring runs low, retire completed descriptors here
+         instead of waiting for a (possibly throttled) TXDW interrupt,
+         so forward progress never depends on interrupt latency *)
+      if a.tx_in_flight >= E.n_tx_desc - (E.n_tx_desc / 4) then
+        ignore (clean_tx a);
       if a.tx_in_flight >= E.n_tx_desc - 1 then K.Netcore.Xmit_busy
       else begin
         E.stage_tx a.model (Bytes.sub skb.K.Netcore.Skb.data 0 skb.K.Netcore.Skb.len);
@@ -205,18 +256,6 @@ let start_xmit a (skb : K.Netcore.Skb.t) =
         | None -> ());
         K.Netcore.Xmit_ok
       end)
-
-let clean_tx a =
-  (* descriptors up to the hardware head are done *)
-  let tdh = K.Io.readl (reg a E.reg_tdh) in
-  let before = a.tx_in_flight in
-  a.tx_in_flight <- (a.tx_tail - tdh + E.n_tx_desc) mod E.n_tx_desc;
-  (if a.tx_in_flight < E.n_tx_desc - 1 then
-     match a.netdev with
-     | Some nd ->
-         if K.Netcore.netif_queue_stopped nd then K.Netcore.netif_wake_queue nd
-     | None -> ());
-  note_packets a (max 0 (before - a.tx_in_flight))
 
 let handle_rx a =
   let continue = ref true in
@@ -234,13 +273,54 @@ let handle_rx a =
         K.Io.writel (reg a E.reg_rdt) ((rdt + 1) mod E.n_rx_desc)
     | None -> continue := false
   done;
-  note_packets a !received
+  note_packets a !received;
+  !received
+
+(* Driver-side dynamic interrupt throttling (InterruptThrottleRate 1/3):
+   feedback on events retired per interrupt. With immediate delivery an
+   interrupt retires at most a frame or two, so [work] only climbs when
+   causes pile up while the CPU is busy elsewhere — exactly the
+   interrupt-bound fleet case. A loaded instance therefore widens its
+   ITR window toward the 2 ms ceiling (where each interrupt retires a
+   large batch and keeps it wide), while a single NIC at wire rate
+   retires ~1 frame per interrupt and stays unthrottled, so the
+   latency-sensitive paths (link tests, sparse traffic) are unchanged.
+   Bounds: the 2 ms ceiling stays under the ~3.1 ms the 256-slot rings
+   buffer at wire rate; writes hit ITR only on change, so the MMIO cost
+   is paid at transitions, not per interrupt. *)
+let itr_floor = 78 (* ~20 us in 256 ns units *)
+let itr_ceiling = 7812 (* ~2 ms *)
+
+let adjust_itr a ~data work =
+  match a.params.p_interrupt_throttle with
+  | 1 | 3 ->
+      let cur = a.itr_reg in
+      let next =
+        if work >= 4 then
+          (* ratchet, don't track: halving back on every light interrupt
+             makes the window oscillate around the load point and the
+             fleet stays interrupt-bound. [work] can read zero on a data
+             interrupt whose descriptors the lazy reclaim in start_xmit
+             already harvested, so only a status-only interrupt — no
+             TX/RX cause at all, the line is idle and latency matters —
+             drops the window back to unthrottled. *)
+          if cur = 0 then itr_floor else min (cur * 2) itr_ceiling
+        else if not data then 0
+        else cur
+      in
+      if next <> cur then begin
+        a.itr_reg <- next;
+        K.Io.writel (reg a E.reg_itr) next
+      end
+  | _ -> ()
 
 let interrupt a =
   let icr = K.Io.readl (reg a E.reg_icr) in
   if icr <> 0 then begin
-    if icr land E.icr_txdw <> 0 then clean_tx a;
-    if icr land E.icr_rxt0 <> 0 then handle_rx a;
+    let work = ref 0 in
+    if icr land E.icr_txdw <> 0 then work := !work + clean_tx a;
+    if icr land E.icr_rxt0 <> 0 then work := !work + handle_rx a;
+    adjust_itr a ~data:(icr land (E.icr_txdw lor E.icr_rxt0) <> 0) !work;
     if icr land E.icr_lsc <> 0 then begin
       let up = Hw.Phy.link_up (E.phy a.model) in
       if up <> a.ka.O.k_link_up then
@@ -371,9 +451,19 @@ let request_irq a =
   a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16 (fun () ->
       K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a))
 
+(* Initial ITR from InterruptThrottleRate: 0 = off; 1/3 = dynamic
+   (start unthrottled, adapt_itr widens under load); a literal rate
+   becomes its fixed inter-interrupt interval. *)
+let initial_itr p =
+  match p.p_interrupt_throttle with
+  | 0 | 1 | 3 -> 0
+  | rate -> 1_000_000_000 / rate / 256
+
 let e1000_up a =
   wr32 a E.reg_tctl E.tctl_en;
   wr32 a E.reg_rctl E.rctl_en;
+  a.itr_reg <- initial_itr a.params;
+  wr32 a E.reg_itr a.itr_reg;
   wr32 a E.reg_ims (E.icr_txdw lor E.icr_rxt0 lor E.icr_lsc);
   a.env.Driver_env.downcall ~name:"netif_start" ~bytes:16 (fun () ->
       match a.netdev with
@@ -521,7 +611,7 @@ let net_ops a =
             e1000_close_user a j);
         Ok ());
     ndo_start_xmit = (fun skb -> start_xmit a skb);
-    ndo_tx_timeout = (fun () -> clean_tx a);
+    ndo_tx_timeout = (fun () -> ignore (clean_tx a));
   }
 
 (* --- probe / remove --- *)
@@ -532,10 +622,12 @@ let probe env (pci : K.Pci.dev) =
   | Some model ->
       K.Pci.enable_device pci;
       K.Pci.set_master pci;
+      let scope = Driver_env.scope_or env driver in
       let bar = K.Pci.bar pci 0 in
       let a =
         {
           env;
+          scope;
           model;
           pci;
           mmio = bar.K.Pci.base;
@@ -549,8 +641,10 @@ let probe env (pci : K.Pci.dev) =
           watchdog_runs = 0;
           pkts_since_stats = 0;
           user_syncs = 0;
+          params = default_params;
+          itr_reg = 0;
           xring = None;
-          lock = K.Sync.Combolock.create ~name:driver ();
+          lock = K.Sync.Combolock.create ~name:scope ();
         }
       in
       (* The shared ring exists for the life of the binding; its consumer
@@ -565,7 +659,7 @@ let probe env (pci : K.Pci.dev) =
           in
           a.xring <-
             Some
-              (Decaf_xpc.Ring.create ~name:driver ~target ~guard:O.ring_guard
+              (Decaf_xpc.Ring.create ~name:scope ~target ~guard:O.ring_guard
                  ~resolve:O.ring_resolve
                  ~handler:(fun r ->
                    O.apply_ring_record r;
@@ -575,7 +669,7 @@ let probe env (pci : K.Pci.dev) =
       let rc =
         with_java_adapter a ~name:"e1000_probe" (fun j ->
             Errors.to_errno (fun () ->
-                ignore (check_options ());
+                a.params <- snapshot_params (check_options ());
                 reset_hw a;
                 validate_eeprom a;
                 let mac = read_mac_from_eeprom a in
@@ -608,6 +702,7 @@ let remove (pci : K.Pci.dev) =
       a.xring <- None;
       free_rx_resources a;
       free_tx_resources a;
+      O.release_kernel_adapter a.ka;
       match a.netdev with
       | Some nd -> K.Netcore.unregister_netdev nd
       | None -> ())
@@ -617,45 +712,102 @@ let remove (pci : K.Pci.dev) =
 let active_box : t option ref = ref None
 let active () = !active_box
 
-let insmod env =
-  let adapter_box = ref None in
-  let init () =
-    (* a failed or faulting load must leave the PCI core clean so a
-       supervisor retry can register the driver again *)
-    let register () =
-      K.Pci.register_driver ~name:driver
-        ~ids:(List.map (fun id -> { K.Pci.id_vendor = vendor_id; id_device = id })
-                device_ids)
-        ~probe:(fun pci ->
-          match probe env pci with
-          | Ok a ->
-              adapter_box := Some a;
-              Hashtbl.replace instances (K.Pci.slot pci) a;
-              Ok ()
-          | Error rc -> Error rc)
-        ~remove
-    in
-    (match register () with
-    | () -> ()
-    | exception e ->
-        K.Pci.unregister_driver driver;
-        raise e);
-    match !adapter_box with
-    | Some _ -> Ok ()
-    | None ->
-        K.Pci.unregister_driver driver;
-        Error (-Errors.enodev)
+(* One K.Modules load serves every instance: the module is refcounted
+   and only really unloaded when its last binding goes away. The boot
+   epoch tag invalidates a handle that survived a reboot. *)
+type shared = {
+  s_handle : K.Modules.handle;
+  s_epoch : int;
+  mutable s_refs : int;
+}
+
+let shared_box : shared option ref = ref None
+
+let shared_live () =
+  match !shared_box with
+  | Some s when s.s_epoch = K.Boot.epoch () && K.Modules.is_loaded driver ->
+      Some s
+  | Some _ ->
+      shared_box := None;
+      None
+  | None -> None
+
+(* The PCI probe callback outlives any single insmod (it is registered
+   once per module load), so the env and device filter for the binding
+   currently being created travel through this box: only the probe the
+   caller asked for claims a device; auto-probes of other matching
+   devices on the bus are refused and left for their own bind. *)
+let pending : (Driver_env.t * string option * adapter option ref) option ref =
+  ref None
+
+let pci_probe pci =
+  match !pending with
+  | Some (env, want, out)
+    when !out = None
+         && (match want with None -> true | Some s -> s = K.Pci.slot pci) -> (
+      match probe env pci with
+      | Ok a ->
+          out := Some a;
+          Hashtbl.replace instances (K.Pci.slot pci) a;
+          Ok ()
+      | Error rc -> Error rc)
+  | _ -> Error (-Errors.enodev)
+
+let insmod ?dev env =
+  let out = ref None in
+  pending := Some (env, dev, out);
+  (* the box must not outlive this bind even when a supervised probe
+     fault unwinds through here, or a later unrelated device add could
+     claim a stale env *)
+  Fun.protect ~finally:(fun () -> pending := None) @@ fun () ->
+  let wrap s adapter =
+    s.s_refs <- s.s_refs + 1;
+    let t = { adapter; module_handle = Some s.s_handle } in
+    (* [active] keeps meaning "the first instance": only a bare-scoped
+       (singleton or registry-instance-0) bind claims the box *)
+    if adapter.scope = driver && !active_box = None then active_box := Some t;
+    Ok t
   in
-  let exit () = K.Pci.unregister_driver driver in
-  match K.Modules.insmod ~name:driver ~init ~exit with
-  | Ok handle -> (
-      match !adapter_box with
-      | Some adapter ->
-          let t = { adapter; module_handle = Some handle } in
-          active_box := Some t;
-          Ok t
+  match shared_live () with
+  | Some s -> (
+      (* module already loaded: bind one more device to it *)
+      K.Pci.rescan ?slot:dev ();
+      match !out with
+      | Some adapter -> wrap s adapter
       | None -> Error (-Errors.enodev))
-  | Error rc -> Error rc
+  | None -> (
+      let init () =
+        (* a failed or faulting load must leave the PCI core clean so a
+           supervisor retry can register the driver again *)
+        let register () =
+          K.Pci.register_driver ~name:driver
+            ~ids:
+              (List.map
+                 (fun id -> { K.Pci.id_vendor = vendor_id; id_device = id })
+                 device_ids)
+            ~probe:pci_probe ~remove
+        in
+        (match register () with
+        | () -> ()
+        | exception e ->
+            K.Pci.unregister_driver driver;
+            raise e);
+        match !out with
+        | Some _ -> Ok ()
+        | None ->
+            K.Pci.unregister_driver driver;
+            Error (-Errors.enodev)
+      in
+      let exit () = K.Pci.unregister_driver driver in
+      match K.Modules.insmod ~name:driver ~init ~exit with
+      | Ok handle -> (
+          match !out with
+          | Some adapter ->
+              let s = { s_handle = handle; s_epoch = K.Boot.epoch (); s_refs = 0 } in
+              shared_box := Some s;
+              wrap s adapter
+          | None -> Error (-Errors.enodev))
+      | Error rc -> Error rc)
 
 let rmmod t =
   (match t.module_handle with
@@ -663,13 +815,23 @@ let rmmod t =
       (match t.adapter.netdev with
       | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
       | Some _ | None -> ());
-      K.Modules.rmmod h;
-      t.module_handle <- None
+      (* release this binding's device only; siblings keep running *)
+      K.Pci.detach ~slot:(K.Pci.slot t.adapter.pci);
+      t.module_handle <- None;
+      (match shared_live () with
+      | Some s when s.s_handle == h ->
+          s.s_refs <- s.s_refs - 1;
+          if s.s_refs <= 0 then begin
+            K.Modules.rmmod h;
+            shared_box := None;
+            (* module parameters are insmod arguments: they must not
+               survive the module. A later insmod with no explicit
+               params gets the defaults, not whatever the previous load
+               was given. *)
+            reset_module_params ()
+          end
+      | _ -> ())
   | None -> ());
-  (* module parameters are insmod arguments: they must not survive the
-     module. A later insmod with no explicit params gets the defaults,
-     not whatever the previous load was given. *)
-  reset_module_params ();
   match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
 
 (* --- power management (§3.1.3: suspend/resume run in the decaf
@@ -716,6 +878,14 @@ let diag_test_at_user_level t = diag_test_at_user_level_adapter t.adapter
 let watchdog_runs t = t.adapter.watchdog_runs
 let kernel_adapter t = t.adapter.ka
 let user_stat_syncs t = t.adapter.user_syncs
+let params t = t.adapter.params
+
+(* Fleet access: a binding made through the registry has no [t] in the
+   caller's hands; the netdev is looked up by the PCI slot it claimed. *)
+let netdev_at ~slot =
+  match Hashtbl.find_opt instances slot with
+  | Some a -> a.netdev
+  | None -> None
 
 module Core = struct
   type nonrec t = t
@@ -723,7 +893,7 @@ module Core = struct
   let name = driver
   let bus = K.Hotplug.Pci
   let ids = List.map (fun id -> (vendor_id, id)) device_ids
-  let probe env = insmod env
+  let probe env ~dev = insmod ?dev env
   let remove = rmmod
   let suspend = suspend
   let resume = resume

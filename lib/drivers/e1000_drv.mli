@@ -28,10 +28,25 @@ val setup_device :
   unit ->
   Decaf_hw.E1000_hw.t
 
-val insmod : Driver_env.t -> (t, int) result
+val insmod : ?dev:string -> Driver_env.t -> (t, int) result
+(** Load the module (or, when it is already loaded, bind one more
+    device to it — the module is refcounted across instances). [dev]
+    pins the bind to one PCI slot; without it the first unbound
+    matching device on the bus is claimed. *)
+
 val rmmod : t -> unit
+(** Release this instance's device; the module itself is unloaded (and
+    the module parameters reset) only when the last instance goes. *)
+
 val init_latency_ns : t -> int
 val netdev : t -> Decaf_kernel.Netcore.t
+
+val netdev_at : slot:string -> Decaf_kernel.Netcore.t option
+(** The netdev of whichever instance is bound to the given PCI slot —
+    how a fleet harness reaches instances it bound through the registry
+    (which returns binding ids, not handles). [None] if the slot is
+    unbound or the instance has no netdev yet. *)
+
 val watchdog_runs : t -> int
 (** Times the watchdog has executed (in the decaf driver when in decaf
     mode). *)
@@ -70,11 +85,25 @@ val set_module_params :
 val reset_module_params : unit -> unit
 
 val checked_params : (string * Decaf_runtime.Params.outcome) list ref
-(** Name and validation outcome of each parameter after the last probe. *)
+(** Name and validation outcome of each parameter after the last probe
+    (module-wide, kept for tooling compatibility; instances snapshot
+    their own copy — see {!params}). *)
+
+type params = {
+  p_tx_descriptors : int;
+  p_interrupt_throttle : int;
+  p_smart_power_down : int;
+}
+(** Validated per-instance parameter snapshot, captured at probe. Two
+    NICs probed under different insmod arguments keep distinct values
+    even though the command-line refs above are shared. *)
+
+val params : t -> params
 
 val active : unit -> t option
-(** The instance bound by the most recent successful [insmod], until its
-    [rmmod]. Lets workloads reach a driver the registry loaded. *)
+(** The first (bare-named) instance, until its [rmmod]. Lets workloads
+    reach a driver the registry loaded; fleet instances bound under
+    "e1000#k" scopes never disturb it. *)
 
 val suspend : t -> unit
 (** PM suspend: disarm the watchdog, flush deferred work, then cross to

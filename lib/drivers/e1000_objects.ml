@@ -93,6 +93,21 @@ let rx_ring_handle (k : kernel_adapter) =
   Objtracker.issue (kernel_tracker ()) ~addr:k.k_rx_addr
     ~type_id:(Univ.key_name ring_key)
 
+(* Driver unload: revoke this instance's capability handles in both
+   trackers. The tracker mirrors object lifetime (the Nooks
+   discipline), so a fleet binding that comes and goes leaves no
+   entries behind, and a handle a driver kept across its own unload
+   resolves to nothing rather than to a dead sibling's object. *)
+let release_kernel_adapter (k : kernel_adapter) =
+  let kt = kernel_tracker () in
+  let jt = Decaf_runtime.Runtime.java_tracker () in
+  List.iter
+    (fun h -> Objtracker.remove_all jt ~addr:h)
+    [ adapter_handle k; tx_ring_handle k; rx_ring_handle k ];
+  (* the tx ring shares the adapter's address; the rx ring has its own *)
+  Objtracker.remove_all kt ~addr:k.k_addr;
+  Objtracker.remove_all kt ~addr:k.k_rx_addr
+
 let fresh_kernel_adapter () =
   let k_addr = Addr.alloc ~size:512 in
   {

@@ -87,6 +87,11 @@ val rx_ring_handle : kernel_adapter -> Decaf_xpc.Objtracker.handle
 val fresh_kernel_adapter : unit -> kernel_adapter
 (** Allocate with fresh simulated addresses. *)
 
+val release_kernel_adapter : kernel_adapter -> unit
+(** Revoke the instance's capability handles in both trackers at driver
+    unload, so fleet bindings that come and go leave no tracker entries
+    behind and stale handles resolve to nothing. *)
+
 (** {2 Dirty-marking writers}
 
     Kernel or decaf-driver code whose write must reach the other side

@@ -25,6 +25,8 @@ let setup_device ~slot ~io_base ~irq () =
 
 type adapter = {
   env : Driver_env.t;
+  scope : string;  (** binding id: "ens1371" or "ens1371#k" *)
+  slot : string;  (** PCI slot this binding claimed *)
   model : S.t;
   io_base : int;
   irq : int;
@@ -133,6 +135,8 @@ let probe env (pci : K.Pci.dev) =
       let a =
         {
           env;
+          scope = Driver_env.scope_or env driver;
+          slot = K.Pci.slot pci;
           model;
           io_base = bar.K.Pci.base;
           irq = K.Pci.irq pci;
@@ -167,7 +171,7 @@ let probe env (pci : K.Pci.dev) =
                   ignore i)
             done;
             a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16 (fun () ->
-                K.Irq.request_irq a.irq ~name:driver (fun () -> interrupt a));
+                K.Irq.request_irq a.irq ~name:a.scope (fun () -> interrupt a));
             (* if registration faults, give the line back: a retry of the
                probe must be able to claim it again *)
             Errors.protect
@@ -191,50 +195,108 @@ let remove (pci : K.Pci.dev) =
 let active_box : t option ref = ref None
 let active () = !active_box
 
-let insmod env =
-  let adapter_box = ref None in
-  let init () =
-    let register () =
-      K.Pci.register_driver ~name:driver
-        ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
-        ~probe:(fun pci ->
-          match probe env pci with
-          | Ok a ->
-              adapter_box := Some a;
-              Hashtbl.replace instances (K.Pci.slot pci) a;
-              Ok ()
-          | Error rc -> Error rc)
-        ~remove
-    in
-    (* a failed or faulting probe must leave the PCI core clean for the
-       supervisor's retry *)
-    (match register () with
-    | () -> ()
-    | exception e ->
-        K.Pci.unregister_driver driver;
-        raise e);
-    match !adapter_box with
-    | Some _ -> Ok ()
-    | None ->
-        K.Pci.unregister_driver driver;
-        Error (-Errors.enodev)
+(* One K.Modules load serves every instance (see E1000_drv): refcounted,
+   really unloaded only when the last binding goes; the boot epoch tag
+   invalidates a handle that survived a reboot. *)
+type shared = {
+  s_handle : K.Modules.handle;
+  s_epoch : int;
+  mutable s_refs : int;
+}
+
+let shared_box : shared option ref = ref None
+
+let shared_live () =
+  match !shared_box with
+  | Some s when s.s_epoch = K.Boot.epoch () && K.Modules.is_loaded driver ->
+      Some s
+  | Some _ ->
+      shared_box := None;
+      None
+  | None -> None
+
+(* env + device filter for the binding being created; only the probe the
+   caller asked for claims a device (see E1000_drv.pending). *)
+let pending : (Driver_env.t * string option * adapter option ref) option ref =
+  ref None
+
+let pci_probe pci =
+  match !pending with
+  | Some (env, want, out)
+    when !out = None
+         && (match want with None -> true | Some s -> s = K.Pci.slot pci) -> (
+      match probe env pci with
+      | Ok a ->
+          out := Some a;
+          Hashtbl.replace instances (K.Pci.slot pci) a;
+          Ok ()
+      | Error rc -> Error rc)
+  | _ -> Error (-Errors.enodev)
+
+let insmod ?dev env =
+  let out = ref None in
+  pending := Some (env, dev, out);
+  Fun.protect ~finally:(fun () -> pending := None) @@ fun () ->
+  let wrap s adapter =
+    s.s_refs <- s.s_refs + 1;
+    let t = { adapter; module_handle = Some s.s_handle } in
+    if adapter.scope = driver && !active_box = None then active_box := Some t;
+    Ok t
   in
-  let exit () = K.Pci.unregister_driver driver in
-  match K.Modules.insmod ~name:driver ~init ~exit with
-  | Ok handle -> (
-      match !adapter_box with
-      | Some adapter ->
-          let t = { adapter; module_handle = Some handle } in
-          active_box := Some t;
-          Ok t
+  match shared_live () with
+  | Some s -> (
+      (* module already loaded: bind one more device to it *)
+      K.Pci.rescan ?slot:dev ();
+      match !out with
+      | Some adapter -> wrap s adapter
       | None -> Error (-Errors.enodev))
-  | Error rc -> Error rc
+  | None -> (
+      let init () =
+        (* a failed or faulting probe must leave the PCI core clean for
+           the supervisor's retry *)
+        let register () =
+          K.Pci.register_driver ~name:driver
+            ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+            ~probe:pci_probe ~remove
+        in
+        (match register () with
+        | () -> ()
+        | exception e ->
+            K.Pci.unregister_driver driver;
+            raise e);
+        match !out with
+        | Some _ -> Ok ()
+        | None ->
+            K.Pci.unregister_driver driver;
+            Error (-Errors.enodev)
+      in
+      let exit () = K.Pci.unregister_driver driver in
+      match K.Modules.insmod ~name:driver ~init ~exit with
+      | Ok handle -> (
+          match !out with
+          | Some adapter ->
+              let s =
+                { s_handle = handle; s_epoch = K.Boot.epoch (); s_refs = 0 }
+              in
+              shared_box := Some s;
+              wrap s adapter
+          | None -> Error (-Errors.enodev))
+      | Error rc -> Error rc)
 
 let rmmod t =
   (match t.module_handle with
   | Some h ->
-      K.Modules.rmmod h;
-      t.module_handle <- None
+      (* release this binding's device only; siblings keep running *)
+      K.Pci.detach ~slot:t.adapter.slot;
+      t.module_handle <- None;
+      (match shared_live () with
+      | Some s when s.s_handle == h ->
+          s.s_refs <- s.s_refs - 1;
+          if s.s_refs <= 0 then begin
+            K.Modules.rmmod h;
+            shared_box := None
+          end
+      | _ -> ())
   | None -> ());
   match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
 
@@ -278,7 +340,7 @@ module Core = struct
   let name = driver
   let bus = K.Hotplug.Pci
   let ids = [ (vendor_id, device_id) ]
-  let probe env = insmod env
+  let probe env ~dev = insmod ?dev env
   let remove = rmmod
   let suspend = suspend
   let resume = resume

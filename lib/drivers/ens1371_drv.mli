@@ -14,7 +14,10 @@ val device_id : int
 val setup_device :
   slot:string -> io_base:int -> irq:int -> unit -> Decaf_hw.Ens1371_hw.t
 
-val insmod : Driver_env.t -> (t, int) result
+val insmod : ?dev:string -> Driver_env.t -> (t, int) result
+(** Load the module, or bind one more device when it is already loaded
+    (refcounted across instances); [dev] pins the bind to one slot. *)
+
 val rmmod : t -> unit
 val init_latency_ns : t -> int
 val substream : t -> Decaf_kernel.Sndcore.substream

@@ -219,6 +219,10 @@ let active_box : t option ref = ref None
 let active () = !active_box
 
 let insmod env =
+  (* Singleton device: a second concurrent bind is refused, not a
+     panic — the registry's fleet path probes every driver. *)
+  if K.Modules.is_loaded driver then Error (-Errors.ebusy)
+  else
   let adapter_box = ref None in
   let init () =
     match connect env with
@@ -292,7 +296,7 @@ module Core = struct
   let name = driver
   let bus = K.Hotplug.Input
   let ids = []
-  let probe env = insmod env
+  let probe env ~dev:_ = insmod env
   let remove = rmmod
   let suspend = suspend
   let resume = resume

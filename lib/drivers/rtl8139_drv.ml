@@ -4,6 +4,7 @@ module R = Hw.Rtl8139
 module RO = Rtl8139_objects
 module Runtime = Decaf_runtime.Runtime
 
+let driver = "8139too"
 let vendor_id = 0x10ec
 let device_id = 0x8139
 let adapter_wire_bytes = RO.wire_size
@@ -23,6 +24,10 @@ let setup_device ~slot ~io_base ~irq ~mac ~link () =
 
 type adapter = {
   env : Driver_env.t;
+  scope : string;
+      (** boundary scope / ring name — the binding id, distinct per
+          instance ("8139too", "8139too#1", ...) *)
+  slot : string;  (** PCI slot this binding claimed *)
   model : R.t;
   io_base : int;
   irq : int;
@@ -57,7 +62,7 @@ let with_java_nic a ~name f =
   | Driver_env.Staged | Driver_env.Decaf ->
       if a.env.Driver_env.mode = Driver_env.Decaf then Runtime.start ();
       (* attribute boundary faults on this crossing to the binding *)
-      Decaf_xpc.Boundary.scoped "8139too" (fun () ->
+      Decaf_xpc.Boundary.scoped a.scope (fun () ->
           let upto = RO.user_view_mark a.ka in
           let payload = RO.marshal_to_user a.ka in
           let result, back =
@@ -79,7 +84,7 @@ let post_nic_sync a ~name =
       let upto = RO.user_view_mark a.ka in
       let payload = RO.marshal_to_user a.ka in
       a.env.Driver_env.notify ~name ~bytes:(Bytes.length payload) (fun () ->
-          Decaf_xpc.Boundary.scoped "8139too" (fun () ->
+          Decaf_xpc.Boundary.scoped a.scope (fun () ->
               ignore (RO.unmarshal_at_user payload);
               RO.ack_user_view a.ka ~upto;
               a.user_syncs <- a.user_syncs + 1))
@@ -280,9 +285,12 @@ let probe env (pci : K.Pci.dev) =
       K.Pci.enable_device pci;
       K.Pci.set_master pci;
       let bar = K.Pci.bar pci 0 in
+      let scope = Driver_env.scope_or env driver in
       let a =
         {
           env;
+          scope;
+          slot = K.Pci.slot pci;
           model;
           io_base = bar.K.Pci.base;
           irq = K.Pci.irq pci;
@@ -293,7 +301,7 @@ let probe env (pci : K.Pci.dev) =
           pkts_since_stats = 0;
           user_syncs = 0;
           xring = None;
-          lock = K.Sync.Combolock.create ~name:"rtl8139" ();
+          lock = K.Sync.Combolock.create ~name:scope ();
         }
       in
       (match env.Driver_env.mode with
@@ -306,7 +314,7 @@ let probe env (pci : K.Pci.dev) =
           in
           a.xring <-
             Some
-              (Decaf_xpc.Ring.create ~name:"8139too" ~target
+              (Decaf_xpc.Ring.create ~name:scope ~target
                  ~guard:RO.ring_guard ~resolve:RO.ring_resolve
                  ~handler:(fun r ->
                    RO.apply_ring_record r;
@@ -330,7 +338,7 @@ let probe env (pci : K.Pci.dev) =
                   ignore mac);
               a.env.Driver_env.downcall ~name:"request_irq" ~bytes:16
                 (fun () ->
-                  K.Irq.request_irq a.irq ~name:"8139too" (fun () -> interrupt a));
+                  K.Irq.request_irq a.irq ~name:a.scope (fun () -> interrupt a));
               0
             end)
       in
@@ -343,58 +351,112 @@ let probe env (pci : K.Pci.dev) =
 
 let instances : (string, adapter) Hashtbl.t = Hashtbl.create 4
 
+(* PCI-core unbind path, shared by detach (per-instance rmmod) and
+   unregister (module unload): drop everything the probe acquired. *)
+let remove pci =
+  (match Hashtbl.find_opt instances (K.Pci.slot pci) with
+  | Some a -> (
+      K.Irq.free_irq a.irq;
+      (* unbind: remaining slots dropped with count *)
+      Option.iter Decaf_xpc.Ring.destroy a.xring;
+      a.xring <- None;
+      RO.release_kernel_nic a.ka;
+      match a.netdev with
+      | Some nd -> K.Netcore.unregister_netdev nd
+      | None -> ())
+  | None -> ());
+  Hashtbl.remove instances (K.Pci.slot pci)
+
 let active_box : t option ref = ref None
 let active () = !active_box
 
-let insmod env =
-  let adapter_box = ref None in
-  let init () =
-    (* keep the PCI core clean when the probe fails or faults, so a
-       supervisor retry can register the driver again *)
-    let register () =
-      K.Pci.register_driver ~name:"8139too"
-        ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
-        ~probe:(fun pci ->
-          match probe env pci with
-          | Ok a ->
-              adapter_box := Some a;
-              Hashtbl.replace instances (K.Pci.slot pci) a;
-              Ok ()
-          | Error rc -> Error rc)
-        ~remove:(fun pci ->
-          (match Hashtbl.find_opt instances (K.Pci.slot pci) with
-          | Some a -> (
-              K.Irq.free_irq a.irq;
-              (* unbind: remaining slots dropped with count *)
-              Option.iter Decaf_xpc.Ring.destroy a.xring;
-              a.xring <- None;
-              match a.netdev with
-              | Some nd -> K.Netcore.unregister_netdev nd
-              | None -> ())
-          | None -> ());
-          Hashtbl.remove instances (K.Pci.slot pci))
-    in
-    (match register () with
-    | () -> ()
-    | exception e ->
-        K.Pci.unregister_driver "8139too";
-        raise e);
-    match !adapter_box with
-    | Some _ -> Ok ()
-    | None ->
-        K.Pci.unregister_driver "8139too";
-        Error (-Decaf_runtime.Errors.enodev)
+(* One K.Modules load serves every instance (see E1000_drv): refcounted,
+   really unloaded only when the last binding goes; the boot epoch tag
+   invalidates a handle that survived a reboot. *)
+type shared = {
+  s_handle : K.Modules.handle;
+  s_epoch : int;
+  mutable s_refs : int;
+}
+
+let shared_box : shared option ref = ref None
+
+let shared_live () =
+  match !shared_box with
+  | Some s when s.s_epoch = K.Boot.epoch () && K.Modules.is_loaded driver ->
+      Some s
+  | Some _ ->
+      shared_box := None;
+      None
+  | None -> None
+
+(* env + device filter for the binding being created; only the probe the
+   caller asked for claims a device (see E1000_drv.pending). *)
+let pending : (Driver_env.t * string option * adapter option ref) option ref =
+  ref None
+
+let pci_probe pci =
+  match !pending with
+  | Some (env, want, out)
+    when !out = None
+         && (match want with None -> true | Some s -> s = K.Pci.slot pci) -> (
+      match probe env pci with
+      | Ok a ->
+          out := Some a;
+          Hashtbl.replace instances (K.Pci.slot pci) a;
+          Ok ()
+      | Error rc -> Error rc)
+  | _ -> Error (-Decaf_runtime.Errors.enodev)
+
+let insmod ?dev env =
+  let out = ref None in
+  pending := Some (env, dev, out);
+  Fun.protect ~finally:(fun () -> pending := None) @@ fun () ->
+  let wrap s adapter =
+    s.s_refs <- s.s_refs + 1;
+    let t = { adapter; module_handle = Some s.s_handle } in
+    if adapter.scope = driver && !active_box = None then active_box := Some t;
+    Ok t
   in
-  let exit () = K.Pci.unregister_driver "8139too" in
-  match K.Modules.insmod ~name:"8139too" ~init ~exit with
-  | Ok handle -> (
-      match !adapter_box with
-      | Some adapter ->
-          let t = { adapter; module_handle = Some handle } in
-          active_box := Some t;
-          Ok t
+  match shared_live () with
+  | Some s -> (
+      (* module already loaded: bind one more device to it *)
+      K.Pci.rescan ?slot:dev ();
+      match !out with
+      | Some adapter -> wrap s adapter
       | None -> Error (-Decaf_runtime.Errors.enodev))
-  | Error rc -> Error rc
+  | None -> (
+      let init () =
+        (* keep the PCI core clean when the probe fails or faults, so a
+           supervisor retry can register the driver again *)
+        let register () =
+          K.Pci.register_driver ~name:driver
+            ~ids:[ { K.Pci.id_vendor = vendor_id; id_device = device_id } ]
+            ~probe:pci_probe ~remove
+        in
+        (match register () with
+        | () -> ()
+        | exception e ->
+            K.Pci.unregister_driver driver;
+            raise e);
+        match !out with
+        | Some _ -> Ok ()
+        | None ->
+            K.Pci.unregister_driver driver;
+            Error (-Decaf_runtime.Errors.enodev)
+      in
+      let exit () = K.Pci.unregister_driver driver in
+      match K.Modules.insmod ~name:driver ~init ~exit with
+      | Ok handle -> (
+          match !out with
+          | Some adapter ->
+              let s =
+                { s_handle = handle; s_epoch = K.Boot.epoch (); s_refs = 0 }
+              in
+              shared_box := Some s;
+              wrap s adapter
+          | None -> Error (-Decaf_runtime.Errors.enodev))
+      | Error rc -> Error rc)
 
 let rmmod t =
   (match t.module_handle with
@@ -402,8 +464,17 @@ let rmmod t =
       (match t.adapter.netdev with
       | Some nd when K.Netcore.is_up nd -> ignore (K.Netcore.stop_dev nd)
       | Some _ | None -> ());
-      K.Modules.rmmod h;
-      t.module_handle <- None
+      (* release this binding's device only; siblings keep running *)
+      K.Pci.detach ~slot:t.adapter.slot;
+      t.module_handle <- None;
+      (match shared_live () with
+      | Some s when s.s_handle == h ->
+          s.s_refs <- s.s_refs - 1;
+          if s.s_refs <= 0 then begin
+            K.Modules.rmmod h;
+            shared_box := None
+          end
+      | _ -> ())
   | None -> ());
   match !active_box with Some t' when t' == t -> active_box := None | _ -> ()
 
@@ -434,7 +505,7 @@ let resume t =
       | Some nd when K.Netcore.is_up nd ->
           let rc = chip_reset a in
           if rc <> 0 then
-            Decaf_runtime.Errors.throw ~driver:"8139too" ~errno:(-rc)
+            Decaf_runtime.Errors.throw ~driver:a.scope ~errno:(-rc)
               "resume chip reset";
           hw_start a;
           a.env.Driver_env.downcall ~name:"netif_start_queue" ~bytes:16
@@ -474,10 +545,10 @@ let user_stat_syncs t = t.adapter.user_syncs
 module Core = struct
   type nonrec t = t
 
-  let name = "8139too"
+  let name = driver
   let bus = K.Hotplug.Pci
   let ids = [ (vendor_id, device_id) ]
-  let probe env = insmod env
+  let probe env ~dev = insmod ?dev env
   let remove = rmmod
   let suspend = suspend
   let resume = resume

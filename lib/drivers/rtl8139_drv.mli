@@ -16,12 +16,17 @@ val setup_device :
 (** Create the device model and plug the matching PCI function into the
     bus. Call before {!insmod}. *)
 
-val insmod : Driver_env.t -> (t, int) result
-(** Load the driver module: registers the PCI driver (probing any
-    present device) and returns the instance handle. Must run in a
-    scheduler thread. *)
+val insmod : ?dev:string -> Driver_env.t -> (t, int) result
+(** Load the module, or — when it is already loaded — bind one more
+    device to it (the module is refcounted across instances). [dev]
+    pins the bind to one PCI slot; without it the first unbound
+    matching device on the bus is claimed. Must run in a scheduler
+    thread. *)
 
 val rmmod : t -> unit
+(** Release this instance's device; the module itself is unloaded only
+    when the last instance goes. *)
+
 val init_latency_ns : t -> int
 val netdev : t -> Decaf_kernel.Netcore.t
 

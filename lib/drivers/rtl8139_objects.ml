@@ -55,6 +55,15 @@ let nic_handle (k : kernel_nic) =
   Objtracker.issue (kernel_tracker ()) ~addr:k.k_addr
     ~type_id:(Plan.type_id plan)
 
+(* Driver unload: revoke the instance's capability handle in both
+   trackers so unbinding leaves no entries behind (see
+   {!E1000_objects.release_kernel_adapter}). *)
+let release_kernel_nic (k : kernel_nic) =
+  Objtracker.remove_all
+    (Decaf_runtime.Runtime.java_tracker ())
+    ~addr:(nic_handle k);
+  Objtracker.remove_all (kernel_tracker ()) ~addr:k.k_addr
+
 let fresh_kernel_nic () =
   {
     k_addr = Addr.alloc ~size:256;

@@ -42,6 +42,10 @@ val nic_handle : kernel_nic -> Decaf_xpc.Objtracker.handle
 
 val fresh_kernel_nic : unit -> kernel_nic
 
+val release_kernel_nic : kernel_nic -> unit
+(** Revoke the instance's capability handle in both trackers at driver
+    unload. *)
+
 (** {2 Dirty-marking writers} *)
 
 val set_k_msg_enable : kernel_nic -> int -> unit

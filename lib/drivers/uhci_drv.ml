@@ -153,6 +153,9 @@ let active_box : t option ref = ref None
 let active () = !active_box
 
 let insmod env ~io_base ~irq =
+  (* Singleton host controller: refuse a second concurrent bind. *)
+  if K.Modules.is_loaded driver then Error (-Errors.ebusy)
+  else
   let adapter_box = ref None in
   let init () =
     match probe env io_base irq with
@@ -213,7 +216,7 @@ module Core = struct
   let bus = K.Hotplug.Usb
   let ids = []
 
-  let probe env =
+  let probe env ~dev:_ =
     match !setup_params with
     | Some (io_base, irq) -> insmod env ~io_base ~irq
     | None -> Error (-Errors.enodev)

@@ -83,8 +83,8 @@ let render_json snaps =
         match s.Driver_core.s_supervisor with Some st -> f st | None -> 0
       in
       add
-        "{\"driver\":\"%s\",\"state\":\"%s\",\"mode\":\"%s\",\"crossings\":%d,\"wire_bytes\":%d,\"notifies\":%d,\"deferred_syncs\":%d,\"rejections\":%d,\"dropped\":%d,\"ring_occupancy\":%d,\"ring_high_water\":%d,\"ring_doorbells\":%d,\"ring_drops\":%d,\"detected\":%d,\"recovered\":%d,\"degraded\":%d,\"restarts_left\":%d,\"init_latency_ns\":%d}\n"
-        s.Driver_core.s_driver
+        "{\"driver\":\"%s\",\"id\":\"%s\",\"state\":\"%s\",\"mode\":\"%s\",\"crossings\":%d,\"wire_bytes\":%d,\"notifies\":%d,\"deferred_syncs\":%d,\"rejections\":%d,\"dropped\":%d,\"ring_occupancy\":%d,\"ring_high_water\":%d,\"ring_doorbells\":%d,\"ring_drops\":%d,\"detected\":%d,\"recovered\":%d,\"degraded\":%d,\"restarts_left\":%d,\"init_latency_ns\":%d}\n"
+        s.Driver_core.s_driver s.Driver_core.s_binding
         (Driver_core.lifecycle_name s.Driver_core.s_state)
         (match s.Driver_core.s_mode with
         | Some m -> Driver_env.mode_name m

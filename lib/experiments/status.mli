@@ -12,7 +12,8 @@ val measure : unit -> Decaf_drivers.Driver_core.snapshot list
 val render : Decaf_drivers.Driver_core.snapshot list -> string
 
 val render_json : Decaf_drivers.Driver_core.snapshot list -> string
-(** [decafctl status --json]: one JSON object per driver per line,
+(** [decafctl status --json]: one JSON object per binding per line
+    (fleet instances are distinguished by their ["id"] field),
     carrying the full snapshot — lifecycle state, mode, XPC traffic,
     boundary rejections and supervisor counters — with no JSON library
     involved, like the trajectory files. *)

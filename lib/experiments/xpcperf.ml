@@ -10,6 +10,7 @@ type config = {
   workers : int;
   guard : bool;
   ring : bool;
+  instances : int;
 }
 
 let config_name c =
@@ -18,7 +19,8 @@ let config_name c =
   ^ (if c.delta then "delta" else "full")
   ^ Printf.sprintf "+w%d" c.workers
   ^ (if c.guard then "" else "+noguard")
-  ^ if c.ring then "+ring" else ""
+  ^ (if c.ring then "+ring" else "")
+  ^ if c.instances > 1 then Printf.sprintf "+i%d" c.instances else ""
 
 (* Measured in a fixed order so the JSON trajectory is stable: the four
    historical optimization combinations on the serial (one-worker) path,
@@ -30,21 +32,42 @@ let config_name c =
    keeps it enabled. *)
 let configs =
   [
-    { batching = false; delta = false; workers = 1; guard = true; ring = false };
-    { batching = true; delta = false; workers = 1; guard = true; ring = false };
-    { batching = false; delta = true; workers = 1; guard = true; ring = false };
-    { batching = true; delta = true; workers = 1; guard = true; ring = false };
-    { batching = true; delta = true; workers = 2; guard = true; ring = false };
-    { batching = false; delta = false; workers = 4; guard = true; ring = false };
-    { batching = true; delta = true; workers = 4; guard = true; ring = false };
-    { batching = true; delta = true; workers = 1; guard = false; ring = false };
-    { batching = true; delta = true; workers = 4; guard = false; ring = false };
+    { batching = false; delta = false; workers = 1; guard = true; ring = false; instances = 1 };
+    { batching = true; delta = false; workers = 1; guard = true; ring = false; instances = 1 };
+    { batching = false; delta = true; workers = 1; guard = true; ring = false; instances = 1 };
+    { batching = true; delta = true; workers = 1; guard = true; ring = false; instances = 1 };
+    { batching = true; delta = true; workers = 2; guard = true; ring = false; instances = 1 };
+    { batching = false; delta = false; workers = 4; guard = true; ring = false; instances = 1 };
+    { batching = true; delta = true; workers = 4; guard = true; ring = false; instances = 1 };
+    { batching = true; delta = true; workers = 1; guard = false; ring = false; instances = 1 };
+    { batching = true; delta = true; workers = 4; guard = false; ring = false; instances = 1 };
     (* the ring axis rides on top of the best serial and parallel
        configs: slot records replace the hot deferred notifications,
        the doorbell amortizes their crossings to ~zero *)
-    { batching = true; delta = true; workers = 1; guard = true; ring = true };
-    { batching = true; delta = true; workers = 4; guard = true; ring = true };
+    { batching = true; delta = true; workers = 1; guard = true; ring = true; instances = 1 };
+    { batching = true; delta = true; workers = 4; guard = true; ring = true; instances = 1 };
   ]
+
+(* The fleet axis rides on the best parallel configuration (batch +
+   delta + 4 workers + ring, guard on): the point of the sweep is how
+   the shared worker pools, the sharded tracker and the per-instance
+   rings behave as the instance count grows, not to re-run the whole
+   optimization matrix per fleet size. The single-instance cell is the
+   scaling baseline, measured through the same virtual switch. *)
+let fleet_instance_counts = [ 1; 16; 64; 256 ]
+
+let fleet_configs =
+  List.map
+    (fun n ->
+      {
+        batching = true;
+        delta = true;
+        workers = 4;
+        guard = true;
+        ring = true;
+        instances = n;
+      })
+    fleet_instance_counts
 
 type sample = {
   scenario : string;
@@ -65,6 +88,9 @@ type sample = {
   shards_used : int;
   perf_milli : int;
   perf_unit : string;
+  fair_min_milli : int;
+  fair_mean_milli : int;
+  fair_max_milli : int;
 }
 
 let perf s = float_of_int s.perf_milli /. 1000.
@@ -83,7 +109,9 @@ let insmod_via name =
   | Ok () -> ()
   | Error rc -> K.Panic.bug "xpcperf %s insmod: %d" name rc
 
-let finish ~scenario ~config ~perf ~perf_unit =
+let milli v = int_of_float ((v *. 1000.) +. 0.5)
+
+let finish ?(fairness = (0., 0., 0.)) ~scenario ~config ~perf ~perf_unit () =
   let ch = Xpc.Channel.snapshot () in
   let b = Xpc.Batch.snapshot () in
   let r = Xpc.Ring.snapshot () in
@@ -115,6 +143,9 @@ let finish ~scenario ~config ~perf ~perf_unit =
     shards_used;
     perf_milli = int_of_float ((perf *. 1000.) +. 0.5);
     perf_unit;
+    fair_min_milli = (let mn, _, _ = fairness in milli mn);
+    fair_mean_milli = (let _, me, _ = fairness in milli me);
+    fair_max_milli = (let _, _, mx = fairness in milli mx);
   }
 
 let e1000_net which config ~duration_ns =
@@ -142,7 +173,7 @@ let e1000_net which config ~duration_ns =
       in
       Xpc.Batch.drain ();
       Driver_core.rmmod "e1000";
-      finish ~scenario ~config ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
+      finish ~scenario ~config ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s" ())
 
 let rtl8139_net config ~duration_ns =
   Scenario.boot ();
@@ -162,7 +193,7 @@ let rtl8139_net config ~duration_ns =
       Xpc.Batch.drain ();
       Driver_core.rmmod "8139too";
       finish ~scenario:"8139too-netperf-send" ~config
-        ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s")
+        ~perf:r.Netperf.goodput_mbps ~perf_unit:"Mb/s" ())
 
 let psmouse config ~duration_ns =
   Scenario.boot ();
@@ -177,7 +208,7 @@ let psmouse config ~duration_ns =
       Xpc.Batch.drain ();
       Driver_core.rmmod "psmouse";
       finish ~scenario:"psmouse-move" ~config
-        ~perf:r.Mouse_move.event_rate_hz ~perf_unit:"ev/s")
+        ~perf:r.Mouse_move.event_rate_hz ~perf_unit:"ev/s" ())
 
 let ens1371 config ~duration_ns =
   Scenario.boot ();
@@ -193,24 +224,85 @@ let ens1371 config ~duration_ns =
       Driver_core.rmmod "ens1371";
       finish ~scenario:"ens1371-mpg123" ~config
         ~perf:(if r.Mpg123.underruns <= 1 then r.Mpg123.realtime_factor else 0.0)
-        ~perf_unit:"rt")
+        ~perf_unit:"rt" ())
+
+(* --- the fleet scenario: N e1000 instances under one virtual switch --- *)
+
+let fleet_slot i = Printf.sprintf "%02x:00.0" i
+
+let fleet_mac i =
+  Printf.sprintf "\x02\x00\x00\x00%c%c"
+    (Char.chr ((i lsr 8) land 0xff))
+    (Char.chr (i land 0xff))
+
+let e1000_fleet config ~duration_ns =
+  Scenario.boot ();
+  apply_config config;
+  let n = config.instances in
+  let links =
+    List.init n (fun i ->
+        let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+        ignore
+          (E1000_drv.setup_device ~slot:(fleet_slot i)
+             ~mmio_base:(0xe000_0000 + (i * 0x20000))
+             ~irq:(32 + i) ~mac:(fleet_mac i) ~link ());
+        link)
+  in
+  Scenario.in_thread (fun () ->
+      (* one registry binding per device, all through the same module:
+         instance 0 keeps the bare name, the rest are "e1000#k" *)
+      let ids =
+        List.mapi
+          (fun i _ ->
+            match
+              Driver_core.bind_device "e1000" ~dev:(fleet_slot i)
+                ~mode:Driver_env.Decaf ()
+            with
+            | Ok id -> id
+            | Error rc -> K.Panic.bug "xpcperf fleet bind %d: %d" i rc)
+          links
+      in
+      let ports =
+        List.mapi
+          (fun i link ->
+            match E1000_drv.netdev_at ~slot:(fleet_slot i) with
+            | Some nd ->
+                (match K.Netcore.open_dev nd with
+                | Ok () -> ()
+                | Error rc -> K.Panic.bug "xpcperf fleet open %d: %d" i rc);
+                { Vswitch.netdev = nd; link }
+            | None -> K.Panic.bug "xpcperf fleet: no netdev on port %d" i)
+          links
+      in
+      let r = Vswitch.run ~ports ~duration_ns ~msg_bytes:1500 in
+      Xpc.Batch.drain ();
+      List.iter Driver_core.rmmod ids;
+      finish ~scenario:"e1000-fleet" ~config
+        ~fairness:(r.Vswitch.min_mbps, r.Vswitch.mean_mbps, r.Vswitch.max_mbps)
+        ~perf:r.Vswitch.aggregate_mbps ~perf_unit:"Mb/s" ())
 
 let default_duration_ns = 300_000_000
 
+(* Each scenario carries the configurations it is measured under: the
+   single-instance scenarios sweep the full optimization matrix, the
+   fleet scenario sweeps the instance axis on the best parallel point. *)
 let scenarios ~duration_ns =
   [
-    ("e1000-netperf-send", fun cfg -> e1000_net `Send cfg ~duration_ns);
-    ("e1000-netperf-recv", fun cfg -> e1000_net `Recv cfg ~duration_ns);
-    ("8139too-netperf-send", fun cfg -> rtl8139_net cfg ~duration_ns);
+    ("e1000-netperf-send", configs, fun cfg -> e1000_net `Send cfg ~duration_ns);
+    ("e1000-netperf-recv", configs, fun cfg -> e1000_net `Recv cfg ~duration_ns);
+    ("8139too-netperf-send", configs, fun cfg -> rtl8139_net cfg ~duration_ns);
     ( "psmouse-move",
+      configs,
       fun cfg -> psmouse cfg ~duration_ns:(max duration_ns 2_000_000_000) );
-    ("ens1371-mpg123", fun cfg -> ens1371 cfg ~duration_ns);
+    ("ens1371-mpg123", configs, fun cfg -> ens1371 cfg ~duration_ns);
+    ("e1000-fleet", fleet_configs, fun cfg -> e1000_fleet cfg ~duration_ns);
   ]
 
 let scenario_names =
-  List.map fst (scenarios ~duration_ns:default_duration_ns)
+  List.map (fun (n, _, _) -> n) (scenarios ~duration_ns:default_duration_ns)
 
-let config_names () = List.map config_name configs
+let config_names () =
+  List.sort_uniq compare (List.map config_name (configs @ fleet_configs))
 
 (* [scenario]/[config] narrow the matrix to one row/column (by the
    names the table and trajectory print), so a single cell can be
@@ -218,16 +310,18 @@ let config_names () = List.map config_name configs
 let measure ?(duration_ns = default_duration_ns) ?scenario ?config () =
   let scenes =
     List.filter
-      (fun (name, _) ->
+      (fun (name, _, _) ->
         match scenario with None -> true | Some s -> s = name)
       (scenarios ~duration_ns)
   in
-  let cfgs =
-    List.filter
-      (fun c -> match config with None -> true | Some n -> n = config_name c)
-      configs
-  in
-  List.concat_map (fun (_, run) -> List.map run cfgs) scenes
+  List.concat_map
+    (fun (_, cfgs, run) ->
+      List.map run
+        (List.filter
+           (fun c ->
+             match config with None -> true | Some n -> n = config_name c)
+           cfgs))
+    scenes
 
 (* --- reporting --- *)
 
@@ -264,6 +358,7 @@ let render samples =
               workers = 1;
               guard = true;
               ring = false;
+              instances = 1;
             }
         then Some s.scenario
         else None)
@@ -282,6 +377,7 @@ let render samples =
                 workers = 1;
                 guard = true;
                 ring = false;
+                instances = 1;
               },
           find samples ~scenario
             ~config:
@@ -291,6 +387,7 @@ let render samples =
                 workers = 1;
                 guard = true;
                 ring = false;
+                instances = 1;
               } )
       with
       | Some off, Some on ->
@@ -312,6 +409,7 @@ let render samples =
                 workers = 1;
                 guard = true;
                 ring = false;
+                instances = 1;
               },
           find samples ~scenario
             ~config:
@@ -321,6 +419,7 @@ let render samples =
                 workers = 4;
                 guard = true;
                 ring = false;
+                instances = 1;
               } )
       with
       | Some w1, Some w4 ->
@@ -345,6 +444,7 @@ let render samples =
                   workers = w;
                   guard = false;
                   ring = false;
+                  instances = 1;
                 },
             find samples ~scenario
               ~config:
@@ -354,6 +454,7 @@ let render samples =
                   workers = w;
                   guard = true;
                   ring = false;
+                  instances = 1;
                 } )
         with
         | Some off, Some on when perf off > 0. -> perf on /. perf off
@@ -376,6 +477,7 @@ let render samples =
                 workers = 1;
                 guard = true;
                 ring = false;
+                instances = 1;
               },
           find samples ~scenario
             ~config:
@@ -385,6 +487,7 @@ let render samples =
                 workers = 1;
                 guard = true;
                 ring = true;
+                instances = 1;
               } )
       with
       | Some bd, Some rg ->
@@ -394,6 +497,28 @@ let render samples =
             (if perf bd = 0. then 1. else perf rg /. perf bd)
       | _ -> ())
     names;
+  (* the fleet axis: aggregate goodput and fairness as the instance
+     count grows on a fixed worker pool *)
+  let fleet =
+    List.filter (fun s -> s.scenario = "e1000-fleet") samples
+  in
+  if fleet <> [] then begin
+    add "\n%-20s %12s %10s %10s %10s %8s\n" "fleet (e1000)" "aggregate"
+      "min" "mean" "max" "spread";
+    List.iter
+      (fun s ->
+        let m v = float_of_int v /. 1000. in
+        let spread =
+          if s.fair_min_milli = 0 then 0.
+          else m s.fair_max_milli /. m s.fair_min_milli
+        in
+        add "%-20s %9.1f %s %10.1f %10.1f %10.1f %7.2fx\n"
+          (Printf.sprintf "i=%d" s.config.instances)
+          (perf s) s.perf_unit
+          (m s.fair_min_milli) (m s.fair_mean_milli) (m s.fair_max_milli)
+          spread)
+      fleet
+  end;
   Buffer.contents buf
 
 (* --- JSON trajectory: one object per line, hand-rolled both ways so
@@ -401,16 +526,18 @@ let render samples =
 
 let json_line s =
   Printf.sprintf
-    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"guard\":%d,\"ring\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"doorbells\":%d,\"ring_produced\":%d,\"ring_drops\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\"}"
+    "{\"scenario\":\"%s\",\"batching\":%d,\"delta\":%d,\"workers\":%d,\"guard\":%d,\"ring\":%d,\"instances\":%d,\"crossings\":%d,\"c_java\":%d,\"bytes\":%d,\"posted\":%d,\"delivered\":%d,\"flushes\":%d,\"doorbells\":%d,\"ring_produced\":%d,\"ring_drops\":%d,\"xpc_ns\":%d,\"lock_contended\":%d,\"lock_wait_ns\":%d,\"shard_hits\":%d,\"shards_used\":%d,\"perf_milli\":%d,\"perf_unit\":\"%s\",\"fair_min_milli\":%d,\"fair_mean_milli\":%d,\"fair_max_milli\":%d}"
     s.scenario
     (if s.config.batching then 1 else 0)
     (if s.config.delta then 1 else 0)
     s.config.workers
     (if s.config.guard then 1 else 0)
     (if s.config.ring then 1 else 0)
+    s.config.instances
     s.crossings s.c_java s.bytes s.posted s.delivered s.flushes s.doorbells
     s.ring_produced s.ring_drops s.xpc_ns s.lock_contended s.lock_wait_ns
-    s.shard_hits s.shards_used s.perf_milli s.perf_unit
+    s.shard_hits s.shards_used s.perf_milli s.perf_unit s.fair_min_milli
+    s.fair_mean_milli s.fair_max_milli
 
 let to_json ~duration_ns samples =
   let header =
@@ -482,6 +609,10 @@ let sample_of_line line =
               ring = (match field_int line "ring" with
                      | Some r -> r <> 0
                      | None -> false);
+              (* files from before the fleet axis are single-instance *)
+              instances = (match field_int line "instances" with
+                          | Some n when n > 1 -> n
+                          | _ -> 1);
             };
           crossings;
           c_java = geti "c_java";
@@ -500,6 +631,9 @@ let sample_of_line line =
           perf_milli = geti "perf_milli";
           perf_unit =
             Option.value ~default:"" (field_str line "perf_unit");
+          fair_min_milli = geti "fair_min_milli";
+          fair_mean_milli = geti "fair_mean_milli";
+          fair_max_milli = geti "fair_max_milli";
         }
   | _ -> None
 
@@ -571,6 +705,31 @@ let check ?(slack_pct = 10) ?(perf_slack_pct = 5) ~path () =
                 c.scenario (config_name c.config) c.perf_milli f.perf_milli
                 c.perf_unit perf_slack_pct)
       committed;
+    (* fleet scaling gate: the 64-instance cell must keep scaling on
+       the shared worker pool (>= 8x the single-instance aggregate
+       through the same virtual switch) and stay fair (max/min <= 2x
+       across instances). Skipped only for files predating the axis. *)
+    (if List.exists (fun c -> c.scenario = "e1000-fleet") committed then
+       let cell n =
+         List.find_opt
+           (fun s -> s.scenario = "e1000-fleet" && s.config.instances = n)
+           fresh
+       in
+       match (cell 1, cell 64) with
+       | Some one, Some many ->
+           if many.perf_milli < 8 * one.perf_milli then
+             complain
+               "bench-check: e1000-fleet: 64-instance aggregate %d is < 8x \
+                the single-instance %d milliMb/s"
+               many.perf_milli one.perf_milli;
+           if
+             many.fair_min_milli > 0
+             && many.fair_max_milli > 2 * many.fair_min_milli
+           then
+             complain
+               "bench-check: e1000-fleet i64: fairness spread %d/%d > 2x"
+               many.fair_max_milli many.fair_min_milli
+       | _ -> complain "bench-check: e1000-fleet cells missing from sweep");
     if !ok then
       Printf.printf
         "bench-check: %d samples within %d%% (perf %d%%) of %s (duration %dms)\n"

@@ -1,16 +1,21 @@
 (** The concurrent-XPC / batched-XPC / delta-marshaling experiment: the
     crossing, byte and virtual-time trajectory behind [BENCH_xpc.json].
 
-    Five decaf-build scenarios (e1000 netperf send and recv, 8139too
-    netperf send, psmouse move-and-click, ens1371 mpg123) are each run
-    under combinations of {!Decaf_xpc.Batch} batching,
+    Five single-instance decaf-build scenarios (e1000 netperf send and
+    recv, 8139too netperf send, psmouse move-and-click, ens1371 mpg123)
+    are each run under combinations of {!Decaf_xpc.Batch} batching,
     {!Decaf_xpc.Marshal_plan} delta marshaling and the
     {!Decaf_xpc.Dispatch} worker count. Each run records the
     whole-lifetime (insmod through rmmod) {!Decaf_xpc.Channel.snapshot}
     counters, the batch-queue statistics, the dispatch-lane critical
     path, combolock contention, object-tracker shard traffic and the
     workload's own cost-adjusted figure of merit, so the optimizations
-    are only credited when throughput holds. *)
+    are only credited when throughput holds.
+
+    A sixth scenario, [e1000-fleet], sweeps the instance axis instead:
+    1, 16, 64 and 256 e1000 bindings of one module, driven concurrently
+    by {!Decaf_workloads.Vswitch} on the best parallel configuration,
+    reporting aggregate goodput and per-instance fairness. *)
 
 type config = {
   batching : bool;
@@ -21,12 +26,15 @@ type config = {
       (** route high-rate notify paths through the {!Decaf_xpc.Ring}
           shared-slot ring (doorbell crossings only) instead of posting
           each event through {!Decaf_xpc.Batch} *)
+  instances : int;
+      (** concurrent device bindings of the driver module (1 everywhere
+          except the fleet scenario) *)
 }
 
 val config_name : config -> string
 (** E.g. ["batch+delta+w4"]; guard-off points get a ["+noguard"]
     suffix (guard on is the default and unmarked); ring points a
-    ["+ring"] suffix. *)
+    ["+ring"] suffix; multi-instance points a ["+iN"] suffix. *)
 
 val configs : config list
 (** The eleven measured combinations, in file order: the four historical
@@ -37,7 +45,13 @@ val configs : config list
     workers with {!Decaf_xpc.Guard} per-field validation off, pricing
     the validation layer under the same regression gate — and finally
     the ring axis: batch+delta at 1 and 4 workers with the shared ring
-    carrying the notify traffic. *)
+    carrying the notify traffic. All single-instance; the fleet axis is
+    {!fleet_configs}. *)
+
+val fleet_configs : config list
+(** The instance axis: batch+delta+w4+ring (guard on) at 1, 16, 64 and
+    256 concurrent e1000 bindings — the per-scenario configuration list
+    of the [e1000-fleet] scenario. *)
 
 type sample = {
   scenario : string;
@@ -60,6 +74,11 @@ type sample = {
   shards_used : int;  (** shards that saw at least one lookup *)
   perf_milli : int;  (** workload figure of merit, fixed-point x1000 *)
   perf_unit : string;
+  fair_min_milli : int;
+      (** fleet scenario only: slowest instance's goodput, milli-Mb/s
+          (0 elsewhere) *)
+  fair_mean_milli : int;
+  fair_max_milli : int;  (** fastest instance; max/min is the spread *)
 }
 
 val perf : sample -> float
@@ -77,25 +96,35 @@ val rtl8139_net : config -> duration_ns:int -> sample
 val psmouse : config -> duration_ns:int -> sample
 val ens1371 : config -> duration_ns:int -> sample
 
+val e1000_fleet : config -> duration_ns:int -> sample
+(** [config.instances] e1000 devices on the bus, each bound as its own
+    registry instance of the one loaded module, all streaming through
+    {!Decaf_workloads.Vswitch}; [perf] is the aggregate goodput and the
+    [fair_*] fields the per-instance spread. *)
+
 val scenario_names : string list
-(** The five scenario names, matrix order. *)
+(** The six scenario names, matrix order. *)
 
 val config_names : unit -> string list
-(** [config_name] of each element of {!configs}, file order. *)
+(** [config_name] of every measured configuration ({!configs} and
+    {!fleet_configs}), deduplicated. *)
 
 val measure :
   ?duration_ns:int -> ?scenario:string -> ?config:string -> unit -> sample list
-(** The full 5-scenario x 11-config matrix (psmouse stretched to at
-    least 2 s so the mouse produces traffic). [?scenario] and [?config]
-    restrict the run to matching rows/columns (exact match against
-    {!scenario_names} / {!config_names}), so a single matrix cell can be
-    reproduced locally; unknown names simply select nothing. *)
+(** The full matrix: 5 single-instance scenarios x 11 configs (psmouse
+    stretched to at least 2 s so the mouse produces traffic) plus the
+    [e1000-fleet] scenario over {!fleet_configs}. [?scenario] and
+    [?config] restrict the run to matching rows/columns (exact match
+    against {!scenario_names} / {!config_names}), so a single matrix
+    cell can be reproduced locally; unknown names simply select
+    nothing. *)
 
 val render : sample list -> string
 (** Per-sample table plus reduction summaries per scenario:
     batch+delta vs nobatch+full (serial), 4 workers vs 1 under
-    batch+delta, guard pricing, and ring vs batch+delta (flushes
-    collapsing into doorbells). *)
+    batch+delta, guard pricing, ring vs batch+delta (flushes collapsing
+    into doorbells), and the fleet axis (aggregate goodput plus
+    fairness spread per instance count). *)
 
 val to_json : duration_ns:int -> sample list -> string
 (** One JSON object per line (header line carries [duration_ns]);
@@ -113,4 +142,7 @@ val check : ?slack_pct:int -> ?perf_slack_pct:int -> path:string -> unit -> bool
     (returns [false], printing why) if any committed (scenario, config)
     point's crossings or bytes regressed by more than [slack_pct]
     percent (default 10), its [perf_milli] dropped by more than
-    [perf_slack_pct] percent (default 5), or it disappeared. *)
+    [perf_slack_pct] percent (default 5), or it disappeared. Files with
+    the fleet axis additionally gate fleet scaling: the fresh
+    64-instance aggregate must be at least 8x the fresh single-instance
+    cell, with a fairness spread (max/min) of at most 2x. *)

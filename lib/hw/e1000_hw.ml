@@ -13,6 +13,7 @@ let reg_rctl = 0x0100
 let reg_tctl = 0x0400
 let reg_tdh = 0x3810
 let reg_tdt = 0x3818
+let reg_itr = 0x00c4
 let reg_rdh = 0x2810
 let reg_rdt = 0x2818
 let ctrl_rst = 1 lsl 26
@@ -54,9 +55,30 @@ type t = {
   mutable mdic : int;
   mutable tx_count : int;
   mutable rx_count : int;
+  mutable itr : int;  (** ITR register, 256 ns units; 0 = no throttling *)
+  mutable next_irq_at : int;  (** earliest virtual time the next irq may fire *)
+  mutable itr_armed : bool;  (** a deferred-irq timer is outstanding *)
 }
 
-let update_irq t = if t.icr land t.ims <> 0 then K.Irq.raise_irq t.irq_line
+(* Interrupt throttling, as on the real part: ITR holds the minimum
+   inter-interrupt interval in 256 ns units. Causes accumulate in ICR
+   regardless; the line is only raised when the window has elapsed,
+   otherwise one timer is armed for the window's end and delivers every
+   cause that piled up meanwhile — hardware-side coalescing. *)
+let rec update_irq t =
+  if t.icr land t.ims <> 0 then
+    let now = K.Clock.now () in
+    if t.itr = 0 || now >= t.next_irq_at then begin
+      t.next_irq_at <- now + (t.itr * 256);
+      K.Irq.raise_irq t.irq_line
+    end
+    else if not t.itr_armed then begin
+      t.itr_armed <- true;
+      ignore
+        (K.Clock.after (t.next_irq_at - now) (fun () ->
+             t.itr_armed <- false;
+             update_irq t))
+    end
 
 let assert_cause t bits =
   t.icr <- t.icr lor bits;
@@ -73,6 +95,8 @@ let do_reset t =
   t.inflight <- 0;
   t.rdh <- 0;
   t.rdt <- 0;
+  t.itr <- 0;
+  t.next_irq_at <- 0;
   Queue.clear t.tx_staged;
   Queue.clear t.rx_fifo
 
@@ -123,6 +147,7 @@ let read t off (_w : Io.width) =
       t.icr <- 0;
       v
   | _ when off = reg_ims -> t.ims
+  | _ when off = reg_itr -> t.itr
   | _ when off = reg_rctl -> t.rctl
   | _ when off = reg_tctl -> t.tctl
   | _ when off = reg_tdh -> t.tdh
@@ -142,6 +167,7 @@ let write t off (_w : Io.width) v =
       t.ims <- t.ims lor v;
       update_irq t
   | _ when off = reg_imc -> t.ims <- t.ims land lnot v
+  | _ when off = reg_itr -> t.itr <- v land 0xffff
   | _ when off = reg_icr -> t.icr <- t.icr land lnot v
   | _ when off = reg_rctl -> t.rctl <- v
   | _ when off = reg_tctl -> t.tctl <- v
@@ -189,6 +215,9 @@ let create ~mmio_base ~irq ~device_id ~mac ~link =
       mdic = 0;
       tx_count = 0;
       rx_count = 0;
+      itr = 0;
+      next_irq_at = 0;
+      itr_armed = false;
     }
   in
   t.region <-

@@ -23,6 +23,13 @@ val reg_rctl : int
 val reg_tctl : int
 val reg_tdh : int
 val reg_tdt : int
+
+val reg_itr : int
+(** Interrupt throttling register: minimum inter-interrupt interval in
+    256 ns units (0 disables throttling, as after reset). Causes keep
+    accumulating in ICR while the window is closed and are delivered by
+    one coalesced interrupt when it opens. *)
+
 val reg_rdh : int
 val reg_rdt : int
 

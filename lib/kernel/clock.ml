@@ -54,6 +54,8 @@ let consume ns =
         remaining := 0
   done
 
+let scheduled () = !seq
+
 let at t f =
   incr seq;
   let key = (max t !time, !seq) in

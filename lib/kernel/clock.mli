@@ -36,6 +36,9 @@ val cancel : event_id -> unit
 val pending : event_id -> bool
 (** Whether the event is scheduled and not yet fired or cancelled. *)
 
+val scheduled : unit -> int
+(** Total events ever scheduled since boot (diagnostic). *)
+
 val has_events : unit -> bool
 (** Whether any event is pending. *)
 

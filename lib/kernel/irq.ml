@@ -1,15 +1,35 @@
-let nr_irqs = 32
+(* Sized like an MSI vector space rather than a legacy PIC: a fleet run
+   binds hundreds of PCI functions, each with its own interrupt line. *)
+let nr_irqs = 1024
 let retry_ns = 500
+
+(* Safety net for a line stuck behind a delivery window that no hook
+   ever closes; the backlog drain is the real wake, so this only has to
+   be rare enough not to matter. *)
+let fallback_ns = 100_000
 
 type line = {
   mutable handler : (string * (unit -> unit)) option;
   mutable disable_depth : int;
   mutable pending : bool;
   mutable delivered : int;
+  mutable queued : bool;  (* waiting in the blocked-line backlog *)
+  mutable retry_armed : bool;
+      (* a fallback retry event is outstanding: at most one per line,
+         or a fleet of devices asserting during long irq-masked windows
+         schedules one retry chain per assertion and the event queue
+         grows with traffic instead of with line count *)
 }
 
 let fresh_line () =
-  { handler = None; disable_depth = 0; pending = false; delivered = 0 }
+  {
+    handler = None;
+    disable_depth = 0;
+    pending = false;
+    delivered = 0;
+    queued = false;
+    retry_armed = false;
+  }
 
 let lines = Array.init nr_irqs (fun _ -> fresh_line ())
 let spurious_count = ref 0
@@ -28,7 +48,9 @@ let request_irq n ~name handler =
 let free_irq n =
   let l = check n in
   l.handler <- None;
-  l.pending <- false
+  l.pending <- false;
+  l.queued <- false;
+  l.retry_armed <- false
 
 let cpu_can_take_irq () = not (Sched.irqs_masked () || Sched.in_interrupt ())
 
@@ -45,6 +67,16 @@ let rec run_at_high_priority f =
         raise e)
   end
   else ignore (Clock.after retry_ns (fun () -> run_at_high_priority f))
+
+(* Lines that asserted while the CPU could not take an interrupt, in
+   arrival order. They wait silently — like an interrupt controller
+   holding lines high — and are delivered back-to-back the moment a
+   delivery window opens (the [Sched] irq-window hook fires on every
+   exit from interrupt context and irq unmask). A convoy of N pending
+   devices therefore costs N deliveries, not N^2 retry polls; a
+   long-period fallback timer covers only the windows no hook ever
+   closes. *)
+let backlog : int Queue.t = Queue.create ()
 
 let rec try_deliver n =
   let l = lines.(n) in
@@ -65,7 +97,30 @@ let rec try_deliver n =
           try_deliver n
       | None -> incr spurious_count
     end
-    else ignore (Clock.after retry_ns (fun () -> try_deliver n))
+    else begin
+      if not l.queued then begin
+        l.queued <- true;
+        Queue.push n backlog
+      end;
+      if not l.retry_armed then begin
+        l.retry_armed <- true;
+        ignore
+          (Clock.after fallback_ns (fun () ->
+               l.retry_armed <- false;
+               try_deliver n))
+      end
+    end
+
+and drain_backlog () =
+  if cpu_can_take_irq () then
+    match Queue.take_opt backlog with
+    | Some n ->
+        lines.(n).queued <- false;
+        try_deliver n;
+        drain_backlog ()
+    | None -> ()
+
+let () = Sched.set_irq_window_hook drain_backlog
 
 let raise_irq n =
   let l = check n in
@@ -90,4 +145,5 @@ let spurious () = !spurious_count
 
 let reset () =
   Array.iteri (fun i _ -> lines.(i) <- fresh_line ()) lines;
+  Queue.clear backlog;
   spurious_count := 0

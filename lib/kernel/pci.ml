@@ -102,6 +102,22 @@ let remove_device dev =
   unbind dev;
   bus := List.filter (fun d -> d != dev) !bus
 
+(* Re-offer unbound devices to every registered driver — the hook a
+   driver module uses to pick up an additional device after its initial
+   registration pass (multi-instance insmod). With [slot], only that
+   device is offered, so a fleet bind stays O(drivers), not O(bus). *)
+let rescan ?slot () =
+  List.iter
+    (fun dev ->
+      if slot = None || slot = Some dev.slot then
+        List.iter (fun drv -> try_bind drv dev) !drivers)
+    !bus
+
+let detach ~slot =
+  match List.find_opt (fun d -> d.slot = slot) !bus with
+  | Some dev -> unbind dev
+  | None -> ()
+
 let register_driver ~name ~ids ~probe ~remove =
   if List.exists (fun d -> d.name = name) !drivers then
     Panic.bug "pci: driver %s already registered" name;

@@ -37,6 +37,16 @@ val register_driver :
     on the bus. A probe returning [Error errno] leaves the device
     unbound. *)
 
+val rescan : ?slot:string -> unit -> unit
+(** Probe every registered driver against every still-unbound device —
+    how a driver module already on the bus binds one more device
+    (multi-instance insmod). [slot] restricts the scan to one device. *)
+
+val detach : slot:string -> unit
+(** Unbind (calling the driver's [remove]) the device in [slot] without
+    unplugging it — the per-instance rmmod path. No-op when the slot is
+    empty or unbound. *)
+
 val unregister_driver : string -> unit
 (** Unbind (calling [remove]) from every device bound to the driver. *)
 

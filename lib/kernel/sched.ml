@@ -20,19 +20,27 @@ let current_name () = !cur.name
 let current_tid () = !cur.tid
 let in_interrupt () = !irq_depth > 0
 let enter_interrupt () = incr irq_depth
+let irq_mask = ref 0
+
+(* Invoked whenever the CPU becomes able to take an interrupt again
+   (leaves interrupt context, restores the irq mask): the interrupt
+   layer registers a drain of its pending-line backlog here, so blocked
+   lines wait silently instead of polling. *)
+let irq_window_hook = ref (fun () -> ())
+let set_irq_window_hook f = irq_window_hook := f
 
 let exit_interrupt () =
   if !irq_depth = 0 then Panic.bug "Sched.exit_interrupt: not in interrupt";
-  decr irq_depth
+  decr irq_depth;
+  if !irq_depth = 0 && !irq_mask = 0 then !irq_window_hook ()
 
 let spin_depth () = !spins
-
-let irq_mask = ref 0
 let local_irq_save () = incr irq_mask
 
 let local_irq_restore () =
   if !irq_mask = 0 then Panic.bug "Sched.local_irq_restore: not masked";
-  decr irq_mask
+  decr irq_mask;
+  if !irq_mask = 0 && !irq_depth = 0 then !irq_window_hook ()
 
 let irqs_masked () = !irq_mask > 0
 let spin_acquire () = incr spins

@@ -45,6 +45,13 @@ val enter_interrupt : unit -> unit
 
 val exit_interrupt : unit -> unit
 
+val set_irq_window_hook : (unit -> unit) -> unit
+(** Register the callback run whenever the CPU becomes able to take an
+    interrupt again (leaves interrupt context with irqs unmasked, or
+    unmasks with no handler running). {!Irq} hangs its blocked-line
+    backlog drain here, so pending lines are delivered the moment a
+    window opens instead of polling for one. *)
+
 val spin_depth : unit -> int
 (** Number of spinlocks held on this CPU; blocking is forbidden when
     non-zero. *)

@@ -1,0 +1,25 @@
+(** A virtual switch driving a fleet of NIC instances: one netperf-style
+    bulk TX flow per port, all concurrent, paced by clock events rather
+    than scheduler threads so a 64..256-port fleet measures the drivers
+    and the XPC layer, not context-switch overhead. *)
+
+type port = { netdev : Decaf_kernel.Netcore.t; link : Decaf_hw.Link.t }
+
+type result = {
+  aggregate_mbps : float;  (** sum of per-port wire goodput *)
+  min_mbps : float;  (** slowest port — fairness floor *)
+  mean_mbps : float;
+  max_mbps : float;  (** fastest port; max/min is the fairness spread *)
+  packets : int;  (** frames on the wire, all ports *)
+  elapsed_ns : int;
+  per_port_mbps : float list;  (** in [ports] order *)
+}
+
+val run :
+  ports:port list -> duration_ns:int -> msg_bytes:int -> result
+(** Stream messages out of every port for the given virtual duration.
+    Runs in the calling thread (which sleeps while the event chains do
+    the work). A port whose netdev goes down mid-run (hotplug churn)
+    simply stops contributing. *)
+
+val pp : Format.formatter -> result -> unit

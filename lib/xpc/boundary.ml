@@ -50,6 +50,25 @@ let dropped_by_scope : (string, int) Hashtbl.t = Hashtbl.create 8
 let dropped_for name =
   Option.value ~default:0 (Hashtbl.find_opt dropped_by_scope name)
 
+(* Per-driver rollups over the binding-id scheme: instance 0 of driver
+   "e1000" is scoped under the bare name, instance k under "e1000#k", so
+   summing the exact key plus every "name#"-prefixed key recovers the
+   whole fleet's figure without double-counting any scope. *)
+let rollup tbl name =
+  let prefix = name ^ "#" in
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun key n acc ->
+      if
+        key = name
+        || String.length key > plen && String.sub key 0 plen = prefix
+      then acc + n
+      else acc)
+    tbl 0
+
+let rejected_for_driver name = rollup by_scope name
+let dropped_for_driver name = rollup dropped_by_scope name
+
 let note_check () = totals.checks <- totals.checks + 1
 
 let note_rejected () =

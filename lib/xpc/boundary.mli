@@ -38,6 +38,15 @@ val dropped_for : string -> int
     report through {!note_dropped}, so the per-scope figures reconcile
     against [totals.dropped]. *)
 
+val rejected_for_driver : string -> int
+(** Rollup across every binding of a driver: the exact scope [name]
+    (instance 0) plus every scope of the form ["name#k"] (instance
+    [k > 0]). Equals {!rejected_for} while a driver has one binding. *)
+
+val dropped_for_driver : string -> int
+(** Drop rollup with the same binding-id convention as
+    {!rejected_for_driver}. *)
+
 val note_check : unit -> unit
 val note_rejected : unit -> unit
 

@@ -1,0 +1,277 @@
+(* Multi-instance fleets through the registry: same-driver double-bind
+   isolation (FSM, suspend/resume, surprise removal), per-instance
+   module parameters, fleet-scale status rendering, and hotplug churn
+   under virtual-switch load with ring-conservation and object-tracker
+   leak checks. *)
+
+open Decaf_drivers
+module K = Decaf_kernel
+module Hw = Decaf_hw
+module Ring = Decaf_xpc.Ring
+module Batch = Decaf_xpc.Batch
+module Boundary = Decaf_xpc.Boundary
+module Objtracker = Decaf_xpc.Objtracker
+module Runtime = Decaf_runtime.Runtime
+module Scenario = Decaf_experiments.Scenario
+module Vswitch = Decaf_workloads.Vswitch
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let state_name id = Driver_core.lifecycle_name (Driver_core.state id)
+let slot_of i = Printf.sprintf "%02x:00.0" i
+let mac_of i =
+  (* raw 6-byte locally-administered MAC, unique per instance *)
+  Printf.sprintf "\x02\x00\x00\x00%c%c"
+    (Char.chr ((i lsr 8) land 0xff))
+    (Char.chr (i land 0xff))
+let mmio_of i = 0xe000_0000 + (i * 0x20000)
+
+let setup_fleet n =
+  List.init n (fun i ->
+      let link = Hw.Link.create ~rate_bps:1_000_000_000 () in
+      ignore
+        (E1000_drv.setup_device ~slot:(slot_of i) ~mmio_base:(mmio_of i)
+           ~irq:(32 + i) ~mac:(mac_of i) ~link ());
+      link)
+
+let bind_ok ?dev name =
+  match Driver_core.bind_device name ?dev ~mode:Driver_env.Decaf () with
+  | Ok id -> id
+  | Error rc -> Alcotest.failf "bind %s failed: %d" name rc
+
+let netdev_of i = Option.get (E1000_drv.netdev_at ~slot:(slot_of i))
+
+let open_ok nd =
+  match K.Netcore.open_dev nd with
+  | Ok () -> ()
+  | Error rc -> Alcotest.failf "open failed: %d" rc
+
+let tracker_entries () =
+  Objtracker.count (Runtime.kernel_tracker ())
+  + Objtracker.count (Runtime.java_tracker ())
+
+let pci_dev_at slot =
+  List.find (fun d -> K.Pci.slot d = slot) (K.Pci.devices ())
+
+let replug i =
+  K.Pci.add_device
+    (K.Pci.make_dev ~slot:(slot_of i) ~vendor:0x8086 ~device:0x100e
+       ~irq_line:(32 + i)
+       ~bars:[ { K.Pci.kind = K.Pci.Mmio_bar; base = mmio_of i; len = 0x20000 } ]
+       ())
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let ring_conserved () =
+  let s = Ring.snapshot () in
+  check "produced = consumed + rejected + discarded + pending"
+    s.Ring.produced
+    (s.Ring.consumed + s.Ring.rejected + s.Ring.discarded + Ring.pending ())
+
+(* --- double bind: FSM and datapath isolation --- *)
+
+let double_bind_isolated () =
+  Scenario.boot ();
+  let links = setup_fleet 2 in
+  let l0 = List.hd links in
+  Scenario.in_thread (fun () ->
+      let id0 = bind_ok ~dev:(slot_of 0) "e1000" in
+      let id1 = bind_ok ~dev:(slot_of 1) "e1000" in
+      check_str "instance 0 keeps the bare name" "e1000" id0;
+      check_str "instance 1 gets a fleet id" "e1000#1" id1;
+      Alcotest.(check (list string))
+        "instances_of lists both bindings" [ "e1000"; "e1000#1" ]
+        (Driver_core.instances_of "e1000");
+      check_str "i0 running" "running" (state_name id0);
+      check_str "i1 running" "running" (state_name id1);
+      (match Driver_core.suspend id1 with
+      | Ok () -> ()
+      | Error rc -> Alcotest.failf "suspend %s failed: %d" id1 rc);
+      check_str "i1 suspended" "suspended" (state_name id1);
+      check_str "i0 unaffected by sibling suspend" "running" (state_name id0);
+      let nd0 = netdev_of 0 in
+      open_ok nd0;
+      let before = Hw.Link.tx_frames l0 in
+      ignore
+        (Decaf_workloads.Netperf.send ~netdev:nd0 ~link:l0
+           ~duration_ns:1_000_000 ~msg_bytes:1500);
+      check_bool "i0 datapath live while i1 suspended" true
+        (Hw.Link.tx_frames l0 > before);
+      (match Driver_core.resume id1 with
+      | Ok () -> ()
+      | Error rc -> Alcotest.failf "resume %s failed: %d" id1 rc);
+      check_str "i1 resumed" "running" (state_name id1);
+      Driver_core.rmmod id1;
+      check_str "i1 removed" "removed" (state_name id1);
+      check_str "i0 survives sibling rmmod" "running" (state_name id0);
+      Driver_core.rmmod id0)
+
+(* --- surprise removal of instance k leaves j untouched --- *)
+
+let surprise_removal_isolated () =
+  Scenario.boot ();
+  let links = setup_fleet 3 in
+  Scenario.in_thread (fun () ->
+      let base = tracker_entries () in
+      let ids = List.init 3 (fun i -> bind_ok ~dev:(slot_of i) "e1000") in
+      let id0 = List.nth ids 0
+      and id1 = List.nth ids 1
+      and id2 = List.nth ids 2 in
+      let nd0 = netdev_of 0 in
+      open_ok nd0;
+      K.Pci.remove_device (pci_dev_at (slot_of 1));
+      check_str "ejected instance removed" "removed" (state_name id1);
+      check_str "i0 undisturbed" "running" (state_name id0);
+      check_str "i2 undisturbed" "running" (state_name id2);
+      let l0 = List.hd links in
+      let before = Hw.Link.tx_frames l0 in
+      ignore
+        (Decaf_workloads.Netperf.send ~netdev:nd0 ~link:l0
+           ~duration_ns:1_000_000 ~msg_bytes:1500);
+      check_bool "i0 datapath live after sibling ejection" true
+        (Hw.Link.tx_frames l0 > before);
+      (* the freed family slot is pinned to the device: replug re-probes
+         back into the same binding id *)
+      replug 1;
+      check_str "replug rebinds the freed binding" "running" (state_name id1);
+      List.iter Driver_core.rmmod [ id1; id2; id0 ];
+      check "no leaked tracker entries after fleet teardown" base
+        (tracker_entries ());
+      ring_conserved ())
+
+(* --- per-instance module-parameter snapshots --- *)
+
+let per_instance_params () =
+  Scenario.boot ();
+  ignore (setup_fleet 2);
+  Scenario.in_thread (fun () ->
+      E1000_drv.set_module_params ~tx_descriptors:1024 ~interrupt_throttle:8000
+        ();
+      let insmod_at i =
+        match E1000_drv.insmod ~dev:(slot_of i) (Driver_env.decaf ()) with
+        | Ok t -> t
+        | Error rc -> Alcotest.failf "insmod instance %d failed: %d" i rc
+      in
+      let t0 = insmod_at 0 in
+      E1000_drv.set_module_params ~tx_descriptors:512 ~interrupt_throttle:3 ();
+      let t1 = insmod_at 1 in
+      let p0 = E1000_drv.params t0 and p1 = E1000_drv.params t1 in
+      check "i0 keeps its TxDescriptors" 1024 p0.E1000_drv.p_tx_descriptors;
+      check "i1 snapshot is independent" 512 p1.E1000_drv.p_tx_descriptors;
+      check "i0 InterruptThrottleRate" 8000 p0.E1000_drv.p_interrupt_throttle;
+      check "i1 InterruptThrottleRate" 3 p1.E1000_drv.p_interrupt_throttle;
+      E1000_drv.rmmod t1;
+      (* i0's snapshot survives the sibling unload *)
+      check "i0 params survive sibling rmmod" 1024
+        (E1000_drv.params t0).E1000_drv.p_tx_descriptors;
+      E1000_drv.rmmod t0;
+      E1000_drv.reset_module_params ())
+
+(* --- decafctl status at fleet scale --- *)
+
+let fleet_status () =
+  Scenario.boot ();
+  ignore (setup_fleet 8);
+  Scenario.in_thread (fun () ->
+      let ids = List.init 8 (fun i -> bind_ok ~dev:(slot_of i) "e1000") in
+      let snaps = Driver_core.snapshots () in
+      let fleet =
+        List.filter (fun s -> s.Driver_core.s_driver = "e1000") snaps
+      in
+      check "one row per binding under the --driver filter" 8
+        (List.length fleet);
+      Alcotest.(check (list string))
+        "rows stable-sorted by instance" ids
+        (List.map (fun s -> s.Driver_core.s_binding) fleet);
+      let rendered = Driver_core.render_status snaps in
+      check_bool "rendered status has the aggregate TOTAL row" true
+        (contains rendered "TOTAL");
+      check_bool "fleet ids appear in rendered status" true
+        (contains rendered "e1000#7");
+      let json = Decaf_experiments.Status.render_json snaps in
+      check_bool "json rows carry the binding id" true
+        (contains json "\"id\":\"e1000#3\"");
+      let summed =
+        List.fold_left (fun a s -> a + s.Driver_core.s_rejections) 0 fleet
+      in
+      check "per-driver boundary rollup sums the instances" summed
+        (Boundary.rejected_for_driver "e1000");
+      List.iter Driver_core.rmmod (List.rev ids))
+
+(* --- hotplug churn under switch load: conservation and leaks --- *)
+
+let churn_keeps_invariants () =
+  Scenario.boot ();
+  let n = 8 in
+  let links = setup_fleet n in
+  Scenario.in_thread (fun () ->
+      let base = tracker_entries () in
+      let ids = List.init n (fun i -> bind_ok ~dev:(slot_of i) "e1000") in
+      let ports =
+        List.mapi
+          (fun i link ->
+            let nd = netdev_of i in
+            open_ok nd;
+            { Vswitch.netdev = nd; link })
+          links
+      in
+      (* deterministic LCG so the churn schedule is reproducible *)
+      let seed = ref 0x2decaf in
+      let rand m =
+        seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+        !seed mod m
+      in
+      let churns = ref 0 in
+      let churn_done = ref false in
+      ignore
+        (K.Sched.spawn ~name:"churner" (fun () ->
+             for _ = 1 to 4 do
+               K.Sched.sleep_ns (3_000_000 + rand 4_000_000);
+               let k = 1 + rand (n - 1) in
+               if state_name (Printf.sprintf "e1000#%d" k) = "running" then begin
+                 K.Pci.remove_device (pci_dev_at (slot_of k));
+                 K.Sched.sleep_ns 500_000;
+                 replug k;
+                 incr churns
+               end
+             done;
+             churn_done := true));
+      let r = Vswitch.run ~ports ~duration_ns:40_000_000 ~msg_bytes:1500 in
+      (* the churner may still be mid-drain when the switch run ends;
+         give it bounded time to finish before tearing the fleet down *)
+      let waited = ref 0 in
+      while (not !churn_done) && !waited < 200 do
+        K.Sched.sleep_ns 1_000_000;
+        incr waited
+      done;
+      check_bool "churn schedule completed" true !churn_done;
+      check_bool "at least one eject/replug cycle ran" true (!churns > 0);
+      check_bool "fleet still passing traffic through churn" true
+        (r.Vswitch.aggregate_mbps > 0.);
+      Batch.drain ();
+      List.iter
+        (fun id -> if state_name id <> "removed" then Driver_core.rmmod id)
+        ids;
+      ring_conserved ();
+      check "no leaked tracker entries after churn" base (tracker_entries ()))
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "fleet",
+        [
+          Alcotest.test_case "double bind is isolated" `Quick
+            double_bind_isolated;
+          Alcotest.test_case "surprise removal spares siblings" `Quick
+            surprise_removal_isolated;
+          Alcotest.test_case "per-instance params" `Quick per_instance_params;
+          Alcotest.test_case "status at fleet scale" `Quick fleet_status;
+          Alcotest.test_case "churn keeps invariants" `Quick
+            churn_keeps_invariants;
+        ] );
+    ]

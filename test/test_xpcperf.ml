@@ -21,6 +21,7 @@ let test_netperf_e1000_gain () =
         workers = w1;
         guard = true;
         ring = false;
+        instances = 1;
       }
       ~duration_ns
   in
@@ -32,6 +33,7 @@ let test_netperf_e1000_gain () =
         workers = w1;
         guard = true;
         ring = false;
+        instances = 1;
       }
       ~duration_ns
   in
@@ -69,6 +71,7 @@ let test_netperf_e1000_workers () =
         workers;
         guard = true;
         ring = false;
+        instances = 1;
       }
       ~duration_ns
   in
@@ -128,6 +131,7 @@ let test_netperf_e1000_ring () =
         workers = w1;
         guard = true;
         ring;
+        instances = 1;
       }
       ~duration_ns
   in
@@ -186,6 +190,7 @@ let test_json_roundtrip () =
           workers;
           guard = workers < 4;
           ring = workers >= 4;
+          instances = 1;
         };
       crossings = 123;
       c_java = 45;
@@ -203,6 +208,9 @@ let test_json_roundtrip () =
       shards_used = 5;
       perf_milli = 987_654;
       perf_unit = "Mb/s";
+      fair_min_milli = 0;
+      fair_mean_milli = 0;
+      fair_max_milli = 0;
     }
   in
   let samples =
@@ -233,7 +241,9 @@ let test_json_pre_worker_compat () =
       Alcotest.(check int) "missing counters default to 0" 0
         s.E.Xpcperf.xpc_ns;
       Alcotest.(check int) "missing doorbells default to 0" 0
-        s.E.Xpcperf.doorbells
+        s.E.Xpcperf.doorbells;
+      Alcotest.(check int) "missing instances default to 1" 1
+        s.E.Xpcperf.config.instances
   | _ -> Alcotest.fail "pre-worker line did not parse as one sample"
 
 let () =
