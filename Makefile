@@ -8,9 +8,17 @@ test:
 
 # The whole gate in one shot: compile, run the tier-1 test suite, hold
 # the driver corpus to the static checks, run the hostile-driver
-# campaign against its acceptance gate, and verify the XPC fast path
-# against the committed trajectory.
-check: build test lint campaign-malicious bench-check
+# campaign against its acceptance gate, verify the XPC fast path
+# against the committed trajectory, and explore the decaf-check
+# episode catalog at full depth.
+check: build test lint campaign-malicious bench-check explore
+
+# Exhaustive schedule exploration (DPOR) of the decaf-check episode
+# catalog at full depth, with the dynamic lock-acquisition order and
+# the static/dynamic cross-check; fails on any counterexample. The
+# reduced-depth pass runs inside `dune runtest` as @check-smoke.
+explore:
+	dune exec bin/decafctl.exe -- explore --lock-order --lock-diff
 
 # The fault-injection campaign (buggy drivers: Table "no panics" row).
 campaign:
@@ -48,4 +56,4 @@ lint:
 clean:
 	dune clean
 
-.PHONY: all build test check bench-check bench-json bench lint clean
+.PHONY: all build test check bench-check bench-json bench lint explore clean

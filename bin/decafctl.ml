@@ -89,11 +89,85 @@ let status_cmd =
           crossing and supervisor snapshot")
     Term.(const status $ driver_arg $ json_arg)
 
+(* ---- explore: the decaf-check exploration harness ---- *)
+
+let explore episode depth smoke json lock_order lock_diff =
+  let results =
+    try E.Exploration.run ?episode ?depth ~smoke ()
+    with Invalid_argument msg ->
+      Printf.eprintf "decafctl: %s\n" msg;
+      exit 1
+  in
+  if json then print_string (E.Exploration.render_json results)
+  else begin
+    print_string (E.Exploration.render results);
+    if lock_order then begin
+      print_newline ();
+      print_string (E.Exploration.render_lock_order results)
+    end;
+    if lock_diff then begin
+      print_newline ();
+      print_string (E.Exploration.render_lock_diff results)
+    end
+  end;
+  let cxs =
+    List.exists
+      (fun r -> r.E.Exploration.x_report.Decaf_check.Explore.r_counterexamples <> [])
+      results
+  in
+  let conflicts = lock_diff && E.Exploration.has_conflicts results in
+  exit (if cxs || conflicts then 1 else 0)
+
+let episode_arg =
+  let doc =
+    Printf.sprintf "Explore a single episode (known: %s); the whole catalog \
+                    when omitted."
+      (String.concat ", " E.Exploration.episode_names)
+  in
+  Arg.(value & opt (some string) None & info [ "episode" ] ~docv:"EPISODE" ~doc)
+
+let depth_arg =
+  let doc = "Override the branching-depth bound for every episode." in
+  Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"DEPTH" ~doc)
+
+let smoke_arg =
+  let doc = "Use each episode's reduced smoke depth (fast CI run)." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let explore_json_arg =
+  let doc =
+    "Emit one JSON object per episode (stats, counterexamples, dynamic \
+     lock-order edges) instead of the table."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let lock_order_arg =
+  let doc = "Also print the dynamic lock-acquisition-order edges." in
+  Arg.(value & flag & info [ "lock-order" ] ~doc)
+
+let lock_diff_arg =
+  let doc =
+    "Also cross-check the dynamic lock order against decaf-lint's static \
+     acquisition-order edges; AB/BA conflicts fail the run."
+  in
+  Arg.(value & flag & info [ "lock-diff" ] ~doc)
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively explore the episode catalog's scheduling \
+          nondeterminism (DPOR) and report invariant violations with \
+          replayable counterexample traces")
+    Term.(
+      const explore $ episode_arg $ depth_arg $ smoke_arg $ explore_json_arg
+      $ lock_order_arg $ lock_diff_arg)
+
 let cmd =
   Cmd.group
     ~default:Term.(const run $ driver_arg $ seconds_arg)
     (Cmd.info "decafctl"
        ~doc:"Drive the decaf drivers through the unified driver model")
-    [ run_cmd; status_cmd ]
+    [ run_cmd; status_cmd; explore_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,61 @@
+(* Static vs. dynamic lock-acquisition-order cross-check.
+
+   decaf-lint derives acquisition-order edges from the legacy C sources
+   (lock-argument expressions of nested spin_lock calls); the explorer
+   records the order the running kernel actually acquires its locks in
+   (runtime tags like "combo:chkdev-A"). The two vocabularies only
+   partially overlap, so both sides are normalized to a bare lock name
+   before comparing: the runtime tag drops its "kind:" prefix, the C
+   expression keeps its final field/identifier segment. A CONFLICT is an
+   edge the static pass orders one way and the explorer observed the
+   other way — the AB/BA disagreement the cross-check exists to catch.
+   Edges seen by only one side are reported informationally; with
+   mostly-disjoint namespaces that is the common case, not a finding. *)
+
+type diff = {
+  agreements : (string * string) list;  (** same edge on both sides *)
+  conflicts : (string * string) list;
+      (** (a, b): a->b statically but b->a dynamically *)
+  static_only : (string * string) list;
+  dynamic_only : (string * string) list;
+}
+
+(* "combo:chkdev-A" -> "chkdev-A"; stamps are already stripped by the
+   invariant monitor before edges reach the graph. *)
+let norm_dynamic s =
+  match String.index_opt s ':' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+(* "&lp->tx_lock" / "adapter.stats_lock" / "lock" -> final segment *)
+let norm_static s =
+  let s =
+    if String.length s > 0 && s.[0] = '&' then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  let after i = String.sub s i (String.length s - i) in
+  let rec last_sep i best =
+    if i >= String.length s then best
+    else if s.[i] = '.' then last_sep (i + 1) (Some (i + 1))
+    else if i + 1 < String.length s && s.[i] = '-' && s.[i + 1] = '>' then
+      last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with Some i -> after i | None -> s
+
+let diff ~static ~dynamic =
+  let s =
+    List.sort_uniq compare
+      (List.map (fun (a, b) -> (norm_static a, norm_static b)) static)
+  in
+  let d =
+    List.sort_uniq compare
+      (List.map (fun (a, b) -> (norm_dynamic a, norm_dynamic b)) dynamic)
+  in
+  {
+    agreements = List.filter (fun e -> List.mem e d) s;
+    conflicts = List.filter (fun (a, b) -> List.mem (b, a) d) s;
+    static_only = List.filter (fun e -> not (List.mem e d)) s;
+    dynamic_only = List.filter (fun e -> not (List.mem e s)) d;
+  }

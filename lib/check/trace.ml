@@ -1,0 +1,81 @@
+(* Decision traces: the serialized identity of one explored schedule.
+
+   A schedule is the sequence of choices the exploration controller made
+   at each scheduling decision point. Choices are keyed by thread *name*
+   (plus a positional disambiguator for duplicates and the pseudo-key
+   "clock" for advancing the virtual clock), not by tid or queue index:
+   names are stable across re-executions and across unrelated code
+   churn, so a checked-in counterexample keeps replaying after the code
+   around it moves. *)
+
+module K = Decaf_kernel
+
+type key = string
+
+let clock_key = "clock"
+
+let keys_of_choices (choices : K.Sched.choice array) : key array =
+  let seen = Hashtbl.create 8 in
+  let out = Array.make (Array.length choices) clock_key in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | K.Sched.Advance_clock -> out.(i) <- clock_key
+      | K.Sched.Run_thread t ->
+          let n = K.Sched.thread_name t in
+          let k =
+            match Hashtbl.find_opt seen n with None -> 0 | Some k -> k
+          in
+          Hashtbl.replace seen n (k + 1);
+          out.(i) <- (if k = 0 then n else Printf.sprintf "%s@%d" n (k + 1)))
+    choices;
+  out
+
+(* Thread name a key stands for ("clock" stands for the event layer). *)
+let base_of_key k =
+  match String.index_opt k '@' with
+  | Some i -> String.sub k 0 i
+  | None -> k
+
+let to_string (t : key list) = String.concat "," t
+
+let of_string s =
+  if s = "" then [] else String.split_on_char ',' s
+
+(* --- access sets ------------------------------------------------------
+
+   Lock and queue identities carry a creation stamp ("#id") unique
+   within one execution but different across executions (the stamp
+   counter never resets). Exploration compares access sets recorded in
+   one execution against steps of another (sleep sets), so objects are
+   normalized by stripping a trailing "#digits" stamp. Two same-named
+   objects then alias — a conservative over-approximation of dependence
+   that can only cost extra exploration, never a missed interleaving. *)
+
+let strip_stamp s =
+  match String.rindex_opt s '#' with
+  | None -> s
+  | Some i ->
+      let n = String.length s in
+      let all_digits = ref (i + 1 < n) in
+      for j = i + 1 to n - 1 do
+        match s.[j] with '0' .. '9' -> () | _ -> all_digits := false
+      done;
+      if !all_digits then String.sub s 0 i else s
+
+let norm_obj (o : K.Ktrace.obj) : K.Ktrace.obj =
+  match o with
+  | K.Ktrace.Lock s -> K.Ktrace.Lock (strip_stamp s)
+  | K.Ktrace.Queue s -> K.Ktrace.Queue (strip_stamp s)
+  | (K.Ktrace.Var _ | K.Ktrace.Irq_line _) as o -> o
+
+type acc = K.Ktrace.obj * K.Ktrace.access
+
+let acc_name ((o, a) : acc) =
+  K.Ktrace.obj_name o ^ "/" ^ K.Ktrace.access_name a
+
+let dependent_acc ((o1, a1) : acc) ((o2, a2) : acc) =
+  o1 = o2 && K.Ktrace.dependent_access a1 a2
+
+let dependent_sets (s1 : acc list) (s2 : acc list) =
+  List.exists (fun a -> List.exists (dependent_acc a) s2) s1

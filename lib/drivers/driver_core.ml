@@ -137,6 +137,11 @@ let allowed from_ to_ =
 let transition b to_ =
   if not (allowed b.state to_) then
     raise (Illegal_transition { driver = b.b_id; from_ = b.state; to_ });
+  (* A queue edge, not a Var: lifecycle legality is enforced right here
+     by the FSM, so the exploration harness only needs the dependency
+     (concurrent lifecycle ops on one binding do not commute), not a
+     lockset obligation the registry's cooperative callers never had. *)
+  K.Ktrace.note (K.Ktrace.Queue ("binding:" ^ b.b_id)) K.Ktrace.Signal;
   b.state <- to_
 
 let set_disabled b = if b.state <> Disabled then transition b Disabled
@@ -241,7 +246,13 @@ let bind b mode =
 
 let eject_binding b =
   drain_in_flight ();
-  unbind b
+  (* [drain_in_flight] blocks: a concurrent rmmod (or a second removal
+     event) may have torn this binding down while we slept, and
+     unbinding again would drive the FSM Removed -> Removed. Re-check
+     after every suspension point before acting on the stale check. *)
+  match b.state with
+  | Probed | Running | Suspended | Recovering | Disabled -> unbind b
+  | Unbound | Removed -> ()
 
 let handle_removed bus id =
   List.iter
@@ -427,9 +438,15 @@ let rmmod name =
   | s -> raise (Illegal_transition { driver = name; from_ = s; to_ = Removed }));
   (* deliver outstanding deferred notifications and ring slots before
      teardown so no deferred call outlives its driver *)
-  Xpc.Batch.drain ();
-  Xpc.Ring.drain_all ();
-  unbind b;
+  if not !K.Mutants.drop_unbind_drain then begin
+    Xpc.Batch.drain ();
+    Xpc.Ring.drain_all ()
+  end;
+  (* the drains block on flush workers: re-check that a concurrent
+     ejection did not already unbind while we waited *)
+  (match b.state with
+  | Running | Suspended | Disabled -> unbind b
+  | _ -> ());
   b.want <- None
 
 let eject name =

@@ -163,7 +163,7 @@ let connect env =
           env;
           phase = Init;
           byte_fifo = Queue.create ();
-          byte_ready = K.Sync.Waitq.create ();
+          byte_ready = K.Sync.Waitq.create ~name:"psmouse-byte" ();
           packet = [];
           packets = 0;
           device_id = -1;

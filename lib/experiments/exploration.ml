@@ -1,0 +1,207 @@
+(* The decaf-check exploration experiment: run the episode catalog
+   through the DPOR explorer and render the per-episode statistics
+   table, the counterexamples, the accumulated dynamic lock-acquisition
+   order, and the static/dynamic lock-order cross-check. *)
+
+module Check = Decaf_check
+module Explore = Check.Explore
+module Episodes = Check.Episodes
+module Invariants = Check.Invariants
+
+type result = {
+  x_depth : int;  (** branching-depth bound the exploration ran at *)
+  x_report : Explore.report;
+}
+
+let episode_names = List.map (fun e -> e.Explore.ep_name) Episodes.all
+
+let run ?episode ?depth ?(smoke = false) ?(minimize = true) () =
+  let eps =
+    match episode with
+    | None -> Episodes.all
+    | Some name -> (
+        match Episodes.find name with
+        | Some e -> [ e ]
+        | None ->
+            invalid_arg
+              (Printf.sprintf "unknown episode %s (known: %s)" name
+                 (String.concat ", " episode_names)))
+  in
+  List.map
+    (fun e ->
+      let d =
+        match depth with
+        | Some d -> d
+        | None -> if smoke then e.Explore.ep_smoke_depth else e.Explore.ep_depth
+      in
+      {
+        x_depth = d;
+        x_report = Explore.explore ~depth:d ~minimize_cx:minimize e;
+      })
+    eps
+
+(* --- text rendering --------------------------------------------------- *)
+
+let header =
+  Printf.sprintf "%-16s %5s %9s %7s %7s %6s %6s  %s" "episode" "depth"
+    "schedules" "pruned" "steps" "maxbr" "capped" "violations"
+
+let render_row { x_depth; x_report = r } =
+  let s = r.Explore.r_stats in
+  Printf.sprintf "%-16s %5d %9d %7d %7d %6d %6s  %d" r.Explore.r_episode
+    x_depth s.Explore.executions s.Explore.pruned s.Explore.steps
+    s.Explore.max_branching
+    (if s.Explore.capped then "yes" else "no")
+    (List.length r.Explore.r_counterexamples)
+
+let render_cx (cx : Explore.counterexample) =
+  Printf.sprintf "    %s\n      trace: %s\n      found: %s"
+    (Invariants.violation_to_string cx.Explore.cx_violation)
+    (if cx.Explore.cx_trace = "" then "(default schedule)"
+     else cx.Explore.cx_trace)
+    cx.Explore.cx_full_trace
+
+let render results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (render_row r);
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun cx ->
+          Buffer.add_string buf (render_cx cx);
+          Buffer.add_char buf '\n')
+        r.x_report.Explore.r_counterexamples)
+    results;
+  Buffer.contents buf
+
+let render_lock_order results =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let edges = r.x_report.Explore.r_lock_edges in
+      if edges <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%s:\n" r.x_report.Explore.r_episode);
+        List.iter
+          (fun (a, b) ->
+            Buffer.add_string buf (Printf.sprintf "  %s -> %s\n" a b))
+          edges
+      end)
+    results;
+  Buffer.contents buf
+
+(* --- JSON rendering ---------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json results =
+  let cx_json (cx : Explore.counterexample) =
+    Printf.sprintf
+      "{\"kind\":\"%s\",\"detail\":\"%s\",\"trace\":\"%s\",\"full_trace\":\"%s\"}"
+      (json_escape cx.Explore.cx_violation.Invariants.v_kind)
+      (json_escape cx.Explore.cx_violation.Invariants.v_detail)
+      (json_escape cx.Explore.cx_trace)
+      (json_escape cx.Explore.cx_full_trace)
+  in
+  let edge_json (a, b) =
+    Printf.sprintf "{\"outer\":\"%s\",\"inner\":\"%s\"}" (json_escape a)
+      (json_escape b)
+  in
+  let result_json { x_depth; x_report = r } =
+    let s = r.Explore.r_stats in
+    Printf.sprintf
+      "{\"episode\":\"%s\",\"depth\":%d,\"schedules\":%d,\"pruned\":%d,\"steps\":%d,\"max_branching\":%d,\"capped\":%b,\"counterexamples\":[%s],\"lock_order\":[%s]}"
+      (json_escape r.Explore.r_episode)
+      x_depth s.Explore.executions s.Explore.pruned s.Explore.steps
+      s.Explore.max_branching s.Explore.capped
+      (String.concat "," (List.map cx_json r.Explore.r_counterexamples))
+      (String.concat "," (List.map edge_json r.Explore.r_lock_edges))
+  in
+  Printf.sprintf "[%s]\n" (String.concat ",\n " (List.map result_json results))
+
+(* --- static/dynamic lock-order cross-check ----------------------------- *)
+
+(* Static acquisition-order edges from the bundled legacy drivers, via
+   the decaf-lint lock-identity pass. The namespaces are mostly
+   disjoint (C expressions vs. runtime lock tags), so the diff
+   normalizes both sides to bare lock names before comparing; agreement
+   is only meaningful where the names genuinely coincide, and the
+   static-only/dynamic-only sections are informational. *)
+let static_edges () =
+  List.concat_map
+    (fun (driver, (source, config)) ->
+      let out = Decaf_slicer.Slicer.slice ~source config in
+      List.map
+        (fun (a, b) -> (driver, a, b))
+        (Decaf_slicer.Lint.static_lock_order out.Decaf_slicer.Slicer.file))
+    [
+      ( "8139too",
+        (Decaf_drivers.Rtl8139_src.source, Decaf_drivers.Rtl8139_src.config) );
+      ("e1000", (Decaf_drivers.E1000_src.source, Decaf_drivers.E1000_src.config));
+      ( "ens1371",
+        (Decaf_drivers.Ens1371_src.source, Decaf_drivers.Ens1371_src.config) );
+      ( "uhci-hcd",
+        (Decaf_drivers.Uhci_src.source, Decaf_drivers.Uhci_src.config) );
+      ( "psmouse",
+        (Decaf_drivers.Psmouse_src.source, Decaf_drivers.Psmouse_src.config) );
+    ]
+
+let render_lock_diff results =
+  let static_raw = static_edges () in
+  let static = List.map (fun (_, a, b) -> (a, b)) static_raw in
+  let dynamic =
+    List.concat_map (fun r -> r.x_report.Explore.r_lock_edges) results
+  in
+  let d = Check.Lockorder.diff ~static ~dynamic in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "static edges (lint): %d across %d drivers\n"
+       (List.length static)
+       (List.length
+          (List.sort_uniq compare (List.map (fun (d, _, _) -> d) static_raw))));
+  List.iter
+    (fun (drv, a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  [%s] %s -> %s\n" drv a b))
+    static_raw;
+  Buffer.add_string buf
+    (Printf.sprintf "dynamic edges (explore): %d\n" (List.length dynamic));
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %s -> %s\n" a b))
+    (List.sort_uniq compare dynamic);
+  (match d.Check.Lockorder.conflicts with
+  | [] -> Buffer.add_string buf "conflicts: none\n"
+  | cs ->
+      Buffer.add_string buf
+        (Printf.sprintf "conflicts: %d\n" (List.length cs));
+      List.iter
+        (fun (a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  CONFLICT %s -> %s statically but %s -> %s dynamically\n" a b b
+               a))
+        cs);
+  Buffer.add_string buf
+    (Printf.sprintf "agreements: %d, static-only: %d, dynamic-only: %d\n"
+       (List.length d.Check.Lockorder.agreements)
+       (List.length d.Check.Lockorder.static_only)
+       (List.length d.Check.Lockorder.dynamic_only));
+  Buffer.contents buf
+
+let has_conflicts results =
+  let static = List.map (fun (_, a, b) -> (a, b)) (static_edges ()) in
+  let dynamic =
+    List.concat_map (fun r -> r.x_report.Explore.r_lock_edges) results
+  in
+  (Check.Lockorder.diff ~static ~dynamic).Check.Lockorder.conflicts <> []

@@ -1,0 +1,42 @@
+(** The decaf-check exploration experiment: drive the episode catalog
+    through the DPOR explorer ({!Decaf_check.Explore}) and render the
+    per-episode statistics, counterexamples, the dynamic
+    lock-acquisition order, and the static/dynamic lock-order
+    cross-check against decaf-lint. *)
+
+type result = {
+  x_depth : int;  (** branching-depth bound the exploration ran at *)
+  x_report : Decaf_check.Explore.report;
+}
+
+val episode_names : string list
+
+val run :
+  ?episode:string ->
+  ?depth:int ->
+  ?smoke:bool ->
+  ?minimize:bool ->
+  unit ->
+  result list
+(** Explore one episode (or the whole catalog). [smoke] selects each
+    episode's reduced smoke depth; an explicit [depth] overrides both.
+    Raises [Invalid_argument] on an unknown episode name. *)
+
+val render : result list -> string
+(** Statistics table, one row per episode, with any counterexamples
+    (violation, minimized replay trace, full discovery trace) under
+    their row. *)
+
+val render_json : result list -> string
+(** Machine-readable: one object per episode with stats,
+    counterexamples and the dynamic lock-order edges. *)
+
+val render_lock_order : result list -> string
+(** The accumulated dynamic lock-acquisition-order edges per episode. *)
+
+val render_lock_diff : result list -> string
+(** Static edges (decaf-lint over the bundled drivers) vs. dynamic
+    edges (exploration), with AB/BA conflicts flagged. *)
+
+val has_conflicts : result list -> bool
+(** True if the static/dynamic cross-check found an AB/BA conflict. *)

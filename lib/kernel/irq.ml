@@ -40,6 +40,7 @@ let check n =
 
 let request_irq n ~name handler =
   let l = check n in
+  Ktrace.note (Ktrace.Irq_line n) Ktrace.Write;
   (match l.handler with
   | Some (owner, _) -> Panic.bug "irq %d already claimed by %s" n owner
   | None -> ());
@@ -47,6 +48,7 @@ let request_irq n ~name handler =
 
 let free_irq n =
   let l = check n in
+  Ktrace.note (Ktrace.Irq_line n) Ktrace.Write;
   l.handler <- None;
   l.pending <- false;
   l.queued <- false;
@@ -86,6 +88,7 @@ let rec try_deliver n =
       match l.handler with
       | Some (_, handler) ->
           l.delivered <- l.delivered + 1;
+          Ktrace.note (Ktrace.Irq_line n) Ktrace.Wait;
           Sched.enter_interrupt ();
           Clock.consume Cost.current.irq_dispatch_ns;
           (match handler () with
@@ -124,6 +127,7 @@ let () = Sched.set_irq_window_hook drain_backlog
 
 let raise_irq n =
   let l = check n in
+  Ktrace.note (Ktrace.Irq_line n) Ktrace.Signal;
   if l.handler = None then incr spurious_count
   else begin
     l.pending <- true;
@@ -132,11 +136,13 @@ let raise_irq n =
 
 let disable_irq n =
   let l = check n in
+  Ktrace.note (Ktrace.Irq_line n) Ktrace.Write;
   l.disable_depth <- l.disable_depth + 1
 
 let enable_irq n =
   let l = check n in
   if l.disable_depth = 0 then Panic.bug "enable_irq %d: not disabled" n;
+  Ktrace.note (Ktrace.Irq_line n) Ktrace.Write;
   l.disable_depth <- l.disable_depth - 1;
   if l.disable_depth = 0 then try_deliver n
 

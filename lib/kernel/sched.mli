@@ -71,6 +71,26 @@ val assert_may_block : string -> unit
 (** Raise {!Would_block_in_atomic} if called in interrupt context or with
     a spinlock held. *)
 
+val thread_name : thread -> string
+val thread_tid : thread -> int
+
+type choice = Run_thread of thread | Advance_clock
+(** One option at a scheduling decision point: dispatch a runnable
+    thread, or advance the virtual clock to its next event (delivering
+    timers and interrupt retries). *)
+
+val set_controller : (choice array -> int) -> unit
+(** Route every scheduling decision through the given function. At each
+    iteration of {!run} it is shown the runnable threads in queue
+    arrival order, plus {!Advance_clock} as the last element whenever
+    the event queue is nonempty, and returns the index of the choice to
+    take; index 0 reproduces the uncontrolled FIFO schedule, a negative
+    return aborts the run. Installed by the systematic-exploration
+    harness ({!Decaf_check}); survives {!reset} so it keeps steering
+    across the per-execution reboot. *)
+
+val clear_controller : unit -> unit
+
 val run : ?until_ns:int -> unit -> unit
 (** Run the simulation: execute runnable threads, idling the clock forward
     when none are runnable, until there is nothing left to do or the clock

@@ -55,7 +55,7 @@ let new_pcm card ~buffer_bytes ops =
     buffer_bytes;
     mutex = Sync.Mutex.create ~name:"pcm" ();
     spin = Sync.Spinlock.create ~name:"pcm" ();
-    writers = Sync.Waitq.create ();
+    writers = Sync.Waitq.create ~name:"snd-writers" ();
     appl_pos = 0;
     hw_pos = 0;
     running = false;

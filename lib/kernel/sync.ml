@@ -1,41 +1,62 @@
 module Waitq = struct
-  type t = (unit -> unit) Queue.t
+  type t = { wq_tag : string; q : (unit -> unit) Queue.t }
 
-  let create () = Queue.create ()
+  let create ?(name = "waitq") () =
+    { wq_tag = Printf.sprintf "%s#%d" name (Ktrace.fresh_id ()); q = Queue.create () }
 
-  let wait q =
-    Sched.suspend ~register:(fun wake -> Queue.push wake q)
+  (* Two notes per wait: entry (ordering against a wake that would have
+     been lost had it come earlier) and resumption (the happens-before
+     edge from the wake that actually fired). *)
+  let wait t =
+    Ktrace.note (Ktrace.Queue t.wq_tag) Ktrace.Wait;
+    Sched.suspend ~register:(fun wake -> Queue.push wake t.q);
+    Ktrace.note (Ktrace.Queue t.wq_tag) Ktrace.Wait
 
-  let wake_one q =
-    match Queue.take_opt q with
+  let wake_one t =
+    Ktrace.note (Ktrace.Queue t.wq_tag) Ktrace.Signal;
+    match Queue.take_opt t.q with
     | Some wake ->
         wake ();
         true
     | None -> false
 
-  let wake_all q =
-    let n = Queue.length q in
-    Queue.iter (fun wake -> wake ()) q;
-    Queue.clear q;
+  let wake_all t =
+    Ktrace.note (Ktrace.Queue t.wq_tag) Ktrace.Signal;
+    let n = Queue.length t.q in
+    Queue.iter (fun wake -> wake ()) t.q;
+    Queue.clear t.q;
     n
 
-  let waiters = Queue.length
+  let waiters t = Queue.length t.q
 end
 
 module Spinlock = struct
-  type t = { name : string; mutable held : bool; mutable irqsave : bool }
+  type t = {
+    name : string;
+    tag : string;  (** trace identity: "spin:name#id" *)
+    mutable held : bool;
+    mutable irqsave : bool;
+  }
 
-  let create ?(name = "spinlock") () = { name; held = false; irqsave = false }
+  let create ?(name = "spinlock") () =
+    {
+      name;
+      tag = Printf.sprintf "spin:%s#%d" name (Ktrace.fresh_id ());
+      held = false;
+      irqsave = false;
+    }
 
   let lock l =
     if l.held then
       Panic.bug "spinlock %s: deadlock (already held on this CPU)" l.name;
     Sched.spin_acquire ();
     Clock.consume Cost.current.spinlock_ns;
-    l.held <- true
+    l.held <- true;
+    Ktrace.note (Ktrace.Lock l.tag) Ktrace.Acquire
 
   let unlock l =
     if not l.held then Panic.bug "spinlock %s: unlock while not held" l.name;
+    Ktrace.note (Ktrace.Lock l.tag) Ktrace.Release;
     l.held <- false;
     Sched.spin_release ()
 
@@ -65,12 +86,28 @@ module Spinlock = struct
 end
 
 module Semaphore = struct
-  type t = { name : string; mutable count : int; waitq : Waitq.t }
+  type t = {
+    name : string;
+    sem_tag : string;
+    mutable count : int;
+    waitq : Waitq.t;
+  }
 
-  let create ?(name = "sem") count = { name; count; waitq = Waitq.create () }
+  let create ?(name = "sem") count =
+    {
+      name;
+      sem_tag = Printf.sprintf "sem:%s#%d" name (Ktrace.fresh_id ());
+      count;
+      waitq = Waitq.create ~name ();
+    }
 
+  (* Semaphores trace as queue edges, not locks: a plain counting
+     semaphore is a synchronization channel, and the primitives built on
+     top (Mutex, Combolock) add their own Lock identity so the lockset
+     and lock-order checks see the logical lock, not its plumbing. *)
   let down s =
     Sched.assert_may_block ("down on semaphore " ^ s.name);
+    Ktrace.note (Ktrace.Queue s.sem_tag) Ktrace.Wait;
     Clock.consume Cost.current.semaphore_ns;
     while s.count = 0 do
       Waitq.wait s.waitq
@@ -78,6 +115,7 @@ module Semaphore = struct
     s.count <- s.count - 1
 
   let up s =
+    Ktrace.note (Ktrace.Queue s.sem_tag) Ktrace.Signal;
     s.count <- s.count + 1;
     ignore (Waitq.wake_one s.waitq)
 
@@ -85,21 +123,27 @@ module Semaphore = struct
 end
 
 module Mutex = struct
-  type t = { sem : Semaphore.t; mutable owner : string option }
+  type t = { sem : Semaphore.t; tag : string; mutable owner : string option }
 
   let create ?(name = "mutex") () =
-    { sem = Semaphore.create ~name 1; owner = None }
+    {
+      sem = Semaphore.create ~name 1;
+      tag = Printf.sprintf "mutex:%s#%d" name (Ktrace.fresh_id ());
+      owner = None;
+    }
 
   let lock m =
     if m.owner = Some (Sched.current_name ()) then
       Panic.bug "mutex %s: recursive lock by %s" m.sem.Semaphore.name
         (Sched.current_name ());
     Semaphore.down m.sem;
-    m.owner <- Some (Sched.current_name ())
+    m.owner <- Some (Sched.current_name ());
+    Ktrace.note (Ktrace.Lock m.tag) Ktrace.Acquire
 
   let unlock m =
     if m.owner = None then
       Panic.bug "mutex %s: unlock while not held" m.sem.Semaphore.name;
+    Ktrace.note (Ktrace.Lock m.tag) Ktrace.Release;
     m.owner <- None;
     Semaphore.up m.sem
 
@@ -151,6 +195,7 @@ module Combolock = struct
 
   type t = {
     name : string;
+    tag : string;  (** trace identity: "combo:name#id" *)
     sem : Semaphore.t;
     mutable holder : holder;
     mutable user_waiters : int;
@@ -196,6 +241,7 @@ module Combolock = struct
   let create ?(name = "combolock") () =
     {
       name;
+      tag = Printf.sprintf "combo:%s#%d" name (Ktrace.fresh_id ());
       sem = Semaphore.create ~name 1;
       holder = No_one;
       user_waiters = 0;
@@ -230,7 +276,8 @@ module Combolock = struct
         Clock.consume Cost.current.spinlock_ns;
         l.holder <- Kernel_spin;
         l.stats.spin_acquires <- l.stats.spin_acquires + 1;
-        totals_v.spin_acquires <- totals_v.spin_acquires + 1
+        totals_v.spin_acquires <- totals_v.spin_acquires + 1;
+        Ktrace.note (Ktrace.Lock l.tag) Ktrace.Acquire
     | Kernel_spin ->
         Panic.bug "combolock %s: kernel spin deadlock" l.name
     | No_one | Kernel_sem | User ->
@@ -246,14 +293,17 @@ module Combolock = struct
           totals_v.spin_to_sem <- totals_v.spin_to_sem + 1
         end;
         sem_down l;
-        l.holder <- Kernel_sem
+        l.holder <- Kernel_sem;
+        Ktrace.note (Ktrace.Lock l.tag) Ktrace.Acquire
 
   let unlock_kernel l =
     match l.holder with
     | Kernel_spin ->
+        Ktrace.note (Ktrace.Lock l.tag) Ktrace.Release;
         l.holder <- No_one;
         Sched.spin_release ()
     | Kernel_sem ->
+        Ktrace.note (Ktrace.Lock l.tag) Ktrace.Release;
         l.holder <- No_one;
         Semaphore.up l.sem
     | No_one | User ->
@@ -265,11 +315,13 @@ module Combolock = struct
     totals_v.sem_acquires <- totals_v.sem_acquires + 1;
     sem_down l;
     l.user_waiters <- l.user_waiters - 1;
-    l.holder <- User
+    l.holder <- User;
+    Ktrace.note (Ktrace.Lock l.tag) Ktrace.Acquire
 
   let unlock_user l =
     match l.holder with
     | User ->
+        Ktrace.note (Ktrace.Lock l.tag) Ktrace.Release;
         l.holder <- No_one;
         Semaphore.up l.sem
     | No_one | Kernel_spin | Kernel_sem ->

@@ -8,7 +8,8 @@
 module Waitq : sig
   type t
 
-  val create : unit -> t
+  val create : ?name:string -> unit -> t
+  (** [name] labels the queue's {!Ktrace} identity ("name#id"). *)
 
   val wait : t -> unit
   (** Block the current thread on the queue. *)

@@ -26,8 +26,8 @@ let create ~name =
     {
       name;
       items = Queue.create ();
-      wake = Sync.Waitq.create ();
-      idle = Sync.Waitq.create ();
+      wake = Sync.Waitq.create ~name:(name ^ "-wake") ();
+      idle = Sync.Waitq.create ~name:(name ^ "-idle") ();
       running = false;
       stopped = false;
       executed = 0;

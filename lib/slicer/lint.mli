@@ -105,6 +105,13 @@ val analyze :
 val violations : finding list -> finding list
 (** The [Error] and [Warning] findings. *)
 
+val static_lock_order : Decaf_minic.Ast.file -> (string * string) list
+(** (outer, inner) lock-acquisition-order edges: for every nested
+    acquire, which lock-argument expression was already held when the
+    inner one was taken. Intraprocedural and path-insensitive; feeds the
+    static/dynamic lock-order cross-check against the exploration
+    harness ({!Decaf_check.Lockorder} in the checker library). *)
+
 val apply_waivers :
   driver:string -> waivers:waiver list -> finding list -> report
 (** Match waivers to violations by (pass, anchor, line). Each waiver

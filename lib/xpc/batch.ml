@@ -74,6 +74,13 @@ let flush_target target =
   | None -> ()
   | Some q ->
       if not (Queue.is_empty q) then begin
+        (* The flush crosses the boundary and may block; catching a call
+           from irq context (or an irq-window hook) here names the batch
+           machinery instead of surfacing deep inside Channel. *)
+        K.Sched.assert_may_block "batch flush";
+        K.Ktrace.note
+          (K.Ktrace.Queue ("batch:" ^ Domain.to_string target))
+          K.Ktrace.Wait;
         let batch = Queue.create () in
         Queue.transfer q batch;
         let n = Queue.length batch in
@@ -105,6 +112,10 @@ let flush_one target =
   | None -> ()
   | Some q ->
       if not (Queue.is_empty q) then begin
+        K.Sched.assert_may_block "batch single-delivery flush";
+        K.Ktrace.note
+          (K.Ktrace.Queue ("batch:" ^ Domain.to_string target))
+          K.Ktrace.Wait;
         let it = Queue.pop q in
         match
           Channel.call ~target ~payload_bytes:it.payload_bytes
@@ -202,6 +213,9 @@ let post ~target ?(payload_bytes = 0) ?(context = "notify") f =
     end
     else begin
     counters.posted <- counters.posted + 1;
+    K.Ktrace.note
+      (K.Ktrace.Queue ("batch:" ^ Domain.to_string target))
+      K.Ktrace.Signal;
     Queue.push { payload_bytes; context; thunk = f } q;
     let wqs, timer = get_infra () in
     if !enabled then begin

@@ -111,6 +111,13 @@ let in_flight target =
   | None -> 0
 
 let executing target f =
+  (* Crossings into the same domain conflict (the one-at-a-time service
+     gate below): a queue edge, so the exploration harness orders
+     concurrent callers without subjecting the gate to the lockset
+     check. *)
+  K.Ktrace.note
+    (K.Ktrace.Queue ("xpc:" ^ Domain.to_string target))
+    K.Ktrace.Signal;
   let tbl = in_flight_table () in
   Hashtbl.replace tbl target (in_flight target + 1);
   Fun.protect

@@ -76,7 +76,7 @@ let pool_for dom =
           lanes =
             Array.init !workers_v (fun _ ->
                 { owner = dom; busy_ns = 0; served = 0 });
-          waitq = K.Sync.Waitq.create ();
+          waitq = K.Sync.Waitq.create ~name:"dispatch-slots" ();
           active = 0;
           admissions = 0;
           blocked_acquires = 0;

@@ -128,6 +128,11 @@ and deferred_drain r =
    failed doorbell leaves every slot in place for the timer retry. *)
 and drain r =
   if r.occupancy > 0 && not r.draining then begin
+    (* The doorbell crossing may block; a drain reached from irq context
+       or an irq-window hook must go through the workqueue deferral, and
+       this names the ring if one ever slips through. *)
+    K.Sched.assert_may_block ("ring " ^ r.r_name ^ " doorbell drain");
+    K.Ktrace.note (K.Ktrace.Queue ("ring:" ^ r.r_name)) K.Ktrace.Wait;
     r.draining <- true;
     Fun.protect
       ~finally:(fun () -> r.draining <- false)
@@ -205,6 +210,7 @@ let produce r rec_ =
     false
   end
   else begin
+    K.Ktrace.note (K.Ktrace.Queue ("ring:" ^ r.r_name)) K.Ktrace.Signal;
     r.slots.(r.head) <- Some rec_;
     r.head <- (r.head + 1) mod Array.length r.slots;
     r.occupancy <- r.occupancy + 1;
@@ -234,6 +240,7 @@ let drain_all () =
 let destroy r =
   (* Surprise removal: no consumer will ever drain again, so whatever
      is still occupied is dropped with count — never silently. *)
+  K.Ktrace.note (K.Ktrace.Queue ("ring:" ^ r.r_name)) K.Ktrace.Wait;
   Boundary.scoped r.r_name (fun () ->
       while r.occupancy > 0 do
         let i = tail r in
