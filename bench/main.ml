@@ -10,6 +10,11 @@
                                  (default BENCH_xpc.json)
      bench/main.exe check path   re-measure and fail on >10% regression
                                  against a committed trajectory
+     bench/main.exe soak-json [path]   write the soak latency trajectory
+                                       (default BENCH_soak.json)
+     bench/main.exe soak-check path    re-measure and fail on a p99
+                                       regression, an audio deadline
+                                       miss (steady phase) or a leak
 
    The xpcperf section accepts matrix filters, so one cell of the
    sweep (five single-instance scenarios x 11 configs, plus the
@@ -158,13 +163,13 @@ let run_table_benches () =
 (* --scenario=/--config= filters for the xpcperf matrix: validate
    against the experiment's own name lists so a typo fails fast instead
    of silently measuring nothing. *)
+let prefixed p a =
+  let pl = String.length p in
+  if String.length a > pl && String.sub a 0 pl = p then
+    Some (String.sub a pl (String.length a - pl))
+  else None
+
 let parse_matrix_filters args =
-  let prefixed p a =
-    let pl = String.length p in
-    if String.length a > pl && String.sub a 0 pl = p then
-      Some (String.sub a pl (String.length a - pl))
-    else None
-  in
   let check what valid = function
     | Some name when not (List.mem name valid) ->
         Printf.eprintf "unknown %s %S; valid: %s\n" what name
@@ -217,6 +222,10 @@ let run_sections args =
     print_string
       (E.Xpcperf.render (E.Xpcperf.measure ?scenario ?config ()))
   end;
+  if want "soak" then begin
+    section "Mixed-traffic soak (latency percentiles per event path)";
+    print_string (E.Soak.render (E.Soak.measure ()))
+  end;
   if want "micro" then begin
     run_micro ();
     run_table_benches ()
@@ -230,4 +239,32 @@ let () =
       print_string (E.Xpcperf.render samples);
       Printf.printf "wrote %d samples to %s\n" (List.length samples) path
   | [ "check"; path ] -> if not (E.Xpcperf.check ~path ()) then exit 1
+  | "soak-json" :: rest ->
+      (* optional overrides, e.g. `soak-json --duration-ms=500 --fleet=4`,
+         for scaled-up local runs; the committed file uses the defaults *)
+      let duration_ns =
+        List.fold_left
+          (fun acc a ->
+            match prefixed "--duration-ms=" a with
+            | Some v -> int_of_string v * 1_000_000
+            | None -> acc)
+          E.Soak.default_duration_ns rest
+      in
+      let fleet =
+        List.fold_left
+          (fun acc a ->
+            match prefixed "--fleet=" a with
+            | Some v -> int_of_string v
+            | None -> acc)
+          E.Soak.default_fleet rest
+      in
+      let path =
+        match List.filter (fun a -> String.length a < 2 || String.sub a 0 2 <> "--") rest with
+        | p :: _ -> p
+        | [] -> "BENCH_soak.json"
+      in
+      let s = E.Soak.write_json ~duration_ns ~fleet ~path () in
+      print_string (E.Soak.render s);
+      Printf.printf "wrote %d rows to %s\n" (List.length s.E.Soak.rows) path
+  | [ "soak-check"; path ] -> if not (E.Soak.check ~path ()) then exit 1
   | args -> run_sections args

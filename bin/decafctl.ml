@@ -39,7 +39,7 @@ let run driver seconds =
       print_string (E.Table3.render rows);
       exit 0
 
-let status driver json =
+let status driver json latency =
   match resolve_driver driver with
   | Error msg ->
       Printf.eprintf "decafctl: %s\n" msg;
@@ -56,6 +56,10 @@ let status driver json =
       in
       print_string
         (if json then E.Status.render_json snaps else E.Status.render snaps);
+      if latency then begin
+        print_newline ();
+        print_string (E.Status.render_latency ())
+      end;
       exit 0
 
 let driver_arg =
@@ -81,13 +85,83 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let latency_arg =
+  let doc =
+    "Also print the per-path latency percentiles (p50/p99/p999/max) from \
+     the event-accounting registry, as observed over the status workload \
+     slice."
+  in
+  Arg.(value & flag & info [ "latency" ] ~doc)
+
 let status_cmd =
   Cmd.v
     (Cmd.info "status"
        ~doc:
          "Load every driver through the registry and print its lifecycle, \
           crossing and supervisor snapshot")
-    Term.(const status $ driver_arg $ json_arg)
+    Term.(const status $ driver_arg $ json_arg $ latency_arg)
+
+(* ---- soak: the mixed-traffic latency soak ---- *)
+
+let soak json check duration_ms fleet =
+  match check with
+  | Some path ->
+      (* gate mode: re-measure at the committed file's scale and compare *)
+      exit (if E.Soak.check ~path () then 0 else 1)
+  | None ->
+      let duration_ns = duration_ms * 1_000_000 in
+      let s = E.Soak.measure ~duration_ns ~fleet () in
+      print_string (if json then E.Soak.to_json s else E.Soak.render s);
+      (* the scale may differ from the committed trajectory, so only the
+         absolute gates apply: period deadlines and quiescence leaks *)
+      let breached =
+        s.E.Soak.steady_misses > 0
+        || s.E.Soak.leaked_entries > 0
+        || s.E.Soak.leaked_bytes <> 0
+      in
+      if breached then
+        Printf.eprintf
+          "decafctl soak: gate breach (steady misses %d, leaked entries %d, \
+           leaked bytes %d)\n"
+          s.E.Soak.steady_misses s.E.Soak.leaked_entries s.E.Soak.leaked_bytes;
+      exit (if breached then 1 else 0)
+
+let soak_json_arg =
+  let doc =
+    "Emit the line-JSON trajectory (header plus one object per phase/path \
+     row) instead of the table."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let soak_check_arg =
+  let doc =
+    "Gate mode: re-measure at the committed trajectory's scale and fail on \
+     a p99 regression, an audio deadline miss in the fault-free phase, or \
+     a leak at quiescence (DECAF_SOAK_WAIVE=1 skips only the p99 \
+     comparison)."
+  in
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"PATH" ~doc)
+
+let duration_ms_arg =
+  let doc = "Virtual milliseconds per phase." in
+  Arg.(
+    value
+    & opt int (E.Soak.default_duration_ns / 1_000_000)
+    & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let fleet_arg =
+  let doc = "Concurrent e1000 instances on the virtual switch." in
+  Arg.(value & opt int E.Soak.default_fleet & info [ "fleet" ] ~docv:"N" ~doc)
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run the two-phase mixed-traffic soak (all five drivers, fault-free \
+          then churn) and print per-path latency percentiles; exits nonzero \
+          on an audio deadline miss in the fault-free phase or a leak at \
+          quiescence")
+    Term.(const soak $ soak_json_arg $ soak_check_arg $ duration_ms_arg $ fleet_arg)
 
 (* ---- explore: the decaf-check exploration harness ---- *)
 
@@ -168,6 +242,6 @@ let cmd =
     ~default:Term.(const run $ driver_arg $ seconds_arg)
     (Cmd.info "decafctl"
        ~doc:"Drive the decaf drivers through the unified driver model")
-    [ run_cmd; status_cmd; explore_cmd ]
+    [ run_cmd; status_cmd; explore_cmd; soak_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -262,11 +262,14 @@ let handle_rx a =
   let received = ref 0 in
   while !continue do
     match E.take_rx a.model with
-    | Some frame ->
-        K.Clock.consume 800;
+    | Some (frame, tr) ->
+        K.Clock.consume 800
+        (* decaf-lint: consume-ok, inside the net.rx span (born at DMA) *);
         (match a.netdev with
         | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
         | None -> ());
+        (* packet delivered: close the wire-arrival timeline *)
+        ignore (K.Clock.complete tr);
         incr received;
         (* return the buffer to the device: advance the rx tail *)
         let rdt = K.Io.readl (reg a E.reg_rdt) in

@@ -34,6 +34,11 @@ type adapter = {
   mutable sub : K.Sndcore.substream option;
   mutable rate : int;
   mutable dac_on : bool;
+  mutable pos_base : int;
+      (** device consumed-byte count at the last prepare: the DAC's
+          counter is cumulative across streams, but the PCM layer wants
+          a per-stream position, so prepare re-baselines it like a real
+          driver resetting its DMA frame counter *)
   mutable user_syncs : int;
       (** deferred hardware-pointer refreshes delivered to user level *)
 }
@@ -111,6 +116,7 @@ let pcm_ops a =
         a.env.Driver_env.upcall ~name:"ens1371_prepare" ~bytes:adapter_wire_bytes
           (fun () ->
             outl a S.reg_frame_size period_bytes;
+            a.pos_base <- S.consumed a.model;
             Ok ()));
     pcm_trigger =
       (fun cmd ->
@@ -123,7 +129,7 @@ let pcm_ops a =
             | `Stop ->
                 a.dac_on <- false;
                 outl a S.reg_control 0));
-    pcm_pointer = (fun () -> S.consumed a.model);
+    pcm_pointer = (fun () -> S.consumed a.model - a.pos_base);
   }
 
 let probe env (pci : K.Pci.dev) =
@@ -144,6 +150,7 @@ let probe env (pci : K.Pci.dev) =
           sub = None;
           rate = 0;
           dac_on = false;
+          pos_base = 0;
           user_syncs = 0;
         }
       in

@@ -140,12 +140,16 @@ let handle_rx a =
   let received = ref 0 in
   while !continue do
     match R.take_rx a.model with
-    | Some frame -> (
-        K.Clock.consume 1_000 (* per-packet receive processing *);
+    | Some (frame, tr) ->
+        K.Clock.consume 1_000
+        (* per-packet receive processing; decaf-lint: consume-ok, inside
+           the net.rx span *);
         incr received;
-        match a.netdev with
+        (match a.netdev with
         | Some nd -> K.Netcore.netif_rx nd (K.Netcore.Skb.of_bytes frame)
-        | None -> ())
+        | None -> ());
+        (* packet delivered: close the wire-arrival timeline *)
+        ignore (K.Clock.complete tr)
     | None -> continue := false
   done;
   note_packets a !received

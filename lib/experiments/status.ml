@@ -100,3 +100,27 @@ let render_json snaps =
         s.Driver_core.s_restarts_left s.Driver_core.s_init_latency_ns)
     snaps;
   Buffer.contents buf
+
+(* `decafctl status --latency`: the per-path percentile columns from the
+   event-accounting registry, populated by the same workload slice
+   [measure] just ran. The registry survives until the next boot, so
+   this reads whatever the most recent measurement observed. *)
+let render_latency () =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-14s %9s %12s %12s %12s %12s\n" "Path" "Samples" "p50(us)"
+    "p99(us)" "p999(us)" "max(us)";
+  List.iter
+    (fun p ->
+      match K.Latency.find p with
+      | Some h when K.Latency.count h > 0 ->
+          let us v = float_of_int v /. 1e3 in
+          add "%-14s %9d %12.1f %12.1f %12.1f %12.1f\n" p
+            (K.Latency.count h)
+            (us (K.Latency.percentile h 0.50))
+            (us (K.Latency.percentile h 0.99))
+            (us (K.Latency.percentile h 0.999))
+            (us (K.Latency.max_ns h))
+      | _ -> ())
+    (K.Latency.paths ());
+  Buffer.contents buf

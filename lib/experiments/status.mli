@@ -17,3 +17,8 @@ val render_json : Decaf_drivers.Driver_core.snapshot list -> string
     carrying the full snapshot — lifecycle state, mode, XPC traffic,
     boundary rejections and supervisor counters — with no JSON library
     involved, like the trajectory files. *)
+
+val render_latency : unit -> string
+(** [decafctl status --latency]: per-path p50/p99/p999/max columns from
+    the {!Decaf_kernel.Latency} event-accounting registry, as populated
+    by the workload slice the last {!measure} ran. *)

@@ -39,8 +39,12 @@ type t = {
   phy : Phy.t;
   eeprom : Eeprom.t;
   mutable region : Io.region option;
-  tx_staged : bytes Queue.t;
-  rx_fifo : bytes Queue.t;
+  tx_staged : (bytes * K.Clock.track) Queue.t;
+      (* each staged frame carries its xmit-stage birth stamp; completed
+         when the frame finishes serializing onto the wire *)
+  rx_fifo : (bytes * K.Clock.track) Queue.t;
+      (* each received frame carries its wire-arrival birth stamp; the
+         driver completes it when the packet reaches netif_rx *)
   mutable ctrl : int;
   mutable icr : int;
   mutable ims : int;
@@ -109,12 +113,13 @@ let pump_tx t =
           && t.inflight < n_tx_desc
           && not (Queue.is_empty t.tx_staged)
     do
-      let frame = Queue.pop t.tx_staged in
+      let frame, tr = Queue.pop t.tx_staged in
       t.tx_count <- t.tx_count + 1;
       t.inflight <- t.inflight + 1;
       Link.transmit t.link frame ~on_done:(fun () ->
           t.tdh <- (t.tdh + 1) mod n_tx_desc;
           t.inflight <- t.inflight - 1;
+          ignore (K.Clock.complete tr);
           assert_cause t icr_txdw)
     done
 
@@ -181,7 +186,7 @@ let write t off (_w : Io.width) v =
 
 let on_rx t frame =
   if t.rctl land rctl_en <> 0 && Queue.length t.rx_fifo < n_rx_desc then begin
-    Queue.push frame t.rx_fifo;
+    Queue.push (frame, K.Clock.track "net.rx") t.rx_fifo;
     t.rx_count <- t.rx_count + 1;
     assert_cause t icr_rxt0
   end
@@ -229,7 +234,7 @@ let create ~mmio_base ~irq ~device_id ~mac ~link =
   t
 
 let destroy t = Option.iter Io.release t.region
-let stage_tx t frame = Queue.push frame t.tx_staged
+let stage_tx t frame = Queue.push (frame, K.Clock.track "net.tx") t.tx_staged
 let take_rx t = Queue.take_opt t.rx_fifo
 let rx_pending t = Queue.length t.rx_fifo
 let phy t = t.phy

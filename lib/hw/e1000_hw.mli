@@ -60,7 +60,11 @@ val stage_tx : t -> bytes -> unit
 (** DMA: append a frame to the transmit ring's staged buffers; it is sent
     when the driver advances TDT past it (with TCTL.EN set). *)
 
-val take_rx : t -> bytes option
+val take_rx : t -> (bytes * Decaf_kernel.Clock.track) option
+(** Pop the oldest received frame together with its wire-arrival birth
+    stamp; the driver completes the stamp when the packet reaches
+    [netif_rx], closing the "net.rx" end-to-end timeline. *)
+
 val rx_pending : t -> int
 val phy : t -> Phy.t
 val device_id : t -> int

@@ -51,6 +51,10 @@ and on_period t =
     t.consumed <- t.consumed + take;
     t.periods <- t.periods + 1;
     t.status <- t.status lor status_intr lor status_dac2;
+    (* period-tick birth: completed when the driver services the period
+       (Sndcore.period_elapsed) — the latency against [period_ns] is the
+       deadline margin *)
+    K.Clock.track_begin "audio.period";
     K.Irq.raise_irq t.irq_line;
     schedule_tick t
   end

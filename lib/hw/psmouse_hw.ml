@@ -140,6 +140,9 @@ let move t ~dx ~dy ~buttons =
       lor if dy < 0 then 0x20 else 0
     in
     t.packets <- t.packets + 1;
+    (* one motion = one 3-byte packet = one input event: the birth is
+       completed when the driver's sync reaches the input core *)
+    K.Clock.track_begin "input.event";
     queue_bytes t [ flags; dx land 0xff; dy land 0xff ]
   end
 

@@ -32,8 +32,12 @@ type t = {
   mutable region : Io.region option;
   tsd : int array;
   tsad : int array;
-  tx_staged : bytes option array;
-  rx_fifo : bytes Queue.t;
+  tx_staged : (bytes * K.Clock.track) option array;
+      (* staged frames carry their xmit-stage birth stamp, completed
+         when the frame finishes serializing onto the wire *)
+  rx_fifo : (bytes * K.Clock.track) Queue.t;
+      (* received frames carry their wire-arrival birth stamp; the
+         driver completes it when the packet reaches netif_rx *)
   mutable command : int;
   mutable mask : int;
   mutable status : int;
@@ -62,13 +66,14 @@ let do_reset t =
 
 let transmit t n size =
   match t.tx_staged.(n) with
-  | Some frame when Bytes.length frame >= size ->
+  | Some (frame, tr) when Bytes.length frame >= size ->
       let frame = Bytes.sub frame 0 size in
       t.tx_staged.(n) <- None;
       t.tx_count <- t.tx_count + 1;
       (* the descriptor completes when the frame leaves the wire *)
       Link.transmit t.link frame ~on_done:(fun () ->
           t.tsd.(n) <- t.tsd.(n) lor tsd_own lor tsd_tok;
+          ignore (K.Clock.complete tr);
           assert_status t isr_tok)
   | Some _ | None ->
       (* Descriptor fired without (enough) staged data: transmit abort. *)
@@ -129,7 +134,7 @@ let on_rx t frame =
     if Queue.length t.rx_fifo >= rx_fifo_max then
       assert_status t isr_rx_overflow
     else begin
-      Queue.push frame t.rx_fifo;
+      Queue.push (frame, K.Clock.track "net.rx") t.rx_fifo;
       t.rx_count <- t.rx_count + 1;
       assert_status t isr_rok
     end
@@ -167,12 +172,10 @@ let create ~io_base ~irq ~mac ~link =
   t
 
 let destroy t = Option.iter Io.release t.region
-let stage_tx_buffer t n frame = t.tx_staged.(n) <- Some frame
+let stage_tx_buffer t n frame =
+  t.tx_staged.(n) <- Some (frame, K.Clock.track "net.tx")
 
-let take_rx t =
-  match Queue.take_opt t.rx_fifo with
-  | Some f -> Some f
-  | None -> None
+let take_rx t = Queue.take_opt t.rx_fifo
 
 let rx_pending t = Queue.length t.rx_fifo
 let phy t = t.phy

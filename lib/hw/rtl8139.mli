@@ -65,8 +65,11 @@ val stage_tx_buffer : t -> int -> bytes -> unit
     (modelling the write to the address in TSAD[n]). The frame goes on
     the wire when TSD[n] is written with the size and OWN cleared. *)
 
-val take_rx : t -> bytes option
-(** DMA: pull the next received frame from the receive ring. *)
+val take_rx : t -> (bytes * Decaf_kernel.Clock.track) option
+(** DMA: pull the next received frame from the receive ring, together
+    with its wire-arrival birth stamp; the driver completes the stamp
+    when the packet reaches [netif_rx], closing the "net.rx" end-to-end
+    timeline. *)
 
 val rx_pending : t -> int
 val phy : t -> Phy.t

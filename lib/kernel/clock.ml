@@ -1,7 +1,14 @@
 module Key = struct
   type t = int * int (* due time, tie-break sequence number *)
 
-  let compare = compare
+  (* The tie-break is explicit and documented: events scheduled for the
+     same due time fire in scheduling order (FIFO), because the sequence
+     number is assigned monotonically by [at] and never reset — not even
+     across [reset]. A reset that restarted the sequence would let a
+     stale [event_id] kept across a reboot collide with (and cancel) a
+     fresh event that happened to draw the same (due, seq) pair. *)
+  let compare (d1, s1) (d2, s2) =
+    match Int.compare d1 d2 with 0 -> Int.compare s1 s2 | c -> c
 end
 
 module Emap = Map.Make (Key)
@@ -12,6 +19,7 @@ let events : (unit -> unit) Emap.t ref = ref Emap.empty
 let time = ref 0
 let busy = ref 0
 let seq = ref 0
+let boot_seq = ref 0
 
 let now () = !time
 let busy_ns () = !busy
@@ -54,7 +62,7 @@ let consume ns =
         remaining := 0
   done
 
-let scheduled () = !seq
+let scheduled () = !seq - !boot_seq
 
 let at t f =
   incr seq;
@@ -75,10 +83,81 @@ let advance_to_next_event () =
       deliver_until !time;
       true
 
+(* --- tracked events ---------------------------------------------------
+
+   A tracked event is a birth stamp paired with a completion stamp; the
+   elapsed virtual time lands in the per-path histogram registry
+   ({!Latency}). Two shapes:
+
+   - [track]/[complete]: an explicit handle, for code that can carry the
+     birth stamp alongside the object it describes (an irq line, a ring
+     slot, a batch item).
+   - [track_begin]/[track_end]: FIFO-paired stamps for pipelines that
+     preserve order but lose identity (a NIC's rx fifo, the mouse byte
+     stream); the oldest outstanding birth completes first. *)
+
+type track = { t_path : string; t_born : int }
+
+let track path = { t_path = path; t_born = !time }
+
+let complete tr =
+  let dt = max 0 (!time - tr.t_born) in
+  Latency.observe_path tr.t_path dt;
+  dt
+
+(* Each FIFO is bounded: a producer whose consumer died (an ejected
+   device mid-storm) must not grow births without limit, so past the cap
+   the oldest birth is discarded. *)
+let fifo_cap = 65_536
+let span_fifos : (string, int Queue.t) Hashtbl.t = Hashtbl.create 16
+
+let span_fifo key =
+  match Hashtbl.find_opt span_fifos key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace span_fifos key q;
+      q
+
+let track_begin ?key path =
+  let q = span_fifo (Option.value ~default:path key) in
+  if Queue.length q >= fifo_cap then ignore (Queue.pop q);
+  Queue.push !time q
+
+let track_end ?key path =
+  match Hashtbl.find_opt span_fifos (Option.value ~default:path key) with
+  | None -> None
+  | Some q -> (
+      match Queue.take_opt q with
+      | None -> None
+      | Some born ->
+          let dt = max 0 (!time - born) in
+          Latency.observe_path path dt;
+          Some dt)
+
+let track_discard ?key path =
+  match Hashtbl.find_opt span_fifos (Option.value ~default:path key) with
+  | None -> ()
+  | Some q -> ignore (Queue.take_opt q)
+
+(* Hotplug can orphan every outstanding birth at once (the device that
+   stamped them is gone); draining keeps later completions from pairing
+   with births that predate the replug. *)
+let track_drain ?key path =
+  match Hashtbl.find_opt span_fifos (Option.value ~default:path key) with
+  | None -> ()
+  | Some q -> Queue.clear q
+
+let tracks_in_flight () =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) span_fifos 0
+
 let reset () =
   events := Emap.empty;
   time := 0;
   busy := 0;
-  seq := 0
+  (* [seq] is deliberately NOT reset — see [Key.compare]. *)
+  boot_seq := !seq;
+  Hashtbl.reset span_fifos;
+  Latency.reset ()
 
 let () = Klog.set_timestamp_source now

@@ -25,7 +25,10 @@ val consume : int -> unit
 
 val at : int -> (unit -> unit) -> event_id
 (** [at t f] schedules [f] to run at absolute virtual time [t] (or
-    immediately after now, if [t] is in the past). *)
+    immediately after now, if [t] is in the past). Events scheduled for
+    the same due time fire in scheduling order (stable FIFO tie-break),
+    and event ids never collide across {!reset} — both are load-bearing
+    for reproducible latency percentiles. *)
 
 val after : int -> (unit -> unit) -> event_id
 (** [after ns f] is [at (now () + ns) f]. *)
@@ -48,4 +51,48 @@ val advance_to_next_event : unit -> bool
     interval counts as idle time. *)
 
 val reset : unit -> unit
-(** Reboot: clear all events, return to time 0, zero the busy counter. *)
+(** Reboot: clear all events, return to time 0, zero the busy counter,
+    drop all in-flight tracked events and registered latency paths. The
+    event-id sequence is {e not} reset, so ids from a previous life can
+    never cancel this life's events. *)
+
+(** {2 Tracked events}
+
+    A tracked event pairs a birth stamp with a completion stamp; the
+    elapsed virtual time is recorded into the per-path histogram
+    registry ({!Latency}). *)
+
+type track
+(** An explicit birth stamp bound to a path. *)
+
+val track : string -> track
+(** [track path] stamps the birth of one event on [path]. *)
+
+val complete : track -> int
+(** Stamp completion: records now - birth into [path]'s histogram and
+    returns the elapsed nanoseconds. *)
+
+val track_begin : ?key:string -> string -> unit
+(** FIFO-paired birth stamp for pipelines that preserve order but lose
+    identity (a NIC rx fifo, the mouse byte stream). [key] selects the
+    FIFO (default: the path itself), so several instances can share one
+    histogram path without interleaving their pairings. Each FIFO is
+    bounded; past the bound the oldest birth is discarded. *)
+
+val track_end : ?key:string -> string -> int option
+(** Complete the oldest outstanding birth on [key]: records into
+    [path]'s histogram and returns the elapsed ns, or [None] when no
+    birth is outstanding (a no-op, so completion points are safe to run
+    against producers that never stamped). *)
+
+val track_discard : ?key:string -> string -> unit
+(** Drop the oldest outstanding birth without recording (the paired
+    item was itself dropped). *)
+
+val track_drain : ?key:string -> string -> unit
+(** Drop every outstanding birth for the key (hotplug killed the
+    producer; completions after the replug must not pair with births
+    from before it). *)
+
+val tracks_in_flight : unit -> int
+(** Total outstanding FIFO births (diagnostic; quiescence checks). *)

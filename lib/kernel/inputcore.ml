@@ -25,7 +25,13 @@ let set_handler d f = d.handler <- Some f
 
 let emit d ev =
   d.events <- d.events + 1;
-  match d.handler with Some f -> f ev | None -> ()
+  (match d.handler with Some f -> f ev | None -> ());
+  (* A sync closes one device-side input event (the hw model stamps the
+     birth when the user motion reaches the device); no-op when nothing
+     was stamped. *)
+  match ev with
+  | Sync_report -> ignore (Clock.track_end "input.event")
+  | Rel _ | Key _ -> ()
 
 let report_rel d ~dx ~dy = emit d (Rel (dx, dy))
 let report_key d ~code ~pressed = emit d (Key (code, pressed))

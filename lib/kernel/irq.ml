@@ -19,6 +19,10 @@ type line = {
          or a fleet of devices asserting during long irq-masked windows
          schedules one retry chain per assertion and the event queue
          grows with traffic instead of with line count *)
+  mutable born : int option;
+      (* birth stamp of the oldest undelivered assertion: re-assertions
+         while pending coalesce onto it, so the recorded raise-to-entry
+         latency covers the full masked window, not the last re-raise *)
 }
 
 let fresh_line () =
@@ -29,6 +33,7 @@ let fresh_line () =
     delivered = 0;
     queued = false;
     retry_armed = false;
+    born = None;
   }
 
 let lines = Array.init nr_irqs (fun _ -> fresh_line ())
@@ -52,7 +57,8 @@ let free_irq n =
   l.handler <- None;
   l.pending <- false;
   l.queued <- false;
-  l.retry_armed <- false
+  l.retry_armed <- false;
+  l.born <- None
 
 let cpu_can_take_irq () = not (Sched.irqs_masked () || Sched.in_interrupt ())
 
@@ -91,6 +97,13 @@ let rec try_deliver n =
           Ktrace.note (Ktrace.Irq_line n) Ktrace.Wait;
           Sched.enter_interrupt ();
           Clock.consume Cost.current.irq_dispatch_ns;
+          (* handler entry: the raise-to-entry timeline includes the
+             dispatch cost and any masked/backlogged wait *)
+          (match l.born with
+          | Some b ->
+              l.born <- None;
+              Latency.observe_path "irq" (max 0 (Clock.now () - b))
+          | None -> ());
           (match handler () with
           | () -> Sched.exit_interrupt ()
           | exception e ->
@@ -130,6 +143,7 @@ let raise_irq n =
   Ktrace.note (Ktrace.Irq_line n) Ktrace.Signal;
   if l.handler = None then incr spurious_count
   else begin
+    if l.born = None then l.born <- Some (Clock.now ());
     l.pending <- true;
     try_deliver n
   end

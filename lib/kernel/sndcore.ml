@@ -98,6 +98,10 @@ let pcm_write s n =
 
 let period_elapsed s =
   s.hw_pos <- max s.hw_pos (s.ops.pcm_pointer ());
+  (* period serviced: close the hardware period-tick timeline (no-op
+     when the tick was not stamped, e.g. tests driving the core
+     directly) *)
+  ignore (Clock.track_end "audio.period");
   ignore (Sync.Waitq.wake_all s.writers)
 
 let reset () =

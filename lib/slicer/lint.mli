@@ -44,6 +44,9 @@ type pass =
   | Marshal_boundary
   | Error_flow
   | Inbound_validation
+  | Event_accounting
+      (** the OCaml-source hygiene scan of {!scan_clock_consume}, not a
+          MiniC pass *)
 
 type severity = Error | Warning | Info
 
@@ -111,6 +114,25 @@ val static_lock_order : Decaf_minic.Ast.file -> (string * string) list
     inner one was taken. Intraprocedural and path-insensitive; feeds the
     static/dynamic lock-order cross-check against the exploration
     harness ({!Decaf_check.Lockorder} in the checker library). *)
+
+val consume_waiver_marker : string
+(** The same-line suppression comment for {!scan_clock_consume}:
+    [(* decaf-lint: consume-ok *)]. *)
+
+val scan_clock_consume :
+  ?dirs:string list -> root:string -> unit -> finding list
+(** The event-accounting hygiene pass: scan the repo's own OCaml
+    sources under [root] (default dirs [lib/xpc] and [lib/drivers])
+    for direct [Clock.consume] calls. Time consumed on a measured path
+    without a birth stamp is invisible to the per-path latency
+    histograms, so every such call must either use the
+    {!Decaf_kernel.Clock} tracked-event API or carry the
+    {!consume_waiver_marker} comment on the same line or the line
+    immediately after (with the justification alongside). One
+    [Warning] per unwaived line, in
+    (dir, file, line) order; directories that do not exist under
+    [root] are skipped, so the pass is inert when the sources are not
+    alongside the binary. *)
 
 val apply_waivers :
   driver:string -> waivers:waiver list -> finding list -> report

@@ -33,6 +33,12 @@ let play ~substream ~model ~duration_ns =
   | Ok () -> ()
   | Error rc -> K.Panic.bug "mpg123: prepare failed (%d)" rc);
   let total_bytes = pcm_byte_rate * duration_ns / 1_000_000_000 in
+  (* deltas against the model's cumulative counters, so repeated plays
+     over one device (PM cycles, soak phases) each measure their own
+     stream rather than comparing against all-time totals *)
+  let consumed0 = Hw.Ens1371_hw.consumed model in
+  let underruns0 = Hw.Ens1371_hw.underruns model in
+  let periods0 = Hw.Ens1371_hw.periods_played model in
   (* prime one buffer's worth, then start the DAC *)
   K.Clock.consume decode_cost;
   K.Sndcore.pcm_write substream (min chunk_bytes total_bytes);
@@ -45,13 +51,14 @@ let play ~substream ~model ~duration_ns =
     written := !written + n
   done;
   (* drain *)
-  while Hw.Ens1371_hw.consumed model < total_bytes do
+  while Hw.Ens1371_hw.consumed model - consumed0 < total_bytes do
     K.Sched.sleep_ns 5_000_000
   done;
   K.Sndcore.pcm_stop substream;
   K.Sndcore.pcm_close substream;
   let seconds_played =
-    float_of_int Hw.Ens1371_hw.(consumed model) /. float_of_int pcm_byte_rate
+    float_of_int (Hw.Ens1371_hw.consumed model - consumed0)
+    /. float_of_int pcm_byte_rate
   in
   let elapsed_ns = K.Clock.now () - t0 in
   let xpc_overhead_ns = Xpc.Dispatch.overhead_ns () - xpc0 in
@@ -63,8 +70,8 @@ let play ~substream ~model ~duration_ns =
   {
     seconds_played;
     cpu_utilization = K.Clock.utilization ~since:t0 ~busy_since:busy0;
-    underruns = Hw.Ens1371_hw.underruns model;
-    periods = Hw.Ens1371_hw.periods_played model;
+    underruns = Hw.Ens1371_hw.underruns model - underruns0;
+    periods = Hw.Ens1371_hw.periods_played model - periods0;
     xpc_overhead_ns;
     realtime_factor =
       (if effective_ns = 0 then 0.

@@ -4,6 +4,10 @@ type item = {
   payload_bytes : int;
   context : string;
   thunk : unit -> unit;
+  born : int;
+      (* enqueue stamp: the enqueue-to-delivery timeline survives
+         requeues, so a batch that needed XPC retries reports the full
+         wait its notifications actually experienced *)
 }
 
 type stats = {
@@ -90,7 +94,13 @@ let flush_target target =
         match
           Channel.call ~target ~payload_bytes:bytes ~idempotent:true
             ~context:"batch.flush"
-            (fun () -> Queue.iter (fun it -> it.thunk ()) batch)
+            (fun () ->
+              Queue.iter
+                (fun it ->
+                  it.thunk ();
+                  K.Latency.observe_path "xpc.batch"
+                    (max 0 (K.Clock.now () - it.born)))
+                batch)
         with
         | () ->
             counters.flush_crossings <- counters.flush_crossings + 1;
@@ -119,7 +129,11 @@ let flush_one target =
         let it = Queue.pop q in
         match
           Channel.call ~target ~payload_bytes:it.payload_bytes
-            ~idempotent:true ~context:it.context (fun () -> it.thunk ())
+            ~idempotent:true ~context:it.context
+            (fun () ->
+              it.thunk ();
+              K.Latency.observe_path "xpc.batch"
+                (max 0 (K.Clock.now () - it.born)))
         with
         | () ->
             counters.single_crossings <- counters.single_crossings + 1;
@@ -216,7 +230,7 @@ let post ~target ?(payload_bytes = 0) ?(context = "notify") f =
     K.Ktrace.note
       (K.Ktrace.Queue ("batch:" ^ Domain.to_string target))
       K.Ktrace.Signal;
-    Queue.push { payload_bytes; context; thunk = f } q;
+    Queue.push { payload_bytes; context; thunk = f; born = K.Clock.now () } q;
     let wqs, timer = get_infra () in
     if !enabled then begin
       if Queue.length q >= !watermark then

@@ -68,7 +68,7 @@ let charge_kernel_user bytes =
     + (2 * K.Cost.current.ctx_switch_ns)
     + (bytes * K.Cost.current.marshal_byte_ns)
   in
-  K.Clock.consume ns;
+  K.Clock.consume ns (* decaf-lint: consume-ok, inside the xpc.call span *);
   Dispatch.note ns
 
 let charge_c_java bytes =
@@ -81,7 +81,7 @@ let charge_c_java bytes =
     (2 * K.Cost.current.xpc_c_java_ns)
     + (bytes * (K.Cost.current.marshal_byte_ns + K.Cost.current.remarshal_byte_ns))
   in
-  K.Clock.consume ns;
+  K.Clock.consume ns (* decaf-lint: consume-ok, inside the xpc.call span *);
   Dispatch.note ns
 
 let direct = ref false
@@ -139,6 +139,11 @@ let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
   match crossing_between (Domain.current ()) target with
   | None -> Domain.with_domain target f
   | Some b ->
+      (* Call timeline: first attempt to successful completion, so burnt
+         timeouts and retry backoffs show up in the tail instead of
+         vanishing into counters. Failed calls never complete and are
+         judged from [failures]. *)
+      let tr = K.Clock.track "xpc.call" in
       let charge () =
         match b with
         | User_user -> charge_c_java bytes
@@ -157,10 +162,12 @@ let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
         then begin
           counters.failures <- counters.failures + 1;
           (* the call burned its whole deadline waiting for a reply *)
-          K.Clock.consume timeout_ns;
+          K.Clock.consume timeout_ns
+          (* decaf-lint: consume-ok, inside the xpc.call span *);
           if idempotent && n < max_attempts then begin
             counters.retries <- counters.retries + 1;
-            K.Clock.consume backoff;
+            K.Clock.consume backoff
+            (* decaf-lint: consume-ok, inside the xpc.call span *);
             attempt (n + 1) (min (backoff * 2) backoff_cap_ns)
           end
           else
@@ -171,10 +178,14 @@ let call ~target ?(payload_bytes = 0) ?(reply_bytes = 0) ?(idempotent = false)
         else
           (* Admission first: the crossing's charges (and everything [f]
              does) are accounted to the worker lane that serves it. *)
-          executing target (fun () ->
-              Dispatch.with_worker ~target (fun () ->
-                  charge ();
-                  Domain.with_domain target f))
+          let r =
+            executing target (fun () ->
+                Dispatch.with_worker ~target (fun () ->
+                    charge ();
+                    Domain.with_domain target f))
+          in
+          ignore (K.Clock.complete tr);
+          r
       in
       attempt 1 backoff_base_ns
 

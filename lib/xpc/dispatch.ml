@@ -4,7 +4,15 @@ module K = Decaf_kernel
    marshal, lookup and lock-wait nanoseconds of the upcalls this worker
    served; lanes fill independently, so the pool's critical path is the
    busiest lane, not the sum. *)
-type lane = { owner : Domain.t; mutable busy_ns : int; mutable served : int }
+type lane = {
+  owner : Domain.t;
+  mutable busy_ns : int;
+  mutable served : int;
+  latency : K.Latency.t;
+      (* submit-to-complete timelines of the crossings this lane served,
+         admission wait included; merge the pool's lanes for the domain
+         view ([K.Latency.merged]) *)
+}
 
 type pool = {
   dom : Domain.t;
@@ -26,6 +34,7 @@ type pool_stats = {
   queue_wait_ns : int;  (** virtual ns spent waiting for a worker *)
   lane_busy_ns : int array;
   lane_served : int array;
+  lane_latency : K.Latency.t array;
   critical_path_ns : int;  (** busiest lane: the pool's wall-clock cost *)
 }
 
@@ -75,7 +84,12 @@ let pool_for dom =
           dom;
           lanes =
             Array.init !workers_v (fun _ ->
-                { owner = dom; busy_ns = 0; served = 0 });
+                {
+                  owner = dom;
+                  busy_ns = 0;
+                  served = 0;
+                  latency = K.Latency.create ();
+                });
           waitq = K.Sync.Waitq.create ~name:"dispatch-slots" ();
           active = 0;
           admissions = 0;
@@ -111,6 +125,10 @@ let with_worker ~target f =
            binding for their own tid and go through admission. *)
         f ()
     | _ ->
+        (* Submit stamp: the crossing's timeline starts here, so the
+           recorded latency covers admission wait (blocked slot acquire)
+           as well as the dispatched body. *)
+        let submitted = K.Clock.now () in
         let p = pool_for target in
         p.admissions <- p.admissions + 1;
         if p.active >= Array.length p.lanes then begin
@@ -132,7 +150,8 @@ let with_worker ~target f =
         (* Dispatch admission is consumed on the global clock like every
            other charge that lands in a lane, keeping the invariant the
            overlap model depends on: lane ns are a subset of elapsed ns. *)
-        K.Clock.consume K.Cost.current.xpc_dispatch_ns;
+        K.Clock.consume K.Cost.current.xpc_dispatch_ns
+        (* decaf-lint: consume-ok, inside the tracked dispatch span *);
         lane.busy_ns <- lane.busy_ns + K.Cost.current.xpc_dispatch_ns;
         lane.served <- lane.served + 1;
         let tid = K.Sched.current_tid () in
@@ -144,6 +163,11 @@ let with_worker ~target f =
             | Some l -> Hashtbl.replace lane_by_tid tid l
             | None -> Hashtbl.remove lane_by_tid tid);
             p.active <- p.active - 1;
+            (* Dispatch-complete stamp: per-lane and on the machine-wide
+               "xpc.dispatch" path. *)
+            let dt = max 0 (K.Clock.now () - submitted) in
+            K.Latency.observe lane.latency dt;
+            K.Latency.observe_path "xpc.dispatch" dt;
             ignore (K.Sync.Waitq.wake_one p.waitq))
           f
 
@@ -171,6 +195,7 @@ let pool_stats () =
         queue_wait_ns = p.queue_wait_ns;
         lane_busy_ns = Array.map (fun l -> l.busy_ns) p.lanes;
         lane_served = Array.map (fun l -> l.served) p.lanes;
+        lane_latency = Array.map (fun l -> l.latency) p.lanes;
         critical_path_ns = critical_path p;
       }
       :: acc)

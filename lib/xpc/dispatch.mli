@@ -35,6 +35,9 @@ type pool_stats = {
   queue_wait_ns : int;  (** virtual ns spent waiting for a worker *)
   lane_busy_ns : int array;  (** per-lane accumulated charge *)
   lane_served : int array;  (** per-lane upcalls served *)
+  lane_latency : Decaf_kernel.Latency.t array;
+      (** per-lane submit-to-complete timelines, admission wait included;
+          merge with {!Decaf_kernel.Latency.merged} for the domain view *)
   critical_path_ns : int;  (** busiest lane: the pool's wall-clock cost *)
 }
 

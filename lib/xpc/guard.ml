@@ -92,7 +92,8 @@ let rejections t = t.rejections
 
 let charge () =
   let ns = K.Cost.current.guard_check_ns in
-  K.Clock.consume ns;
+  K.Clock.consume ns
+  (* decaf-lint: consume-ok, validation charged inside the call span *);
   Dispatch.note ns;
   Boundary.note_check ()
 

@@ -86,20 +86,34 @@ let set_delta_enabled v = delta := v
 let delta_enabled () = !delta
 
 module Dirty = struct
+  module K = Decaf_kernel
+
   type tracker = {
     owner : string;  (* boundary-fault attribution, default "dirty" *)
     mutable gen : int;  (* monotonic write counter, never reset *)
     mutable issued : int;  (* high-water mark of generations snapshotted *)
     marks : (string, int) Hashtbl.t;  (* field -> generation of last write *)
+    births : (string, int) Hashtbl.t;
+        (* field -> stamp of the oldest unacknowledged mark: re-marks
+           keep the first stamp, so the mark-to-resync timeline measures
+           how stale the peer's view of the field actually got *)
   }
 
   type t = tracker
 
   let create ?(owner = "dirty") () =
-    { owner; gen = 0; issued = 0; marks = Hashtbl.create 8 }
+    {
+      owner;
+      gen = 0;
+      issued = 0;
+      marks = Hashtbl.create 8;
+      births = Hashtbl.create 8;
+    }
 
   let mark t field =
     t.gen <- t.gen + 1;
+    if not (Hashtbl.mem t.births field) then
+      Hashtbl.replace t.births field (K.Clock.now ());
     Hashtbl.replace t.marks field t.gen
 
   let test t field = Hashtbl.mem t.marks field
@@ -123,8 +137,19 @@ module Dirty = struct
         (fun field gen acc -> if gen <= upto then field :: acc else acc)
         t.marks []
     in
-    List.iter (Hashtbl.remove t.marks) dead
+    List.iter
+      (fun field ->
+        Hashtbl.remove t.marks field;
+        match Hashtbl.find_opt t.births field with
+        | Some b ->
+            Hashtbl.remove t.births field;
+            K.Latency.observe_path "xpc.dirty" (max 0 (K.Clock.now () - b))
+        | None -> ())
+      dead
 
   let issued t = t.issued
-  let clear t = Hashtbl.reset t.marks
+
+  let clear t =
+    Hashtbl.reset t.marks;
+    Hashtbl.reset t.births
 end

@@ -168,7 +168,8 @@ let issue t ~addr ~type_id =
           encode_handle ~slot ~shard:i ~gen:sh.h_gen)
 
 let resolve t ~handle ~type_id =
-  K.Clock.consume K.Cost.current.objtracker_lookup_ns;
+  K.Clock.consume K.Cost.current.objtracker_lookup_ns
+  (* decaf-lint: consume-ok, lookup charged inside the caller's span *);
   Dispatch.note K.Cost.current.objtracker_lookup_ns;
   let shard_i = handle_shard handle in
   let sh = t.shards.(if shard_i <= t.mask then shard_i else 0) in
@@ -212,7 +213,8 @@ let drop_weak sh addr ty =
 
 let find t ~addr key =
   let sh = shard_of t ~addr in
-  K.Clock.consume K.Cost.current.objtracker_lookup_ns;
+  K.Clock.consume K.Cost.current.objtracker_lookup_ns
+  (* decaf-lint: consume-ok, lookup charged inside the caller's span *);
   Dispatch.note K.Cost.current.objtracker_lookup_ns;
   locked sh (fun () ->
       sh.stats.lookups <- sh.stats.lookups + 1;

@@ -35,6 +35,10 @@ type t = {
   r_resolve : int -> (int, string) result;
   r_handler : record -> unit;
   slots : record option array;  (** fixed layout, preallocated *)
+  born : int array;
+      (** per-slot write stamp, read at drain for the slot-write to
+          drain-consume timeline; dead entries are ignored once the slot
+          empties *)
   mutable head : int;  (** next write index *)
   mutable occupancy : int;
   mutable draining : bool;
@@ -147,8 +151,11 @@ and drain r =
                     r.slots.(i) <- None;
                     r.occupancy <- r.occupancy - 1;
                     let c = K.Cost.current.ring_slot_read_ns in
-                    K.Clock.consume c;
+                    K.Clock.consume c
+                    (* decaf-lint: consume-ok, slot age tracked as xpc.ring *);
                     Dispatch.note c;
+                    K.Latency.observe_path "xpc.ring"
+                      (max 0 (K.Clock.now () - r.born.(i)));
                     if slot_valid r rec_ then begin
                       r.r_handler rec_;
                       r.s.consumed <- r.s.consumed + 1;
@@ -184,6 +191,7 @@ let create ~name ~target ~guard ~resolve ~handler ?depth () =
       r_resolve = resolve;
       r_handler = handler;
       slots = Array.make depth None;
+      born = Array.make depth 0;
       head = 0;
       occupancy = 0;
       draining = false;
@@ -195,7 +203,7 @@ let create ~name ~target ~guard ~resolve ~handler ?depth () =
 
 let produce r rec_ =
   let c = K.Cost.current.ring_slot_write_ns in
-  K.Clock.consume c;
+  K.Clock.consume c (* decaf-lint: consume-ok, birth stamped per slot below *);
   Dispatch.note c;
   if r.occupancy >= Array.length r.slots then begin
     (* Bounded depth: producing can run in irq context, so the overflow
@@ -212,6 +220,7 @@ let produce r rec_ =
   else begin
     K.Ktrace.note (K.Ktrace.Queue ("ring:" ^ r.r_name)) K.Ktrace.Signal;
     r.slots.(r.head) <- Some rec_;
+    r.born.(r.head) <- K.Clock.now ();
     r.head <- (r.head + 1) mod Array.length r.slots;
     r.occupancy <- r.occupancy + 1;
     r.s.produced <- r.s.produced + 1;

@@ -112,7 +112,7 @@ let test_rtl8139_rx_path () =
   K.Sched.run ();
   check "one rx irq" 1 !irqs;
   (match Rtl8139.take_rx dev with
-  | Some f -> check "frame length" 64 (Bytes.length f)
+  | Some (f, _) -> check "frame length" 64 (Bytes.length f)
   | None -> Alcotest.fail "no frame");
   check_bool "fifo empty again" true (Rtl8139.take_rx dev = None);
   Rtl8139.destroy dev
@@ -195,7 +195,7 @@ let test_e1000_rx () =
   K.Sched.run ();
   check "pending" 1 (E1000_hw.rx_pending dev);
   (match E1000_hw.take_rx dev with
-  | Some f -> check "len" 500 (Bytes.length f)
+  | Some (f, _) -> check "len" 500 (Bytes.length f)
   | None -> Alcotest.fail "no frame");
   E1000_hw.destroy dev
 

@@ -64,6 +64,125 @@ let test_clock_utilization () =
   let u = Clock.utilization ~since ~busy_since in
   Alcotest.(check (float 0.001)) "30% busy" 0.3 u
 
+(* Same-due-time events deliver in schedule order: the heap key
+   tie-breaks on the monotone sequence number, so two timers armed for
+   the same instant cannot swap — including one armed from inside an
+   earlier event's callback. *)
+let test_clock_same_due_fifo () =
+  Boot.boot ();
+  let log = ref [] in
+  List.iter
+    (fun i -> ignore (Clock.at 100 (fun () -> log := i :: !log)))
+    [ 1; 2; 3 ];
+  ignore
+    (Clock.at 50 (fun () ->
+         ignore (Clock.at 100 (fun () -> log := 4 :: !log))));
+  Clock.consume 200;
+  Alcotest.(check (list int)) "FIFO at equal due time" [ 1; 2; 3; 4 ]
+    (List.rev !log);
+  (* and through the advance/deliver path, not just consume *)
+  Boot.boot ();
+  let log = ref [] in
+  ignore (Clock.after 10 (fun () -> log := 1 :: !log));
+  ignore (Clock.after 10 (fun () -> log := 2 :: !log));
+  ignore (Clock.advance_to_next_event ());
+  Alcotest.(check (list int)) "advance keeps FIFO" [ 1; 2 ] (List.rev !log)
+
+(* Event ids must stay unique across a reboot: the sequence counter is
+   never reset, so an id held from before [reset] (a hardware model's
+   stale timer) can neither collide with nor cancel a fresh event. *)
+let test_clock_stale_id_across_reset () =
+  Boot.boot ();
+  let stale = Clock.after 100 ignore in
+  Boot.boot ();
+  let fired = ref false in
+  let fresh = Clock.after 100 (fun () -> fired := true) in
+  check_bool "stale id no longer pending" false (Clock.pending stale);
+  Clock.cancel stale;
+  check_bool "cancel of stale id leaves fresh event armed" true
+    (Clock.pending fresh);
+  Clock.consume 200;
+  check_bool "fresh event fired" true !fired
+
+(* --- tracked events (the latency cost model's stamp points) --- *)
+
+let test_clock_tracked_events () =
+  Boot.boot ();
+  let tr = Clock.track "t.explicit" in
+  Clock.consume 250;
+  check "complete returns the elapsed ns" 250 (Clock.complete tr);
+  check "observation landed in the registry" 1
+    (Latency.count (Latency.get "t.explicit"));
+  Clock.track_begin "t.span";
+  Clock.consume 100;
+  Clock.track_begin "t.span";
+  Clock.consume 50;
+  Alcotest.(check (option int))
+    "first end pairs the oldest birth" (Some 150) (Clock.track_end "t.span");
+  Alcotest.(check (option int))
+    "second end pairs the newer birth" (Some 50) (Clock.track_end "t.span");
+  Alcotest.(check (option int))
+    "unmatched end is a no-op" None (Clock.track_end "t.span");
+  Clock.track_begin "t.span";
+  Clock.track_drain "t.span";
+  Alcotest.(check (option int))
+    "drain orphans outstanding births" None (Clock.track_end "t.span")
+
+(* --- Latency histograms --- *)
+
+(* Values below 64 ns land in exact unit buckets, and the bucket ranges
+   tile the whole domain with no gap or overlap. *)
+let test_latency_bucket_exactness () =
+  for v = 0 to 63 do
+    Alcotest.(check (pair int int))
+      "unit bucket is exact" (v, v)
+      (Latency.bucket_bounds (Latency.bucket_index v))
+  done;
+  let prev_high = ref (-1) in
+  for idx = 0 to Latency.num_buckets - 1 do
+    let lo, hi = Latency.bucket_bounds idx in
+    check "buckets are contiguous" (!prev_high + 1) lo;
+    check_bool "bounds ordered" true (hi >= lo);
+    check "low bound maps to its bucket" idx (Latency.bucket_index lo);
+    check "high bound maps to its bucket" idx (Latency.bucket_index hi);
+    prev_high := hi
+  done
+
+let test_latency_percentiles_small () =
+  let h = Latency.create () in
+  List.iter (Latency.observe h) [ 10; 20; 30; 40; 1_000 ];
+  check "count" 5 (Latency.count h);
+  check "p50 of five samples is the third" 30 (Latency.percentile h 0.5);
+  (* the p999 rank rounds up to the last sample, reported at the true
+     maximum rather than a bucket bound *)
+  check "p999 of five samples is the max" 1_000 (Latency.percentile h 0.999);
+  check "p0+ is the min" 10 (Latency.percentile h 0.001)
+
+let test_latency_merge () =
+  (* two per-lane histograms merge into the pool-wide distribution *)
+  let a = Latency.create () and b = Latency.create () in
+  for i = 1 to 100 do
+    Latency.observe a i
+  done;
+  for i = 101 to 200 do
+    Latency.observe b i
+  done;
+  let m = Latency.merged [ a; b ] in
+  check "merged count" 200 (Latency.count m);
+  check "merged p50 straddles the lanes" 100 (Latency.percentile m 0.5);
+  check "merged max" 200 (Latency.max_ns m);
+  check "merged min" 1 (Latency.min_ns m);
+  check "sources untouched" 100 (Latency.count a)
+
+let test_latency_overflow () =
+  let h = Latency.create () in
+  Latency.observe h max_int;
+  Latency.observe h 5;
+  check "count includes the overflow sample" 2 (Latency.count h);
+  check "overflow accounted separately" 1 (Latency.overflow_count h);
+  check "median unaffected" 5 (Latency.percentile h 0.5);
+  check "tail reports the true max" max_int (Latency.percentile h 0.999)
+
 (* --- Scheduler --- *)
 
 let test_sched_yield_interleaves () =
@@ -918,6 +1037,16 @@ let () =
           tc "cancel" test_clock_cancel;
           tc "recurring events" test_clock_event_reschedules;
           tc "utilization" test_clock_utilization;
+          tc "same due time is FIFO" test_clock_same_due_fifo;
+          tc "stale ids survive reset" test_clock_stale_id_across_reset;
+          tc "tracked events" test_clock_tracked_events;
+        ] );
+      ( "latency",
+        [
+          tc "bucket exactness" test_latency_bucket_exactness;
+          tc "small-sample percentiles" test_latency_percentiles_small;
+          tc "merge" test_latency_merge;
+          tc "overflow accounting" test_latency_overflow;
         ] );
       ( "sched",
         [

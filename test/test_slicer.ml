@@ -933,6 +933,59 @@ let test_lint_indirect_assumption () =
          && Testutil.contains f.Lint.f_message "indirect call")
        out.Slicer.lint)
 
+(* The event-accounting hygiene pass over OCaml sources: an unwaived
+   Clock.consume is flagged at its line; the waiver marker works on the
+   same line and on the immediately following line (where the
+   formatter may push it); absent directories are skipped; and the
+   repo's own xpc/driver sources are clean. *)
+let test_lint_consume_scan () =
+  let root = Filename.temp_file "lintscan" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  Sys.mkdir (Filename.concat root "lib/xpc") 0o755;
+  let file = Filename.concat root "lib/xpc/a.ml" in
+  let oc = open_out file in
+  List.iter
+    (fun l -> output_string oc (l ^ "\n"))
+    [
+      "let f () =";
+      "  K.Clock.consume 10 (* decaf-lint: consume-ok, same line *);";
+      "  K.Clock.consume 20;";
+      "  K.Clock.consume 30";
+      "  (* decaf-lint: consume-ok, wrapped marker *);";
+      "  ()";
+    ];
+  close_out oc;
+  let fs = Lint.scan_clock_consume ~root () in
+  check "exactly the naked call is flagged" 1 (List.length fs);
+  let f = List.hd fs in
+  check "flagged at its line" 3 f.Lint.f_line;
+  check_bool "events pass" true (f.Lint.f_pass = Lint.Event_accounting);
+  check_bool "warning severity" true (f.Lint.f_severity = Lint.Warning);
+  check_bool "anchored to the file" true
+    (f.Lint.f_anchor = "lib/xpc/a.ml");
+  Sys.remove file;
+  Sys.rmdir (Filename.concat root "lib/xpc");
+  Sys.rmdir (Filename.concat root "lib");
+  (* with both directories gone the scan is inert, not an error *)
+  check "absent dirs are skipped" 0
+    (List.length (Lint.scan_clock_consume ~root ()));
+  Sys.rmdir root;
+  (* the shipped sources carry a marker at every consume site *)
+  let rec up dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir "lib/xpc") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n - 1)
+  in
+  match up (Sys.getcwd ()) 6 with
+  | None -> Alcotest.fail "repo sources not found from the test cwd"
+  | Some repo ->
+      check "repo xpc/driver sources clean" 0
+        (List.length (Lint.scan_clock_consume ~root:repo ()))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "decaf_slicer"
@@ -998,5 +1051,6 @@ let () =
           tc "waivers" test_lint_waivers;
           tc "corpus clean" test_lint_corpus_clean;
           tc "indirect assumption" test_lint_indirect_assumption;
+          tc "consume scan" test_lint_consume_scan;
         ] );
     ]

@@ -246,6 +246,28 @@ let test_json_pre_worker_compat () =
         s.E.Xpcperf.config.instances
   | _ -> Alcotest.fail "pre-worker line did not parse as one sample"
 
+(* The committed soak trajectory: the same 5% p99 diff that runs as the
+   @soak-smoke alias, exercised here so the two bench regression gates
+   live side by side. DECAF_SOAK_WAIVE=1 is the documented waiver path
+   for intentional cost-model retunings — it skips only the p99
+   comparison; the deadline-miss and leak gates always hold (see
+   `make soak-json` in the Makefile for the full landing recipe). *)
+let test_soak_trajectory_gate () =
+  let candidates =
+    [
+      "BENCH_soak.json";
+      "../BENCH_soak.json";
+      "../../BENCH_soak.json";
+      Filename.concat (Filename.dirname Sys.executable_name) "../BENCH_soak.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Alcotest.fail "BENCH_soak.json not found relative to the test cwd"
+  | Some path ->
+      check_bool "soak p99/deadline/leak gates hold against the committed file"
+        true
+        (E.Soak.check ~path ())
+
 let () =
   Alcotest.run "xpcperf"
     [
@@ -263,5 +285,7 @@ let () =
             test_json_roundtrip;
           Alcotest.test_case "pre-worker trajectory parses" `Quick
             test_json_pre_worker_compat;
+          Alcotest.test_case "soak trajectory gate holds" `Quick
+            test_soak_trajectory_gate;
         ] );
     ]
